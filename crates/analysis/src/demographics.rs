@@ -1,0 +1,132 @@
+//! Table 2 — gender and age statistics of likers, with KL divergence
+//! against the global platform population.
+
+use crate::stats::kl_divergence;
+use likelab_honeypot::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DemographicsRow {
+    /// Campaign label ("Facebook" for the global row).
+    pub label: String,
+    /// Percent female.
+    pub female_pct: f64,
+    /// Percent male.
+    pub male_pct: f64,
+    /// Percent per age bracket (Table 2 order).
+    pub age_pct: [f64; 6],
+    /// KL divergence of the age distribution vs. the global platform
+    /// (None for the global row itself).
+    pub kl: Option<f64>,
+}
+
+/// Compute Table 2: one row per active campaign plus the global row last.
+pub fn table2(dataset: &Dataset) -> Vec<DemographicsRow> {
+    let global_dist = dataset.global_report.age_distribution();
+    let mut rows: Vec<DemographicsRow> = dataset
+        .campaigns
+        .iter()
+        .filter(|c| !c.inactive)
+        .map(|c| {
+            let age = c.report.age_distribution();
+            DemographicsRow {
+                label: c.spec.label.clone(),
+                female_pct: c.report.female_fraction() * 100.0,
+                male_pct: (1.0 - c.report.female_fraction()) * 100.0,
+                age_pct: age.map(|a| a * 100.0),
+                kl: Some(kl_divergence(&age, &global_dist)),
+            }
+        })
+        .collect();
+    rows.push(DemographicsRow {
+        label: "Facebook".into(),
+        female_pct: dataset.global_report.female_fraction() * 100.0,
+        male_pct: (1.0 - dataset.global_report.female_fraction()) * 100.0,
+        age_pct: global_dist.map(|a| a * 100.0),
+        kl: None,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_farms::Region;
+    use likelab_honeypot::{CampaignData, CampaignSpec, Promotion};
+    use likelab_osn::AudienceReport;
+    use likelab_sim::SimTime;
+
+    fn report(female: usize, male: usize, ages: [usize; 6]) -> AudienceReport {
+        AudienceReport {
+            total: female + male,
+            female,
+            male,
+            age_counts: ages,
+            country_counts: Default::default(),
+        }
+    }
+
+    fn campaign(label: &str, r: AudienceReport) -> CampaignData {
+        CampaignData {
+            spec: CampaignSpec {
+                label: label.into(),
+                promotion: Promotion::FarmOrder {
+                    farm: 0,
+                    region: Region::Worldwide,
+                    likes: 0,
+                    price_cents: 0,
+                    advertised_duration: String::new(),
+                },
+            },
+            page: likelab_graph::PageId(0),
+            observations: vec![],
+            likers: vec![],
+            report: r,
+            monitoring_days: None,
+            terminated_after_month: 0,
+            inactive: false,
+        }
+    }
+
+    #[test]
+    fn young_male_campaign_diverges_global_like_campaign_does_not() {
+        // Global-ish distribution (Table 2's last row, scaled to counts).
+        let global = report(46, 54, [15, 32, 27, 13, 7, 6]);
+        // FB-IND-like: young and male.
+        let young = report(7, 93, [53, 43, 2, 1, 1, 0]);
+        // SF-like: mirrors global.
+        let mirror = report(37, 63, [15, 32, 27, 13, 7, 6]);
+        let d = Dataset {
+            campaigns: vec![campaign("FB-IND", young), campaign("SF-ALL", mirror)],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: global,
+        };
+        let rows = table2(&d);
+        assert_eq!(rows.len(), 3);
+        let fb = &rows[0];
+        let sf = &rows[1];
+        assert!((fb.female_pct - 7.0).abs() < 1e-9);
+        assert!(fb.kl.unwrap() > 0.5, "FB-IND diverges: {:?}", fb.kl);
+        assert!(sf.kl.unwrap() < 0.05, "SF mirrors global: {:?}", sf.kl);
+        assert!(fb.kl.unwrap() > sf.kl.unwrap() * 10.0);
+    }
+
+    #[test]
+    fn global_row_is_last_with_no_kl() {
+        let d = Dataset {
+            campaigns: vec![],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: report(46, 54, [15, 32, 27, 13, 7, 6]),
+        };
+        let rows = table2(&d);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].label, "Facebook");
+        assert!(rows[0].kl.is_none());
+        assert!((rows[0].female_pct - 46.0).abs() < 1e-9);
+        let sum: f64 = rows[0].age_pct.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

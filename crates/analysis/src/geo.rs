@@ -1,0 +1,127 @@
+//! Figure 1 — geolocation of the likers, per campaign.
+//!
+//! Stacked shares over USA / India / Egypt / Turkey / France / Other, read
+//! off the page-admin reports (which aggregate private attributes too, just
+//! like Facebook's).
+
+use likelab_honeypot::Dataset;
+use likelab_osn::GeoBucket;
+use serde::{Deserialize, Serialize};
+
+/// One campaign's bar in Figure 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GeoRow {
+    /// Campaign label.
+    pub label: String,
+    /// Shares over [`GeoBucket::ALL`], summing to 1 for non-empty campaigns.
+    pub shares: [f64; 6],
+    /// Number of likers behind the shares.
+    pub likers: usize,
+}
+
+impl GeoRow {
+    /// The share of one bucket.
+    pub fn share(&self, bucket: GeoBucket) -> f64 {
+        let idx = GeoBucket::ALL
+            .iter()
+            .position(|b| *b == bucket)
+            .expect("bucket in ALL");
+        self.shares[idx]
+    }
+
+    /// The dominant bucket, when any liker exists.
+    pub fn dominant(&self) -> Option<GeoBucket> {
+        if self.likers == 0 {
+            return None;
+        }
+        GeoBucket::ALL
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                self.share(*a)
+                    .partial_cmp(&self.share(*b))
+                    .expect("finite shares")
+            })
+    }
+}
+
+/// Compute Figure 1: one row per active campaign, in dataset order.
+pub fn figure1(dataset: &Dataset) -> Vec<GeoRow> {
+    dataset
+        .campaigns
+        .iter()
+        .filter(|c| !c.inactive)
+        .map(|c| GeoRow {
+            label: c.spec.label.clone(),
+            shares: c.report.geo_distribution(),
+            likers: c.report.total,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_honeypot::{CampaignData, CampaignSpec, Promotion};
+    use likelab_osn::{AudienceReport, Targeting};
+    use likelab_sim::SimTime;
+
+    fn row(counts: &[(&str, usize)], inactive: bool) -> CampaignData {
+        let mut report = AudienceReport::default();
+        for (k, v) in counts {
+            report.country_counts.insert((*k).to_string(), *v);
+            report.total += v;
+        }
+        CampaignData {
+            spec: CampaignSpec {
+                label: "FB-ALL".into(),
+                promotion: Promotion::PlatformAds {
+                    targeting: Targeting::worldwide(),
+                    daily_budget_cents: 600.0,
+                    duration_days: 15,
+                },
+            },
+            page: likelab_graph::PageId(0),
+            observations: vec![],
+            likers: vec![],
+            report,
+            monitoring_days: None,
+            terminated_after_month: 0,
+            inactive,
+        }
+    }
+
+    fn dataset(campaigns: Vec<CampaignData>) -> Dataset {
+        Dataset {
+            campaigns,
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        }
+    }
+
+    #[test]
+    fn shares_follow_the_report() {
+        let d = dataset(vec![row(&[("India", 96), ("USA", 4)], false)]);
+        let fig = figure1(&d);
+        assert_eq!(fig.len(), 1);
+        assert!((fig[0].share(GeoBucket::India) - 0.96).abs() < 1e-12);
+        assert!((fig[0].share(GeoBucket::Usa) - 0.04).abs() < 1e-12);
+        assert_eq!(fig[0].dominant(), Some(GeoBucket::India));
+        assert_eq!(fig[0].likers, 100);
+    }
+
+    #[test]
+    fn inactive_campaigns_are_skipped() {
+        let d = dataset(vec![row(&[("USA", 1)], true)]);
+        assert!(figure1(&d).is_empty());
+    }
+
+    #[test]
+    fn empty_campaign_has_no_dominant() {
+        let d = dataset(vec![row(&[], false)]);
+        let fig = figure1(&d);
+        assert_eq!(fig[0].dominant(), None);
+        assert_eq!(fig[0].shares, [0.0; 6]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 4 — distribution of per-liker page-like counts, against the
+//! random-directory baseline.
+//!
+//! The paper's headline contrast: baseline users hold a median of 34 page
+//! likes; honeypot likers hold hundreds to thousands — "our honeypot pages
+//! attracted users that tend to like significantly more pages than regular
+//! Facebook users".
+
+use crate::stats::Cdf;
+use likelab_honeypot::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One CDF curve of Figure 4.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LikeCountCurve {
+    /// Campaign label, or "Facebook" for the baseline.
+    pub label: String,
+    /// Whether this is a platform-ads campaign (Figure 4a vs 4b).
+    pub platform_ads: bool,
+    /// The CDF over per-liker page-like counts (public like lists only).
+    pub cdf: Cdf,
+}
+
+impl LikeCountCurve {
+    /// Median page-like count (NaN when no public like list was seen).
+    pub fn median(&self) -> f64 {
+        self.cdf.median()
+    }
+}
+
+/// Compute Figure 4: one curve per active campaign plus the baseline last.
+pub fn figure4(dataset: &Dataset) -> Vec<LikeCountCurve> {
+    let mut curves: Vec<LikeCountCurve> = dataset
+        .campaigns
+        .iter()
+        .filter(|c| !c.inactive)
+        .map(|c| {
+            let counts: Vec<f64> = c
+                .likers
+                .iter()
+                .filter_map(|l| l.liked_pages.as_ref().map(|p| p.len() as f64))
+                .collect();
+            LikeCountCurve {
+                label: c.spec.label.clone(),
+                platform_ads: c.spec.is_platform_ads(),
+                cdf: Cdf::new(counts),
+            }
+        })
+        .collect();
+    curves.push(LikeCountCurve {
+        label: "Facebook".into(),
+        platform_ads: false,
+        cdf: Cdf::new(
+            dataset
+                .baseline
+                .iter()
+                .map(|b| b.like_count as f64)
+                .collect(),
+        ),
+    });
+    curves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_farms::Region;
+    use likelab_graph::{PageId, UserId};
+    use likelab_honeypot::{BaselineRecord, CampaignData, CampaignSpec, LikerRecord, Promotion};
+    use likelab_osn::AudienceReport;
+    use likelab_sim::SimTime;
+
+    fn liker(id: u32, likes: Option<usize>) -> LikerRecord {
+        LikerRecord {
+            user: UserId(id),
+            first_seen: SimTime::EPOCH,
+            friends: None,
+            total_friend_count: None,
+            liked_pages: likes.map(|n| (0..n as u32).map(PageId).collect()),
+            gone_at_collection: false,
+        }
+    }
+
+    fn campaign(label: &str, likers: Vec<LikerRecord>) -> CampaignData {
+        CampaignData {
+            spec: CampaignSpec {
+                label: label.into(),
+                promotion: Promotion::FarmOrder {
+                    farm: 0,
+                    region: Region::Worldwide,
+                    likes: 0,
+                    price_cents: 0,
+                    advertised_duration: String::new(),
+                },
+            },
+            page: PageId(0),
+            observations: vec![],
+            likers,
+            report: AudienceReport::default(),
+            monitoring_days: None,
+            terminated_after_month: 0,
+            inactive: false,
+        }
+    }
+
+    #[test]
+    fn medians_contrast_farm_vs_baseline() {
+        let d = Dataset {
+            campaigns: vec![campaign(
+                "SF-ALL",
+                (0..9).map(|i| liker(i, Some(1_000 + i as usize * 100))).collect(),
+            )],
+            baseline: (0..9)
+                .map(|i| BaselineRecord {
+                    user: UserId(100 + i),
+                    like_count: 30 + i as usize,
+                })
+                .collect(),
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let curves = figure4(&d);
+        assert_eq!(curves.len(), 2);
+        let sf = &curves[0];
+        let base = &curves[1];
+        assert_eq!(base.label, "Facebook");
+        assert!(sf.median() > base.median() * 20.0);
+        assert_eq!(base.median(), 34.0);
+    }
+
+    #[test]
+    fn private_like_lists_are_excluded() {
+        let d = Dataset {
+            campaigns: vec![campaign(
+                "AL-USA",
+                vec![liker(0, Some(10)), liker(1, None), liker(2, Some(20))],
+            )],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let curves = figure4(&d);
+        assert_eq!(curves[0].cdf.len(), 2, "one private list dropped");
+    }
+
+    #[test]
+    fn empty_baseline_yields_empty_curve() {
+        let d = Dataset {
+            campaigns: vec![],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let curves = figure4(&d);
+        assert_eq!(curves.len(), 1);
+        assert!(curves[0].cdf.is_empty());
+        assert!(curves[0].median().is_nan());
+    }
+}

@@ -1,0 +1,196 @@
+//! Provider grouping: which service a liker "belongs" to.
+//!
+//! Table 3 groups likers by provider, with one twist: users who liked both
+//! an AuthenticLikes page and a MammothSocials page form their own ALMS
+//! group (they are the smoking gun for the shared operator) and are removed
+//! from the AL and MS rows.
+
+use likelab_graph::UserId;
+use likelab_honeypot::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The provider groups of Table 3.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Provider {
+    /// Likers of the legitimate ad campaigns.
+    Facebook,
+    /// BoostLikes.
+    BoostLikes,
+    /// SocialFormula.
+    SocialFormula,
+    /// AuthenticLikes (excluding ALMS).
+    AuthenticLikes,
+    /// MammothSocials (excluding ALMS).
+    MammothSocials,
+    /// Likers of both AL and MS campaigns.
+    Alms,
+}
+
+impl Provider {
+    /// All groups in Table 3 order.
+    pub const ALL: [Provider; 6] = [
+        Provider::Facebook,
+        Provider::BoostLikes,
+        Provider::SocialFormula,
+        Provider::AuthenticLikes,
+        Provider::MammothSocials,
+        Provider::Alms,
+    ];
+
+    /// The provider a campaign label belongs to ("FB-USA" → Facebook).
+    pub fn of_label(label: &str) -> Option<Provider> {
+        match label.split('-').next()? {
+            "FB" => Some(Provider::Facebook),
+            "BL" => Some(Provider::BoostLikes),
+            "SF" => Some(Provider::SocialFormula),
+            "AL" => Some(Provider::AuthenticLikes),
+            "MS" => Some(Provider::MammothSocials),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Provider::Facebook => "Facebook.com",
+            Provider::BoostLikes => "BoostLikes.com",
+            Provider::SocialFormula => "SocialFormula.com",
+            Provider::AuthenticLikes => "AuthenticLikes.com",
+            Provider::MammothSocials => "MammothSocials.com",
+            Provider::Alms => "ALMS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Assign every liker in the dataset to its Table 3 group.
+///
+/// A user may have liked pages of several providers; Table 3's only special
+/// case is ALMS (AL ∩ MS). Other multi-provider likers are counted in every
+/// provider they touched, matching the paper's note that the per-provider
+/// liker counts need not sum to the campaign like totals.
+pub fn group_likers(dataset: &Dataset) -> BTreeMap<Provider, BTreeSet<UserId>> {
+    let mut raw: BTreeMap<Provider, BTreeSet<UserId>> = BTreeMap::new();
+    for c in &dataset.campaigns {
+        let Some(p) = Provider::of_label(&c.spec.label) else {
+            continue;
+        };
+        raw.entry(p).or_default().extend(c.liker_ids());
+    }
+    let al = raw.remove(&Provider::AuthenticLikes).unwrap_or_default();
+    let ms = raw.remove(&Provider::MammothSocials).unwrap_or_default();
+    let alms: BTreeSet<UserId> = al.intersection(&ms).copied().collect();
+    raw.insert(
+        Provider::AuthenticLikes,
+        al.difference(&alms).copied().collect(),
+    );
+    raw.insert(
+        Provider::MammothSocials,
+        ms.difference(&alms).copied().collect(),
+    );
+    raw.insert(Provider::Alms, alms);
+    for p in Provider::ALL {
+        raw.entry(p).or_default();
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_farms::Region;
+    use likelab_honeypot::{CampaignData, CampaignSpec, LikerRecord, Promotion};
+    use likelab_osn::AudienceReport;
+    use likelab_sim::SimTime;
+
+    fn liker(id: u32) -> LikerRecord {
+        LikerRecord {
+            user: UserId(id),
+            first_seen: SimTime::EPOCH,
+            friends: None,
+            total_friend_count: None,
+            liked_pages: None,
+            gone_at_collection: false,
+        }
+    }
+
+    fn campaign(label: &str, ids: &[u32]) -> CampaignData {
+        CampaignData {
+            spec: CampaignSpec {
+                label: label.into(),
+                promotion: Promotion::FarmOrder {
+                    farm: 0,
+                    region: Region::Worldwide,
+                    likes: 1_000,
+                    price_cents: 1,
+                    advertised_duration: "x".into(),
+                },
+            },
+            page: likelab_graph::PageId(0),
+            observations: vec![],
+            likers: ids.iter().map(|i| liker(*i)).collect(),
+            report: AudienceReport::default(),
+            monitoring_days: None,
+            terminated_after_month: 0,
+            inactive: false,
+        }
+    }
+
+    #[test]
+    fn label_prefixes_map_to_providers() {
+        assert_eq!(Provider::of_label("FB-USA"), Some(Provider::Facebook));
+        assert_eq!(Provider::of_label("BL-ALL"), Some(Provider::BoostLikes));
+        assert_eq!(Provider::of_label("SF-USA"), Some(Provider::SocialFormula));
+        assert_eq!(Provider::of_label("AL-ALL"), Some(Provider::AuthenticLikes));
+        assert_eq!(Provider::of_label("MS-USA"), Some(Provider::MammothSocials));
+        assert_eq!(Provider::of_label("XX-1"), None);
+    }
+
+    #[test]
+    fn alms_is_carved_out_of_al_and_ms() {
+        let dataset = Dataset {
+            campaigns: vec![
+                campaign("AL-USA", &[1, 2, 3]),
+                campaign("MS-USA", &[3, 4]),
+                campaign("SF-ALL", &[5]),
+            ],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let groups = group_likers(&dataset);
+        assert_eq!(
+            groups[&Provider::Alms],
+            BTreeSet::from([UserId(3)]),
+            "liked both AL and MS"
+        );
+        assert_eq!(
+            groups[&Provider::AuthenticLikes],
+            BTreeSet::from([UserId(1), UserId(2)])
+        );
+        assert_eq!(
+            groups[&Provider::MammothSocials],
+            BTreeSet::from([UserId(4)])
+        );
+        assert_eq!(
+            groups[&Provider::SocialFormula],
+            BTreeSet::from([UserId(5)])
+        );
+        assert!(groups[&Provider::Facebook].is_empty());
+    }
+
+    #[test]
+    fn same_provider_campaigns_union() {
+        let dataset = Dataset {
+            campaigns: vec![campaign("SF-ALL", &[1, 2]), campaign("SF-USA", &[2, 3])],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let groups = group_likers(&dataset);
+        assert_eq!(groups[&Provider::SocialFormula].len(), 3, "union of 1,2,3");
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text rendering: aligned tables, bar rows, CDF sparklines, and
+//! digit-shaded similarity matrices — the terminal equivalents of the
+//! paper's tables and figures.
+
+use std::fmt::Write as _;
+
+/// Render an aligned ASCII table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            let pad = w - cell.chars().count();
+            // First column left-aligned, the rest right-aligned.
+            if i == 0 {
+                let _ = write!(out, "{cell}{}", " ".repeat(pad));
+            } else {
+                let _ = write!(out, "  {}{cell}", " ".repeat(pad));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+    }
+    out
+}
+
+/// A horizontal percentage bar of the given width.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let filled = (fraction * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// A one-line sparkline over a series (min–max normalized).
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (TICKS.len() - 1) as f64).round() as usize;
+            TICKS[idx.min(TICKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Render a similarity matrix (values 0–100) as a digit heat map: each cell
+/// prints one character, `.` for ~0 up to `9`/`#` for the hottest.
+pub fn matrix_heat(labels: &[String], matrix: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    // Column header: first letter-pairs rotated would be unreadable; use
+    // column indexes and a legend.
+    let _ = write!(out, "{:label_w$}  ", "");
+    for i in 0..labels.len() {
+        let _ = write!(out, "{:>3}", i);
+    }
+    out.push('\n');
+    for (i, row) in matrix.iter().enumerate() {
+        let _ = write!(out, "{:label_w$}  ", labels[i]);
+        for v in row {
+            let c = match *v {
+                v if v < 0.5 => '.',
+                v if v >= 99.5 => '#',
+                v => char::from_digit(((v / 100.0) * 10.0).min(9.0) as u32, 10).unwrap_or('?'),
+            };
+            let _ = write!(out, "{c:>3}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "legend: . <0.5   digit d = [d*10,(d+1)*10)%   # = 100%  (columns = row order)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["id".into(), "likes".into()],
+            vec!["FB-USA".into(), "32".into()],
+            vec!["AL-USA".into(), "1038".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: both rows end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].ends_with("1038"));
+        assert!(lines[2].ends_with("  32"));
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(table(&[]), "");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10), "..........");
+        assert_eq!(bar(1.0, 10), "##########");
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(7.0, 4), "####", "clamped");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0]).chars().count(), 1);
+    }
+
+    #[test]
+    fn matrix_heat_digits() {
+        let labels = vec!["A".to_string(), "B".to_string()];
+        let m = vec![vec![100.0, 35.0], vec![35.0, 0.0]];
+        let h = matrix_heat(&labels, &m);
+        assert!(h.contains('#'), "100% is #");
+        assert!(h.contains('3'), "35% is 3");
+        assert!(h.contains('.'), "0% is .");
+    }
+}

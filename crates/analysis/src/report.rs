@@ -1,0 +1,314 @@
+//! The assembled study report: every table and figure of the paper computed
+//! from one dataset, plus plain-text rendering.
+
+use crate::demographics::{table2, DemographicsRow};
+use crate::geo::{figure1, GeoRow};
+use crate::pagelikes::{figure4, LikeCountCurve};
+use crate::provider::Provider;
+use crate::render;
+use crate::similarity::{figure5_pages, figure5_users, SimilarityMatrix};
+use crate::social::{ObservedSocial, SocialRow};
+use crate::temporal::{figure2, TimeSeries};
+use crate::termination::{termination_summary, TerminationSummary};
+use likelab_honeypot::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Campaign label.
+    pub label: String,
+    /// Provider display name.
+    pub provider: String,
+    /// Targeted location.
+    pub location: String,
+    /// Budget string.
+    pub budget: String,
+    /// Advertised duration.
+    pub duration: String,
+    /// Days monitored (None for inactive campaigns).
+    pub monitoring_days: Option<u64>,
+    /// Likes garnered (None for inactive campaigns, rendered "-").
+    pub likes: Option<usize>,
+    /// Liker accounts terminated a month later.
+    pub terminated: Option<usize>,
+}
+
+/// The full study report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Table 1 — campaign roster and outcomes.
+    pub table1: Vec<Table1Row>,
+    /// Table 2 — demographics and KL divergence.
+    pub table2: Vec<DemographicsRow>,
+    /// Table 3 — likers and friendships.
+    pub table3: Vec<SocialRow>,
+    /// Figure 1 — geolocation shares.
+    pub figure1: Vec<GeoRow>,
+    /// Figure 2 — cumulative like series.
+    pub figure2: Vec<TimeSeries>,
+    /// Figure 3 — DOT of the likers' friendship graph (direct relations).
+    pub figure3_direct_dot: String,
+    /// Figure 3(b) — DOT including 2-hop relations.
+    pub figure3_twohop_dot: String,
+    /// Figure 4 — page-like count CDFs.
+    pub figure4: Vec<LikeCountCurve>,
+    /// Figure 5(a) — page-like-set similarity.
+    pub figure5_pages: SimilarityMatrix,
+    /// Figure 5(b) — liker-set similarity.
+    pub figure5_users: SimilarityMatrix,
+    /// §5 — termination follow-up.
+    pub termination: TerminationSummary,
+    /// Dataset-level totals (likes collected, friendships observed...).
+    pub totals: Totals,
+}
+
+/// Headline dataset totals (the paper's §3 numbers).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Totals {
+    /// Likes on honeypot pages, all campaigns.
+    pub campaign_likes: usize,
+    /// ... from farm campaigns.
+    pub farm_likes: usize,
+    /// ... from platform-ad campaigns.
+    pub ad_likes: usize,
+    /// Page likes observed on likers' public profiles (paper: 6.3M).
+    pub observed_page_likes: usize,
+    /// Friendship entries observed on likers' public lists (paper: 1M+).
+    pub observed_friendships: usize,
+}
+
+impl StudyReport {
+    /// Compute everything from a dataset.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let social = ObservedSocial::build(dataset);
+        StudyReport {
+            table1: dataset
+                .campaigns
+                .iter()
+                .map(|c| Table1Row {
+                    label: c.spec.label.clone(),
+                    provider: Provider::of_label(&c.spec.label)
+                        .map(|p| p.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    location: c.spec.location(),
+                    budget: c.spec.budget(),
+                    duration: c.spec.duration(),
+                    monitoring_days: c.monitoring_days,
+                    likes: (!c.inactive).then(|| c.like_count()),
+                    terminated: (!c.inactive).then_some(c.terminated_after_month),
+                })
+                .collect(),
+            table2: table2(dataset),
+            table3: social.table3(),
+            figure1: figure1(dataset),
+            figure2: figure2(dataset, 15),
+            figure3_direct_dot: social.figure3_dot(false),
+            figure3_twohop_dot: social.figure3_dot(true),
+            figure4: figure4(dataset),
+            figure5_pages: figure5_pages(dataset),
+            figure5_users: figure5_users(dataset),
+            termination: termination_summary(dataset),
+            totals: Totals {
+                campaign_likes: dataset.total_likes(),
+                farm_likes: dataset.farm_likes(),
+                ad_likes: dataset.ad_likes(),
+                observed_page_likes: dataset.observed_page_likes(),
+                observed_friendships: dataset.observed_friendships(),
+            },
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Render every table and figure as plain text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Table 1: campaigns ==\n");
+        let mut rows = vec![vec![
+            "Campaign".to_string(),
+            "Provider".to_string(),
+            "Location".to_string(),
+            "Budget".to_string(),
+            "Duration".to_string(),
+            "Monitoring".to_string(),
+            "#Likes".to_string(),
+            "#Terminated".to_string(),
+        ]];
+        for r in &self.table1 {
+            rows.push(vec![
+                r.label.clone(),
+                r.provider.clone(),
+                r.location.clone(),
+                r.budget.clone(),
+                r.duration.clone(),
+                r.monitoring_days
+                    .map(|d| format!("{d} days"))
+                    .unwrap_or_else(|| "-".into()),
+                r.likes.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                r.terminated
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        out.push_str(&render::table(&rows));
+
+        out.push_str("\n== Table 2: gender and age of likers ==\n");
+        let mut rows = vec![vec![
+            "Campaign".to_string(),
+            "%F/%M".to_string(),
+            "13-17".to_string(),
+            "18-24".to_string(),
+            "25-34".to_string(),
+            "35-44".to_string(),
+            "45-54".to_string(),
+            "55+".to_string(),
+            "KL".to_string(),
+        ]];
+        for r in &self.table2 {
+            let mut row = vec![
+                r.label.clone(),
+                format!("{:.0}/{:.0}", r.female_pct, r.male_pct),
+            ];
+            row.extend(r.age_pct.iter().map(|a| format!("{a:.1}")));
+            row.push(
+                r.kl.map(|k| format!("{k:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            rows.push(row);
+        }
+        out.push_str(&render::table(&rows));
+
+        out.push_str("\n== Table 3: likers and friendships ==\n");
+        let mut rows = vec![vec![
+            "Provider".to_string(),
+            "#Likers".to_string(),
+            "Public FL".to_string(),
+            "Avg#Fr".to_string(),
+            "±Std".to_string(),
+            "Med#Fr".to_string(),
+            "#Friendships".to_string(),
+            "#2-Hop".to_string(),
+        ]];
+        for r in &self.table3 {
+            rows.push(vec![
+                r.provider.to_string(),
+                r.likers.to_string(),
+                format!("{} ({:.1}%)", r.public_friend_lists, r.public_pct()),
+                format!("{:.0}", r.friends.mean),
+                format!("{:.0}", r.friends.std_dev),
+                format!("{:.0}", r.friends.median),
+                r.friendships_between_likers.to_string(),
+                r.two_hop_between_likers.to_string(),
+            ]);
+        }
+        out.push_str(&render::table(&rows));
+
+        out.push_str("\n== Figure 1: liker geolocation (% per campaign) ==\n");
+        let mut rows = vec![vec![
+            "Campaign".to_string(),
+            "USA".to_string(),
+            "India".to_string(),
+            "Egypt".to_string(),
+            "Turkey".to_string(),
+            "France".to_string(),
+            "Other".to_string(),
+        ]];
+        for r in &self.figure1 {
+            let mut row = vec![r.label.clone()];
+            row.extend(r.shares.iter().map(|s| format!("{:.1}", s * 100.0)));
+            rows.push(row);
+        }
+        out.push_str(&render::table(&rows));
+
+        out.push_str("\n== Figure 2: cumulative likes per day (sparklines, day 0-15) ==\n");
+        for s in &self.figure2 {
+            let values: Vec<f64> = s.daily.iter().map(|(_, n)| *n as f64).collect();
+            out.push_str(&format!(
+                "{:8} {} total={:5} peak2h={:4.0}% t90={:4.1}d\n",
+                s.label,
+                render::sparkline(&values),
+                s.total(),
+                s.peak_2h_share * 100.0,
+                s.days_to_90pct,
+            ));
+        }
+
+        out.push_str("\n== Figure 4: page-like medians ==\n");
+        let mut rows = vec![vec!["Curve".to_string(), "Median #likes".to_string()]];
+        for c in &self.figure4 {
+            let m = c.median();
+            rows.push(vec![
+                c.label.clone(),
+                if m.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{m:.0}")
+                },
+            ]);
+        }
+        out.push_str(&render::table(&rows));
+
+        out.push_str("\n== Figure 5(a): page-like set similarity (Jaccard x100) ==\n");
+        out.push_str(&render::matrix_heat(
+            &self.figure5_pages.labels,
+            &self.figure5_pages.matrix,
+        ));
+        out.push_str("\n== Figure 5(b): liker set similarity (Jaccard x100) ==\n");
+        out.push_str(&render::matrix_heat(
+            &self.figure5_users.labels,
+            &self.figure5_users.matrix,
+        ));
+
+        out.push_str("\n== Termination (month later) ==\n");
+        for (p, n) in &self.termination.by_provider {
+            out.push_str(&format!("{p}: {n}\n"));
+        }
+        out.push_str(&format!(
+            "\nTotals: {} campaign likes ({} farm / {} ads); {} page likes and {} friendships observed on liker profiles\n",
+            self.totals.campaign_likes,
+            self.totals.farm_likes,
+            self.totals.ad_likes,
+            self.totals.observed_page_likes,
+            self.totals.observed_friendships,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_osn::AudienceReport;
+    use likelab_sim::SimTime;
+
+    fn empty_dataset() -> Dataset {
+        Dataset {
+            campaigns: vec![],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        }
+    }
+
+    #[test]
+    fn empty_dataset_still_renders() {
+        let r = StudyReport::compute(&empty_dataset());
+        let text = r.render();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("Figure 5"));
+        assert_eq!(r.totals.campaign_likes, 0);
+    }
+
+    #[test]
+    fn json_serializes() {
+        let r = StudyReport::compute(&empty_dataset());
+        let json = r.to_json().unwrap();
+        assert!(json.contains("table1"));
+        assert!(json.contains("figure5_users"));
+    }
+}

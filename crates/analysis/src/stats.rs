@@ -1,0 +1,212 @@
+//! Statistical primitives the analyses share: KL divergence (Table 2),
+//! Jaccard similarity (Figure 5), empirical CDFs (Figure 4), and summary
+//! statistics (Table 3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::hash::Hash;
+
+pub use likelab_graph::metrics::SummaryStats;
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in **bits**, with ε-smoothing so
+/// empty buckets don't blow up.
+///
+/// Bits, not nats: recomputing the paper's own Table 2 rows shows its KL
+/// column is base-2 (e.g. the published BL-USA age row against the global
+/// row gives 0.59 bits — the paper prints 0.60 — while the nat value would
+/// be 0.41). Using bits makes our measured column directly comparable.
+///
+/// # Panics
+/// Panics when the distributions differ in length or are empty.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must align");
+    assert!(!p.is_empty(), "empty distributions");
+    const EPS: f64 = 1e-9;
+    let ps: f64 = p.iter().sum::<f64>() + EPS * p.len() as f64;
+    let qs: f64 = q.iter().sum::<f64>() + EPS * q.len() as f64;
+    p.iter()
+        .zip(q)
+        .map(|(pi, qi)| {
+            let pn = (pi + EPS) / ps;
+            let qn = (qi + EPS) / qs;
+            pn * (pn / qn).log2()
+        })
+        .sum()
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`; 0 when both sets are empty
+/// (matching the zero rows the paper's Figure 5 shows for the inactive
+/// campaigns).
+pub fn jaccard<T: Eq + Hash>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// An empirical CDF over `f64` samples.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples (order irrelevant).
+    ///
+    /// # Panics
+    /// Panics on non-finite samples.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "CDF samples must be finite"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty CDF.
+    pub fn fraction_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by lower interpolation; NaN for empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).floor() as usize;
+        self.sorted[idx]
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Evaluate the CDF on a grid of `points` x-values spanning
+    /// `[0, max]` — the plotted series of Figure 4.
+    pub fn series(&self, max: f64, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        (0..points)
+            .map(|i| {
+                let x = max * i as f64 / (points - 1) as f64;
+                (x, self.fraction_at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kl_is_positive_and_asymmetric() {
+        let p = [0.9, 0.05, 0.05];
+        let q = [0.2, 0.4, 0.4];
+        let pq = kl_divergence(&p, &q);
+        let qp = kl_divergence(&q, &p);
+        assert!(pq > 0.5, "divergent distributions: {pq}");
+        assert!((pq - qp).abs() > 1e-3, "KL is not symmetric");
+    }
+
+    #[test]
+    fn kl_survives_zero_buckets() {
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        let v = kl_divergence(&p, &q);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn kl_matches_known_value() {
+        // KL([.5,.5] || [.9,.1]) = .5 log2(.5/.9) + .5 log2(.5/.1) ≈ 0.7370
+        let v = kl_divergence(&[0.5, 0.5], &[0.9, 0.1]);
+        assert!((v - 0.7370).abs() < 1e-3, "{v}");
+    }
+
+    #[test]
+    fn kl_reproduces_the_papers_bl_usa_cell() {
+        // Published BL-USA age row vs the published global row: the paper
+        // prints KL = 0.60, which only comes out in bits.
+        let bl = [0.342, 0.545, 0.088, 0.015, 0.007, 0.005];
+        let global = [0.149, 0.323, 0.266, 0.132, 0.072, 0.059];
+        let v = kl_divergence(&bl, &global);
+        assert!((v - 0.60).abs() < 0.02, "{v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn kl_rejects_mismatched_lengths() {
+        kl_divergence(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: HashSet<u32> = [1, 2, 3].into();
+        let b: HashSet<u32> = [2, 3, 4].into();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        let empty: HashSet<u32> = HashSet::new();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&empty, &empty), 0.0, "both-empty is 0, not NaN");
+    }
+
+    #[test]
+    fn cdf_fractions_and_quantiles() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.len(), 4);
+        assert!((c.fraction_at(0.5) - 0.0).abs() < 1e-12);
+        assert!((c.fraction_at(2.0) - 0.5).abs() < 1e-12);
+        assert!((c.fraction_at(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let c = Cdf::new((1..=100).map(f64::from).collect());
+        let s = c.series(100.0, 20);
+        assert_eq!(s.len(), 20);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!((s.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf_is_graceful() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at(5.0), 0.0);
+        assert!(c.median().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn cdf_rejects_nan() {
+        Cdf::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The month-later termination follow-up (§5 of the paper).
+//!
+//! "Only one account associated with BoostLikes was terminated, as opposed
+//! to 9, 20, and 44 for the other like farms. 11 accounts from the regular
+//! Facebook campaigns were also terminated." The ordering — stealth farm
+//! barely touched, bot farms purged — is the disposability signature.
+
+use crate::provider::Provider;
+use likelab_honeypot::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Termination summary per provider.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TerminationSummary {
+    /// Terminated liker accounts per provider (summed over campaigns).
+    pub by_provider: BTreeMap<Provider, usize>,
+    /// Terminated per campaign label.
+    pub by_campaign: BTreeMap<String, usize>,
+    /// Total across all campaigns.
+    pub total: usize,
+}
+
+impl TerminationSummary {
+    /// Terminated count for one provider.
+    pub fn provider(&self, p: Provider) -> usize {
+        self.by_provider.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Termination *rate* per provider: terminated / likers.
+    pub fn rate(&self, p: Provider, likers: usize) -> f64 {
+        if likers == 0 {
+            0.0
+        } else {
+            self.provider(p) as f64 / likers as f64
+        }
+    }
+}
+
+/// Aggregate the month-later termination counts.
+pub fn termination_summary(dataset: &Dataset) -> TerminationSummary {
+    let mut s = TerminationSummary::default();
+    for c in &dataset.campaigns {
+        let n = c.terminated_after_month;
+        s.by_campaign.insert(c.spec.label.clone(), n);
+        s.total += n;
+        if let Some(p) = Provider::of_label(&c.spec.label) {
+            *s.by_provider.entry(p).or_insert(0) += n;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_farms::Region;
+    use likelab_honeypot::{CampaignData, CampaignSpec, Promotion};
+    use likelab_osn::AudienceReport;
+    use likelab_sim::SimTime;
+
+    fn campaign(label: &str, terminated: usize) -> CampaignData {
+        CampaignData {
+            spec: CampaignSpec {
+                label: label.into(),
+                promotion: Promotion::FarmOrder {
+                    farm: 0,
+                    region: Region::Worldwide,
+                    likes: 0,
+                    price_cents: 0,
+                    advertised_duration: String::new(),
+                },
+            },
+            page: likelab_graph::PageId(0),
+            observations: vec![],
+            likers: vec![],
+            report: AudienceReport::default(),
+            monitoring_days: None,
+            terminated_after_month: terminated,
+            inactive: false,
+        }
+    }
+
+    #[test]
+    fn paper_counts_aggregate_by_provider() {
+        let d = Dataset {
+            campaigns: vec![
+                campaign("FB-IND", 2),
+                campaign("FB-EGY", 6),
+                campaign("FB-ALL", 3),
+                campaign("BL-USA", 1),
+                campaign("SF-ALL", 11),
+                campaign("SF-USA", 9),
+                campaign("AL-ALL", 8),
+                campaign("AL-USA", 36),
+                campaign("MS-USA", 9),
+            ],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let s = termination_summary(&d);
+        assert_eq!(s.provider(Provider::Facebook), 11);
+        assert_eq!(s.provider(Provider::BoostLikes), 1);
+        assert_eq!(s.provider(Provider::SocialFormula), 20);
+        assert_eq!(s.provider(Provider::AuthenticLikes), 44);
+        assert_eq!(s.provider(Provider::MammothSocials), 9);
+        assert_eq!(s.total, 85);
+        assert_eq!(s.by_campaign["AL-USA"], 36);
+        // The ordering the paper highlights.
+        assert!(s.provider(Provider::BoostLikes) < s.provider(Provider::MammothSocials));
+        assert!(s.provider(Provider::MammothSocials) < s.provider(Provider::SocialFormula));
+        assert!(s.provider(Provider::SocialFormula) < s.provider(Provider::AuthenticLikes));
+    }
+
+    #[test]
+    fn rates_divide_by_likers() {
+        let d = Dataset {
+            campaigns: vec![campaign("BL-USA", 1)],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let s = termination_summary(&d);
+        assert!((s.rate(Provider::BoostLikes, 621) - 1.0 / 621.0).abs() < 1e-12);
+        assert_eq!(s.rate(Provider::Facebook, 0), 0.0);
+    }
+}

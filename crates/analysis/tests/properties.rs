@@ -1,0 +1,91 @@
+//! Property-based tests of the statistics the analyses rest on.
+
+use likelab_analysis::stats::{jaccard, kl_divergence, Cdf};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Jaccard is a similarity: bounded, symmetric, maximal on identity.
+    #[test]
+    fn jaccard_is_a_similarity(
+        a in prop::collection::hash_set(0u32..50, 0..30),
+        b in prop::collection::hash_set(0u32..50, 0..30),
+    ) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard(&b, &a)).abs() < 1e-12, "symmetric");
+        if !a.is_empty() {
+            prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        }
+        if a.is_disjoint(&b) {
+            prop_assert_eq!(j, 0.0);
+        }
+        let hs: HashSet<u32> = HashSet::new();
+        prop_assert_eq!(jaccard(&a, &hs), 0.0);
+    }
+
+    /// Jaccard grows when the intersection grows with the union fixed.
+    #[test]
+    fn jaccard_counts_overlap(n_shared in 0usize..20, n_only in 1usize..20) {
+        let a: HashSet<usize> = (0..n_shared + n_only).collect();
+        let b: HashSet<usize> = (0..n_shared).chain(1_000..1_000 + n_only).collect();
+        let expected = n_shared as f64 / (n_shared + 2 * n_only) as f64;
+        prop_assert!((jaccard(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    /// KL divergence is non-negative (Gibbs' inequality, up to smoothing)
+    /// and zero on identical distributions.
+    #[test]
+    fn kl_is_nonnegative(raw in prop::collection::vec(0.0f64..10.0, 2..10), raw2 in prop::collection::vec(0.0f64..10.0, 2..10)) {
+        prop_assume!(raw.iter().sum::<f64>() > 0.1);
+        prop_assume!(raw2.iter().sum::<f64>() > 0.1);
+        let n = raw.len().min(raw2.len());
+        let p = &raw[..n];
+        let q = &raw2[..n];
+        prop_assert!(kl_divergence(p, q) > -1e-6, "non-negative");
+        prop_assert!(kl_divergence(p, p).abs() < 1e-6, "self-divergence is 0");
+    }
+
+    /// KL is scale-invariant in its inputs (they are normalized internally).
+    #[test]
+    fn kl_is_scale_invariant(
+        p in prop::collection::vec(0.01f64..10.0, 3..8),
+        factor in 0.1f64..100.0,
+    ) {
+        let q = vec![1.0; p.len()];
+        let scaled: Vec<f64> = p.iter().map(|x| x * factor).collect();
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&scaled, &q);
+        prop_assert!((d1 - d2).abs() < 1e-6, "{d1} vs {d2}");
+    }
+
+    /// The empirical CDF is monotone, bounded, and hits 1 at the max.
+    #[test]
+    fn cdf_is_monotone(samples in prop::collection::vec(0.0f64..1_000.0, 1..60)) {
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let cdf = Cdf::new(samples.clone());
+        // Grid upper bound strictly above the sample domain, so the last
+        // grid point is immune to floating-point grid rounding.
+        let series = cdf.series(1_000.0, 30);
+        prop_assert!(series.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!((series.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert_eq!(cdf.fraction_at(min - 1.0), 0.0);
+        prop_assert_eq!(cdf.fraction_at(max), 1.0);
+        // Quantiles are actual samples and ordered.
+        let q25 = cdf.quantile(0.25);
+        let q75 = cdf.quantile(0.75);
+        prop_assert!(q25 <= q75);
+        prop_assert!(samples.contains(&q25) && samples.contains(&q75));
+        let med = cdf.median();
+        prop_assert!(med >= min && med <= max);
+    }
+
+    /// fraction_at is the exact empirical fraction.
+    #[test]
+    fn cdf_fraction_matches_count(samples in prop::collection::vec(0i32..100, 1..50), x in 0i32..100) {
+        let cdf = Cdf::new(samples.iter().map(|v| f64::from(*v)).collect());
+        let expected = samples.iter().filter(|v| **v <= x).count() as f64 / samples.len() as f64;
+        prop_assert!((cdf.fraction_at(f64::from(x)) - expected).abs() < 1e-12);
+    }
+}

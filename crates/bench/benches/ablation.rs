@@ -1,0 +1,305 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **A1** — burst width vs. detectability: how wide does a farm have to
+//!   smear its delivery before the burst detector loses it?
+//! - **A2** — stealth connectivity vs. component structure: how dense does
+//!   the sybil network have to be before the likers form one blob?
+//! - **A3** — privacy rate vs. Table 3 visibility: how much of the real
+//!   liker–liker structure does the crawler see at each public-list rate?
+//! - **A4** — worldwide-allocation sharpness vs. the FB-ALL India collapse:
+//!   how winner-take-most does the ad auction have to be before worldwide
+//!   targeting lands 96% in one market?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_bench::print_block;
+use likelab_detect::{judge_page, BurstConfig};
+use likelab_farms::{DeliveryStyle, FarmOrder, FarmRoster, FarmSpec, Region};
+use likelab_graph::components::ComponentCensus;
+use likelab_graph::{PageId, UserId};
+use likelab_osn::{Country, OsnWorld, PageCategory};
+use likelab_sim::{Rng, SimDuration, SimTime};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// A small world with enough background pages for camouflage.
+fn small_world() -> (OsnWorld, Vec<PageId>) {
+    let mut world = OsnWorld::new();
+    let background: Vec<PageId> = (0..3_000)
+        .map(|i| {
+            world.create_page(
+                format!("bg{i}"),
+                "",
+                None,
+                PageCategory::Background,
+                SimTime::EPOCH,
+            )
+        })
+        .collect();
+    (world, background)
+}
+
+fn deliver_with_style(style: DeliveryStyle, seed: u64) -> (OsnWorld, PageId) {
+    let (mut world, background) = small_world();
+    let mut spec = FarmSpec::authenticlikes();
+    spec.style = style;
+    let mut roster = FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(seed));
+    let page = world.create_page("h", "", None, PageCategory::Honeypot, SimTime::at_day(100));
+    let d = roster.fulfill(
+        &mut world,
+        &FarmOrder {
+            farm: 0,
+            page,
+            region: Region::Country(Country::Usa),
+            likes: 1_000,
+            placed_at: SimTime::at_day(100),
+        },
+    );
+    for l in d.likes {
+        world.record_like(l.user, l.page, l.at);
+    }
+    (world, page)
+}
+
+fn ablation_burst_width() {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:24} {:>10} {:>10}",
+        "delivery style", "peak2h", "flagged%"
+    );
+    let styles: Vec<(String, DeliveryStyle)> = vec![
+        (
+            "burst 1h x1".into(),
+            DeliveryStyle::Burst {
+                days: 1,
+                bursts: 1,
+                window: SimDuration::hours(1),
+                start_delay: SimDuration::hours(6),
+            },
+        ),
+        (
+            "burst 2h x3 / 3d".into(),
+            DeliveryStyle::Burst {
+                days: 3,
+                bursts: 3,
+                window: SimDuration::hours(2),
+                start_delay: SimDuration::hours(10),
+            },
+        ),
+        (
+            "burst 12h x3 / 5d".into(),
+            DeliveryStyle::Burst {
+                days: 5,
+                bursts: 3,
+                window: SimDuration::hours(12),
+                start_delay: SimDuration::hours(10),
+            },
+        ),
+        (
+            "burst 24h x5 / 10d".into(),
+            DeliveryStyle::Burst {
+                days: 10,
+                bursts: 5,
+                window: SimDuration::hours(24),
+                start_delay: SimDuration::hours(10),
+            },
+        ),
+        ("trickle 15d".into(), DeliveryStyle::Trickle { days: 15 }),
+    ];
+    let cfg = BurstConfig::default();
+    for (name, style) in styles {
+        let mut flagged = 0;
+        let mut share_sum = 0.0;
+        const TRIALS: u64 = 8;
+        for seed in 0..TRIALS {
+            let (world, page) = deliver_with_style(style, seed);
+            let v = judge_page(&world, page, Some(SimTime::at_day(99)), &cfg);
+            share_sum += v.peak_share;
+            if v.flagged {
+                flagged += 1;
+            }
+        }
+        let _ = writeln!(
+            body,
+            "{:24} {:>9.0}% {:>9.0}%",
+            name,
+            share_sum / TRIALS as f64 * 100.0,
+            flagged as f64 / TRIALS as f64 * 100.0,
+        );
+    }
+    let _ = writeln!(
+        body,
+        "takeaway: the detector holds until deliveries smear past ~12h windows —\n\
+         the bot farms' 2h bursts are trivially detectable; BoostLikes' trickle is invisible"
+    );
+    print_block("Ablation A1: burst width vs. burst-detector recall", &body);
+}
+
+fn ablation_stealth_connectivity() {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:ello$} {:>12} {:>10} {:>8}",
+        "within-pool degree",
+        "giant frac",
+        "edges",
+        "pairs",
+        ello = 20
+    );
+    for within in [0usize, 2, 6, 12, 30] {
+        let (mut world, background) = small_world();
+        let mut spec = FarmSpec::boostlikes();
+        spec.topology = likelab_farms::PoolTopology::DenseNetwork {
+            within_degree: within,
+        };
+        let mut roster =
+            FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(7));
+        let page = world.create_page("h", "", None, PageCategory::Honeypot, SimTime::at_day(100));
+        let d = roster.fulfill(
+            &mut world,
+            &FarmOrder {
+                farm: 0,
+                page,
+                region: Region::Country(Country::Usa),
+                likes: 1_000,
+                placed_at: SimTime::at_day(100),
+            },
+        );
+        let census = ComponentCensus::compute(world.friends(), &d.accounts);
+        let edges = likelab_graph::twohop::direct_edges_within(world.friends(), &d.accounts);
+        let _ = writeln!(
+            body,
+            "{:20} {:>11.0}% {:>10} {:>8}",
+            within,
+            census.giant_fraction() * 100.0,
+            edges,
+            census.pairs,
+        );
+    }
+    let _ = writeln!(
+        body,
+        "takeaway: a handful of in-pool edges per account already produces the\n\
+         connected blob of Figure 3(a); with none, even the stealth farm's likers\n\
+         fragment like a bot farm's"
+    );
+    print_block("Ablation A2: stealth connectivity vs. Figure 3 structure", &body);
+}
+
+fn ablation_privacy_rate() {
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:>12} {:>14} {:>16} {:>12}",
+        "public rate", "true edges", "observed edges", "seen frac"
+    );
+    for public in [0.1, 0.26, 0.5, 0.8, 1.0] {
+        let (mut world, background) = small_world();
+        let mut spec = FarmSpec::boostlikes();
+        spec.friend_list_public = public;
+        let mut roster =
+            FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(9));
+        let page = world.create_page("h", "", None, PageCategory::Honeypot, SimTime::at_day(100));
+        let d = roster.fulfill(
+            &mut world,
+            &FarmOrder {
+                farm: 0,
+                page,
+                region: Region::Country(Country::Usa),
+                likes: 1_000,
+                placed_at: SimTime::at_day(100),
+            },
+        );
+        let truth = likelab_graph::twohop::direct_edges_within(world.friends(), &d.accounts);
+        // What the crawler sees: an edge is observed when either endpoint's
+        // list is public.
+        let likers: std::collections::HashSet<UserId> = d.accounts.iter().copied().collect();
+        let mut observed = std::collections::HashSet::new();
+        for &u in &d.accounts {
+            if !world.account(u).privacy.friend_list_public {
+                continue;
+            }
+            for &v in world.friends().neighbors(u) {
+                if likers.contains(&v) {
+                    observed.insert((u.min(v), u.max(v)));
+                }
+            }
+        }
+        let _ = writeln!(
+            body,
+            "{:>11.0}% {:>14} {:>16} {:>11.0}%",
+            public * 100.0,
+            truth,
+            observed.len(),
+            observed.len() as f64 / truth.max(1) as f64 * 100.0,
+        );
+    }
+    let _ = writeln!(
+        body,
+        "takeaway: at the paper's 26% public rate roughly half the liker-liker\n\
+         edges are visible — its Table 3 'lower bound' caveat, quantified"
+    );
+    print_block("Ablation A3: friend-list privacy vs. observed structure", &body);
+}
+
+fn ablation_allocation_sharpness() {
+    use likelab_osn::{AdMarket, Country};
+    let mut body = String::new();
+    let _ = writeln!(body, "{:>10} {:>14}", "sharpness", "India share");
+    // Reach-estimate pools shaped like the study world's click-prone
+    // audiences at scale 1.
+    let markets = vec![
+        (Country::India, 1_536),
+        (Country::Egypt, 720),
+        (Country::Usa, 78),
+        (Country::France, 60),
+        (Country::Turkey, 147),
+        (Country::Brazil, 144),
+        (Country::Indonesia, 198),
+        (Country::Philippines, 144),
+        (Country::Uk, 29),
+        (Country::Mexico, 126),
+    ];
+    for sharpness in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let market = AdMarket {
+            allocation_sharpness: sharpness,
+            ..AdMarket::default()
+        };
+        let alloc = market.allocate(600.0, &markets);
+        let total: f64 = alloc.iter().map(|(_, b)| b).sum();
+        // Budget share ÷ price = like share.
+        let likes = |c: Country| {
+            alloc
+                .iter()
+                .find(|(x, _)| *x == c)
+                .map(|(_, b)| b / market.base_cost(c))
+                .unwrap_or(0.0)
+        };
+        let all_likes: f64 = alloc.iter().map(|(c, b)| b / market.base_cost(*c)).sum();
+        let _ = writeln!(
+            body,
+            "{:>10} {:>13.0}%",
+            sharpness,
+            likes(Country::India) / all_likes.max(1e-9) * 100.0
+        );
+        let _ = total;
+    }
+    let _ = writeln!(
+        body,
+        "takeaway: a mildly price-sensitive auction already concentrates
+         worldwide budgets; sharpness 8 reproduces the paper's 96% India"
+    );
+    print_block("Ablation A4: allocation sharpness vs. FB-ALL India share", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_burst_width();
+    ablation_stealth_connectivity();
+    ablation_privacy_rate();
+    ablation_allocation_sharpness();
+    c.bench_function("ablation/farm_fulfillment", |b| {
+        b.iter(|| black_box(deliver_with_style(DeliveryStyle::Trickle { days: 15 }, 1)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

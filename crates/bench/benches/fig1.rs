@@ -1,0 +1,59 @@
+//! Figure 1 regeneration: liker geolocation shares per campaign.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::geo::figure1;
+use likelab_bench::{print_block, study};
+use likelab_core::paper;
+use likelab_osn::GeoBucket;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let fig = figure1(&o.dataset);
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6}",
+        "Campaign", "USA%", "India%", "Egypt%", "Turkey%", "France%", "Other%"
+    );
+    for r in &fig {
+        let _ = writeln!(
+            body,
+            "{:8} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>7.1} {:>6.1}",
+            r.label,
+            r.share(GeoBucket::Usa) * 100.0,
+            r.share(GeoBucket::India) * 100.0,
+            r.share(GeoBucket::Egypt) * 100.0,
+            r.share(GeoBucket::Turkey) * 100.0,
+            r.share(GeoBucket::France) * 100.0,
+            r.share(GeoBucket::Other) * 100.0,
+        );
+    }
+    let fb_all_india = fig
+        .iter()
+        .find(|r| r.label == "FB-ALL")
+        .map(|r| r.share(GeoBucket::India) * 100.0)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        body,
+        "headline: FB-ALL India share — paper {:.0}%, measured {fb_all_india:.0}%",
+        paper::FB_ALL_INDIA_SHARE * 100.0
+    );
+    let _ = writeln!(
+        body,
+        "headline: SF ships Turkey regardless of targeting; targeted FB campaigns stay 87-99.8% in-country"
+    );
+    print_block("Figure 1: liker geolocation", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("fig1/geolocation", |b| {
+        b.iter(|| black_box(figure1(black_box(&o.dataset))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 4 regeneration: CDFs of per-liker page-like counts against the
+//! random-directory baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::pagelikes::figure4;
+use likelab_analysis::render::sparkline;
+use likelab_bench::{print_block, study};
+use likelab_core::paper;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let fig = figure4(&o.dataset);
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:9} {:>9} {:>8}  CDF (x: 0..10000)",
+        "Curve", "median", "n"
+    );
+    for c in &fig {
+        let series: Vec<f64> = c.cdf.series(10_000.0, 24).iter().map(|(_, y)| *y).collect();
+        let m = c.median();
+        let _ = writeln!(
+            body,
+            "{:9} {:>9} {:>8}  {}",
+            c.label,
+            if m.is_nan() { "-".into() } else { format!("{m:.0}") },
+            c.cdf.len(),
+            sparkline(&series),
+        );
+    }
+    let _ = writeln!(
+        body,
+        "paper anchors: baseline median {}, BL-USA {}, FB campaigns {:?}, farms {:?}",
+        paper::BASELINE_MEDIAN_LIKES,
+        paper::BL_USA_MEDIAN_LIKES,
+        paper::FB_CAMPAIGN_MEDIAN_LIKES,
+        paper::FARM_CAMPAIGN_MEDIAN_LIKES
+    );
+    let _ = writeln!(
+        body,
+        "shape: every honeypot campaign's likers dwarf the baseline except BL-USA\n\
+         ('keeping a small count of likes per user')"
+    );
+    print_block("Figure 4: page-like count distributions", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("fig4/cdfs", |b| {
+        b.iter(|| black_box(figure4(black_box(&o.dataset))))
+    });
+    let fig = figure4(&o.dataset);
+    let baseline = fig.last().unwrap();
+    c.bench_function("fig4/cdf_series_eval", |b| {
+        b.iter(|| black_box(baseline.cdf.series(10_000.0, 100)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

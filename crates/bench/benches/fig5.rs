@@ -1,0 +1,46 @@
+//! Figure 5 regeneration: the Jaccard similarity matrices over page-like
+//! sets and liker sets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::render::matrix_heat;
+use likelab_analysis::similarity::{figure5_pages, figure5_users};
+use likelab_bench::{print_block, study};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let pages = figure5_pages(&o.dataset);
+    let users = figure5_users(&o.dataset);
+    let mut body = String::new();
+    let _ = writeln!(body, "(a) page-like sets:");
+    body.push_str(&matrix_heat(&pages.labels, &pages.matrix));
+    let _ = writeln!(body, "\n(b) liker sets:");
+    body.push_str(&matrix_heat(&users.labels, &users.matrix));
+    let _ = writeln!(
+        body,
+        "\nhot pairs (paper's fingerprints):\n\
+         SF-ALL<->SF-USA users {:.1} (account reuse)\n\
+         AL-USA<->MS-USA users {:.1} (shared operator)\n\
+         FB-IND<->FB-ALL pages {:.1} vs FB-IND<->AL-USA pages {:.1} (FB triangle vs cross)",
+        users.get("SF-ALL", "SF-USA"),
+        users.get("AL-USA", "MS-USA"),
+        pages.get("FB-IND", "FB-ALL"),
+        pages.get("FB-IND", "AL-USA"),
+    );
+    print_block("Figure 5: Jaccard similarity matrices", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("fig5/pages_matrix", |b| {
+        b.iter(|| black_box(figure5_pages(black_box(&o.dataset))))
+    });
+    c.bench_function("fig5/users_matrix", |b| {
+        b.iter(|| black_box(figure5_users(black_box(&o.dataset))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

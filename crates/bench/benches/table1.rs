@@ -1,0 +1,68 @@
+//! Table 1 regeneration: campaign roster, like counts, monitoring windows,
+//! and the month-later termination column. Prints paper-vs-measured rows
+//! (paper counts scaled to the bench scale) and times the computation of
+//! the full report from the dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::StudyReport;
+use likelab_bench::{bench_scale, print_block, scaled, study};
+use likelab_core::paper;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:8} {:>13} {:>10} {:>11} {:>10} {:>12} {:>10}",
+        "Campaign", "paper likes*", "measured", "paper term", "measured", "paper mon.", "measured"
+    );
+    for row in paper::TABLE1 {
+        let c = o.dataset.campaign(row.label).unwrap();
+        let fmt = |v: Option<String>| v.unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            body,
+            "{:8} {:>13} {:>10} {:>11} {:>10} {:>12} {:>10}",
+            row.label,
+            fmt(row.likes.map(|l| format!("{:.0}", scaled(l)))),
+            fmt((!c.inactive).then(|| c.like_count().to_string())),
+            fmt(row.terminated.map(|t| t.to_string())),
+            fmt((!c.inactive).then(|| c.terminated_after_month.to_string())),
+            fmt(row.monitoring_days.map(|d| format!("{d}d"))),
+            fmt(c.monitoring_days.map(|d| format!("{d}d"))),
+        );
+    }
+    let _ = writeln!(body, "(*paper like counts scaled by {})", bench_scale());
+    let _ = writeln!(
+        body,
+        "totals: measured {} likes ({} farm / {} ads); paper {} ({} / {})",
+        o.dataset.total_likes(),
+        o.dataset.farm_likes(),
+        o.dataset.ad_likes(),
+        paper::TOTAL_CAMPAIGN_LIKES,
+        paper::TOTAL_FARM_LIKES,
+        paper::TOTAL_AD_LIKES
+    );
+    print_block("Table 1: campaigns and outcomes", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("table1/report_compute", |b| {
+        b.iter(|| black_box(StudyReport::compute(black_box(&o.dataset))))
+    });
+    c.bench_function("table1/dataset_totals", |b| {
+        b.iter(|| {
+            (
+                black_box(o.dataset.total_likes()),
+                o.dataset.farm_likes(),
+                o.dataset.ad_likes(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 2 regeneration: liker demographics and KL divergence against the
+//! global platform population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::demographics::table2;
+use likelab_bench::{print_block, study};
+use likelab_core::paper;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let measured = table2(&o.dataset);
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:9} {:>12} {:>12} {:>10} {:>10}",
+        "Campaign", "paper %F/%M", "measured", "paper KL", "measured"
+    );
+    for row in paper::TABLE2 {
+        let m = measured.iter().find(|r| r.label == row.label);
+        let Some(m) = m else { continue };
+        let _ = writeln!(
+            body,
+            "{:9} {:>12} {:>12} {:>10} {:>10}",
+            row.label,
+            format!("{:.0}/{:.0}", row.female_pct, row.male_pct),
+            format!("{:.0}/{:.0}", m.female_pct, m.male_pct),
+            row.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "-".into()),
+            m.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    let _ = writeln!(
+        body,
+        "shape: KL(FB-IND/EGY/ALL) >> KL(SF-*) ~= 0, exactly as published"
+    );
+    print_block("Table 2: gender, age, KL divergence", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("table2/demographics", |b| {
+        b.iter(|| black_box(table2(black_box(&o.dataset))))
+    });
+    c.bench_function("table2/kl_divergence", |b| {
+        let p = [0.53, 0.43, 0.02, 0.01, 0.005, 0.005];
+        let q = [0.149, 0.323, 0.266, 0.132, 0.072, 0.059];
+        b.iter(|| black_box(likelab_analysis::kl_divergence(black_box(&p), black_box(&q))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

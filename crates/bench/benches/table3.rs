@@ -1,0 +1,62 @@
+//! Table 3 regeneration: likers per provider, public friend lists, friend
+//! counts, and direct/2-hop relations between likers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likelab_analysis::{ObservedSocial, Provider};
+use likelab_bench::{bench_scale, print_block, study};
+use likelab_core::paper;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+fn print_comparison() {
+    let o = study();
+    let measured = &o.report.table3;
+    let mut body = String::new();
+    let _ = writeln!(
+        body,
+        "{:20} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9}",
+        "Provider", "p.likers*", "measured", "p.medFr", "measured", "p.#edges*", "measured", "p.#2hop*", "measured"
+    );
+    let s = bench_scale();
+    for row in paper::TABLE3 {
+        let m = measured
+            .iter()
+            .find(|r| r.provider.to_string() == row.provider)
+            .unwrap();
+        let _ = writeln!(
+            body,
+            "{:20} {:>11.0} {:>9} {:>11.0} {:>9.0} {:>11.1} {:>9} {:>11.1} {:>9}",
+            row.provider,
+            row.likers as f64 * s,
+            m.likers,
+            row.friends_median,
+            m.friends.median,
+            row.friendships as f64 * s,
+            m.friendships_between_likers,
+            row.two_hop as f64 * s,
+            m.two_hop_between_likers,
+        );
+    }
+    let _ = writeln!(body, "(*liker/edge counts scaled by {s}; friend medians are scale-invariant)");
+    let _ = writeln!(
+        body,
+        "shape: BL friend median >> everyone; BL in-group edges >> bot farms; ALMS group non-empty"
+    );
+    print_block("Table 3: likers and friendships", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let o = study();
+    c.bench_function("table3/observed_social_build", |b| {
+        b.iter(|| black_box(ObservedSocial::build(black_box(&o.dataset))))
+    });
+    let obs = ObservedSocial::build(&o.dataset);
+    c.bench_function("table3/rows", |b| b.iter(|| black_box(obs.table3())));
+    c.bench_function("table3/group_census_bl", |b| {
+        b.iter(|| black_box(obs.group_census(Provider::BoostLikes)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

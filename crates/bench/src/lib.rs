@@ -1,0 +1,52 @@
+//! Shared harness for the table/figure regeneration benches.
+//!
+//! Every bench target regenerates one of the paper's artifacts: it runs the
+//! calibrated study once (cached across benches in the same process, scale
+//! from `LIKELAB_BENCH_SCALE`, default 0.2), prints the paper-vs-measured
+//! rows for EXPERIMENTS.md, and times the analysis that regenerates the
+//! artifact from the dataset.
+
+#![forbid(unsafe_code)]
+
+use likelab_core::{run_study, StudyConfig, StudyOutcome};
+use std::sync::OnceLock;
+
+/// The scale benches run at (override with `LIKELAB_BENCH_SCALE`).
+pub fn bench_scale() -> f64 {
+    std::env::var("LIKELAB_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2)
+}
+
+/// The cached study outcome all benches share.
+pub fn study() -> &'static StudyOutcome {
+    static SHARED: OnceLock<StudyOutcome> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let scale = bench_scale();
+        eprintln!("[likelab-bench] running the study once (seed 42, scale {scale})...");
+        let started = std::time::Instant::now();
+        let outcome = run_study(&StudyConfig::paper(42, scale));
+        eprintln!(
+            "[likelab-bench] study ready in {:.1}s ({} campaign likes)",
+            started.elapsed().as_secs_f64(),
+            outcome.dataset.total_likes()
+        );
+        outcome
+    })
+}
+
+/// Print a paper-vs-measured block, prefixed for easy grepping in bench
+/// logs (these blocks are the source for EXPERIMENTS.md).
+pub fn print_block(title: &str, body: &str) {
+    println!("\n==== {title} (scale {}) ====", bench_scale());
+    for line in body.lines() {
+        println!("  {line}");
+    }
+    println!();
+}
+
+/// Scale a paper count down to the bench scale for comparison.
+pub fn scaled(paper_value: usize) -> f64 {
+    paper_value as f64 * bench_scale()
+}

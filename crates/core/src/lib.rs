@@ -1,0 +1,33 @@
+//! # likelab-core — the like-fraud laboratory, assembled
+//!
+//! Reproduction of **"Paying for Likes? Understanding Facebook Like Fraud
+//! Using Honeypots"** (De Cristofaro et al., IMC 2014) as a deterministic
+//! simulation study:
+//!
+//! - [`paper`] — the published tables, figures, and headline numbers as
+//!   typed constants (calibration anchors + comparison column);
+//! - [`presets`] — the 13 campaigns of Table 1 and the four-farm roster;
+//! - [`study`] — [`run_study`]: the full protocol from population synthesis
+//!   through crawling, collection, and the month-later termination check,
+//!   producing a [`StudyReport`](likelab_analysis::StudyReport) with every
+//!   table and figure;
+//! - [`shape`] — the reproduction checklist (orderings and factors that
+//!   must hold, since absolute numbers can't match a live 2014 platform).
+//!
+//! ```no_run
+//! use likelab_core::{run_study, StudyConfig};
+//!
+//! let outcome = run_study(&StudyConfig::paper(42, 1.0));
+//! println!("{}", outcome.report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod presets;
+pub mod shape;
+pub mod study;
+
+pub use shape::{checklist, render_checklist, ShapeCheck};
+pub use study::{run_study, StudyConfig, StudyOutcome};

@@ -1,0 +1,110 @@
+//! The 13 campaign presets of Table 1 and the four-farm roster order.
+
+use likelab_farms::{FarmSpec, Region};
+use likelab_honeypot::{CampaignSpec, Promotion};
+use likelab_osn::{Country, Targeting};
+
+/// Roster index of BoostLikes.
+pub const BL: usize = 0;
+/// Roster index of SocialFormula.
+pub const SF: usize = 1;
+/// Roster index of AuthenticLikes.
+pub const AL: usize = 2;
+/// Roster index of MammothSocials.
+pub const MS: usize = 3;
+
+/// The four farms, in roster order.
+pub fn paper_farms() -> Vec<FarmSpec> {
+    vec![
+        FarmSpec::boostlikes(),
+        FarmSpec::socialformula(),
+        FarmSpec::authenticlikes(),
+        FarmSpec::mammothsocials(),
+    ]
+}
+
+fn ads(label: &str, targeting: Targeting) -> CampaignSpec {
+    CampaignSpec {
+        label: label.into(),
+        promotion: Promotion::PlatformAds {
+            targeting,
+            daily_budget_cents: 600.0,
+            duration_days: 15,
+        },
+    }
+}
+
+fn farm(label: &str, farm: usize, region: Region, price_cents: u64, duration: &str) -> CampaignSpec {
+    CampaignSpec {
+        label: label.into(),
+        promotion: Promotion::FarmOrder {
+            farm,
+            region,
+            likes: 1_000,
+            price_cents,
+            advertised_duration: duration.into(),
+        },
+    }
+}
+
+/// The paper's 13 campaigns, in Table 1 order.
+pub fn paper_campaigns() -> Vec<CampaignSpec> {
+    vec![
+        ads("FB-USA", Targeting::country(Country::Usa)),
+        ads("FB-FRA", Targeting::country(Country::France)),
+        ads("FB-IND", Targeting::country(Country::India)),
+        ads("FB-EGY", Targeting::country(Country::Egypt)),
+        ads("FB-ALL", Targeting::worldwide()),
+        farm("BL-ALL", BL, Region::Worldwide, 7_000, "15 days"),
+        farm("BL-USA", BL, Region::Country(Country::Usa), 19_000, "15 days"),
+        farm("SF-ALL", SF, Region::Worldwide, 1_499, "3 days"),
+        farm("SF-USA", SF, Region::Country(Country::Usa), 6_999, "3 days"),
+        farm("AL-ALL", AL, Region::Worldwide, 4_995, "3-5 days"),
+        farm("AL-USA", AL, Region::Country(Country::Usa), 5_995, "3-5 days"),
+        farm("MS-ALL", MS, Region::Worldwide, 2_000, "-"),
+        farm("MS-USA", MS, Region::Country(Country::Usa), 9_500, "-"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::TABLE1;
+
+    #[test]
+    fn labels_match_table1_order() {
+        let campaigns = paper_campaigns();
+        assert_eq!(campaigns.len(), 13);
+        for (c, row) in campaigns.iter().zip(TABLE1.iter()) {
+            assert_eq!(c.label, row.label);
+        }
+    }
+
+    #[test]
+    fn table1_columns_render_as_published() {
+        let names: Vec<String> = paper_farms().into_iter().map(|f| f.name).collect();
+        for (c, row) in paper_campaigns().iter().zip(TABLE1.iter()) {
+            assert_eq!(c.provider(&names), row.provider, "{}", c.label);
+            assert_eq!(c.location(), row.location, "{}", c.label);
+            assert_eq!(c.budget(), row.budget, "{}", c.label);
+            assert_eq!(c.duration(), row.duration, "{}", c.label);
+        }
+    }
+
+    #[test]
+    fn scam_orders_are_the_inactive_rows() {
+        let farms = paper_farms();
+        for c in paper_campaigns() {
+            if let Promotion::FarmOrder { farm, region, .. } = &c.promotion {
+                let scam = farms[*farm].is_scam(*region);
+                let published_inactive = TABLE1
+                    .iter()
+                    .find(|r| r.label == c.label)
+                    .unwrap()
+                    .likes
+                    .is_none();
+                assert_eq!(scam, published_inactive, "{}", c.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,592 @@
+//! The study runner: the full IMC 2014 protocol, end to end.
+//!
+//! One call to [`run_study`] executes everything the paper did:
+//!
+//! 1. synthesize the platform population (with a pre-launch history window);
+//! 2. deploy 13 empty "Virtual Electricity" honeypot pages;
+//! 3. launch all campaigns on the same day — 5 legitimate ad buys, 8 farm
+//!    orders (two of which turn out to be scams);
+//! 4. drive the event loop: timed likes land, the crawler polls every page
+//!    every 2 hours (daily after campaigns, stopping after a quiet week),
+//!    farm accounts keep doing camouflage jobs, organic users keep liking,
+//!    and the platform's anti-fraud sweep runs weekly;
+//! 5. collect liker profiles through the privacy-enforcing crawl API, pull
+//!    admin reports, sample the 2000-user directory baseline;
+//! 6. a month after the campaigns, recheck which likers were terminated;
+//! 7. compute every table and figure.
+//!
+//! Deterministic: a `(seed, scale)` pair reproduces the identical study.
+
+use crate::presets::{paper_campaigns, paper_farms};
+use likelab_analysis::StudyReport;
+use likelab_farms::{DeliveryStyle, FarmOrder, FarmRoster, FarmSpec, TimedLike};
+use likelab_graph::PageId;
+use likelab_honeypot::{
+    collect_profiles, count_terminated, deploy_honeypot, BaselineRecord, CampaignData,
+    CampaignSpec, CrawlerConfig, Dataset, PageMonitor, Promotion,
+};
+use likelab_osn::ads::{plan_campaign, AdCampaignSpec};
+use likelab_osn::organic::plan_background_activity;
+use likelab_osn::population::{synthesize, Population, PopulationConfig};
+use likelab_osn::{
+    AdMarket, AudienceReport, CrawlApi, CrawlConfig, FraudOps, FraudOpsConfig, OsnWorld,
+};
+use likelab_sim::{Engine, Rng, SimDuration, SimTime, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Everything a study run is parameterized by.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Master seed; the whole run is a pure function of it (plus the rest
+    /// of this config).
+    pub seed: u64,
+    /// World scale: 1.0 reproduces paper-sized campaigns; smaller values
+    /// shrink the world and all campaign volumes together so percentages
+    /// and distributions survive.
+    pub scale: f64,
+    /// Population model (scaled internally by `scale`).
+    pub population: PopulationConfig,
+    /// Ad-market pricing.
+    pub market: AdMarket,
+    /// Anti-fraud sweep parameters.
+    pub fraud: FraudOpsConfig,
+    /// Crawler cadence.
+    pub crawler: CrawlerConfig,
+    /// Crawl-surface fault injection.
+    pub crawl: CrawlConfig,
+    /// Ad-campaign geo leakage.
+    pub ad_leakage: f64,
+    /// Baseline directory sample size (scaled; the paper used 2000).
+    pub baseline_sample: usize,
+    /// How long after the campaigns the termination recheck happens.
+    pub termination_check_after: SimDuration,
+    /// Interval between anti-fraud sweeps.
+    pub sweep_interval: SimDuration,
+    /// Whether organic background activity runs during the study.
+    pub organic_activity: bool,
+    /// The campaigns to run.
+    pub campaigns: Vec<CampaignSpec>,
+    /// The farm roster (indexed by `Promotion::FarmOrder::farm`).
+    pub farms: Vec<FarmSpec>,
+}
+
+impl StudyConfig {
+    /// The paper's setup at the given scale.
+    pub fn paper(seed: u64, scale: f64) -> Self {
+        StudyConfig {
+            seed,
+            scale,
+            population: PopulationConfig::default(),
+            market: AdMarket::default(),
+            fraud: FraudOpsConfig::default(),
+            crawler: CrawlerConfig::default(),
+            crawl: CrawlConfig::default(),
+            ad_leakage: 0.02,
+            baseline_sample: 2_000,
+            termination_check_after: SimDuration::days(30),
+            sweep_interval: SimDuration::days(7),
+            organic_activity: true,
+            campaigns: paper_campaigns(),
+            farms: paper_farms(),
+        }
+    }
+}
+
+/// The outcome of a study run.
+pub struct StudyOutcome {
+    /// The crawled dataset (what the authors' disk held).
+    pub dataset: Dataset,
+    /// Every table and figure, computed.
+    pub report: StudyReport,
+    /// The final platform state (ground truth — for detection work).
+    pub world: OsnWorld,
+    /// Population handles (audiences, background catalogue).
+    pub population: Population,
+    /// Campaign launch time.
+    pub launch: SimTime,
+    /// Honeypot pages, one per campaign in campaign order.
+    pub honeypots: Vec<PageId>,
+    /// Run journal (scam notes, sweep counts, crawl stats).
+    pub trace: Trace,
+}
+
+enum Ev {
+    Like(TimedLike),
+    Poll(usize),
+    Sweep,
+}
+
+/// How long a campaign's paid promotion runs (drives the crawler cadence
+/// switch).
+fn campaign_days(spec: &CampaignSpec, farms: &[FarmSpec]) -> u64 {
+    match &spec.promotion {
+        Promotion::PlatformAds { duration_days, .. } => *duration_days,
+        Promotion::FarmOrder { farm, .. } => match farms[*farm].style {
+            DeliveryStyle::Burst { days, .. } => days,
+            DeliveryStyle::Trickle { days } => days,
+        },
+    }
+}
+
+/// Run the study. See the module docs for the protocol.
+pub fn run_study(config: &StudyConfig) -> StudyOutcome {
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut trace = Trace::with_capacity(10_000);
+    let mut world = OsnWorld::new();
+
+    // --- population -----------------------------------------------------
+    let pop_config = config.population.clone().scaled(config.scale);
+    let population = synthesize(&mut world, &pop_config, &mut rng.fork("population"));
+    let launch = population.launch;
+    trace.note(
+        launch,
+        format!(
+            "population ready: {} accounts, {} pages, {} likes",
+            world.account_count(),
+            world.page_count(),
+            world.likes().len()
+        ),
+    );
+
+    // --- honeypots and promotions ----------------------------------------
+    // Farm camouflage draws from the globally popular head of the
+    // catalogue: farm accounts mimic generic users, not locals.
+    let mut roster = FarmRoster::new(
+        config.farms.clone(),
+        population.global_pages.clone(),
+        config.scale,
+        rng.fork("farms"),
+    );
+    let mut honeypots = Vec::with_capacity(config.campaigns.len());
+    let mut monitors: Vec<Option<PageMonitor>> = Vec::with_capacity(config.campaigns.len());
+    let mut inactive: Vec<bool> = Vec::with_capacity(config.campaigns.len());
+    let mut engine: Engine<Ev> = Engine::new();
+    let mut max_campaign_end = launch;
+
+    let mut ads_rng = rng.fork("ads");
+    for spec in &config.campaigns {
+        let (page, _owner) = deploy_honeypot(&mut world, launch);
+        honeypots.push(page);
+        let days = campaign_days(spec, &config.farms);
+        let campaign_end = launch + SimDuration::days(days);
+        max_campaign_end = max_campaign_end.max(campaign_end);
+        let mut is_scam = false;
+        match &spec.promotion {
+            Promotion::PlatformAds {
+                targeting,
+                daily_budget_cents,
+                duration_days,
+            } => {
+                let plan = plan_campaign(
+                    &world,
+                    &population,
+                    &config.market,
+                    &AdCampaignSpec {
+                        page,
+                        targeting: targeting.clone(),
+                        daily_budget_cents: daily_budget_cents * config.scale,
+                        duration_days: *duration_days,
+                        leakage: config.ad_leakage,
+                    },
+                    launch,
+                    &mut ads_rng,
+                );
+                trace.note(launch, format!("{}: ad plan of {} likes", spec.label, plan.len()));
+                for p in plan {
+                    engine.schedule(p.at, Ev::Like(TimedLike { user: p.user, page, at: p.at }));
+                }
+            }
+            Promotion::FarmOrder {
+                farm,
+                region,
+                likes,
+                ..
+            } => {
+                let delivery = roster.fulfill(
+                    &mut world,
+                    &FarmOrder {
+                        farm: *farm,
+                        page,
+                        region: *region,
+                        likes: *likes,
+                        placed_at: launch,
+                    },
+                );
+                if delivery.scam {
+                    is_scam = true;
+                    trace.note(
+                        launch,
+                        format!("{}: campaign remained inactive (charged in advance)", spec.label),
+                    );
+                } else {
+                    trace.note(
+                        launch,
+                        format!(
+                            "{}: farm delivery of {} likes, {} future camouflage events",
+                            spec.label,
+                            delivery.likes.len(),
+                            delivery.future_camouflage.len()
+                        ),
+                    );
+                    for l in delivery.likes.into_iter().chain(delivery.future_camouflage) {
+                        engine.schedule(l.at, Ev::Like(l));
+                    }
+                }
+            }
+        }
+        inactive.push(is_scam);
+        monitors.push((!is_scam).then(|| {
+            PageMonitor::new(page, launch, campaign_end, config.crawler)
+        }));
+    }
+
+    let end = max_campaign_end + config.termination_check_after;
+
+    // --- organic background activity --------------------------------------
+    if config.organic_activity {
+        let window = end.since(launch);
+        let plan = plan_background_activity(
+            &world,
+            &population,
+            &pop_config,
+            launch,
+            window,
+            &mut rng.fork("organic"),
+        );
+        trace.note(launch, format!("organic activity: {} likes planned", plan.len()));
+        for l in plan {
+            engine.schedule(
+                l.at,
+                Ev::Like(TimedLike {
+                    user: l.user,
+                    page: l.page,
+                    at: l.at,
+                }),
+            );
+        }
+    }
+
+    // --- crawler polls and fraud sweeps -----------------------------------
+    for (i, m) in monitors.iter().enumerate() {
+        if m.is_some() {
+            engine.schedule(launch, Ev::Poll(i));
+        }
+    }
+    engine.schedule(launch + SimDuration::days(3), Ev::Sweep);
+
+    let mut api = CrawlApi::new(config.crawl, rng.fork("crawl"));
+    let mut fraud = FraudOps::new(config.fraud.clone(), rng.fork("fraud"));
+    let mut sweep_terminations = 0usize;
+
+    while let Some((now, ev)) = engine.step() {
+        match ev {
+            Ev::Like(l) => {
+                world.record_like(l.user, l.page, l.at);
+            }
+            Ev::Poll(i) => {
+                let monitor = monitors[i].as_mut().expect("poll only for active");
+                if let Some(next) = monitor.poll(&world, &mut api, now) {
+                    engine.schedule(next, Ev::Poll(i));
+                } else {
+                    trace.note(now, format!("stopped monitoring campaign #{i}"));
+                }
+            }
+            Ev::Sweep => {
+                let terminated = fraud.sweep(&mut world, now);
+                sweep_terminations += terminated.len();
+                trace.count("fraud.terminated", terminated.len() as u64);
+                if now + config.sweep_interval <= end {
+                    engine.schedule(now + config.sweep_interval, Ev::Sweep);
+                }
+            }
+        }
+    }
+    trace.note(
+        end,
+        format!(
+            "event loop drained: {} events, {} sweep terminations, {} crawl requests ({} failed)",
+            engine.fired(),
+            sweep_terminations,
+            api.requests(),
+            api.failures()
+        ),
+    );
+
+    // --- collection -------------------------------------------------------
+    let mut campaigns_data = Vec::with_capacity(config.campaigns.len());
+    for (i, spec) in config.campaigns.iter().enumerate() {
+        let page = honeypots[i];
+        let (likers, observations, monitoring_days) = match &monitors[i] {
+            Some(m) => (
+                collect_profiles(&world, &mut api, m),
+                m.observations().to_vec(),
+                m.monitoring_days(),
+            ),
+            None => (Vec::new(), Vec::new(), None),
+        };
+        let liker_ids: Vec<_> = likers.iter().map(|l| l.user).collect();
+        let terminated_after_month = count_terminated(&world, &mut api, &liker_ids);
+        campaigns_data.push(CampaignData {
+            spec: spec.clone(),
+            page,
+            observations,
+            likers,
+            report: AudienceReport::for_page(&world, page),
+            monitoring_days,
+            terminated_after_month,
+            inactive: inactive[i],
+        });
+    }
+
+    let n_baseline = ((config.baseline_sample as f64 * config.scale).round() as usize).max(50);
+    let baseline: Vec<BaselineRecord> = likelab_osn::directory::random_sample(
+        &world,
+        n_baseline,
+        &mut rng.fork("baseline"),
+    )
+    .into_iter()
+    .map(|user| BaselineRecord {
+        user,
+        like_count: world.likes().user_like_count(user),
+    })
+    .collect();
+
+    let dataset = Dataset {
+        campaigns: campaigns_data,
+        baseline,
+        launch,
+        global_report: AudienceReport::global(&world),
+    };
+    let report = StudyReport::compute(&dataset);
+
+    StudyOutcome {
+        dataset,
+        report,
+        world,
+        population,
+        launch,
+        honeypots,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but representative study, shared across tests (runs once).
+    fn outcome() -> &'static StudyOutcome {
+        static SHARED: std::sync::OnceLock<StudyOutcome> = std::sync::OnceLock::new();
+        SHARED.get_or_init(|| run_study(&StudyConfig::paper(42, 0.12)))
+    }
+
+    #[test]
+    fn thirteen_campaigns_two_inactive() {
+        let o = outcome();
+        assert_eq!(o.dataset.campaigns.len(), 13);
+        let inactive: Vec<&str> = o
+            .dataset
+            .campaigns
+            .iter()
+            .filter(|c| c.inactive)
+            .map(|c| c.spec.label.as_str())
+            .collect();
+        assert_eq!(inactive, vec!["BL-ALL", "MS-ALL"]);
+    }
+
+    #[test]
+    fn like_counts_scale_with_table1() {
+        let o = outcome();
+        let scale = 0.12;
+        // Each active campaign should land within a factor-2 band of the
+        // scaled Table 1 count (stochastic delivery fractions included).
+        for row in crate::paper::TABLE1 {
+            let Some(published) = row.likes else { continue };
+            let got = o.dataset.campaign(row.label).unwrap().like_count() as f64;
+            let expected = published as f64 * scale;
+            assert!(
+                got > expected * 0.45 && got < expected * 2.2,
+                "{}: got {got}, expected ~{expected}",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn fb_all_is_india_dominated() {
+        let o = outcome();
+        let fig1 = &o.report.figure1;
+        let all = fig1.iter().find(|r| r.label == "FB-ALL").unwrap();
+        assert!(
+            all.share(likelab_osn::GeoBucket::India) > 0.85,
+            "India share {}",
+            all.share(likelab_osn::GeoBucket::India)
+        );
+        let sf = fig1.iter().find(|r| r.label == "SF-USA").unwrap();
+        assert!(
+            sf.share(likelab_osn::GeoBucket::Turkey) > 0.8,
+            "SF ships Turkey: {}",
+            sf.share(likelab_osn::GeoBucket::Turkey)
+        );
+    }
+
+    #[test]
+    fn burst_farms_burst_trickles_trickle() {
+        let o = outcome();
+        let series = |l: &str| o.report.figure2.iter().find(|s| s.label == l).unwrap();
+        assert!(series("AL-USA").peak_2h_share > 0.3, "{}", series("AL-USA").peak_2h_share);
+        assert!(series("SF-ALL").peak_2h_share > 0.3);
+        assert!(series("BL-USA").peak_2h_share < 0.1);
+        assert!(series("FB-IND").peak_2h_share < 0.1);
+        assert!(series("BL-USA").days_to_90pct > 9.0);
+        assert!(series("AL-USA").days_to_90pct < 5.0);
+    }
+
+    #[test]
+    fn kl_ordering_matches_table2() {
+        let o = outcome();
+        let kl = |l: &str| {
+            o.report
+                .table2
+                .iter()
+                .find(|r| r.label == l)
+                .and_then(|r| r.kl)
+                .unwrap()
+        };
+        assert!(kl("FB-IND") > 0.5, "FB-IND young+male: {}", kl("FB-IND"));
+        assert!(kl("FB-ALL") > 0.5);
+        assert!(kl("SF-ALL") < 0.15, "SF mirrors global: {}", kl("SF-ALL"));
+        assert!(kl("FB-IND") > kl("SF-ALL") * 4.0);
+    }
+
+    #[test]
+    fn boostlikes_social_structure_stands_out() {
+        let o = outcome();
+        let row = |p: likelab_analysis::Provider| {
+            o.report.table3.iter().find(|r| r.provider == p).unwrap()
+        };
+        use likelab_analysis::Provider as P;
+        let bl = row(P::BoostLikes);
+        let sf = row(P::SocialFormula);
+        let fb = row(P::Facebook);
+        assert!(
+            bl.friends.median > sf.friends.median * 3.0,
+            "BL median {} vs SF {}",
+            bl.friends.median,
+            sf.friends.median
+        );
+        assert!(
+            bl.friendships_between_likers > sf.friendships_between_likers,
+            "BL edges {} vs SF {}",
+            bl.friendships_between_likers,
+            sf.friendships_between_likers
+        );
+        assert!(fb.likers > 0 && bl.likers > 0);
+        // ALMS exists: shared operator.
+        assert!(row(P::Alms).likers > 0, "ALMS overlap group must appear");
+    }
+
+    #[test]
+    fn honeypot_likers_like_far_more_pages_than_baseline() {
+        let o = outcome();
+        let median = |l: &str| {
+            o.report
+                .figure4
+                .iter()
+                .find(|c| c.label == l)
+                .unwrap()
+                .median()
+        };
+        let baseline = median("Facebook");
+        assert!(
+            (20.0..=60.0).contains(&baseline),
+            "baseline median ~34, got {baseline}"
+        );
+        assert!(median("SF-ALL") > baseline * 10.0);
+        assert!(median("FB-IND") > baseline * 5.0);
+        // BL-USA is the exception: deliberately small like counts.
+        assert!(median("BL-USA") < baseline * 5.0);
+    }
+
+    #[test]
+    fn similarity_hotspots_match_figure5() {
+        let o = outcome();
+        let users = &o.report.figure5_users;
+        let sf_pair = users.get("SF-ALL", "SF-USA");
+        let alms = users.get("AL-USA", "MS-USA");
+        let cross = users.get("SF-ALL", "AL-USA");
+        assert!(sf_pair > 1.0, "SF reuse: {sf_pair}");
+        assert!(alms > 10.0, "shared operator: {alms}");
+        assert!(cross < 1.0, "distinct operators: {cross}");
+        let pages = &o.report.figure5_pages;
+        assert!(
+            pages.get("AL-USA", "MS-USA") > pages.get("SF-ALL", "AL-USA"),
+            "same-operator page overlap beats cross-operator"
+        );
+        assert!(
+            pages.get("FB-IND", "FB-EGY") > pages.get("FB-IND", "AL-USA"),
+            "FB campaigns resemble each other more than farms"
+        );
+    }
+
+    #[test]
+    fn termination_ordering_matches_section5() {
+        let o = outcome();
+        use likelab_analysis::Provider as P;
+        let t = &o.report.termination;
+        let likers = |p: P| o.report.table3.iter().find(|r| r.provider == p).unwrap().likers;
+        let rate = |p: P| t.rate(p, likers(p).max(1));
+        assert!(
+            rate(P::BoostLikes) < rate(P::AuthenticLikes) + 0.02,
+            "stealth farm survives: BL {} vs AL {}",
+            rate(P::BoostLikes),
+            rate(P::AuthenticLikes)
+        );
+        assert!(
+            t.provider(P::AuthenticLikes) + t.provider(P::SocialFormula)
+                > t.provider(P::BoostLikes),
+            "bot farms purged more than stealth"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = run_study(&StudyConfig::paper(7, 0.03));
+        let b = run_study(&StudyConfig::paper(7, 0.03));
+        assert_eq!(
+            a.report.to_json().unwrap(),
+            b.report.to_json().unwrap(),
+            "a (seed, scale) pair must regenerate the identical study"
+        );
+        let c = run_study(&StudyConfig::paper(8, 0.03));
+        assert_ne!(a.report.to_json().unwrap(), c.report.to_json().unwrap());
+    }
+
+    #[test]
+    fn monitoring_windows_are_plausible() {
+        let o = outcome();
+        for c in &o.dataset.campaigns {
+            if c.inactive {
+                assert!(c.monitoring_days.is_none());
+            } else {
+                let days = c.monitoring_days.expect("active campaigns stop eventually");
+                assert!(
+                    (8..=40).contains(&days),
+                    "{}: {} days",
+                    c.spec.label,
+                    days
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders_non_trivially() {
+        let o = outcome();
+        let text = o.report.render();
+        assert!(text.contains("FB-USA"));
+        assert!(text.contains("MS-USA"));
+        assert!(text.contains("ALMS"));
+        assert!(text.len() > 2_000);
+    }
+}

@@ -1,0 +1,205 @@
+//! Page-audience divergence detection — Table 2's signal as a detector.
+//!
+//! The paper shows that boosted pages attract audiences whose demographics
+//! diverge hard from the platform's (FB-IND at KL 1.12) or — for the
+//! sneakiest farm — mirror it suspiciously well while arriving all at once.
+//! This detector scores a page by the KL divergence of its liker
+//! demographics from the global population, combined with geographic
+//! concentration (a "worldwide" page liked 96% from one country is a flag).
+
+use likelab_analysis::kl_divergence;
+use likelab_graph::PageId;
+use likelab_osn::{AudienceReport, OsnWorld};
+use serde::{Deserialize, Serialize};
+
+/// Audience-divergence verdict for one page.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AudienceVerdict {
+    /// KL divergence of the liker age distribution vs. the global one.
+    pub age_kl: f64,
+    /// Largest single-geo-bucket share of the audience.
+    pub geo_concentration: f64,
+    /// Absolute gender skew: |female share − global female share|.
+    pub gender_skew: f64,
+    /// Number of likers behind the verdict.
+    pub likers: usize,
+    /// Combined suspicion score in [0, 1).
+    pub score: f64,
+}
+
+/// Audience-detector parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AudienceConfig {
+    /// Ignore pages with fewer likers than this.
+    pub min_likers: usize,
+    /// Weight of the age-KL term.
+    pub kl_weight: f64,
+    /// Weight of the geo-concentration term.
+    pub geo_weight: f64,
+    /// Weight of the gender-skew term.
+    pub gender_weight: f64,
+}
+
+impl Default for AudienceConfig {
+    fn default() -> Self {
+        AudienceConfig {
+            min_likers: 30,
+            kl_weight: 1.2,
+            geo_weight: 1.0,
+            gender_weight: 2.0,
+        }
+    }
+}
+
+/// Score a page's audience against a global reference report.
+pub fn judge_audience(
+    world: &OsnWorld,
+    page: PageId,
+    global: &AudienceReport,
+    config: &AudienceConfig,
+) -> AudienceVerdict {
+    let report = AudienceReport::for_page(world, page);
+    if report.total < config.min_likers {
+        return AudienceVerdict {
+            age_kl: 0.0,
+            geo_concentration: 0.0,
+            gender_skew: 0.0,
+            likers: report.total,
+            score: 0.0,
+        };
+    }
+    let age_kl = kl_divergence(&report.age_distribution(), &global.age_distribution());
+    let geo = report.geo_distribution();
+    let geo_concentration = geo.iter().cloned().fold(0.0, f64::max);
+    let gender_skew = (report.female_fraction() - global.female_fraction()).abs();
+    let z = config.kl_weight * age_kl
+        + config.geo_weight * geo_concentration.powi(2)
+        + config.gender_weight * gender_skew;
+    // Squash to [0, 1): 1 - exp(-z) keeps small signals small.
+    let score = 1.0 - (-z).exp();
+    AudienceVerdict {
+        age_kl,
+        geo_concentration,
+        gender_skew,
+        likers: report.total,
+        score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_graph::UserId;
+    use likelab_osn::demographics::{Blueprint, GLOBAL_AGE_DIST};
+    use likelab_osn::{ActorClass, Country, PageCategory, PrivacySettings};
+    use likelab_sim::{Rng, SimTime};
+
+    fn add_from(world: &mut OsnWorld, bp: &Blueprint, n: usize, rng: &mut Rng) -> Vec<UserId> {
+        (0..n)
+            .map(|_| {
+                world.create_account(
+                    bp.sample(rng),
+                    ActorClass::Organic,
+                    PrivacySettings {
+                        friend_list_public: true,
+                        likes_public: true,
+                        searchable: true,
+                    },
+                    SimTime::EPOCH,
+                )
+            })
+            .collect()
+    }
+
+    fn global_bp() -> Blueprint {
+        Blueprint::global_with_countries(vec![
+            (Country::Usa, 0.3),
+            (Country::Brazil, 0.3),
+            (Country::India, 0.2),
+            (Country::Uk, 0.2),
+        ])
+    }
+
+    fn young_male_india_bp() -> Blueprint {
+        Blueprint {
+            female_fraction: 0.07,
+            age_weights: [0.53, 0.43, 0.02, 0.01, 0.005, 0.005],
+            country_weights: vec![(Country::India, 1.0)],
+        }
+    }
+
+    #[test]
+    fn skewed_audience_scores_far_above_balanced() {
+        let mut world = OsnWorld::new();
+        let mut rng = Rng::seed_from_u64(3);
+        let normals = add_from(&mut world, &global_bp(), 400, &mut rng);
+        let clickers = add_from(&mut world, &young_male_india_bp(), 200, &mut rng);
+        let normal_page =
+            world.create_page("n", "", None, PageCategory::Background, SimTime::EPOCH);
+        let boosted_page =
+            world.create_page("b", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for u in normals.iter().take(200) {
+            world.record_like(*u, normal_page, SimTime::at_day(1));
+        }
+        for u in &clickers {
+            world.record_like(*u, boosted_page, SimTime::at_day(1));
+        }
+        let global = AudienceReport::global(&world);
+        let cfg = AudienceConfig::default();
+        let normal = judge_audience(&world, normal_page, &global, &cfg);
+        let boosted = judge_audience(&world, boosted_page, &global, &cfg);
+        assert!(
+            boosted.score > normal.score + 0.3,
+            "boosted {:.2} vs normal {:.2}",
+            boosted.score,
+            normal.score
+        );
+        assert!(boosted.age_kl > 0.4, "age KL {}", boosted.age_kl);
+        assert!(boosted.geo_concentration > 0.95);
+        // The clicker block itself drags the global reference toward male,
+        // so the skew is measured against a polluted baseline — still large.
+        assert!(boosted.gender_skew > 0.2, "{}", boosted.gender_skew);
+    }
+
+    #[test]
+    fn small_pages_are_not_judged() {
+        let mut world = OsnWorld::new();
+        let mut rng = Rng::seed_from_u64(4);
+        let users = add_from(&mut world, &young_male_india_bp(), 5, &mut rng);
+        let page = world.create_page("p", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for u in users {
+            world.record_like(u, page, SimTime::EPOCH);
+        }
+        let global = AudienceReport::global(&world);
+        let v = judge_audience(&world, page, &global, &AudienceConfig::default());
+        assert_eq!(v.score, 0.0);
+        assert_eq!(v.likers, 5);
+    }
+
+    #[test]
+    fn mirror_demographics_score_low_on_this_detector() {
+        // SocialFormula's trick: a near-global audience stays under THIS
+        // radar (geo concentration still gives some signal).
+        let mut world = OsnWorld::new();
+        let mut rng = Rng::seed_from_u64(5);
+        let mirror_bp = Blueprint {
+            female_fraction: 0.46,
+            age_weights: GLOBAL_AGE_DIST,
+            country_weights: vec![(Country::Turkey, 1.0)],
+        };
+        let base = add_from(&mut world, &global_bp(), 600, &mut rng);
+        let sf = add_from(&mut world, &mirror_bp, 150, &mut rng);
+        let page = world.create_page("sf", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for u in &sf {
+            world.record_like(*u, page, SimTime::EPOCH);
+        }
+        let _ = base;
+        let global = AudienceReport::global(&world);
+        let v = judge_audience(&world, page, &global, &AudienceConfig::default());
+        assert!(v.age_kl < 0.1, "mirrored ages: {}", v.age_kl);
+        assert!(v.gender_skew < 0.05);
+        // Only the geographic concentration betrays it.
+        assert!(v.geo_concentration > 0.9);
+        assert!(v.score < 0.75, "harder case scores moderate: {}", v.score);
+    }
+}

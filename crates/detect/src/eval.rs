@@ -1,0 +1,279 @@
+//! Detector evaluation against the simulator's ground truth.
+//!
+//! This is the one place allowed to read [`ActorClass`] — the labels a
+//! platform operator would hold. Produces precision/recall/F1 at a
+//! threshold and a full ROC sweep with AUC.
+
+use likelab_graph::UserId;
+use likelab_osn::{ActorClass, OsnWorld};
+use serde::{Deserialize, Serialize};
+
+/// What counts as a "fake" account for evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PositiveClass {
+    /// Farm accounts only (bots + stealth sybils).
+    FarmOnly,
+    /// Farm accounts and the click-prone segment (the paper argues even
+    /// legitimate-ad likers are "significantly different from typical
+    /// Facebook users").
+    FarmAndClickProne,
+}
+
+impl PositiveClass {
+    /// The label of one account.
+    pub fn is_positive(self, class: ActorClass) -> bool {
+        match self {
+            PositiveClass::FarmOnly => class.is_farm(),
+            PositiveClass::FarmAndClickProne => {
+                class.is_farm() || class == ActorClass::ClickProne
+            }
+        }
+    }
+}
+
+/// Confusion-matrix summary at one threshold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Precision (1 when nothing was flagged).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False-positive rate.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+}
+
+/// Evaluate scored accounts at one threshold.
+pub fn confusion_at(
+    world: &OsnWorld,
+    scored: &[(UserId, f64)],
+    threshold: f64,
+    positive: PositiveClass,
+) -> Confusion {
+    let mut c = Confusion::default();
+    for (u, s) in scored {
+        let truth = positive.is_positive(world.account(*u).class);
+        let flagged = *s >= threshold;
+        match (truth, flagged) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fn_ += 1,
+            (false, true) => c.fp += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// A ROC curve: `(fpr, tpr)` points, threshold-descending, plus AUC.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Roc {
+    /// `(false-positive rate, true-positive rate)` points from (0,0) to (1,1).
+    pub points: Vec<(f64, f64)>,
+    /// Area under the curve.
+    pub auc: f64,
+}
+
+/// Compute the ROC by sweeping the threshold over every distinct score.
+pub fn roc(world: &OsnWorld, scored: &[(UserId, f64)], positive: PositiveClass) -> Roc {
+    let mut labeled: Vec<(f64, bool)> = scored
+        .iter()
+        .map(|(u, s)| (*s, positive.is_positive(world.account(*u).class)))
+        .collect();
+    labeled.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let pos = labeled.iter().filter(|(_, t)| *t).count();
+    let neg = labeled.len() - pos;
+    if pos == 0 || neg == 0 {
+        return Roc {
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+            auc: 0.5,
+        };
+    }
+    let mut points = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < labeled.len() {
+        // Step over ties together.
+        let s = labeled[i].0;
+        while i < labeled.len() && labeled[i].0 == s {
+            if labeled[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push((fp as f64 / neg as f64, tp as f64 / pos as f64));
+    }
+    // Trapezoidal AUC.
+    let auc = points
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum();
+    Roc { points, auc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_osn::{Country, Gender, PrivacySettings, Profile};
+    use likelab_sim::SimTime;
+
+    fn world_with_classes(classes: &[ActorClass]) -> OsnWorld {
+        let mut w = OsnWorld::new();
+        for c in classes {
+            w.create_account(
+                Profile {
+                    gender: Gender::Male,
+                    age: 20,
+                    country: Country::Usa,
+                    home_region: 0,
+                },
+                *c,
+                PrivacySettings {
+                    friend_list_public: true,
+                    likes_public: true,
+                    searchable: true,
+                },
+                SimTime::EPOCH,
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let w = world_with_classes(&[
+            ActorClass::Bot(1),
+            ActorClass::Bot(1),
+            ActorClass::Organic,
+            ActorClass::Organic,
+        ]);
+        let scored = vec![
+            (UserId(0), 0.9), // TP
+            (UserId(1), 0.2), // FN
+            (UserId(2), 0.8), // FP
+            (UserId(3), 0.1), // TN
+        ];
+        let c = confusion_at(&w, &scored, 0.5, PositiveClass::FarmOnly);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+        assert!((c.fpr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_class_widens_with_clickprone() {
+        let w = world_with_classes(&[ActorClass::ClickProne]);
+        let scored = vec![(UserId(0), 0.9)];
+        let narrow = confusion_at(&w, &scored, 0.5, PositiveClass::FarmOnly);
+        assert_eq!(narrow.fp, 1);
+        let wide = confusion_at(&w, &scored, 0.5, PositiveClass::FarmAndClickProne);
+        assert_eq!(wide.tp, 1);
+    }
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let w = world_with_classes(&[
+            ActorClass::Bot(1),
+            ActorClass::Bot(1),
+            ActorClass::Organic,
+            ActorClass::Organic,
+        ]);
+        let scored = vec![
+            (UserId(0), 0.9),
+            (UserId(1), 0.8),
+            (UserId(2), 0.2),
+            (UserId(3), 0.1),
+        ];
+        let r = roc(&w, &scored, PositiveClass::FarmOnly);
+        assert!((r.auc - 1.0).abs() < 1e-12, "auc {}", r.auc);
+        assert_eq!(r.points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(r.points.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn random_scores_give_auc_half() {
+        let n = 2_000;
+        let classes: Vec<ActorClass> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    ActorClass::Bot(1)
+                } else {
+                    ActorClass::Organic
+                }
+            })
+            .collect();
+        let w = world_with_classes(&classes);
+        let mut rng = likelab_sim::Rng::seed_from_u64(5);
+        let scored: Vec<(UserId, f64)> =
+            (0..n).map(|i| (UserId(i as u32), rng.f64())).collect();
+        let r = roc(&w, &scored, PositiveClass::FarmOnly);
+        assert!((r.auc - 0.5).abs() < 0.05, "auc {}", r.auc);
+    }
+
+    #[test]
+    fn degenerate_labels_fall_back() {
+        let w = world_with_classes(&[ActorClass::Organic]);
+        let r = roc(&w, &[(UserId(0), 0.5)], PositiveClass::FarmOnly);
+        assert_eq!(r.auc, 0.5);
+    }
+
+    #[test]
+    fn empty_flagging_has_unit_precision_zero_recall() {
+        let w = world_with_classes(&[ActorClass::Bot(1)]);
+        let c = confusion_at(&w, &[(UserId(0), 0.1)], 0.9, PositiveClass::FarmOnly);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+}

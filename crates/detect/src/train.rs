@@ -1,0 +1,235 @@
+//! Supervised training of the account scorer.
+//!
+//! The hand-set [`ScorerWeights`] encode the
+//! paper's qualitative findings; a platform operator would instead *fit*
+//! them on labeled takedowns. This module is that fit: logistic regression
+//! by batch gradient descent over the same feature transform the scorer
+//! uses, with feature standardization folded back into the returned
+//! weights so the trained model is a drop-in replacement.
+
+use crate::features::AccountFeatures;
+use crate::scorer::ScorerWeights;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Full-batch iterations.
+    pub epochs: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.5,
+            epochs: 400,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// The scorer's feature transform, shared between inference and training.
+fn transform(f: &AccountFeatures) -> [f64; 4] {
+    [
+        f.burstiness,
+        (1.0 + f.friend_count).log10(),
+        (1.0 + f.like_count).log10(),
+        1.0 / (1.0 + f.age_days / 30.0),
+    ]
+}
+
+/// Fit logistic-regression weights on labeled accounts.
+///
+/// Returns weights expressed in the raw (unstandardized) feature space, so
+/// they plug straight into [`crate::scorer::score`].
+///
+/// # Panics
+/// Panics when `samples` is empty or contains only one class.
+pub fn fit(samples: &[(AccountFeatures, bool)], config: &TrainConfig) -> ScorerWeights {
+    assert!(!samples.is_empty(), "no training data");
+    let positives = samples.iter().filter(|(_, y)| *y).count();
+    assert!(
+        positives > 0 && positives < samples.len(),
+        "training data must contain both classes"
+    );
+    let n = samples.len() as f64;
+    let x: Vec<[f64; 4]> = samples.iter().map(|(f, _)| transform(f)).collect();
+
+    // Standardize features for stable gradients.
+    let mut mean = [0.0f64; 4];
+    for row in &x {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v / n;
+        }
+    }
+    let mut std = [0.0f64; 4];
+    for row in &x {
+        for i in 0..4 {
+            std[i] += (row[i] - mean[i]).powi(2) / n;
+        }
+    }
+    for s in &mut std {
+        *s = s.sqrt().max(1e-9);
+    }
+
+    let mut w = [0.0f64; 4];
+    let mut b = 0.0f64;
+    // Class weighting keeps the (rare) positive class from being drowned.
+    let pos_weight = (samples.len() - positives) as f64 / positives as f64;
+    for _ in 0..config.epochs {
+        let mut grad_w = [0.0f64; 4];
+        let mut grad_b = 0.0f64;
+        for (row, (_, y)) in x.iter().zip(samples) {
+            let z: f64 = (0..4)
+                .map(|i| w[i] * (row[i] - mean[i]) / std[i])
+                .sum::<f64>()
+                + b;
+            let p = 1.0 / (1.0 + (-z).exp());
+            let weight = if *y { pos_weight } else { 1.0 };
+            let err = (p - if *y { 1.0 } else { 0.0 }) * weight;
+            for i in 0..4 {
+                grad_w[i] += err * (row[i] - mean[i]) / std[i];
+            }
+            grad_b += err;
+        }
+        for i in 0..4 {
+            w[i] -= config.learning_rate * (grad_w[i] / n + config.l2 * w[i]);
+        }
+        b -= config.learning_rate * grad_b / n;
+    }
+
+    // Fold standardization back: w_raw = w / std; bias absorbs the means.
+    let mut raw = [0.0f64; 4];
+    let mut bias = b;
+    for i in 0..4 {
+        raw[i] = w[i] / std[i];
+        bias -= w[i] * mean[i] / std[i];
+    }
+    ScorerWeights {
+        burstiness: raw[0],
+        log_friends: raw[1],
+        log_likes: raw[2],
+        youth: raw[3],
+        bias,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::score;
+    use likelab_sim::Rng;
+
+    fn bot(rng: &mut Rng) -> AccountFeatures {
+        AccountFeatures {
+            burstiness: rng.f64_range(0.5, 1.0),
+            friend_count: rng.f64_range(1.0, 80.0),
+            like_count: rng.f64_range(800.0, 2_500.0),
+            age_days: rng.f64_range(1.0, 100.0),
+            clustering: 0.0,
+        }
+    }
+
+    fn organic(rng: &mut Rng) -> AccountFeatures {
+        AccountFeatures {
+            burstiness: rng.f64_range(0.0, 0.2),
+            friend_count: rng.f64_range(50.0, 600.0),
+            like_count: rng.f64_range(5.0, 120.0),
+            age_days: rng.f64_range(200.0, 2_000.0),
+            clustering: 0.2,
+        }
+    }
+
+    fn dataset(n: usize, seed: u64) -> Vec<(AccountFeatures, bool)> {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for i in 0..n {
+            if i % 5 == 0 {
+                data.push((bot(&mut rng), true));
+            } else {
+                data.push((organic(&mut rng), false));
+            }
+        }
+        data
+    }
+
+    fn auc(scored: &[(f64, bool)]) -> f64 {
+        let mut s: Vec<(f64, bool)> = scored.to_vec();
+        s.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let pos = s.iter().filter(|(_, y)| *y).count() as f64;
+        let neg = s.len() as f64 - pos;
+        let (mut tp, mut fp, mut area, mut last_tpr, mut last_fpr) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (_, y) in s {
+            if y {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            let (tpr, fpr) = (tp / pos, fp / neg);
+            area += (fpr - last_fpr) * (tpr + last_tpr) / 2.0;
+            last_tpr = tpr;
+            last_fpr = fpr;
+        }
+        area
+    }
+
+    #[test]
+    fn training_separates_held_out_data() {
+        let train = dataset(600, 1);
+        let test = dataset(300, 2);
+        let w = fit(&train, &TrainConfig::default());
+        let scored: Vec<(f64, bool)> = test.iter().map(|(f, y)| (score(f, &w), *y)).collect();
+        let trained_auc = auc(&scored);
+        assert!(trained_auc > 0.95, "trained AUC {trained_auc}");
+    }
+
+    #[test]
+    fn trained_weights_point_the_right_way() {
+        let w = fit(&dataset(600, 3), &TrainConfig::default());
+        assert!(w.burstiness > 0.0, "bursty is suspicious: {w:?}");
+        assert!(w.log_friends < 0.0, "friends are protective: {w:?}");
+        assert!(w.log_likes > 0.0, "like volume is suspicious: {w:?}");
+        assert!(w.youth > 0.0, "youth is suspicious: {w:?}");
+    }
+
+    #[test]
+    fn trained_is_at_least_as_good_as_hand_set() {
+        let train = dataset(600, 4);
+        let test = dataset(300, 5);
+        let trained = fit(&train, &TrainConfig::default());
+        let hand = ScorerWeights::default();
+        let auc_of = |w: &ScorerWeights| {
+            let scored: Vec<(f64, bool)> =
+                test.iter().map(|(f, y)| (score(f, w), *y)).collect();
+            auc(&scored)
+        };
+        assert!(
+            auc_of(&trained) >= auc_of(&hand) - 0.02,
+            "trained {:.3} vs hand {:.3}",
+            auc_of(&trained),
+            auc_of(&hand)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_training_rejected() {
+        let mut rng = Rng::seed_from_u64(6);
+        let data: Vec<(AccountFeatures, bool)> =
+            (0..50).map(|_| (organic(&mut rng), false)).collect();
+        fit(&data, &TrainConfig::default());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = dataset(200, 7);
+        let a = fit(&data, &TrainConfig::default());
+        let b = fit(&data, &TrainConfig::default());
+        assert_eq!(a.burstiness, b.burstiness);
+        assert_eq!(a.bias, b.bias);
+    }
+}

@@ -1,0 +1,188 @@
+//! Camouflage liking: the rest of a farm account's life.
+//!
+//! Farm accounts do not exist for one job. The paper's Figure 4(b) shows
+//! bot-farm likers with 1200–1800 page likes at the median — "they are
+//! probably reused for multiple jobs and also like 'normal' pages to mimic
+//! real users" — while BoostLikes keeps a deliberately small count per user
+//! (median 63). This module generates those histories: which pages an
+//! account likes besides the honeypot, and when.
+
+use likelab_graph::PageId;
+use likelab_sim::dist::Zipf;
+use likelab_sim::{Rng, SimDuration, SimTime};
+
+/// Timestamps for `n` camouflage likes between `from` and `until`.
+///
+/// Bot accounts work in *job sessions*: clusters of likes inside short
+/// windows (the operator runs the account through a batch of customer
+/// pages). Human-mimicking accounts spread likes smoothly.
+pub fn camouflage_times(
+    n: usize,
+    from: SimTime,
+    until: SimTime,
+    bursty: bool,
+    rng: &mut Rng,
+) -> Vec<SimTime> {
+    let span = until.saturating_since(from);
+    let span_secs = span.as_secs().max(1);
+    let mut times = Vec::with_capacity(n);
+    if bursty {
+        // ~30 likes per session, each session inside a 2-hour window.
+        let sessions = n.div_ceil(30).max(1);
+        let mut remaining = n;
+        for s in 0..sessions {
+            let quota = if s == sessions - 1 {
+                remaining
+            } else {
+                (n / sessions).min(remaining)
+            };
+            remaining -= quota;
+            let session_start = from + SimDuration::secs(rng.below(span_secs));
+            for _ in 0..quota {
+                times.push(session_start + SimDuration::secs(rng.below(2 * 3_600)));
+            }
+        }
+    } else {
+        for _ in 0..n {
+            times.push(from + SimDuration::secs(rng.below(span_secs)));
+        }
+    }
+    times.sort_unstable();
+    times
+}
+
+/// Pick `n` distinct camouflage pages: `job_fraction` of them from the
+/// operator's customer-job catalogue, the rest from the global background
+/// catalogue (Zipf-popular head first, like a real user's likes).
+pub fn camouflage_pages(
+    n: usize,
+    job_pages: &[PageId],
+    background_pages: &[PageId],
+    background_zipf: &Zipf,
+    job_fraction: f64,
+    rng: &mut Rng,
+) -> Vec<PageId> {
+    let n_job = ((n as f64) * job_fraction.clamp(0.0, 1.0)).round() as usize;
+    let n_job = n_job.min(job_pages.len());
+    let mut out = rng.sample_without_replacement(job_pages, n_job);
+    // The background share is fixed by the fraction — a saturated job
+    // catalogue shortens the history rather than spilling into the global
+    // head (spilling would wash out Figure 5(a)'s cross-farm contrast).
+    let n_bg = (((n as f64) * (1.0 - job_fraction.clamp(0.0, 1.0))).round() as usize)
+        .min(n - out.len())
+        .min(background_pages.len());
+    let mut seen = std::collections::HashSet::with_capacity(n_bg * 2);
+    let mut attempts = 0usize;
+    while seen.len() < n_bg && attempts < n_bg * 8 + 16 {
+        attempts += 1;
+        let p = background_pages[background_zipf.sample(rng)];
+        if seen.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::peak_window_share;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn bursty_history_is_sessionized() {
+        let times = camouflage_times(
+            900,
+            SimTime::EPOCH,
+            SimTime::at_day(90),
+            true,
+            &mut rng(),
+        );
+        assert_eq!(times.len(), 900);
+        // The densest 2h window holds a session's worth, not a uniform sliver.
+        let share = peak_window_share(&times, SimDuration::hours(2));
+        let uniform_share = 2.0 / (90.0 * 24.0);
+        assert!(
+            share > uniform_share * 5.0,
+            "bursty share {share} vs uniform {uniform_share}"
+        );
+    }
+
+    #[test]
+    fn smooth_history_is_spread() {
+        let times = camouflage_times(
+            900,
+            SimTime::EPOCH,
+            SimTime::at_day(90),
+            false,
+            &mut rng(),
+        );
+        let share = peak_window_share(&times, SimDuration::hours(2));
+        assert!(share < 0.03, "smooth share {share}");
+    }
+
+    #[test]
+    fn times_stay_in_range_and_sorted() {
+        for bursty in [true, false] {
+            let times = camouflage_times(
+                200,
+                SimTime::at_day(10),
+                SimTime::at_day(40),
+                bursty,
+                &mut rng(),
+            );
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+            assert!(times.iter().all(|t| *t >= SimTime::at_day(10)));
+            // Bursty sessions may spill a session width past the end.
+            assert!(times
+                .iter()
+                .all(|t| *t <= SimTime::at_day(40) + SimDuration::hours(2)));
+        }
+    }
+
+    #[test]
+    fn zero_likes_zero_times() {
+        assert!(camouflage_times(0, SimTime::EPOCH, SimTime::at_day(1), true, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn pages_mix_job_and_background() {
+        let job: Vec<PageId> = (0..100).map(PageId).collect();
+        let bg: Vec<PageId> = (100..1_100).map(PageId).collect();
+        let zipf = Zipf::new(bg.len(), 1.0);
+        let pages = camouflage_pages(200, &job, &bg, &zipf, 0.6, &mut rng());
+        let n_job = pages.iter().filter(|p| p.0 < 100).count();
+        // 60% of 200 = 120 requested, capped at the 100 job pages.
+        assert_eq!(n_job, 100);
+        let mut d = pages.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), pages.len(), "pages are distinct");
+    }
+
+    #[test]
+    fn same_operator_accounts_share_job_pages() {
+        let job: Vec<PageId> = (0..300).map(PageId).collect();
+        let bg: Vec<PageId> = (300..5_300).map(PageId).collect();
+        let zipf = Zipf::new(bg.len(), 1.0);
+        let mut r = rng();
+        let a = camouflage_pages(400, &job, &bg, &zipf, 0.6, &mut r);
+        let b = camouflage_pages(400, &job, &bg, &zipf, 0.6, &mut r);
+        let sa: std::collections::HashSet<PageId> = a.into_iter().collect();
+        let inter = b.iter().filter(|p| sa.contains(p)).count();
+        // Both took ~240 of the 300 job pages: heavy overlap guaranteed.
+        assert!(inter > 150, "same-operator page overlap {inter}");
+    }
+
+    #[test]
+    fn zero_job_fraction_uses_background_only() {
+        let job: Vec<PageId> = (0..50).map(PageId).collect();
+        let bg: Vec<PageId> = (50..550).map(PageId).collect();
+        let zipf = Zipf::new(bg.len(), 1.0);
+        let pages = camouflage_pages(100, &job, &bg, &zipf, 0.0, &mut rng());
+        assert!(pages.iter().all(|p| p.0 >= 50));
+    }
+}

@@ -1,0 +1,190 @@
+//! Account pool segments with round-robin reuse.
+//!
+//! A farm's inventory for one region is a *segment*: a capped roster of
+//! accounts consumed sequentially, wrapping around when an order runs past
+//! the end. The wraparound is what produces the paper's cross-campaign liker
+//! overlaps — e.g. SocialFormula's two orders (984 + 738 likes) drawn from a
+//! ~1644-account segment overlap in exactly the tail that wrapped, and
+//! MammothSocials' order continued straight into the accounts
+//! AuthenticLikes had used (the ALMS group).
+
+use likelab_graph::UserId;
+use serde::{Deserialize, Serialize};
+
+/// A capped, cursor-driven account roster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Segment {
+    members: Vec<UserId>,
+    capacity: usize,
+    cursor: usize,
+    /// Shared hub accounts (mutual-friend anchors), not used for likes.
+    hubs: Vec<UserId>,
+}
+
+impl Segment {
+    /// An empty segment with the given capacity.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "segment capacity must be positive");
+        Segment {
+            members: Vec::new(),
+            capacity,
+            cursor: 0,
+            hubs: Vec::new(),
+        }
+    }
+
+    /// Current roster size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no account was created yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The capacity cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All members created so far.
+    pub fn members(&self) -> &[UserId] {
+        &self.members
+    }
+
+    /// The hub accounts.
+    pub fn hubs(&self) -> &[UserId] {
+        &self.hubs
+    }
+
+    /// Register hub accounts (created by the roster at segment birth).
+    pub fn set_hubs(&mut self, hubs: Vec<UserId>) {
+        self.hubs = hubs;
+    }
+
+    /// Take `k` distinct accounts for a job, creating new ones through
+    /// `create` while under capacity, and wrapping around the roster once
+    /// full. Returns at most `min(k, capacity)` accounts; newly created ids
+    /// are appended to `fresh`.
+    pub fn take(
+        &mut self,
+        k: usize,
+        fresh: &mut Vec<UserId>,
+        mut create: impl FnMut() -> UserId,
+    ) -> Vec<UserId> {
+        let k = k.min(self.capacity);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            if self.cursor >= self.members.len() && self.members.len() < self.capacity {
+                let id = create();
+                self.members.push(id);
+                fresh.push(id);
+            }
+            if self.cursor >= self.members.len() {
+                // Full roster exhausted: wrap.
+                self.cursor = 0;
+            }
+            out.push(self.members[self.cursor]);
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(capacity: usize) -> (Segment, u32) {
+        (Segment::new(capacity), 0)
+    }
+
+    fn take_n(s: &mut Segment, next: &mut u32, k: usize) -> Vec<UserId> {
+        let mut fresh = Vec::new();
+        let out = s.take(k, &mut fresh, || {
+            let id = UserId(*next);
+            *next += 1;
+            id
+        });
+        out
+    }
+
+    #[test]
+    fn accounts_are_created_lazily() {
+        let (mut s, mut n) = seg(100);
+        let a = take_n(&mut s, &mut n, 10);
+        assert_eq!(a.len(), 10);
+        assert_eq!(s.len(), 10, "only what was needed");
+        let b = take_n(&mut s, &mut n, 5);
+        assert_eq!(s.len(), 15);
+        assert!(a.iter().all(|x| !b.contains(x)), "sequential, no overlap");
+    }
+
+    #[test]
+    fn wraparound_reuses_the_head() {
+        // The SocialFormula arithmetic: capacity 1644, orders 984 then 738.
+        let (mut s, mut n) = seg(1_644);
+        let first = take_n(&mut s, &mut n, 984);
+        let second = take_n(&mut s, &mut n, 738);
+        let overlap: Vec<&UserId> = second.iter().filter(|u| first.contains(u)).collect();
+        assert_eq!(overlap.len(), 78, "984 + 738 - 1644 = 78");
+        assert_eq!(s.len(), 1_644);
+    }
+
+    #[test]
+    fn third_order_continues_the_cursor() {
+        // The AL/MS arithmetic: capacity 1142, orders 1038 then 317.
+        let (mut s, mut n) = seg(1_142);
+        let al = take_n(&mut s, &mut n, 1_038);
+        let ms = take_n(&mut s, &mut n, 317);
+        let shared = ms.iter().filter(|u| al.contains(u)).count();
+        assert_eq!(shared, 213, "1038 + 317 - 1142 = 213");
+        // The fresh MS tail is 104 accounts.
+        assert_eq!(ms.len() - shared, 104);
+    }
+
+    #[test]
+    fn oversized_order_clips_to_capacity_distinct() {
+        let (mut s, mut n) = seg(50);
+        let got = take_n(&mut s, &mut n, 500);
+        assert_eq!(got.len(), 50);
+        let mut d = got.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 50, "an account likes a page at most once");
+    }
+
+    #[test]
+    fn fresh_tracks_only_new_accounts() {
+        let mut s = Segment::new(10);
+        let mut next = 0u32;
+        let mut fresh = Vec::new();
+        s.take(10, &mut fresh, || {
+            let id = UserId(next);
+            next += 1;
+            id
+        });
+        assert_eq!(fresh.len(), 10);
+        let mut fresh2 = Vec::new();
+        s.take(5, &mut fresh2, || unreachable!("roster is full"));
+        assert!(fresh2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Segment::new(0);
+    }
+
+    #[test]
+    fn hubs_are_separate() {
+        let mut s = Segment::new(5);
+        s.set_hubs(vec![UserId(100), UserId(101)]);
+        assert_eq!(s.hubs(), &[UserId(100), UserId(101)]);
+        assert!(s.is_empty(), "hubs are not job accounts");
+    }
+}

@@ -1,0 +1,49 @@
+//! Order regions: what a farm customer can ask for.
+//!
+//! The paper's orders come in exactly two flavours — "1000 likes, worldwide"
+//! and "1000 likes, USA only" — but the type is general.
+
+use likelab_osn::Country;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The audience region of a farm order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Region {
+    /// No geographic constraint.
+    Worldwide,
+    /// Likes from a single country.
+    Country(Country),
+}
+
+impl Region {
+    /// The country, when constrained.
+    pub fn country(self) -> Option<Country> {
+        match self {
+            Region::Worldwide => None,
+            Region::Country(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Worldwide => f.write_str("Worldwide"),
+            Region::Country(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_country() {
+        assert_eq!(Region::Worldwide.to_string(), "Worldwide");
+        assert_eq!(Region::Country(Country::Usa).to_string(), "USA");
+        assert_eq!(Region::Worldwide.country(), None);
+        assert_eq!(Region::Country(Country::Usa).country(), Some(Country::Usa));
+    }
+}

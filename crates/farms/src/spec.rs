@@ -1,0 +1,392 @@
+//! Farm behaviour specifications.
+//!
+//! A [`FarmSpec`] captures everything that distinguishes one like farm from
+//! another: how it paces deliveries, where its accounts claim to live,
+//! what they look like demographically, how their social structure is wired,
+//! how many pages they like as camouflage, and how honest the service is
+//! about actually delivering. The four constructors encode the paper's four
+//! farms, calibrated against Tables 1–3.
+
+use crate::region::Region;
+use crate::schedule::DeliveryStyle;
+use likelab_osn::demographics::{Blueprint, GLOBAL_AGE_DIST};
+use likelab_osn::Country;
+use likelab_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Where a farm's accounts are (claimed to be) located.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GeoSourcing {
+    /// Accounts match the ordered region (worldwide orders get a mix).
+    FollowOrder {
+        /// Country mix used for worldwide orders.
+        worldwide_mix: Vec<(Country, f64)>,
+    },
+    /// The farm ships the same accounts regardless of the order — the
+    /// SocialFormula signature ("most likers ... were based in Turkey,
+    /// regardless of whether we requested a US-only campaign").
+    Fixed {
+        /// The fixed country mix.
+        mix: Vec<(Country, f64)>,
+    },
+}
+
+/// In-world social wiring of a farm's account pool.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PoolTopology {
+    /// Dense, well-connected sybil network (BoostLikes): each new account
+    /// wires `within_degree` edges to existing pool members.
+    DenseNetwork {
+        /// Mean in-pool edges per account.
+        within_degree: usize,
+    },
+    /// Compartmentalized pairs and triplets (SocialFormula et al.):
+    /// "mitigating the risk that identification of a user as fake would
+    /// consequently bring down the whole connected network".
+    PairsAndTriplets {
+        /// Fraction of groups that are triplets rather than pairs.
+        triplet_fraction: f64,
+        /// Fraction of accounts left with no in-pool edge at all.
+        isolate_fraction: f64,
+    },
+}
+
+/// A complete farm behaviour profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FarmSpec {
+    /// Service name (as marketed).
+    pub name: String,
+    /// Operator tag. Farms sharing a tag share account pools — the paper's
+    /// evidence says AuthenticLikes and MammothSocials are one operator.
+    pub operator: u16,
+    /// Delivery pacing.
+    pub style: DeliveryStyle,
+    /// Account geography.
+    pub geo: GeoSourcing,
+    /// Fraction of created profiles that are female.
+    pub female_fraction: f64,
+    /// Age-bracket weights of created profiles.
+    pub age_weights: [f64; 6],
+    /// Median *total* friend count of accounts (Table 3 column 4/5).
+    pub friend_median: f64,
+    /// Log-space spread of friend counts.
+    pub friend_sigma: f64,
+    /// In-world pool wiring.
+    pub topology: PoolTopology,
+    /// Number of shared "mutual friend" hub accounts per pool segment.
+    pub hubs_per_segment: usize,
+    /// Probability an account befriends any given hub (drives the 2-hop
+    /// relation counts of Table 3).
+    pub hub_attach_prob: f64,
+    /// Probability an account's friend list is public (Table 3 column 3).
+    pub friend_list_public: f64,
+    /// Median camouflage like count per account (Figure 4(b) medians:
+    /// 1200–1800 for bot farms, 63 for BoostLikes).
+    pub camouflage_median: f64,
+    /// Log-space spread of camouflage like counts.
+    pub camouflage_sigma: f64,
+    /// Fraction of camouflage likes that go to the operator's customer-job
+    /// pages rather than the global background catalogue.
+    pub job_page_fraction: f64,
+    /// Whether camouflage liking happens in bot-like bursts (job sessions)
+    /// or is smoothly spread like a human's.
+    pub bursty_camouflage: bool,
+    /// Maximum account age at creation time (bot accounts are fresh and
+    /// disposable; stealth accounts are long-lived).
+    pub max_account_age: SimDuration,
+    /// Accounts per pool segment (the round-robin reuse horizon that
+    /// produces the paper's cross-campaign liker overlaps).
+    pub segment_capacity: usize,
+    /// Range of the delivered fraction of an order (farms under- and
+    /// over-deliver; MammothSocials delivered 317 of 1000).
+    pub delivery_fraction: (f64, f64),
+    /// Regions this farm takes money for but never delivers (BL-ALL and
+    /// MS-ALL in the paper: "we were charged in advance" and got nothing).
+    pub scam_regions: Vec<Region>,
+}
+
+impl FarmSpec {
+    /// The demographic blueprint for accounts sourced for `region`.
+    pub fn blueprint(&self, region: Region) -> Blueprint {
+        let country_weights = match &self.geo {
+            GeoSourcing::Fixed { mix } => mix.clone(),
+            GeoSourcing::FollowOrder { worldwide_mix } => match region {
+                Region::Country(c) => vec![(c, 1.0)],
+                Region::Worldwide => worldwide_mix.clone(),
+            },
+        };
+        Blueprint {
+            female_fraction: self.female_fraction,
+            age_weights: self.age_weights,
+            country_weights,
+        }
+    }
+
+    /// Which pool segment an order draws from: compliant farms segment by
+    /// ordered region; fixed-geo farms have a single home segment.
+    pub fn segment_key(&self, region: Region) -> Region {
+        match &self.geo {
+            GeoSourcing::Fixed { .. } => Region::Worldwide,
+            GeoSourcing::FollowOrder { .. } => region,
+        }
+    }
+
+    /// True when the farm takes the money for `region` and delivers nothing.
+    pub fn is_scam(&self, region: Region) -> bool {
+        self.scam_regions.contains(&region)
+    }
+
+    /// BoostLikes: the stealth farm. Most expensive, slowest, and hardest to
+    /// tell from a legitimate campaign — dense long-lived sybil network,
+    /// high friend counts (1171 ± 1096, median 850), few likes per account
+    /// (median 63), trickle delivery over 15 days. Worldwide orders are
+    /// taken but never delivered.
+    pub fn boostlikes() -> FarmSpec {
+        FarmSpec {
+            name: "BoostLikes.com".into(),
+            operator: 1,
+            style: DeliveryStyle::Trickle { days: 15 },
+            geo: GeoSourcing::FollowOrder {
+                worldwide_mix: vec![
+                    (Country::Usa, 0.5),
+                    (Country::Uk, 0.2),
+                    (Country::Brazil, 0.15),
+                    (Country::Indonesia, 0.15),
+                ],
+            },
+            // BL-USA: 53/47 F/M; ages 34.2/54.5/8.8/1.5/0.7/0.5.
+            female_fraction: 0.53,
+            age_weights: [0.342, 0.545, 0.088, 0.015, 0.007, 0.005],
+            friend_median: 850.0,
+            friend_sigma: 0.85,
+            topology: PoolTopology::DenseNetwork { within_degree: 2 },
+            hubs_per_segment: 20,
+            hub_attach_prob: 0.15,
+            friend_list_public: 0.259,
+            camouflage_median: 63.0,
+            camouflage_sigma: 0.9,
+            job_page_fraction: 0.7,
+            bursty_camouflage: false,
+            max_account_age: SimDuration::days(3 * 365),
+            segment_capacity: 3_000,
+            delivery_fraction: (0.58, 0.66),
+            scam_regions: vec![Region::Worldwide],
+        }
+    }
+
+    /// SocialFormula: the cheapest farm. Turkish accounts shipped regardless
+    /// of targeting, near-global demographics (KL ≈ 0.04), pair/triplet
+    /// structure, burst delivery inside 3 days.
+    pub fn socialformula() -> FarmSpec {
+        FarmSpec {
+            name: "SocialFormula.com".into(),
+            operator: 2,
+            style: DeliveryStyle::Burst {
+                days: 3,
+                bursts: 3,
+                window: SimDuration::hours(2),
+                start_delay: SimDuration::hours(10),
+            },
+            geo: GeoSourcing::Fixed {
+                mix: vec![(Country::Turkey, 0.94), (Country::Usa, 0.06)],
+            },
+            // SF: 37/63 F/M; ages near the global platform distribution.
+            female_fraction: 0.37,
+            age_weights: GLOBAL_AGE_DIST,
+            friend_median: 155.0,
+            friend_sigma: 0.8,
+            topology: PoolTopology::PairsAndTriplets {
+                triplet_fraction: 0.25,
+                isolate_fraction: 0.93,
+            },
+            hubs_per_segment: 20,
+            hub_attach_prob: 0.012,
+            friend_list_public: 0.58,
+            camouflage_median: 1_400.0,
+            camouflage_sigma: 0.55,
+            job_page_fraction: 0.96,
+            bursty_camouflage: true,
+            max_account_age: SimDuration::days(120),
+            segment_capacity: 1_644,
+            delivery_fraction: (0.72, 1.0),
+            scam_regions: vec![],
+        }
+    }
+
+    /// AuthenticLikes: bot farm, giant single-day bursts (700+ likes inside
+    /// 4 hours on day 2), USA-heavy demographics, fresh disposable accounts
+    /// (36 of its USA likers terminated within a month).
+    pub fn authenticlikes() -> FarmSpec {
+        FarmSpec {
+            name: "AuthenticLikes.com".into(),
+            operator: 3,
+            style: DeliveryStyle::Burst {
+                days: 4,
+                bursts: 2,
+                window: SimDuration::hours(4),
+                start_delay: SimDuration::days(1),
+            },
+            geo: GeoSourcing::FollowOrder {
+                worldwide_mix: vec![
+                    (Country::Usa, 0.35),
+                    (Country::Philippines, 0.25),
+                    (Country::Indonesia, 0.2),
+                    (Country::India, 0.2),
+                ],
+            },
+            // AL-USA: 31/68 F/M; ages 7.2/41/35/10/3.5/2.8.
+            female_fraction: 0.31,
+            age_weights: [0.072, 0.41, 0.35, 0.10, 0.035, 0.028],
+            friend_median: 343.0,
+            friend_sigma: 1.0,
+            topology: PoolTopology::PairsAndTriplets {
+                triplet_fraction: 0.2,
+                isolate_fraction: 0.95,
+            },
+            hubs_per_segment: 20,
+            hub_attach_prob: 0.016,
+            friend_list_public: 0.426,
+            camouflage_median: 1_600.0,
+            camouflage_sigma: 0.5,
+            job_page_fraction: 0.96,
+            bursty_camouflage: true,
+            max_account_age: SimDuration::days(90),
+            segment_capacity: 1_142,
+            // AL-USA delivered 1038 of 1000 ordered — the farm runs its
+            // whole segment through each job. Keeping the fraction near 1
+            // is what guarantees the wraparound overlap with MammothSocials
+            // (the ALMS group) at any world scale.
+            delivery_fraction: (0.93, 1.06),
+            scam_regions: vec![],
+        }
+    }
+
+    /// MammothSocials: same operator as AuthenticLikes (tag 3 — shared
+    /// account pool, which is how 213 likers ended up liking both farms'
+    /// pages). Under-delivers heavily (317 of 1000); worldwide orders are
+    /// pure scam.
+    pub fn mammothsocials() -> FarmSpec {
+        FarmSpec {
+            name: "MammothSocials.com".into(),
+            operator: 3,
+            style: DeliveryStyle::Burst {
+                days: 6,
+                bursts: 3,
+                window: SimDuration::hours(2),
+                start_delay: SimDuration::days(1),
+            },
+            geo: GeoSourcing::FollowOrder {
+                worldwide_mix: vec![
+                    (Country::Usa, 0.3),
+                    (Country::Philippines, 0.3),
+                    (Country::Indonesia, 0.4),
+                ],
+            },
+            // MS-USA: 26/74 F/M; ages 8.6/46.9/34.5/6.4/1.9/1.4.
+            female_fraction: 0.26,
+            age_weights: [0.086, 0.469, 0.345, 0.064, 0.019, 0.014],
+            friend_median: 68.0,
+            friend_sigma: 1.1,
+            topology: PoolTopology::PairsAndTriplets {
+                triplet_fraction: 0.15,
+                isolate_fraction: 0.92,
+            },
+            hubs_per_segment: 12,
+            hub_attach_prob: 0.01,
+            friend_list_public: 0.512,
+            camouflage_median: 1_200.0,
+            camouflage_sigma: 0.6,
+            job_page_fraction: 0.96,
+            bursty_camouflage: true,
+            max_account_age: SimDuration::days(90),
+            segment_capacity: 1_142,
+            delivery_fraction: (0.3, 0.34),
+            scam_regions: vec![Region::Worldwide],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_farms_have_distinct_names_and_styles() {
+        let farms = [
+            FarmSpec::boostlikes(),
+            FarmSpec::socialformula(),
+            FarmSpec::authenticlikes(),
+            FarmSpec::mammothsocials(),
+        ];
+        let mut names: Vec<&str> = farms.iter().map(|f| f.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        assert!(matches!(farms[0].style, DeliveryStyle::Trickle { .. }));
+        for f in &farms[1..] {
+            assert!(matches!(f.style, DeliveryStyle::Burst { .. }));
+        }
+    }
+
+    #[test]
+    fn al_and_ms_share_an_operator() {
+        assert_eq!(
+            FarmSpec::authenticlikes().operator,
+            FarmSpec::mammothsocials().operator
+        );
+        assert_ne!(
+            FarmSpec::boostlikes().operator,
+            FarmSpec::socialformula().operator
+        );
+    }
+
+    #[test]
+    fn socialformula_ignores_requested_region() {
+        let sf = FarmSpec::socialformula();
+        let bp = sf.blueprint(Region::Country(Country::Usa));
+        let turkey_weight: f64 = bp
+            .country_weights
+            .iter()
+            .filter(|(c, _)| *c == Country::Turkey)
+            .map(|(_, w)| *w)
+            .sum();
+        assert!(turkey_weight > 0.9, "SF ships Turkey regardless");
+        // And both orders land in the same segment.
+        assert_eq!(
+            sf.segment_key(Region::Country(Country::Usa)),
+            sf.segment_key(Region::Worldwide)
+        );
+    }
+
+    #[test]
+    fn compliant_farm_segments_by_region() {
+        let al = FarmSpec::authenticlikes();
+        assert_ne!(
+            al.segment_key(Region::Country(Country::Usa)),
+            al.segment_key(Region::Worldwide)
+        );
+        let bp = al.blueprint(Region::Country(Country::Usa));
+        assert_eq!(bp.country_weights, vec![(Country::Usa, 1.0)]);
+    }
+
+    #[test]
+    fn scam_regions_match_the_paper() {
+        assert!(FarmSpec::boostlikes().is_scam(Region::Worldwide));
+        assert!(!FarmSpec::boostlikes().is_scam(Region::Country(Country::Usa)));
+        assert!(FarmSpec::mammothsocials().is_scam(Region::Worldwide));
+        assert!(!FarmSpec::socialformula().is_scam(Region::Worldwide));
+        assert!(!FarmSpec::authenticlikes().is_scam(Region::Worldwide));
+    }
+
+    #[test]
+    fn stealth_vs_bot_contrast_is_encoded() {
+        let bl = FarmSpec::boostlikes();
+        let sf = FarmSpec::socialformula();
+        assert!(bl.friend_median > sf.friend_median * 4.0);
+        assert!(bl.camouflage_median * 10.0 < sf.camouflage_median);
+        assert!(!bl.bursty_camouflage && sf.bursty_camouflage);
+        assert!(bl.max_account_age > sf.max_account_age * 5);
+        assert!(matches!(bl.topology, PoolTopology::DenseNetwork { .. }));
+        assert!(matches!(sf.topology, PoolTopology::PairsAndTriplets { .. }));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the farm machinery's invariants.
+
+use likelab_farms::{delivery_times, peak_window_share, DeliveryStyle, Segment};
+use likelab_graph::UserId;
+use likelab_sim::{Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Delivery schedules produce exactly the requested number of likes,
+    /// sorted, never before the order time, and bounded by the advertised
+    /// span (bursts may spill one window width).
+    #[test]
+    fn delivery_times_are_sound(
+        seed in any::<u64>(),
+        k in 0usize..400,
+        days in 1u64..20,
+        bursts in 1usize..6,
+        trickle in any::<bool>(),
+    ) {
+        let style = if trickle {
+            DeliveryStyle::Trickle { days }
+        } else {
+            DeliveryStyle::Burst {
+                days,
+                bursts,
+                window: SimDuration::hours(2),
+                start_delay: SimDuration::hours(6),
+            }
+        };
+        let start = SimTime::at_day(100);
+        let mut rng = Rng::seed_from_u64(seed);
+        let times = delivery_times(style, k, start, &mut rng);
+        prop_assert_eq!(times.len(), k);
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        prop_assert!(times.iter().all(|t| *t >= start), "never before order");
+        let bound = start + SimDuration::days(days) + SimDuration::hours(3);
+        prop_assert!(times.iter().all(|t| *t <= bound), "inside the span");
+    }
+
+    /// The burstiness statistic is a fraction and maximal for one-window
+    /// deliveries.
+    #[test]
+    fn peak_share_is_a_fraction(seed in any::<u64>(), k in 1usize..200) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let times = delivery_times(
+            DeliveryStyle::Trickle { days: 15 },
+            k,
+            SimTime::EPOCH,
+            &mut rng,
+        );
+        let share = peak_window_share(&times, SimDuration::hours(2));
+        prop_assert!(share > 0.0 && share <= 1.0);
+        let one_burst = delivery_times(
+            DeliveryStyle::Burst {
+                days: 1,
+                bursts: 1,
+                window: SimDuration::hours(2),
+                start_delay: SimDuration::ZERO,
+            },
+            k,
+            SimTime::EPOCH,
+            &mut rng,
+        );
+        prop_assert!((peak_window_share(&one_burst, SimDuration::hours(2)) - 1.0).abs() < 1e-12);
+    }
+
+    /// Round-robin segments: `take` returns distinct accounts per call,
+    /// never exceeds capacity, and the cross-order overlap equals
+    /// `max(0, k1 + k2 - capacity)` while the roster is consumed in order.
+    #[test]
+    fn segment_overlap_arithmetic(
+        capacity in 1usize..300,
+        k1 in 0usize..350,
+        k2 in 0usize..350,
+    ) {
+        let mut segment = Segment::new(capacity);
+        let mut next = 0u32;
+        let mut take = |seg: &mut Segment, k: usize| {
+            let mut fresh = Vec::new();
+            seg.take(k, &mut fresh, || {
+                let id = UserId(next);
+                next += 1;
+                id
+            })
+        };
+        let a = take(&mut segment, k1);
+        let b = take(&mut segment, k2);
+        prop_assert_eq!(a.len(), k1.min(capacity));
+        prop_assert_eq!(b.len(), k2.min(capacity));
+        for got in [&a, &b] {
+            let mut d = got.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), got.len(), "distinct within an order");
+        }
+        let sa: std::collections::HashSet<UserId> = a.iter().copied().collect();
+        let overlap = b.iter().filter(|u| sa.contains(u)).count();
+        let expected = (k1.min(capacity) + k2.min(capacity)).saturating_sub(capacity);
+        prop_assert_eq!(overlap, expected.min(k1.min(capacity)).min(k2.min(capacity)));
+        prop_assert!(segment.len() <= capacity);
+    }
+}

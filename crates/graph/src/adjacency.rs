@@ -1,0 +1,196 @@
+//! The undirected friendship graph.
+//!
+//! Facebook friendships are bidirectional (the paper contrasts this with
+//! Twitter's follower model), so the store is a symmetric adjacency list with
+//! sorted neighbor vectors: `O(log d)` membership tests, `O(d)` neighbor
+//! scans, and cheap edge iteration for the social-graph analyses.
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over dense [`UserId`]s.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FriendGraph {
+    /// Sorted neighbor list per node.
+    adj: Vec<Vec<UserId>>,
+    edges: usize,
+}
+
+impl FriendGraph {
+    /// An empty graph over `n` nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        FriendGraph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Grow the node set to at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n > self.adj.len() {
+            self.adj.resize(n, Vec::new());
+        }
+    }
+
+    /// Add the undirected edge `{a, b}`. Self-loops are rejected; duplicate
+    /// edges are ignored. Returns true when the edge was new.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: UserId, b: UserId) -> bool {
+        assert!(a != b, "self-friendship {a} is not a thing");
+        assert!(
+            a.idx() < self.adj.len() && b.idx() < self.adj.len(),
+            "edge endpoint out of range: {a}, {b} (n = {})",
+            self.adj.len()
+        );
+        let pos = match self.adj[a.idx()].binary_search(&b) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        self.adj[a.idx()].insert(pos, b);
+        let pos_b = self.adj[b.idx()]
+            .binary_search(&a)
+            .expect_err("symmetric edge must be absent");
+        self.adj[b.idx()].insert(pos_b, a);
+        self.edges += 1;
+        true
+    }
+
+    /// True when `{a, b}` is an edge.
+    pub fn has_edge(&self, a: UserId, b: UserId) -> bool {
+        a.idx() < self.adj.len() && self.adj[a.idx()].binary_search(&b).is_ok()
+    }
+
+    /// Degree of `u` (number of friends).
+    pub fn degree(&self, u: UserId) -> usize {
+        self.adj[u.idx()].len()
+    }
+
+    /// The sorted neighbor list of `u`.
+    pub fn neighbors(&self, u: UserId) -> &[UserId] {
+        &self.adj[u.idx()]
+    }
+
+    /// Iterate all undirected edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, ns)| {
+            let a = UserId(i as u32);
+            ns.iter().copied().filter(move |b| a < *b).map(move |b| (a, b))
+        })
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.adj.len() as u32).map(UserId)
+    }
+
+    /// Number of common neighbors of `a` and `b` (sorted-merge intersection).
+    pub fn common_neighbors(&self, a: UserId, b: UserId) -> usize {
+        let (xs, ys) = (self.neighbors(a), self.neighbors(b));
+        let (mut i, mut j, mut c) = (0, 0, 0);
+        while i < xs.len() && j < ys.len() {
+            match xs[i].cmp(&ys[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_dedups() {
+        let mut g = FriendGraph::with_nodes(4);
+        assert!(g.add_edge(u(0), u(2)));
+        assert!(!g.add_edge(u(2), u(0)), "reverse insert is a duplicate");
+        assert!(g.has_edge(u(0), u(2)));
+        assert!(g.has_edge(u(2), u(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(u(0)), 1);
+        assert_eq!(g.degree(u(2)), 1);
+        assert_eq!(g.degree(u(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-friendship")]
+    fn self_loops_rejected() {
+        FriendGraph::with_nodes(2).add_edge(u(1), u(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        FriendGraph::with_nodes(2).add_edge(u(0), u(5));
+    }
+
+    #[test]
+    fn neighbors_stay_sorted() {
+        let mut g = FriendGraph::with_nodes(6);
+        for b in [5, 1, 3, 2] {
+            g.add_edge(u(0), u(b));
+        }
+        assert_eq!(g.neighbors(u(0)), &[u(1), u(2), u(3), u(5)]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let mut g = FriendGraph::with_nodes(4);
+        g.add_edge(u(0), u(1));
+        g.add_edge(u(1), u(2));
+        g.add_edge(u(3), u(0));
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(u(0), u(1)), (u(0), u(3)), (u(1), u(2))]);
+        assert_eq!(es.len(), g.edge_count());
+    }
+
+    #[test]
+    fn common_neighbors_counts_intersection() {
+        let mut g = FriendGraph::with_nodes(6);
+        // 0 and 1 share neighbors 2 and 3; 0 also knows 4, 1 also knows 5.
+        for (a, b) in [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 5)] {
+            g.add_edge(u(a), u(b));
+        }
+        assert_eq!(g.common_neighbors(u(0), u(1)), 2);
+        assert_eq!(g.common_neighbors(u(4), u(5)), 0);
+        assert_eq!(g.common_neighbors(u(2), u(3)), 2, "via 0 and 1");
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut g = FriendGraph::with_nodes(2);
+        g.ensure_nodes(5);
+        assert_eq!(g.node_count(), 5);
+        g.ensure_nodes(3);
+        assert_eq!(g.node_count(), 5, "never shrinks");
+    }
+
+    #[test]
+    fn has_edge_handles_out_of_range_gracefully() {
+        let g = FriendGraph::with_nodes(2);
+        assert!(!g.has_edge(u(9), u(0)));
+    }
+}

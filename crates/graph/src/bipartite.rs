@@ -1,0 +1,183 @@
+//! The user ↔ page like structure.
+//!
+//! A bipartite graph indexed from both sides: which pages a user likes (the
+//! crawler reads this off public profiles) and which users like a page (the
+//! honeypot monitor reads this off the page). Timestamps live in the
+//! platform's like ledger, not here — this is pure structure.
+
+use crate::ids::{PageId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A bipartite like graph with both-side indexes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LikeGraph {
+    user_pages: Vec<Vec<PageId>>,
+    page_users: Vec<Vec<UserId>>,
+    likes: usize,
+}
+
+impl LikeGraph {
+    /// An empty like graph over `users` users and `pages` pages.
+    pub fn new(users: usize, pages: usize) -> Self {
+        LikeGraph {
+            user_pages: vec![Vec::new(); users],
+            page_users: vec![Vec::new(); pages],
+            likes: 0,
+        }
+    }
+
+    /// Number of user slots.
+    pub fn user_count(&self) -> usize {
+        self.user_pages.len()
+    }
+
+    /// Number of page slots.
+    pub fn page_count(&self) -> usize {
+        self.page_users.len()
+    }
+
+    /// Total number of like edges.
+    pub fn like_count(&self) -> usize {
+        self.likes
+    }
+
+    /// Grow the user side to at least `n` slots.
+    pub fn ensure_users(&mut self, n: usize) {
+        if n > self.user_pages.len() {
+            self.user_pages.resize(n, Vec::new());
+        }
+    }
+
+    /// Grow the page side to at least `n` slots.
+    pub fn ensure_pages(&mut self, n: usize) {
+        if n > self.page_users.len() {
+            self.page_users.resize(n, Vec::new());
+        }
+    }
+
+    /// Record that `user` likes `page`. Duplicate likes are ignored.
+    /// Returns true when the like was new.
+    ///
+    /// The user side stays sorted (it backs membership tests and is short —
+    /// a user likes tens to thousands of pages); the page side is
+    /// append-only in arrival order, because popular pages collect hundreds
+    /// of thousands of likers and sorted insertion there would be quadratic.
+    ///
+    /// # Panics
+    /// Panics when either side is out of range.
+    pub fn add_like(&mut self, user: UserId, page: PageId) -> bool {
+        assert!(
+            user.idx() < self.user_pages.len(),
+            "user {user} out of range"
+        );
+        assert!(
+            page.idx() < self.page_users.len(),
+            "page {page} out of range"
+        );
+        let pos = match self.user_pages[user.idx()].binary_search(&page) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.user_pages[user.idx()].insert(pos, page);
+        self.page_users[page.idx()].push(user);
+        self.likes += 1;
+        true
+    }
+
+    /// True when `user` likes `page`.
+    pub fn likes_page(&self, user: UserId, page: PageId) -> bool {
+        user.idx() < self.user_pages.len()
+            && self.user_pages[user.idx()].binary_search(&page).is_ok()
+    }
+
+    /// Sorted pages liked by `user`.
+    pub fn pages_of(&self, user: UserId) -> &[PageId] {
+        &self.user_pages[user.idx()]
+    }
+
+    /// Likers of `page`, in like-arrival order.
+    pub fn likers_of(&self, page: PageId) -> &[UserId] {
+        &self.page_users[page.idx()]
+    }
+
+    /// Like count of a user (how many pages they like). This is the quantity
+    /// behind the paper's Figure 4 CDFs.
+    pub fn user_like_count(&self, user: UserId) -> usize {
+        self.user_pages[user.idx()].len()
+    }
+
+    /// Like count of a page (how many users like it).
+    pub fn page_like_count(&self, page: PageId) -> usize {
+        self.page_users[page.idx()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn add_like_indexes_both_sides() {
+        let mut g = LikeGraph::new(3, 3);
+        assert!(g.add_like(u(1), p(2)));
+        assert!(g.likes_page(u(1), p(2)));
+        assert_eq!(g.pages_of(u(1)), &[p(2)]);
+        assert_eq!(g.likers_of(p(2)), &[u(1)]);
+        assert_eq!(g.like_count(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut g = LikeGraph::new(2, 2);
+        assert!(g.add_like(u(0), p(0)));
+        assert!(!g.add_like(u(0), p(0)));
+        assert_eq!(g.like_count(), 1);
+        assert_eq!(g.user_like_count(u(0)), 1);
+        assert_eq!(g.page_like_count(p(0)), 1);
+    }
+
+    #[test]
+    fn user_side_sorted_page_side_chronological() {
+        let mut g = LikeGraph::new(5, 5);
+        for page in [4, 0, 2] {
+            g.add_like(u(1), p(page));
+        }
+        for user in [3, 0] {
+            g.add_like(u(user), p(2));
+        }
+        assert_eq!(g.pages_of(u(1)), &[p(0), p(2), p(4)]);
+        assert_eq!(g.likers_of(p(2)), &[u(1), u(3), u(0)], "arrival order");
+    }
+
+    #[test]
+    fn growth_preserves_content() {
+        let mut g = LikeGraph::new(1, 1);
+        g.add_like(u(0), p(0));
+        g.ensure_users(10);
+        g.ensure_pages(10);
+        g.add_like(u(9), p(9));
+        assert!(g.likes_page(u(0), p(0)));
+        assert!(g.likes_page(u(9), p(9)));
+        assert_eq!(g.user_count(), 10);
+        assert_eq!(g.page_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        LikeGraph::new(1, 1).add_like(u(5), p(0));
+    }
+
+    #[test]
+    fn likes_page_out_of_range_is_false() {
+        let g = LikeGraph::new(1, 1);
+        assert!(!g.likes_page(u(9), p(0)));
+    }
+}

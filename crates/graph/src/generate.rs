@@ -1,0 +1,543 @@
+//! Random-graph generators.
+//!
+//! Each generator wires edges among a caller-supplied *member set* inside a
+//! larger [`FriendGraph`] — farm account pools, country communities, and the
+//! organic population are all subsets of one global graph, so generators
+//! never assume they own the whole id space.
+//!
+//! The choice of models mirrors what the honeypot study observed:
+//!
+//! - **Watts–Strogatz / planted partitions** — the organic population:
+//!   clustered, small-world, community-structured.
+//! - **Barabási–Albert** — the stealth farm (BoostLikes): a dense, heavily
+//!   connected hub structure with high mean degree (the paper measured
+//!   1171 ± 1096 friends, median 850).
+//! - **Pair/triplet archipelagos** — the bot-burst farms (SocialFormula):
+//!   "pairs (and occasionally triplets) ... mitigating the risk that
+//!   identification of a user as fake would bring down the whole network".
+
+use crate::adjacency::FriendGraph;
+use crate::ids::UserId;
+use likelab_sim::Rng;
+
+/// Erdős–Rényi G(n, m): exactly `m` distinct edges among `members`
+/// (capped at the number of possible pairs).
+pub fn erdos_renyi_gnm(g: &mut FriendGraph, members: &[UserId], m: usize, rng: &mut Rng) {
+    let n = members.len();
+    if n < 2 {
+        return;
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    let mut added = 0;
+    // Rejection sampling is fine while the graph stays sparse relative to
+    // the complete graph; fall back to exhaustive shuffle when dense.
+    if target * 3 < max_edges {
+        while added < target {
+            let a = members[rng.index(n)];
+            let b = members[rng.index(n)];
+            if a != b && g.add_edge(a, b) {
+                added += 1;
+            }
+        }
+    } else {
+        let mut pairs = Vec::with_capacity(max_edges);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((members[i], members[j]));
+            }
+        }
+        rng.shuffle(&mut pairs);
+        for (a, b) in pairs {
+            if added == target {
+                break;
+            }
+            if g.add_edge(a, b) {
+                added += 1;
+            }
+        }
+    }
+}
+
+/// Erdős–Rényi G(n, p): each pair independently with probability `p`.
+/// Uses geometric skipping, so sparse graphs cost O(edges), not O(n²).
+pub fn erdos_renyi_gnp(g: &mut FriendGraph, members: &[UserId], p: f64, rng: &mut Rng) {
+    let n = members.len();
+    if n < 2 || p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(members[i], members[j]);
+            }
+        }
+        return;
+    }
+    // Enumerate pairs lexicographically, skipping ahead by Geometric(p).
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let log1p = (1.0 - p).ln();
+    let mut pos: i64 = -1;
+    loop {
+        let skip = ((1.0 - rng.f64()).ln() / log1p).floor() as i64;
+        pos += 1 + skip.max(0);
+        if pos as u64 >= total {
+            break;
+        }
+        let (i, j) = pair_from_index(pos as u64, n as u64);
+        g.add_edge(members[i as usize], members[j as usize]);
+    }
+}
+
+/// Map a lexicographic pair index to `(i, j)` with `i < j < n`.
+fn pair_from_index(k: u64, n: u64) -> (u64, u64) {
+    // Row i starts at offset i*n - i*(i+1)/2 - ... solve by scanning rows;
+    // binary search keeps it O(log n).
+    let row_start = |i: u64| i * (2 * n - i - 1) / 2;
+    let (mut lo, mut hi) = (0u64, n - 1);
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        if row_start(mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let i = lo;
+    let j = i + 1 + (k - row_start(i));
+    (i, j)
+}
+
+/// Barabási–Albert preferential attachment: each newcomer attaches to `m`
+/// existing members chosen proportionally to degree. Produces the dense,
+/// hub-heavy topology used for the stealth farm.
+pub fn barabasi_albert(g: &mut FriendGraph, members: &[UserId], m: usize, rng: &mut Rng) {
+    let n = members.len();
+    if n < 2 {
+        return;
+    }
+    let m = m.max(1).min(n - 1);
+    // Seed: a small clique of the first m+1 members.
+    let seed = (m + 1).min(n);
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            g.add_edge(members[i], members[j]);
+        }
+    }
+    // Repeated-endpoints trick: sampling uniformly from the endpoint list is
+    // sampling proportionally to degree.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for i in 0..seed {
+        for _ in 0..g.degree(members[i]).max(1) {
+            endpoints.push(i);
+        }
+    }
+    for i in seed..n {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoints[rng.index(endpoints.len())];
+            if t != i && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            if g.add_edge(members[i], members[t]) {
+                endpoints.push(i);
+                endpoints.push(t);
+            }
+        }
+    }
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`. The organic population's
+/// community backbone.
+pub fn watts_strogatz(g: &mut FriendGraph, members: &[UserId], k: usize, beta: f64, rng: &mut Rng) {
+    let n = members.len();
+    if n < 3 || k == 0 {
+        return;
+    }
+    let k = k.min((n - 1) / 2).max(1);
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            let (a, b) = (members[i], members[j]);
+            if rng.chance(beta) {
+                // Rewire to a uniform non-self, non-duplicate target.
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    let t = members[rng.index(n)];
+                    if t != a && !g.has_edge(a, t) {
+                        g.add_edge(a, t);
+                        break;
+                    }
+                    if guard > 100 {
+                        g.add_edge(a, b); // fall back to the lattice edge
+                        break;
+                    }
+                }
+            } else {
+                g.add_edge(a, b);
+            }
+        }
+    }
+}
+
+/// Planted-partition: dense inside each community (`p_in`), sparse across
+/// (`p_out`). Communities here are country clusters of the organic world.
+pub fn planted_partition(
+    g: &mut FriendGraph,
+    communities: &[Vec<UserId>],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut Rng,
+) {
+    for c in communities {
+        erdos_renyi_gnp(g, c, p_in, rng);
+    }
+    if p_out <= 0.0 {
+        return;
+    }
+    // Cross edges: expected p_out * |A| * |B| per community pair, sampled
+    // directly to avoid the full bipartite scan.
+    for i in 0..communities.len() {
+        for j in (i + 1)..communities.len() {
+            let (a, b) = (&communities[i], &communities[j]);
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            let expected = p_out * a.len() as f64 * b.len() as f64;
+            let m = likelab_sim::dist::poisson(rng, expected);
+            for _ in 0..m {
+                let x = a[rng.index(a.len())];
+                let y = b[rng.index(b.len())];
+                g.add_edge(x, y);
+            }
+        }
+    }
+}
+
+/// Chung–Lu style generator: wires edges so each member's expected degree
+/// approaches its `target_degrees` entry (heavy-tailed targets produce the
+/// large friend-count variance Table 3 reports — e.g. 315 ± 454).
+///
+/// Endpoints are sampled proportionally to target degree; self-loops and
+/// duplicates are skipped, so realized degrees compress slightly at the top
+/// of the tail. Edge count is `sum(targets) / 2`.
+///
+/// # Panics
+/// Panics when `members` and `target_degrees` differ in length or a target
+/// is negative/non-finite.
+pub fn chung_lu(
+    g: &mut FriendGraph,
+    members: &[UserId],
+    target_degrees: &[f64],
+    rng: &mut Rng,
+) {
+    assert_eq!(
+        members.len(),
+        target_degrees.len(),
+        "one target degree per member"
+    );
+    let n = members.len();
+    if n < 2 {
+        return;
+    }
+    // Cumulative weights for O(log n) endpoint sampling.
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for (i, t) in target_degrees.iter().enumerate() {
+        assert!(t.is_finite() && *t >= 0.0, "bad target degree at {i}: {t}");
+        total += *t;
+        cumulative.push(total);
+    }
+    if total <= 0.0 {
+        return;
+    }
+    let pick = |rng: &mut Rng, cumulative: &[f64]| -> usize {
+        let target = rng.f64() * total;
+        match cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("finite")) {
+            Ok(i) => (i + 1).min(n - 1),
+            Err(i) => i.min(n - 1),
+        }
+    };
+    let m = (total / 2.0).round() as usize;
+    let max_possible = n * (n - 1) / 2;
+    let m = m.min(max_possible);
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let budget = m.saturating_mul(20).max(1000);
+    while added < m && attempts < budget {
+        attempts += 1;
+        let a = pick(rng, &cumulative);
+        let b = pick(rng, &cumulative);
+        if a != b && g.add_edge(members[a], members[b]) {
+            added += 1;
+        }
+    }
+}
+
+/// Partition `members` into isolated pairs and triplets — the bot-burst
+/// farm's compartmentalized topology. `triplet_fraction` of the groups are
+/// triplets; `isolate_fraction` of members stay completely disconnected.
+pub fn pairs_and_triplets(
+    g: &mut FriendGraph,
+    members: &[UserId],
+    triplet_fraction: f64,
+    isolate_fraction: f64,
+    rng: &mut Rng,
+) {
+    let mut pool: Vec<UserId> = members.to_vec();
+    rng.shuffle(&mut pool);
+    let keep_isolated = (pool.len() as f64 * isolate_fraction).round() as usize;
+    let mut it = pool.into_iter().skip(keep_isolated).peekable();
+    while let Some(a) = it.next() {
+        let Some(b) = it.next() else { break };
+        g.add_edge(a, b);
+        if rng.chance(triplet_fraction) {
+            if let Some(c) = it.next() {
+                g.add_edge(b, c);
+                g.add_edge(a, c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::component_sizes;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+
+    fn members(n: u32) -> Vec<UserId> {
+        (0..n).map(UserId).collect()
+    }
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(0xFACE)
+    }
+
+    #[test]
+    fn gnm_hits_exact_edge_count() {
+        let ms = members(100);
+        let mut g = FriendGraph::with_nodes(100);
+        erdos_renyi_gnm(&mut g, &ms, 250, &mut rng());
+        assert_eq!(g.edge_count(), 250);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let ms = members(5);
+        let mut g = FriendGraph::with_nodes(5);
+        erdos_renyi_gnm(&mut g, &ms, 1_000, &mut rng());
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn gnm_respects_member_subset() {
+        let ms: Vec<UserId> = (10..20).map(UserId).collect();
+        let mut g = FriendGraph::with_nodes(100);
+        erdos_renyi_gnm(&mut g, &ms, 20, &mut rng());
+        for (a, b) in g.edges() {
+            assert!((10..20).contains(&a.0) && (10..20).contains(&b.0));
+        }
+    }
+
+    #[test]
+    fn gnp_edge_count_matches_expectation() {
+        let ms = members(400);
+        let mut g = FriendGraph::with_nodes(400);
+        erdos_renyi_gnp(&mut g, &ms, 0.05, &mut rng());
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let got = g.edge_count() as f64;
+        assert!(
+            (got / expected - 1.0).abs() < 0.1,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_p_one_is_complete() {
+        let ms = members(8);
+        let mut g = FriendGraph::with_nodes(8);
+        erdos_renyi_gnp(&mut g, &ms, 1.0, &mut rng());
+        assert_eq!(g.edge_count(), 28);
+    }
+
+    #[test]
+    fn gnp_p_zero_is_empty() {
+        let ms = members(8);
+        let mut g = FriendGraph::with_nodes(8);
+        erdos_renyi_gnp(&mut g, &ms, 0.0, &mut rng());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn pair_from_index_enumerates_lexicographically() {
+        let n = 5u64;
+        let mut seen = Vec::new();
+        for k in 0..10 {
+            seen.push(pair_from_index(k, n));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_hubby() {
+        let ms = members(500);
+        let mut g = FriendGraph::with_nodes(500);
+        barabasi_albert(&mut g, &ms, 4, &mut rng());
+        let sizes = component_sizes(&g, &ms);
+        assert_eq!(sizes[0], 500, "BA graph must be one component");
+        let max_deg = ms.iter().map(|u| g.degree(*u)).max().unwrap();
+        let mean_deg = 2.0 * g.edge_count() as f64 / 500.0;
+        assert!(
+            max_deg as f64 > mean_deg * 4.0,
+            "hubs expected: max {max_deg} vs mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_degree_is_near_2k() {
+        let ms = members(300);
+        let mut g = FriendGraph::with_nodes(300);
+        watts_strogatz(&mut g, &ms, 5, 0.1, &mut rng());
+        let mean_deg = 2.0 * g.edge_count() as f64 / 300.0;
+        assert!(
+            (mean_deg - 10.0).abs() < 1.0,
+            "mean degree {mean_deg} should be ~2k"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let ms = members(20);
+        let mut g = FriendGraph::with_nodes(20);
+        watts_strogatz(&mut g, &ms, 2, 0.0, &mut rng());
+        assert_eq!(g.edge_count(), 40);
+        assert!(g.has_edge(UserId(0), UserId(1)));
+        assert!(g.has_edge(UserId(0), UserId(2)));
+        assert!(!g.has_edge(UserId(0), UserId(3)));
+    }
+
+    #[test]
+    fn planted_partition_is_denser_inside() {
+        let comms: Vec<Vec<UserId>> = vec![
+            (0..100).map(UserId).collect(),
+            (100..200).map(UserId).collect(),
+        ];
+        let mut g = FriendGraph::with_nodes(200);
+        planted_partition(&mut g, &comms, 0.2, 0.002, &mut rng());
+        let mut inside = 0;
+        let mut across = 0;
+        for (a, b) in g.edges() {
+            if (a.0 < 100) == (b.0 < 100) {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > across * 10, "inside {inside} vs across {across}");
+        assert!(across > 0, "some cross-community edges expected");
+    }
+
+    #[test]
+    fn pairs_and_triplets_components_are_tiny() {
+        let ms = members(200);
+        let mut g = FriendGraph::with_nodes(200);
+        pairs_and_triplets(&mut g, &ms, 0.3, 0.1, &mut rng());
+        let sizes = component_sizes(&g, &ms);
+        assert!(
+            sizes.iter().all(|s| *s <= 3),
+            "no component may exceed a triplet: {sizes:?}"
+        );
+        let isolated = sizes.iter().filter(|s| **s == 1).count();
+        assert!(isolated >= 20, "isolates expected, got {isolated}");
+        let triplets = sizes.iter().filter(|s| **s == 3).count();
+        assert!(triplets > 0, "some triplets expected");
+    }
+
+    #[test]
+    fn chung_lu_tracks_target_degrees() {
+        let ms = members(1_000);
+        let targets: Vec<f64> = (0..1_000)
+            .map(|i| if i < 10 { 100.0 } else { 10.0 })
+            .collect();
+        let mut g = FriendGraph::with_nodes(1_000);
+        chung_lu(&mut g, &ms, &targets, &mut rng());
+        let hub_mean: f64 =
+            (0..10).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 10.0;
+        let leaf_mean: f64 =
+            (10..1_000).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 990.0;
+        assert!(
+            (hub_mean / leaf_mean - 10.0).abs() < 3.0,
+            "hub {hub_mean} vs leaf {leaf_mean} should be ~10x"
+        );
+        let expected_edges = targets.iter().sum::<f64>() / 2.0;
+        assert!(
+            (g.edge_count() as f64 / expected_edges - 1.0).abs() < 0.05,
+            "edge count {} vs {expected_edges}",
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn chung_lu_zero_targets_do_nothing() {
+        let ms = members(10);
+        let mut g = FriendGraph::with_nodes(10);
+        chung_lu(&mut g, &ms, &[0.0; 10], &mut rng());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one target degree per member")]
+    fn chung_lu_length_mismatch_panics() {
+        let ms = members(3);
+        let mut g = FriendGraph::with_nodes(3);
+        chung_lu(&mut g, &ms, &[1.0], &mut rng());
+    }
+
+    #[test]
+    fn generators_tolerate_tiny_member_sets() {
+        let mut g = FriendGraph::with_nodes(2);
+        let ms = members(1);
+        erdos_renyi_gnm(&mut g, &ms, 5, &mut rng());
+        erdos_renyi_gnp(&mut g, &ms, 0.5, &mut rng());
+        barabasi_albert(&mut g, &ms, 3, &mut rng());
+        watts_strogatz(&mut g, &ms, 2, 0.5, &mut rng());
+        pairs_and_triplets(&mut g, &ms, 0.5, 0.0, &mut rng());
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let ms = members(150);
+        let build = || {
+            let mut g = FriendGraph::with_nodes(150);
+            let mut r = Rng::seed_from_u64(99);
+            barabasi_albert(&mut g, &ms, 3, &mut r);
+            g.edges().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

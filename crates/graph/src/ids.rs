@@ -1,0 +1,82 @@
+//! Typed identifiers for graph entities.
+//!
+//! Users and pages are dense `u32` indices into arena-style stores. Newtypes
+//! keep them from being mixed up — a `UserId` can never index a page table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user account (dense index into the account store).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct UserId(pub u32);
+
+/// Identifier of a page (dense index into the page store).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PageId(pub u32);
+
+impl UserId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PageId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(PageId(3).to_string(), "p3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(UserId(1) < UserId(2));
+        assert!(PageId(0) < PageId(10));
+    }
+
+    #[test]
+    fn idx_round_trips() {
+        assert_eq!(UserId(42).idx(), 42);
+        assert_eq!(PageId(42).idx(), 42);
+    }
+}

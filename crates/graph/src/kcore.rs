@@ -1,0 +1,211 @@
+//! k-core decomposition and degree assortativity.
+//!
+//! Two classic structural lenses on sybil regions: a farm pool wired as a
+//! dense network sits in a high k-core (every member keeps many in-pool
+//! edges), while pair/triplet archipelagos peel off at k = 2. Assortativity
+//! (the degree correlation across edges) separates hub-and-spoke wiring
+//! from homogeneous cliques.
+
+use crate::adjacency::FriendGraph;
+use crate::ids::UserId;
+use std::collections::HashMap;
+
+/// The core number of every node (index = user id).
+///
+/// Standard peeling algorithm (Batagelj–Zaveršnik), O(V + E).
+pub fn core_numbers(graph: &FriendGraph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut degree: Vec<usize> = (0..n).map(|i| graph.degree(UserId(i as u32))).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); max_degree + 1];
+    for (i, d) in degree.iter().enumerate() {
+        bins[*d].push(i as u32);
+    }
+    let mut core = vec![0u32; n];
+    let mut removed = vec![false; n];
+    let mut current_core = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bin at or below the frontier.
+        let mut d = 0;
+        loop {
+            while d <= max_degree && bins[d].is_empty() {
+                d += 1;
+            }
+            if d > max_degree {
+                return core; // everything peeled
+            }
+            // Entries can be stale (degree changed since binning).
+            let candidate = *bins[d].last().expect("non-empty bin");
+            if removed[candidate as usize] || degree[candidate as usize] != d {
+                bins[d].pop();
+                continue;
+            }
+            break;
+        }
+        let v = bins[d].pop().expect("checked non-empty");
+        current_core = current_core.max(d);
+        core[v as usize] = current_core as u32;
+        removed[v as usize] = true;
+        for u in graph.neighbors(UserId(v)) {
+            let ui = u.idx();
+            if !removed[ui] && degree[ui] > 0 {
+                degree[ui] -= 1;
+                bins[degree[ui]].push(u.0);
+            }
+        }
+    }
+    core
+}
+
+/// The maximum core number present in a member subset.
+pub fn max_core_in(core: &[u32], members: &[UserId]) -> u32 {
+    members
+        .iter()
+        .map(|u| core.get(u.idx()).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Histogram of core numbers over a member subset: `hist[k]` = members with
+/// core number k.
+pub fn core_histogram(core: &[u32], members: &[UserId]) -> HashMap<u32, usize> {
+    let mut h = HashMap::new();
+    for u in members {
+        *h.entry(core.get(u.idx()).copied().unwrap_or(0)).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees across
+/// edges). +1: hubs connect to hubs; −1: hubs connect to leaves; NaN when
+/// the graph has no edges or no degree variance.
+pub fn degree_assortativity(graph: &FriendGraph) -> f64 {
+    let mut n = 0.0f64;
+    let (mut sx, mut sy, mut sxy, mut sx2, mut sy2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (a, b) in graph.edges() {
+        let (da, db) = (graph.degree(a) as f64, graph.degree(b) as f64);
+        // Count both orientations so the statistic is symmetric.
+        for (x, y) in [(da, db), (db, da)] {
+            n += 1.0;
+            sx += x;
+            sy += y;
+            sxy += x * y;
+            sx2 += x * x;
+            sy2 += y * y;
+        }
+    }
+    if n == 0.0 {
+        return f64::NAN;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sx2 / n - (sx / n).powi(2);
+    let vy = sy2 / n - (sy / n).powi(2);
+    if vx <= 0.0 || vy <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+
+    fn clique(n: u32) -> FriendGraph {
+        let mut g = FriendGraph::with_nodes(n as usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(u(i), u(j));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn clique_core_is_n_minus_1() {
+        let g = clique(6);
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|c| *c == 5), "{core:?}");
+    }
+
+    #[test]
+    fn chain_core_is_1() {
+        let mut g = FriendGraph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(u(i), u(i + 1));
+        }
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|c| *c == 1), "{core:?}");
+    }
+
+    #[test]
+    fn clique_with_pendant_vertices() {
+        // 4-clique (core 3) with a pendant hanging off node 0 (core 1) and
+        // an isolated node (core 0).
+        let mut g = FriendGraph::with_nodes(6);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                g.add_edge(u(i), u(j));
+            }
+        }
+        g.add_edge(u(0), u(4));
+        let core = core_numbers(&g);
+        assert_eq!(&core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[5], 0);
+        assert_eq!(max_core_in(&core, &[u(4), u(5)]), 1);
+        let hist = core_histogram(&core, &(0..6).map(u).collect::<Vec<_>>());
+        assert_eq!(hist[&3], 4);
+        assert_eq!(hist[&1], 1);
+        assert_eq!(hist[&0], 1);
+    }
+
+    #[test]
+    fn pairs_peel_at_one_dense_pools_do_not() {
+        // Farm contrast: 20 pairs vs a 10-clique.
+        let mut g = FriendGraph::with_nodes(50);
+        for i in 0..20 {
+            g.add_edge(u(2 * i), u(2 * i + 1));
+        }
+        for i in 40..50 {
+            for j in (i + 1)..50 {
+                g.add_edge(u(i), u(j));
+            }
+        }
+        let core = core_numbers(&g);
+        let pairs: Vec<UserId> = (0..40).map(u).collect();
+        let pool: Vec<UserId> = (40..50).map(u).collect();
+        assert_eq!(max_core_in(&core, &pairs), 1);
+        assert_eq!(max_core_in(&core, &pool), 9);
+    }
+
+    #[test]
+    fn star_is_disassortative_lattice_is_not() {
+        let mut star = FriendGraph::with_nodes(10);
+        for i in 1..10 {
+            star.add_edge(u(0), u(i));
+        }
+        let a = degree_assortativity(&star);
+        assert!(a < -0.99, "perfect hub-leaf: {a}");
+
+        // A ring: every node degree 2 → no variance → NaN.
+        let mut ring = FriendGraph::with_nodes(6);
+        for i in 0..6 {
+            ring.add_edge(u(i), u((i + 1) % 6));
+        }
+        assert!(degree_assortativity(&ring).is_nan());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = FriendGraph::with_nodes(0);
+        assert!(core_numbers(&g).is_empty());
+        assert!(degree_assortativity(&g).is_nan());
+        let g2 = FriendGraph::with_nodes(3);
+        assert_eq!(core_numbers(&g2), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the graph substrate's invariants.
+
+use likelab_graph::components::{component_sizes, components, ComponentCensus};
+use likelab_graph::metrics::SummaryStats;
+use likelab_graph::twohop::{direct_edges_within, two_hop_pairs};
+use likelab_graph::{FriendGraph, LikeGraph, PageId, UserId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Arbitrary edge list over `n` nodes.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    let pairs = prop::collection::vec((0..n, 0..n), 0..max_edges);
+    pairs.prop_map(move |es| (n, es))
+}
+
+fn build(n: u32, es: &[(u32, u32)]) -> FriendGraph {
+    let mut g = FriendGraph::with_nodes(n as usize);
+    for (a, b) in es {
+        if a != b {
+            g.add_edge(UserId(*a), UserId(*b));
+        }
+    }
+    g
+}
+
+proptest! {
+    /// The friendship graph is symmetric, loop-free, and dedup'd; the edge
+    /// count equals the number of distinct unordered pairs inserted.
+    #[test]
+    fn friendship_graph_is_simple_and_symmetric((n, es) in edges(30, 120)) {
+        let g = build(n, &es);
+        let distinct: HashSet<(u32, u32)> = es
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (*a.min(b), *a.max(b)))
+            .collect();
+        prop_assert_eq!(g.edge_count(), distinct.len());
+        for u in g.nodes() {
+            prop_assert!(!g.has_edge(u, u));
+            for v in g.neighbors(u) {
+                prop_assert!(g.has_edge(*v, u), "symmetry");
+            }
+        }
+        // Handshake lemma.
+        let degree_sum: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        // Edge iteration covers each edge exactly once.
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    /// Components partition the member set: sizes sum to |members| and every
+    /// member appears in exactly one component.
+    #[test]
+    fn components_partition_members((n, es) in edges(25, 80)) {
+        let g = build(n, &es);
+        let members: Vec<UserId> = (0..n).map(UserId).collect();
+        let comps = components(&g, &members);
+        let total: usize = comps.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, members.len());
+        let mut seen = HashSet::new();
+        for c in &comps {
+            for u in c {
+                prop_assert!(seen.insert(*u), "member in two components");
+            }
+        }
+        // Sizes are sorted descending.
+        let sizes = component_sizes(&g, &members);
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        // Census is consistent.
+        let census = ComponentCensus::compute(&g, &members);
+        prop_assert_eq!(census.members, members.len());
+        prop_assert_eq!(census.giant_size, sizes.first().copied().unwrap_or(0));
+        prop_assert_eq!(
+            census.singletons + 2 * census.pairs + 3 * census.triplets
+                + comps.iter().filter(|c| c.len() >= 4).map(Vec::len).sum::<usize>(),
+            members.len()
+        );
+    }
+
+    /// Two connected members are in the same component; disconnected pairs
+    /// (no path) are not.
+    #[test]
+    fn components_respect_connectivity((n, es) in edges(15, 40)) {
+        let g = build(n, &es);
+        let members: Vec<UserId> = (0..n).map(UserId).collect();
+        let comps = components(&g, &members);
+        for (a, b) in g.edges() {
+            let ca = comps.iter().position(|c| c.contains(&a));
+            let cb = comps.iter().position(|c| c.contains(&b));
+            prop_assert_eq!(ca, cb, "edge endpoints share a component");
+        }
+    }
+
+    /// 2-hop pairs are between members, never direct when excluded, and
+    /// every reported pair really shares a neighbor.
+    #[test]
+    fn two_hop_pairs_are_sound((n, es) in edges(20, 60), member_mask in prop::collection::vec(any::<bool>(), 20)) {
+        let g = build(n, &es);
+        let members: Vec<UserId> = (0..n)
+            .filter(|i| member_mask.get(*i as usize).copied().unwrap_or(false))
+            .map(UserId)
+            .collect();
+        let member_set: HashSet<UserId> = members.iter().copied().collect();
+        let pairs = two_hop_pairs(&g, &members, true);
+        for (a, b) in &pairs {
+            prop_assert!(a < b, "canonical ordering");
+            prop_assert!(member_set.contains(a) && member_set.contains(b));
+            prop_assert!(!g.has_edge(*a, *b), "direct pairs excluded");
+            prop_assert!(g.common_neighbors(*a, *b) > 0, "shared neighbor exists");
+        }
+        // Including direct pairs only adds pairs.
+        let with_direct = two_hop_pairs(&g, &members, false);
+        prop_assert!(with_direct.len() >= pairs.len());
+        // Direct edge counting is consistent with membership.
+        let direct = direct_edges_within(&g, &members);
+        let expected = g
+            .edges()
+            .filter(|(a, b)| member_set.contains(a) && member_set.contains(b))
+            .count();
+        prop_assert_eq!(direct, expected);
+    }
+
+    /// The like graph keeps both indexes consistent.
+    #[test]
+    fn like_graph_indexes_agree(likes in prop::collection::vec((0u32..20, 0u32..20), 0..100)) {
+        let mut g = LikeGraph::new(20, 20);
+        for (u, p) in &likes {
+            g.add_like(UserId(*u), PageId(*p));
+        }
+        let total_user_side: usize = (0..20).map(|u| g.user_like_count(UserId(u))).sum();
+        let total_page_side: usize = (0..20).map(|p| g.page_like_count(PageId(p))).sum();
+        prop_assert_eq!(total_user_side, g.like_count());
+        prop_assert_eq!(total_page_side, g.like_count());
+        for u in 0..20 {
+            for p in g.pages_of(UserId(u)) {
+                prop_assert!(g.likers_of(*p).contains(&UserId(u)));
+                prop_assert!(g.likes_page(UserId(u), *p));
+            }
+        }
+        let distinct: HashSet<(u32, u32)> = likes.iter().copied().collect();
+        prop_assert_eq!(g.like_count(), distinct.len());
+    }
+
+    /// Summary statistics stay within sane bounds.
+    #[test]
+    fn summary_stats_are_bounded(values in prop::collection::vec(-1_000.0f64..1_000.0, 1..50)) {
+        let s = SummaryStats::of(&values);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(s.mean >= min - 1e-9 && s.mean <= max + 1e-9);
+        prop_assert!(s.median >= min && s.median <= max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert!(s.std_dev <= (max - min) + 1e-9);
+        prop_assert_eq!(s.n, values.len());
+    }
+}

@@ -1,0 +1,159 @@
+//! Campaign specifications: how each honeypot page gets promoted.
+//!
+//! A campaign is either a legitimate page-like ad buy (5 of the paper's 13)
+//! or a farm order (the other 8). The spec carries everything Table 1
+//! reports about it: provider, location, budget, and duration.
+
+use likelab_farms::Region;
+use likelab_osn::Targeting;
+use serde::{Deserialize, Serialize};
+
+/// How a honeypot page is promoted.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Promotion {
+    /// Legitimate platform ads ("Facebook.com — Page like ads").
+    PlatformAds {
+        /// Ad targeting.
+        targeting: Targeting,
+        /// Daily budget in cents ($6/day in the paper).
+        daily_budget_cents: f64,
+        /// Campaign length in days (15 in the paper).
+        duration_days: u64,
+    },
+    /// A like-farm order.
+    FarmOrder {
+        /// Roster index of the farm.
+        farm: usize,
+        /// Ordered region.
+        region: Region,
+        /// Ordered like count at paper scale (1000 in the paper).
+        likes: usize,
+        /// Price paid, in cents (Table 1's budget column).
+        price_cents: u64,
+        /// Advertised delivery window, as marketed ("3 days", "3-5 days").
+        advertised_duration: String,
+    },
+}
+
+/// One of the study's campaigns.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Short label, e.g. "FB-USA" or "AL-ALL".
+    pub label: String,
+    /// The promotion method.
+    pub promotion: Promotion,
+}
+
+impl CampaignSpec {
+    /// Table 1's "Provider" column.
+    pub fn provider<'a>(&self, farm_names: &'a [String]) -> &'a str {
+        match &self.promotion {
+            Promotion::PlatformAds { .. } => "Facebook.com",
+            Promotion::FarmOrder { farm, .. } => farm_names[*farm].as_str(),
+        }
+    }
+
+    /// Table 1's "Location" column.
+    pub fn location(&self) -> String {
+        match &self.promotion {
+            Promotion::PlatformAds { targeting, .. } => match &targeting.countries {
+                None => "Worldwide".to_string(),
+                Some(cs) => cs
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            },
+            Promotion::FarmOrder { region, .. } => region.to_string(),
+        }
+    }
+
+    /// Table 1's "Budget" column.
+    pub fn budget(&self) -> String {
+        match &self.promotion {
+            Promotion::PlatformAds {
+                daily_budget_cents, ..
+            } => format!("${:.0}/day", daily_budget_cents / 100.0),
+            Promotion::FarmOrder { price_cents, .. } => {
+                format!("${:.2}", *price_cents as f64 / 100.0)
+            }
+        }
+    }
+
+    /// Table 1's "Duration" column.
+    pub fn duration(&self) -> String {
+        match &self.promotion {
+            Promotion::PlatformAds { duration_days, .. } => format!("{duration_days} days"),
+            Promotion::FarmOrder {
+                advertised_duration,
+                ..
+            } => advertised_duration.clone(),
+        }
+    }
+
+    /// True for legitimate ad campaigns.
+    pub fn is_platform_ads(&self) -> bool {
+        matches!(self.promotion, Promotion::PlatformAds { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_osn::Country;
+
+    fn ads_spec() -> CampaignSpec {
+        CampaignSpec {
+            label: "FB-USA".into(),
+            promotion: Promotion::PlatformAds {
+                targeting: Targeting::country(Country::Usa),
+                daily_budget_cents: 600.0,
+                duration_days: 15,
+            },
+        }
+    }
+
+    fn farm_spec() -> CampaignSpec {
+        CampaignSpec {
+            label: "SF-ALL".into(),
+            promotion: Promotion::FarmOrder {
+                farm: 1,
+                region: Region::Worldwide,
+                likes: 1_000,
+                price_cents: 1_499,
+                advertised_duration: "3 days".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn table1_columns_render() {
+        let names = vec!["BoostLikes.com".to_string(), "SocialFormula.com".to_string()];
+        let ads = ads_spec();
+        assert_eq!(ads.provider(&names), "Facebook.com");
+        assert_eq!(ads.location(), "USA");
+        assert_eq!(ads.budget(), "$6/day");
+        assert_eq!(ads.duration(), "15 days");
+        assert!(ads.is_platform_ads());
+
+        let farm = farm_spec();
+        assert_eq!(farm.provider(&names), "SocialFormula.com");
+        assert_eq!(farm.location(), "Worldwide");
+        assert_eq!(farm.budget(), "$14.99");
+        assert_eq!(farm.duration(), "3 days");
+        assert!(!farm.is_platform_ads());
+    }
+
+    #[test]
+    fn worldwide_ads_location() {
+        let spec = CampaignSpec {
+            label: "FB-ALL".into(),
+            promotion: Promotion::PlatformAds {
+                targeting: Targeting::worldwide(),
+                daily_budget_cents: 600.0,
+                duration_days: 15,
+            },
+        };
+        assert_eq!(spec.location(), "Worldwide");
+    }
+}

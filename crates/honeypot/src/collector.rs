@@ -1,0 +1,162 @@
+//! Profile collection: what the study gathered about each liker.
+//!
+//! After the campaigns, the paper "crawled public information from the
+//! likers' profiles, obtaining the lists of liked pages as well as friend
+//! lists" and, a month later, re-checked which liker accounts still existed.
+//! Both passes run through the privacy-enforcing crawl API with retries.
+
+use crate::crawler::PageMonitor;
+use likelab_graph::{PageId, UserId};
+use likelab_osn::{CrawlApi, CrawlError, OsnWorld};
+use likelab_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Everything the study holds about one liker.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LikerRecord {
+    /// The liker.
+    pub user: UserId,
+    /// When the crawler first saw the like (poll-quantized).
+    pub first_seen: SimTime,
+    /// Public friend list (None = private).
+    pub friends: Option<Vec<UserId>>,
+    /// Total friend count as shown on the profile, when public.
+    pub total_friend_count: Option<usize>,
+    /// Public liked-pages list (None = private).
+    pub liked_pages: Option<Vec<PageId>>,
+    /// Whether the profile was already gone at collection time.
+    pub gone_at_collection: bool,
+}
+
+/// Crawl every observed liker's profile. Transient failures are retried;
+/// profiles of already-terminated accounts come back marked gone.
+pub fn collect_profiles(
+    world: &OsnWorld,
+    api: &mut CrawlApi,
+    monitor: &PageMonitor,
+) -> Vec<LikerRecord> {
+    let mut records = Vec::new();
+    for (user, first_seen) in monitor.first_seen() {
+        match api.profile_with_retry(world, *user, 5) {
+            Ok(p) => records.push(LikerRecord {
+                user: *user,
+                first_seen: *first_seen,
+                friends: p.friends,
+                total_friend_count: p.total_friend_count,
+                liked_pages: p.liked_pages,
+                gone_at_collection: false,
+            }),
+            Err(CrawlError::Gone) => records.push(LikerRecord {
+                user: *user,
+                first_seen: *first_seen,
+                friends: None,
+                total_friend_count: None,
+                liked_pages: None,
+                gone_at_collection: true,
+            }),
+            Err(CrawlError::Transient) => {
+                // Gave up after retries: keep the liker with no profile data,
+                // exactly what a stubbornly failing crawl leaves you with.
+                records.push(LikerRecord {
+                    user: *user,
+                    first_seen: *first_seen,
+                    friends: None,
+                    total_friend_count: None,
+                    liked_pages: None,
+                    gone_at_collection: false,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// The month-later pass: how many of `users` are gone now.
+pub fn count_terminated(world: &OsnWorld, api: &mut CrawlApi, users: &[UserId]) -> usize {
+    users
+        .iter()
+        .filter(|u| matches!(api.profile_with_retry(world, **u, 5), Err(CrawlError::Gone)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawlerConfig;
+    use likelab_osn::{
+        ActorClass, Country, CrawlConfig, Gender, PageCategory, PrivacySettings, Profile,
+    };
+    use likelab_sim::Rng;
+
+    fn setup() -> (OsnWorld, PageMonitor, CrawlApi) {
+        let mut w = OsnWorld::new();
+        // u0 public, u1 private, u2 public.
+        for fl in [true, false, true] {
+            w.create_account(
+                Profile {
+                    gender: Gender::Female,
+                    age: 22,
+                    country: Country::Usa,
+                    home_region: 0,
+                },
+                ActorClass::Bot(1),
+                PrivacySettings {
+                    friend_list_public: fl,
+                    likes_public: fl,
+                    searchable: true,
+                },
+                SimTime::EPOCH,
+            );
+        }
+        w.add_friendship(UserId(0), UserId(1));
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for i in 0..3 {
+            w.record_like(UserId(i), p, SimTime::at_day(1));
+        }
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(3));
+        m.poll(&w, &mut api, SimTime::at_day(2));
+        (w, m, api)
+    }
+
+    #[test]
+    fn profiles_respect_privacy() {
+        let (w, m, mut api) = setup();
+        let records = collect_profiles(&w, &mut api, &m);
+        assert_eq!(records.len(), 3);
+        let r0 = records.iter().find(|r| r.user == UserId(0)).unwrap();
+        assert_eq!(r0.friends.as_deref(), Some(&[UserId(1)][..]));
+        assert!(r0.liked_pages.is_some());
+        let r1 = records.iter().find(|r| r.user == UserId(1)).unwrap();
+        assert!(r1.friends.is_none());
+        assert!(r1.liked_pages.is_none());
+        assert!(!r1.gone_at_collection);
+    }
+
+    #[test]
+    fn terminated_likers_are_marked_gone() {
+        let (mut w, m, mut api) = setup();
+        w.terminate_account(UserId(2), SimTime::at_day(3));
+        let records = collect_profiles(&w, &mut api, &m);
+        let r2 = records.iter().find(|r| r.user == UserId(2)).unwrap();
+        assert!(r2.gone_at_collection);
+        assert!(r2.friends.is_none());
+    }
+
+    #[test]
+    fn first_seen_travels_with_the_record() {
+        let (w, m, mut api) = setup();
+        let records = collect_profiles(&w, &mut api, &m);
+        assert!(records.iter().all(|r| r.first_seen == SimTime::at_day(2)));
+    }
+
+    #[test]
+    fn count_terminated_matches_status() {
+        let (mut w, m, mut api) = setup();
+        let users = m.likers();
+        assert_eq!(count_terminated(&w, &mut api, &users), 0);
+        w.terminate_account(UserId(0), SimTime::at_day(40));
+        w.terminate_account(UserId(1), SimTime::at_day(41));
+        assert_eq!(count_terminated(&w, &mut api, &users), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! The monitoring crawler.
+//!
+//! The paper "monitored the liking activity on the honeypot pages by
+//! crawling them, using Selenium web driver, every 2 hours to check for new
+//! likes. At the end of the campaigns, we reduced the monitoring frequency
+//! to once a day, and stopped monitoring when a page did not receive a like
+//! for more than a week." [`PageMonitor`] is that loop, driven by the
+//! simulation clock; it owns the *observed* first-seen time of every liker —
+//! the sampled series behind Figure 2.
+
+use likelab_graph::{PageId, UserId};
+use likelab_osn::{CrawlApi, OsnWorld};
+use likelab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Crawler cadence configuration (defaults are the paper's).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrawlerConfig {
+    /// Poll interval while the campaign runs.
+    pub active_interval: SimDuration,
+    /// Poll interval after the campaign ends.
+    pub settled_interval: SimDuration,
+    /// Stop after this long without a new like (post-campaign).
+    pub quiet_stop: SimDuration,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            active_interval: SimDuration::hours(2),
+            settled_interval: SimDuration::DAY,
+            quiet_stop: SimDuration::WEEK,
+        }
+    }
+}
+
+/// One crawl snapshot of a page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Poll time.
+    pub at: SimTime,
+    /// Total visible likes at that moment.
+    pub total_likes: usize,
+    /// Likers first seen by this poll.
+    pub new_likers: usize,
+    /// Previously seen likers missing from this poll (cumulative count of
+    /// distinct disappearances so far — removed likes, the paper's named
+    /// future-work observation).
+    pub disappeared_total: usize,
+    /// Whether the poll failed (transient crawl error).
+    pub failed: bool,
+}
+
+/// The monitor of one honeypot page.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PageMonitor {
+    /// The monitored page.
+    pub page: PageId,
+    config: CrawlerConfig,
+    campaign_end: SimTime,
+    launched: SimTime,
+    last_new_like: SimTime,
+    observations: Vec<Observation>,
+    first_seen: BTreeMap<UserId, SimTime>,
+    disappeared: BTreeMap<UserId, SimTime>,
+    stopped_at: Option<SimTime>,
+}
+
+impl PageMonitor {
+    /// Start monitoring `page`; `campaign_end` is when the paid promotion
+    /// ends (the crawler slows down after it).
+    pub fn new(page: PageId, launched: SimTime, campaign_end: SimTime, config: CrawlerConfig) -> Self {
+        PageMonitor {
+            page,
+            config,
+            campaign_end,
+            launched,
+            last_new_like: launched,
+            observations: Vec::new(),
+            first_seen: BTreeMap::new(),
+            disappeared: BTreeMap::new(),
+            stopped_at: None,
+        }
+    }
+
+    /// Execute one poll at `now`. Returns the time of the next poll, or
+    /// `None` when monitoring has stopped.
+    pub fn poll(&mut self, world: &OsnWorld, api: &mut CrawlApi, now: SimTime) -> Option<SimTime> {
+        if self.stopped_at.is_some() {
+            return None;
+        }
+        match api.page_likers(world, self.page) {
+            Ok(likers) => {
+                let mut new = 0usize;
+                let current: std::collections::BTreeSet<UserId> =
+                    likers.iter().copied().collect();
+                for u in &likers {
+                    if !self.first_seen.contains_key(u) {
+                        self.first_seen.insert(*u, now);
+                        new += 1;
+                    }
+                }
+                // Removed likes: previously seen likers no longer on the
+                // page (terminated accounts, retracted likes). A liker that
+                // later reappears stays recorded with its first vanish time.
+                for u in self.first_seen.keys() {
+                    if !current.contains(u) && !self.disappeared.contains_key(u) {
+                        self.disappeared.insert(*u, now);
+                    }
+                }
+                if new > 0 {
+                    self.last_new_like = now;
+                }
+                self.observations.push(Observation {
+                    at: now,
+                    total_likes: likers.len(),
+                    new_likers: new,
+                    disappeared_total: self.disappeared.len(),
+                    failed: false,
+                });
+            }
+            Err(_) => {
+                self.observations.push(Observation {
+                    at: now,
+                    total_likes: self
+                        .observations
+                        .iter()
+                        .rev()
+                        .find(|o| !o.failed)
+                        .map(|o| o.total_likes)
+                        .unwrap_or(0),
+                    new_likers: 0,
+                    disappeared_total: self.disappeared.len(),
+                    failed: true,
+                });
+            }
+        }
+        // Stop rule: a quiet week after the campaign (or after the last
+        // straggler like, whichever is later) ends monitoring. This is what
+        // turns the paper's 15-day campaigns into 22-day monitoring windows.
+        let quiet_since = self.last_new_like.max(self.campaign_end);
+        if now > self.campaign_end && now.saturating_since(quiet_since) >= self.config.quiet_stop
+        {
+            self.stopped_at = Some(now);
+            return None;
+        }
+        let interval = if now < self.campaign_end {
+            self.config.active_interval
+        } else {
+            self.config.settled_interval
+        };
+        Some(now + interval)
+    }
+
+    /// The poll log.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Every liker the crawler ever saw, with observed first-seen times.
+    pub fn first_seen(&self) -> &BTreeMap<UserId, SimTime> {
+        &self.first_seen
+    }
+
+    /// Liker ids in first-seen order (ties broken by id).
+    pub fn likers(&self) -> Vec<UserId> {
+        let mut v: Vec<(UserId, SimTime)> =
+            self.first_seen.iter().map(|(u, t)| (*u, *t)).collect();
+        v.sort_by_key(|(u, t)| (*t, *u));
+        v.into_iter().map(|(u, _)| u).collect()
+    }
+
+    /// Likers that vanished from the page during monitoring, with the poll
+    /// time at which they were first seen missing.
+    pub fn disappearances(&self) -> &BTreeMap<UserId, SimTime> {
+        &self.disappeared
+    }
+
+    /// When monitoring stopped (None while still active).
+    pub fn stopped_at(&self) -> Option<SimTime> {
+        self.stopped_at
+    }
+
+    /// Days of monitoring, launch to stop (Table 1's "Monitoring" column).
+    pub fn monitoring_days(&self) -> Option<u64> {
+        self.stopped_at
+            .map(|t| (t.saturating_since(self.launched).as_secs() + 86_399) / 86_400)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likelab_osn::{
+        ActorClass, Country, CrawlConfig, Gender, PageCategory, PrivacySettings, Profile,
+    };
+    use likelab_sim::Rng;
+
+    fn world_with_page(n_users: usize) -> (OsnWorld, PageId) {
+        let mut w = OsnWorld::new();
+        for _ in 0..n_users {
+            w.create_account(
+                Profile {
+                    gender: Gender::Male,
+                    age: 20,
+                    country: Country::India,
+                    home_region: 0,
+                },
+                ActorClass::ClickProne,
+                PrivacySettings {
+                    friend_list_public: true,
+                    likes_public: true,
+                    searchable: true,
+                },
+                SimTime::EPOCH,
+            );
+        }
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        (w, p)
+    }
+
+    fn api() -> CrawlApi {
+        CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(5))
+    }
+
+    /// Drive the monitor poll-by-poll, letting likes land per `like_at`.
+    fn run(
+        world: &mut OsnWorld,
+        page: PageId,
+        monitor: &mut PageMonitor,
+        mut likes: Vec<(UserId, SimTime)>,
+        until: SimTime,
+    ) {
+        likes.sort_by_key(|(_, t)| *t);
+        let mut api = api();
+        let mut next = Some(SimTime::EPOCH);
+        let mut li = 0;
+        while let Some(t) = next {
+            if t > until {
+                break;
+            }
+            while li < likes.len() && likes[li].1 <= t {
+                world.record_like(likes[li].0, page, likes[li].1);
+                li += 1;
+            }
+            next = monitor.poll(world, &mut api, t);
+        }
+    }
+
+    #[test]
+    fn first_seen_is_quantized_to_polls() {
+        let (mut w, p) = world_with_page(3);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        // A like at 0h30 is first seen at the 2h poll.
+        let likes = vec![(UserId(0), SimTime::EPOCH + SimDuration::minutes(30))];
+        run(&mut w, p, &mut m, likes, SimTime::at_day(1));
+        assert_eq!(
+            m.first_seen()[&UserId(0)],
+            SimTime::EPOCH + SimDuration::hours(2)
+        );
+    }
+
+    #[test]
+    fn stops_after_a_quiet_week_post_campaign() {
+        let (mut w, p) = world_with_page(2);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let likes = vec![
+            (UserId(0), SimTime::at_day(1)),
+            (UserId(1), SimTime::at_day(14)),
+        ];
+        run(&mut w, p, &mut m, likes, SimTime::at_day(60));
+        let stop = m.stopped_at().expect("must stop");
+        // Last like day 14 (seen during campaign); campaign ends day 15;
+        // quiet week expires just past day 21; daily polls → day 22.
+        assert_eq!(stop.day(), 22);
+        assert_eq!(m.monitoring_days(), Some(22));
+    }
+
+    #[test]
+    fn late_likes_extend_monitoring() {
+        let (mut w, p) = world_with_page(2);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let likes = vec![
+            (UserId(0), SimTime::at_day(1)),
+            (UserId(1), SimTime::at_day(20)), // post-campaign straggler
+        ];
+        run(&mut w, p, &mut m, likes, SimTime::at_day(60));
+        let stop = m.stopped_at().unwrap();
+        assert!(stop.day() >= 27, "straggler resets the quiet clock: {stop}");
+        assert_eq!(m.likers().len(), 2);
+    }
+
+    #[test]
+    fn poll_cadence_switches_after_campaign() {
+        let (mut w, p) = world_with_page(1);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(2), CrawlerConfig::default());
+        let mut api = api();
+        // Keep a like trickle so it doesn't stop.
+        w.record_like(UserId(0), p, SimTime::EPOCH);
+        let next = m.poll(&w, &mut api, SimTime::EPOCH).unwrap();
+        assert_eq!(next, SimTime::EPOCH + SimDuration::hours(2), "active: 2h");
+        let next = m.poll(&w, &mut api, SimTime::at_day(3)).unwrap();
+        assert_eq!(next, SimTime::at_day(4), "settled: daily");
+    }
+
+    #[test]
+    fn failures_are_recorded_and_carry_last_count() {
+        let (mut w, p) = world_with_page(1);
+        w.record_like(UserId(0), p, SimTime::EPOCH);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 1.0 }, Rng::seed_from_u64(1));
+        m.poll(&w, &mut api, SimTime::EPOCH + SimDuration::hours(2));
+        assert!(m.observations()[0].failed);
+        assert_eq!(m.observations()[0].total_likes, 0);
+        let mut ok_api = api_ok();
+        m.poll(&w, &mut ok_api, SimTime::EPOCH + SimDuration::hours(4));
+        let mut bad_api = CrawlApi::new(CrawlConfig { failure_prob: 1.0 }, Rng::seed_from_u64(2));
+        m.poll(&w, &mut bad_api, SimTime::EPOCH + SimDuration::hours(6));
+        let last = m.observations().last().unwrap();
+        assert!(last.failed);
+        assert_eq!(last.total_likes, 1, "carries the last good count");
+    }
+
+    fn api_ok() -> CrawlApi {
+        CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(9))
+    }
+
+    #[test]
+    fn likers_ordered_by_first_seen() {
+        let (mut w, p) = world_with_page(3);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let likes = vec![
+            (UserId(2), SimTime::at_day(3)),
+            (UserId(0), SimTime::at_day(1)),
+            (UserId(1), SimTime::at_day(2)),
+        ];
+        run(&mut w, p, &mut m, likes, SimTime::at_day(30));
+        assert_eq!(m.likers(), vec![UserId(0), UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn disappearances_are_tracked_live() {
+        let (mut w, p) = world_with_page(3);
+        let mut m =
+            PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut api = api_ok();
+        for i in 0..3 {
+            w.record_like(UserId(i), p, SimTime::at_day(1));
+        }
+        m.poll(&w, &mut api, SimTime::at_day(2));
+        assert_eq!(m.disappearances().len(), 0);
+        // Account 1 is terminated: its like vanishes from the page.
+        w.terminate_account(UserId(1), SimTime::at_day(3));
+        m.poll(&w, &mut api, SimTime::at_day(4));
+        assert_eq!(m.disappearances().len(), 1);
+        assert_eq!(m.disappearances()[&UserId(1)], SimTime::at_day(4));
+        let last = m.observations().last().unwrap();
+        assert_eq!(last.disappeared_total, 1);
+        assert_eq!(last.total_likes, 2);
+        // The liker stays in first_seen: the crawler knew them.
+        assert!(m.first_seen().contains_key(&UserId(1)));
+    }
+
+    #[test]
+    fn stopped_monitor_refuses_polls() {
+        let (w, p) = world_with_page(1);
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(1), CrawlerConfig::default());
+        let mut a = api_ok();
+        // Way past campaign end with zero likes → stops at first poll.
+        assert_eq!(m.poll(&w, &mut a, SimTime::at_day(30)), None);
+        assert!(m.stopped_at().is_some());
+        assert_eq!(m.poll(&w, &mut a, SimTime::at_day(31)), None);
+    }
+}

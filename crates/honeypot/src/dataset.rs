@@ -1,0 +1,224 @@
+//! The study dataset: what ended up on the authors' (encrypted) disk.
+//!
+//! One [`CampaignData`] per honeypot page — observations, liker records,
+//! the admin report, the month-later termination count — plus the baseline
+//! directory sample used as Figure 4's reference, all bundled into a
+//! [`Dataset`] the analysis crate consumes.
+
+use crate::campaign::CampaignSpec;
+use crate::collector::LikerRecord;
+use crate::crawler::Observation;
+use likelab_graph::{PageId, UserId};
+use likelab_osn::AudienceReport;
+use likelab_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Everything collected for one campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignData {
+    /// The campaign spec (label, promotion, pricing).
+    pub spec: CampaignSpec,
+    /// The honeypot page.
+    pub page: PageId,
+    /// Crawl snapshots.
+    pub observations: Vec<Observation>,
+    /// Collected liker records, in first-seen order.
+    pub likers: Vec<LikerRecord>,
+    /// The page-admin audience report.
+    pub report: AudienceReport,
+    /// Days the page was monitored (None for inactive campaigns).
+    pub monitoring_days: Option<u64>,
+    /// Liker accounts found terminated a month after the campaigns.
+    pub terminated_after_month: usize,
+    /// True when the provider took payment and delivered nothing
+    /// (BL-ALL and MS-ALL in the paper).
+    pub inactive: bool,
+}
+
+impl CampaignData {
+    /// Total likes garnered (Table 1's "#Likes").
+    pub fn like_count(&self) -> usize {
+        self.likers.len()
+    }
+
+    /// Liker ids in first-seen order.
+    pub fn liker_ids(&self) -> Vec<UserId> {
+        self.likers.iter().map(|l| l.user).collect()
+    }
+}
+
+/// One baseline-sample record (a random directory profile).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BaselineRecord {
+    /// The sampled user.
+    pub user: UserId,
+    /// Their page-like count at sampling time.
+    pub like_count: usize,
+}
+
+/// The full study dataset.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Per-campaign data, in Table 1 order.
+    pub campaigns: Vec<CampaignData>,
+    /// The random baseline sample (2000 users in the paper).
+    pub baseline: Vec<BaselineRecord>,
+    /// Campaign launch time (all campaigns launched together).
+    pub launch: SimTime,
+    /// The global-platform audience report (Table 2's last row).
+    pub global_report: AudienceReport,
+}
+
+impl Dataset {
+    /// A campaign by label.
+    pub fn campaign(&self, label: &str) -> Option<&CampaignData> {
+        self.campaigns.iter().find(|c| c.spec.label == label)
+    }
+
+    /// Total likes across all campaigns (the paper collected 6,292).
+    pub fn total_likes(&self) -> usize {
+        self.campaigns.iter().map(CampaignData::like_count).sum()
+    }
+
+    /// Total likes across farm campaigns only (paper: 4,523).
+    pub fn farm_likes(&self) -> usize {
+        self.campaigns
+            .iter()
+            .filter(|c| !c.spec.is_platform_ads())
+            .map(CampaignData::like_count)
+            .sum()
+    }
+
+    /// Total likes across platform-ad campaigns only (paper: 1,769).
+    pub fn ad_likes(&self) -> usize {
+        self.campaigns
+            .iter()
+            .filter(|c| c.spec.is_platform_ads())
+            .map(CampaignData::like_count)
+            .sum()
+    }
+
+    /// Total friendship relations observed on likers' public lists — the
+    /// full list lengths the crawler saw, including friends beyond the
+    /// simulated window (the paper reports over 1 million such entries).
+    pub fn observed_friendships(&self) -> usize {
+        self.campaigns
+            .iter()
+            .flat_map(|c| c.likers.iter())
+            .filter_map(|l| l.total_friend_count)
+            .sum()
+    }
+
+    /// Total page likes observed on likers' public like lists (the paper's
+    /// "more than 6.3 million total likes by users who liked our pages").
+    pub fn observed_page_likes(&self) -> usize {
+        self.campaigns
+            .iter()
+            .flat_map(|c| c.likers.iter())
+            .filter_map(|l| l.liked_pages.as_ref().map(Vec::len))
+            .sum()
+    }
+
+    /// Serialize to pretty JSON (the machine-readable export).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Promotion;
+    use likelab_osn::Targeting;
+
+    fn liker(id: u32, n_friends: usize, n_pages: usize, public: bool) -> LikerRecord {
+        LikerRecord {
+            user: UserId(id),
+            first_seen: SimTime::at_day(1),
+            friends: public.then(|| (0..n_friends as u32).map(UserId).collect()),
+            total_friend_count: public.then_some(n_friends),
+            liked_pages: public.then(|| (0..n_pages as u32).map(PageId).collect()),
+            gone_at_collection: false,
+        }
+    }
+
+    fn data(label: &str, ads: bool, likers: Vec<LikerRecord>) -> CampaignData {
+        CampaignData {
+            spec: CampaignSpec {
+                label: label.into(),
+                promotion: if ads {
+                    Promotion::PlatformAds {
+                        targeting: Targeting::worldwide(),
+                        daily_budget_cents: 600.0,
+                        duration_days: 15,
+                    }
+                } else {
+                    Promotion::FarmOrder {
+                        farm: 0,
+                        region: likelab_farms::Region::Worldwide,
+                        likes: 1_000,
+                        price_cents: 7_000,
+                        advertised_duration: "15 days".into(),
+                    }
+                },
+            },
+            page: PageId(0),
+            observations: vec![],
+            likers,
+            report: AudienceReport::default(),
+            monitoring_days: Some(22),
+            terminated_after_month: 0,
+            inactive: false,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            campaigns: vec![
+                data("FB-ALL", true, vec![liker(0, 10, 100, true), liker(1, 5, 50, false)]),
+                data("BL-USA", false, vec![liker(2, 800, 60, true)]),
+            ],
+            baseline: vec![
+                BaselineRecord {
+                    user: UserId(9),
+                    like_count: 34,
+                },
+            ],
+            launch: SimTime::at_day(100),
+            global_report: AudienceReport::default(),
+        }
+    }
+
+    #[test]
+    fn totals_split_by_promotion_kind() {
+        let d = dataset();
+        assert_eq!(d.total_likes(), 3);
+        assert_eq!(d.ad_likes(), 2);
+        assert_eq!(d.farm_likes(), 1);
+    }
+
+    #[test]
+    fn observed_aggregates_skip_private_profiles() {
+        let d = dataset();
+        // Public profiles: 10 + 800 friends reported; the private one is
+        // invisible.
+        assert_eq!(d.observed_friendships(), 810);
+        assert_eq!(d.observed_page_likes(), 160);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let d = dataset();
+        assert_eq!(d.campaign("BL-USA").unwrap().like_count(), 1);
+        assert!(d.campaign("XX").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = dataset();
+        let json = d.to_json().unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_likes(), d.total_likes());
+        assert_eq!(back.campaigns[0].spec.label, "FB-ALL");
+    }
+}

@@ -1,0 +1,26 @@
+//! # likelab-honeypot — the paper's measurement methodology
+//!
+//! The instrumented side of the study: honeypot pages with deflection
+//! disclaimers and per-page admin accounts ([`page`]), the campaign roster
+//! ([`campaign`]), the Selenium-equivalent monitoring crawler with the
+//! paper's exact cadence — every 2 hours during campaigns, daily after,
+//! stop after a quiet week ([`crawler`]) — the liker-profile collector and
+//! the month-later termination recheck ([`collector`]), and the resulting
+//! dataset the analysis pipeline consumes ([`dataset`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod campaign;
+pub mod collector;
+pub mod crawler;
+pub mod dataset;
+pub mod page;
+
+pub use anonymize::{anonymize, suppress_small_buckets, Pseudonymizer};
+pub use campaign::{CampaignSpec, Promotion};
+pub use collector::{collect_profiles, count_terminated, LikerRecord};
+pub use crawler::{CrawlerConfig, Observation, PageMonitor};
+pub use dataset::{BaselineRecord, CampaignData, Dataset};
+pub use page::{deploy_honeypot, HONEYPOT_DISCLAIMER, HONEYPOT_NAME};

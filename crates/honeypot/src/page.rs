@@ -1,0 +1,70 @@
+//! Honeypot page deployment.
+//!
+//! The paper created 13 pages named "Virtual Electricity", intentionally
+//! empty, each under a distinct administrator account, with a description
+//! designed to deflect genuine interest.
+
+use likelab_graph::{PageId, UserId};
+use likelab_osn::{
+    ActorClass, Country, Gender, OsnWorld, PageCategory, PrivacySettings, Profile,
+};
+use likelab_sim::SimTime;
+
+/// The honeypot page name used throughout the study.
+pub const HONEYPOT_NAME: &str = "Virtual Electricity";
+
+/// The deflection disclaimer in every honeypot's description.
+pub const HONEYPOT_DISCLAIMER: &str = "This is not a real page, so please do not like it.";
+
+/// Create one honeypot page plus its dedicated administrator account
+/// ("using a different administrator account (owner) for each page").
+pub fn deploy_honeypot(world: &mut OsnWorld, at: SimTime) -> (PageId, UserId) {
+    let owner = world.create_account(
+        Profile {
+            gender: Gender::Male,
+            age: 30,
+            country: Country::Usa,
+            home_region: 0,
+        },
+        ActorClass::Organic,
+        PrivacySettings {
+            friend_list_public: false,
+            likes_public: false,
+            searchable: false,
+        },
+        at,
+    );
+    let page = world.create_page(
+        HONEYPOT_NAME,
+        HONEYPOT_DISCLAIMER,
+        Some(owner),
+        PageCategory::Honeypot,
+        at,
+    );
+    (page, owner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honeypot_is_branded_and_owned() {
+        let mut w = OsnWorld::new();
+        let (page, owner) = deploy_honeypot(&mut w, SimTime::at_day(5));
+        let p = w.page(page);
+        assert!(p.is_honeypot());
+        assert_eq!(p.name, HONEYPOT_NAME);
+        assert!(p.description.contains("do not like it"));
+        assert_eq!(p.owner, Some(owner));
+        assert_eq!(p.created_at, SimTime::at_day(5));
+    }
+
+    #[test]
+    fn each_deployment_gets_its_own_admin() {
+        let mut w = OsnWorld::new();
+        let (_, o1) = deploy_honeypot(&mut w, SimTime::EPOCH);
+        let (_, o2) = deploy_honeypot(&mut w, SimTime::EPOCH);
+        assert_ne!(o1, o2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the crawler's observation invariants.
+
+use likelab_graph::{PageId, UserId};
+use likelab_honeypot::{CrawlerConfig, PageMonitor};
+use likelab_osn::{
+    ActorClass, Country, CrawlApi, CrawlConfig, Gender, OsnWorld, PageCategory,
+    PrivacySettings, Profile,
+};
+use likelab_sim::{Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn world_with(n: u32) -> (OsnWorld, PageId) {
+    let mut w = OsnWorld::new();
+    for _ in 0..n {
+        w.create_account(
+            Profile {
+                gender: Gender::Male,
+                age: 21,
+                country: Country::India,
+                home_region: 0,
+            },
+            ActorClass::ClickProne,
+            PrivacySettings {
+                friend_list_public: true,
+                likes_public: true,
+                searchable: true,
+            },
+            SimTime::EPOCH,
+        );
+    }
+    let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+    (w, p)
+}
+
+proptest! {
+    /// Whatever the like schedule, the crawler's view is sound: first-seen
+    /// times are poll times at or after the like, counts are monotone in
+    /// truth, and every liker the platform holds is eventually seen.
+    #[test]
+    fn crawler_observation_is_sound(
+        likes in prop::collection::vec((0u32..40, 0u64..15 * 86_400), 1..60),
+    ) {
+        let (mut world, page) = world_with(40);
+        let mut monitor = PageMonitor::new(
+            page,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
+        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(1));
+        let mut schedule: Vec<(u32, u64)> = likes.clone();
+        schedule.sort_by_key(|(_, t)| *t);
+        let mut li = 0usize;
+        let mut next = Some(SimTime::EPOCH);
+        let mut like_time: std::collections::HashMap<UserId, SimTime> = Default::default();
+        while let Some(now) = next {
+            if now > SimTime::at_day(40) {
+                break;
+            }
+            while li < schedule.len() && SimTime::from_secs(schedule[li].1) <= now {
+                let (u, t) = schedule[li];
+                if world.record_like(UserId(u), page, SimTime::from_secs(t)) {
+                    like_time.entry(UserId(u)).or_insert(SimTime::from_secs(t));
+                }
+                li += 1;
+            }
+            next = monitor.poll(&world, &mut api, now);
+        }
+        // Every real liker was seen, at or after their like time.
+        for (u, t) in &like_time {
+            let seen = monitor.first_seen().get(u).copied()
+                .unwrap_or_else(|| panic!("liker {u} never seen"));
+            prop_assert!(seen >= *t);
+            prop_assert!(
+                seen.since(*t) <= SimDuration::days(1),
+                "lag bounded by the settled interval"
+            );
+        }
+        prop_assert_eq!(monitor.first_seen().len(), like_time.len(), "no phantoms");
+        // Observation totals never exceed the number of distinct likers and
+        // only grow (no disappearances here — nobody is terminated).
+        let mut last = 0usize;
+        for o in monitor.observations() {
+            prop_assert!(o.total_likes <= like_time.len());
+            prop_assert!(o.total_likes >= last);
+            prop_assert_eq!(o.disappeared_total, 0);
+            last = o.total_likes;
+        }
+        // The monitor stopped (the schedule is finite).
+        prop_assert!(monitor.stopped_at().is_some());
+    }
+
+    /// Terminations during monitoring surface as disappearances, and the
+    /// disappearance counter is monotone.
+    #[test]
+    fn disappearance_counter_is_monotone(
+        n_likers in 2u32..30,
+        kill in prop::collection::vec(0u32..30, 1..10),
+    ) {
+        let (mut world, page) = world_with(30);
+        for u in 0..n_likers {
+            world.record_like(UserId(u), page, SimTime::EPOCH + SimDuration::hours(1));
+        }
+        let mut monitor = PageMonitor::new(
+            page,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
+        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(2));
+        let mut next = monitor.poll(&world, &mut api, SimTime::EPOCH + SimDuration::hours(2));
+        let mut kills = kill.iter().filter(|k| **k < n_likers);
+        let mut day = 1u64;
+        while let Some(now) = next {
+            if now > SimTime::at_day(30) {
+                break;
+            }
+            if now.day() >= day {
+                if let Some(k) = kills.next() {
+                    world.terminate_account(UserId(*k), now);
+                }
+                day = now.day() + 1;
+            }
+            next = monitor.poll(&world, &mut api, now);
+        }
+        let series: Vec<usize> = monitor
+            .observations()
+            .iter()
+            .map(|o| o.disappeared_total)
+            .collect();
+        prop_assert!(series.windows(2).all(|w| w[0] <= w[1]));
+        // Everyone recorded as disappeared was really terminated.
+        for u in monitor.disappearances().keys() {
+            prop_assert!(!world.account(*u).is_active());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! User accounts: demographics, privacy flags, ground-truth actor class,
+//! and life-cycle status.
+//!
+//! The *actor class* is the simulator's ground truth — who is a genuine
+//! user, who is a paid clicker, who is a farm sybil. The crawl API never
+//! exposes it; only the detection-evaluation harness may read it, exactly
+//! like the labeled data a platform operator would hold.
+
+use crate::demographics::Profile;
+use likelab_graph::UserId;
+use likelab_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth behavioural class of an account. The `u16` tags identify
+/// the operator pool an account belongs to (assigned by the farm layer).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ActorClass {
+    /// A regular user with organic behaviour.
+    Organic,
+    /// A real(ish) profile that compulsively clicks ads and likes pages —
+    /// the population segment legitimate campaigns disproportionately reach.
+    ClickProne,
+    /// A disposable fake account driven by farm automation (bot-burst farms).
+    Bot(u16),
+    /// A well-masked sybil embedded in a dense social structure
+    /// (stealth farms).
+    StealthSybil(u16),
+}
+
+impl ActorClass {
+    /// True for any account a farm operates.
+    pub fn is_farm(self) -> bool {
+        matches!(self, ActorClass::Bot(_) | ActorClass::StealthSybil(_))
+    }
+
+    /// The operator tag, when this is a farm account.
+    pub fn operator(self) -> Option<u16> {
+        match self {
+            ActorClass::Bot(op) | ActorClass::StealthSybil(op) => Some(op),
+            _ => None,
+        }
+    }
+}
+
+/// Account life-cycle status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AccountStatus {
+    /// Normal account.
+    Active,
+    /// Terminated by the platform's anti-fraud operation at the given time.
+    /// Terminated accounts disappear from crawls and their page likes are
+    /// removed from public view.
+    Terminated(SimTime),
+}
+
+impl AccountStatus {
+    /// True while the account is usable.
+    pub fn is_active(self) -> bool {
+        matches!(self, AccountStatus::Active)
+    }
+}
+
+/// Per-account privacy settings, fixed at account creation (the paper's
+/// measurements are snapshots, so modelling setting churn adds nothing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacySettings {
+    /// Whether the friend list is publicly visible. The paper found ~80% of
+    /// Facebook-campaign likers kept it private, vs. ~40–60% for most farms.
+    pub friend_list_public: bool,
+    /// Whether the liked-pages list is publicly visible.
+    pub likes_public: bool,
+    /// Whether the profile appears in the public directory (the baseline
+    /// sample of the paper's ref.\[9\] was drawn from searchable profiles).
+    pub searchable: bool,
+}
+
+/// A user account.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Account {
+    /// Dense id; equals the index in the account store.
+    pub id: UserId,
+    /// Demographic profile.
+    pub profile: Profile,
+    /// When the account was created.
+    pub created_at: SimTime,
+    /// Ground-truth class (never exposed through the crawl API).
+    pub class: ActorClass,
+    /// Life-cycle status.
+    pub status: AccountStatus,
+    /// Privacy settings.
+    pub privacy: PrivacySettings,
+    /// Friends outside the simulated window. The simulation models a slice
+    /// of the platform; profile friend *counts* include connections beyond
+    /// that slice so reported friend-list sizes stay scale-invariant, while
+    /// in-world edges drive the between-likers analyses.
+    pub off_network_friends: u32,
+}
+
+impl Account {
+    /// True while the account is active.
+    pub fn is_active(&self) -> bool {
+        self.status.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demographics::{Country, Gender};
+
+    fn profile() -> Profile {
+        Profile {
+            gender: Gender::Female,
+            age: 30,
+            country: Country::Usa,
+            home_region: 3,
+        }
+    }
+
+    #[test]
+    fn actor_class_predicates() {
+        assert!(!ActorClass::Organic.is_farm());
+        assert!(!ActorClass::ClickProne.is_farm());
+        assert!(ActorClass::Bot(2).is_farm());
+        assert!(ActorClass::StealthSybil(1).is_farm());
+        assert_eq!(ActorClass::Bot(2).operator(), Some(2));
+        assert_eq!(ActorClass::StealthSybil(7).operator(), Some(7));
+        assert_eq!(ActorClass::Organic.operator(), None);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut acct = Account {
+            id: UserId(0),
+            profile: profile(),
+            created_at: SimTime::EPOCH,
+            class: ActorClass::Bot(1),
+            status: AccountStatus::Active,
+            privacy: PrivacySettings {
+                friend_list_public: true,
+                likes_public: true,
+                searchable: true,
+            },
+            off_network_friends: 0,
+        };
+        assert!(acct.is_active());
+        acct.status = AccountStatus::Terminated(SimTime::at_day(30));
+        assert!(!acct.is_active());
+        match acct.status {
+            AccountStatus::Terminated(t) => assert_eq!(t, SimTime::at_day(30)),
+            AccountStatus::Active => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The public crawl surface: what a Selenium-driven browser could see.
+//!
+//! Everything the study's data collection does goes through here, and the
+//! privacy rules are enforced *at this boundary* (not baked into the data),
+//! so the visibility ablation can dial them. The API also injects transient
+//! crawl failures and counts requests — real crawls fail and get throttled,
+//! and the crawler has to cope.
+
+use crate::account::AccountStatus;
+use crate::world::OsnWorld;
+use likelab_graph::{PageId, UserId};
+use likelab_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Why a crawl request yielded nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlError {
+    /// Transient failure (timeout, throttling, layout change...). Retry later.
+    Transient,
+    /// The profile no longer exists — the account was terminated.
+    Gone,
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Transient => f.write_str("transient crawl failure"),
+            CrawlError::Gone => f.write_str("profile gone (account terminated)"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// A privacy-filtered public view of a profile.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicProfile {
+    /// Whose profile this is.
+    pub user: UserId,
+    /// In-world friend list, when public.
+    pub friends: Option<Vec<UserId>>,
+    /// Total friend count shown on the profile (in-world plus off-network),
+    /// when the friend list is public.
+    pub total_friend_count: Option<usize>,
+    /// Liked pages, when public.
+    pub liked_pages: Option<Vec<PageId>>,
+}
+
+/// Crawl-surface configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CrawlConfig {
+    /// Probability any single request fails transiently.
+    pub failure_prob: f64,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { failure_prob: 0.01 }
+    }
+}
+
+/// The crawl API: a stateful client with request accounting and fault
+/// injection, reading privacy-filtered views of the world.
+#[derive(Debug)]
+pub struct CrawlApi {
+    config: CrawlConfig,
+    rng: Rng,
+    requests: u64,
+    failures: u64,
+}
+
+impl CrawlApi {
+    /// A client with the given config and its own RNG stream.
+    pub fn new(config: CrawlConfig, rng: Rng) -> Self {
+        CrawlApi {
+            config,
+            rng,
+            requests: 0,
+            failures: 0,
+        }
+    }
+
+    /// Total requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Transient failures injected.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    fn roll(&mut self) -> Result<(), CrawlError> {
+        self.requests += 1;
+        if self.rng.chance(self.config.failure_prob) {
+            self.failures += 1;
+            Err(CrawlError::Transient)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The current visible likers of a page (active accounts only, in like
+    /// order) — what the Selenium crawler scraped every two hours.
+    pub fn page_likers(
+        &mut self,
+        world: &OsnWorld,
+        page: PageId,
+    ) -> Result<Vec<UserId>, CrawlError> {
+        self.roll()?;
+        Ok(world.visible_likers(page))
+    }
+
+    /// A profile's public view. Terminated profiles return [`CrawlError::Gone`]
+    /// (this is how the paper counted terminated accounts a month later).
+    pub fn profile(
+        &mut self,
+        world: &OsnWorld,
+        user: UserId,
+    ) -> Result<PublicProfile, CrawlError> {
+        self.roll()?;
+        let acct = world.account(user);
+        if let AccountStatus::Terminated(_) = acct.status {
+            return Err(CrawlError::Gone);
+        }
+        let (friends, total_friend_count) = if acct.privacy.friend_list_public {
+            let visible: Vec<UserId> = world
+                .friends()
+                .neighbors(user)
+                .iter()
+                .copied()
+                // Friends who are terminated disappear from the list too.
+                .filter(|f| world.account(*f).is_active())
+                .collect();
+            let total = visible.len() + acct.off_network_friends as usize;
+            (Some(visible), Some(total))
+        } else {
+            (None, None)
+        };
+        let liked_pages = if acct.privacy.likes_public {
+            Some(world.likes().graph().pages_of(user).to_vec())
+        } else {
+            None
+        };
+        Ok(PublicProfile {
+            user,
+            friends,
+            total_friend_count,
+            liked_pages,
+        })
+    }
+
+    /// Retry a profile fetch through transient failures, up to `attempts`.
+    /// `Gone` is permanent and returned immediately.
+    pub fn profile_with_retry(
+        &mut self,
+        world: &OsnWorld,
+        user: UserId,
+        attempts: u32,
+    ) -> Result<PublicProfile, CrawlError> {
+        let mut last = CrawlError::Transient;
+        for _ in 0..attempts.max(1) {
+            match self.profile(world, user) {
+                Ok(p) => return Ok(p),
+                Err(CrawlError::Gone) => return Err(CrawlError::Gone),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{ActorClass, PrivacySettings};
+    use crate::demographics::{Country, Gender, Profile};
+    use crate::page::PageCategory;
+    use likelab_sim::SimTime;
+
+    fn profile() -> Profile {
+        Profile {
+            gender: Gender::Male,
+            age: 25,
+            country: Country::Turkey,
+            home_region: 1,
+        }
+    }
+
+    fn world() -> OsnWorld {
+        let mut w = OsnWorld::new();
+        // u0: fully public; u1: private friends, public likes; u2: private.
+        for (fl, lk) in [(true, true), (false, true), (false, false)] {
+            w.create_account(
+                profile(),
+                ActorClass::Organic,
+                PrivacySettings {
+                    friend_list_public: fl,
+                    likes_public: lk,
+                    searchable: true,
+                },
+                SimTime::EPOCH,
+            );
+        }
+        w.add_friendship(UserId(0), UserId(1));
+        w.add_friendship(UserId(0), UserId(2));
+        let p = w.create_page("x", "", None, PageCategory::Background, SimTime::EPOCH);
+        w.record_like(UserId(0), p, SimTime::EPOCH);
+        w.record_like(UserId(1), p, SimTime::EPOCH);
+        w
+    }
+
+    fn api(failure_prob: f64) -> CrawlApi {
+        CrawlApi::new(
+            CrawlConfig { failure_prob },
+            Rng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn privacy_filters_friend_lists_and_likes() {
+        let w = world();
+        let mut api = api(0.0);
+        let p0 = api.profile(&w, UserId(0)).unwrap();
+        assert_eq!(p0.friends, Some(vec![UserId(1), UserId(2)]));
+        assert_eq!(p0.total_friend_count, Some(2));
+        assert_eq!(p0.liked_pages.as_ref().map(Vec::len), Some(1));
+        let p1 = api.profile(&w, UserId(1)).unwrap();
+        assert_eq!(p1.friends, None, "friend list is private");
+        assert!(p1.liked_pages.is_some());
+        let p2 = api.profile(&w, UserId(2)).unwrap();
+        assert_eq!(p2.friends, None);
+        assert_eq!(p2.liked_pages, None);
+    }
+
+    #[test]
+    fn terminated_profiles_are_gone_and_drop_from_friend_lists() {
+        let mut w = world();
+        w.terminate_account(UserId(2), SimTime::at_day(1));
+        let mut api = api(0.0);
+        assert_eq!(api.profile(&w, UserId(2)), Err(CrawlError::Gone));
+        let p0 = api.profile(&w, UserId(0)).unwrap();
+        assert_eq!(p0.friends, Some(vec![UserId(1)]));
+    }
+
+    #[test]
+    fn page_likers_exclude_terminated() {
+        let mut w = world();
+        let page = PageId(0);
+        let mut api = api(0.0);
+        assert_eq!(
+            api.page_likers(&w, page).unwrap(),
+            vec![UserId(0), UserId(1)]
+        );
+        w.terminate_account(UserId(0), SimTime::at_day(1));
+        assert_eq!(api.page_likers(&w, page).unwrap(), vec![UserId(1)]);
+    }
+
+    #[test]
+    fn failures_are_injected_and_counted() {
+        let w = world();
+        let mut api = api(0.5);
+        let mut failures = 0;
+        for _ in 0..1_000 {
+            if api.profile(&w, UserId(0)).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(api.requests(), 1_000);
+        assert_eq!(api.failures(), failures);
+        assert!((400..600).contains(&failures), "failures {failures}");
+    }
+
+    #[test]
+    fn retry_overcomes_transient_failures() {
+        let w = world();
+        let mut api = api(0.5);
+        let mut ok = 0;
+        for _ in 0..200 {
+            if api.profile_with_retry(&w, UserId(0), 8).is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 198, "8 retries at 50% should almost always land: {ok}");
+    }
+
+    #[test]
+    fn retry_does_not_mask_gone() {
+        let mut w = world();
+        w.terminate_account(UserId(0), SimTime::at_day(1));
+        let mut api = api(0.0);
+        assert_eq!(
+            api.profile_with_retry(&w, UserId(0), 5),
+            Err(CrawlError::Gone)
+        );
+        assert_eq!(api.requests(), 1, "Gone is permanent, no retries");
+    }
+}

@@ -1,0 +1,88 @@
+//! The public directory: all searchable profiles.
+//!
+//! The paper's baseline sample (2000 users, used as the Figure 4 reference
+//! CDF) was "obtained by randomly sampling Facebook public directory which
+//! lists all the IDs of searchable profiles". Same mechanism here.
+
+use crate::world::OsnWorld;
+use likelab_graph::UserId;
+use likelab_sim::Rng;
+
+/// All currently searchable, active profiles.
+pub fn searchable_profiles(world: &OsnWorld) -> Vec<UserId> {
+    world
+        .user_ids()
+        .filter(|u| {
+            let a = world.account(*u);
+            a.is_active() && a.privacy.searchable
+        })
+        .collect()
+}
+
+/// An unbiased random sample of `n` searchable profiles (without
+/// replacement; the whole directory when it is smaller than `n`).
+pub fn random_sample(world: &OsnWorld, n: usize, rng: &mut Rng) -> Vec<UserId> {
+    let directory = searchable_profiles(world);
+    rng.sample_without_replacement(&directory, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{ActorClass, PrivacySettings};
+    use crate::demographics::{Country, Gender, Profile};
+    use likelab_sim::SimTime;
+
+    fn world(n: usize, searchable_every: usize) -> OsnWorld {
+        let mut w = OsnWorld::new();
+        for i in 0..n {
+            w.create_account(
+                Profile {
+                    gender: Gender::Female,
+                    age: 30,
+                    country: Country::Uk,
+                    home_region: 0,
+                },
+                ActorClass::Organic,
+                PrivacySettings {
+                    friend_list_public: true,
+                    likes_public: true,
+                    searchable: i % searchable_every == 0,
+                },
+                SimTime::EPOCH,
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn directory_lists_only_searchable() {
+        let w = world(10, 2);
+        let d = searchable_profiles(&w);
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|u| u.0 % 2 == 0));
+    }
+
+    #[test]
+    fn terminated_accounts_leave_the_directory() {
+        let mut w = world(4, 1);
+        w.terminate_account(UserId(1), SimTime::at_day(1));
+        let d = searchable_profiles(&w);
+        assert_eq!(d.len(), 3);
+        assert!(!d.contains(&UserId(1)));
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let w = world(100, 1);
+        let mut rng = Rng::seed_from_u64(5);
+        let s = random_sample(&w, 30, &mut rng);
+        assert_eq!(s.len(), 30);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 30);
+        // Over-ask clips to directory size.
+        assert_eq!(random_sample(&w, 1_000, &mut rng).len(), 100);
+    }
+}

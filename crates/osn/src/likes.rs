@@ -1,0 +1,214 @@
+//! The like ledger: every like with its timestamp, indexed from both sides.
+//!
+//! The ledger is the platform's authoritative record. The temporal analysis
+//! (Figure 2) and the burst detector both consume chronological per-page
+//! streams; the page-like analysis (Figure 4) consumes per-user counts.
+
+use likelab_graph::{LikeGraph, PageId, UserId};
+use likelab_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One like event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LikeRecord {
+    /// Who liked.
+    pub user: UserId,
+    /// What they liked.
+    pub page: PageId,
+    /// When.
+    pub at: SimTime,
+}
+
+/// The append-only like ledger with both-side indexes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LikeLedger {
+    records: Vec<LikeRecord>,
+    graph: LikeGraph,
+    by_page: Vec<Vec<u32>>,
+    by_user: Vec<Vec<u32>>,
+}
+
+impl LikeLedger {
+    /// An empty ledger sized for `users` and `pages`.
+    pub fn new(users: usize, pages: usize) -> Self {
+        LikeLedger {
+            records: Vec::new(),
+            graph: LikeGraph::new(users, pages),
+            by_page: vec![Vec::new(); pages],
+            by_user: vec![Vec::new(); users],
+        }
+    }
+
+    /// Grow the user side.
+    pub fn ensure_users(&mut self, n: usize) {
+        self.graph.ensure_users(n);
+        if n > self.by_user.len() {
+            self.by_user.resize(n, Vec::new());
+        }
+    }
+
+    /// Grow the page side.
+    pub fn ensure_pages(&mut self, n: usize) {
+        self.graph.ensure_pages(n);
+        if n > self.by_page.len() {
+            self.by_page.resize(n, Vec::new());
+        }
+    }
+
+    /// Record a like at time `at`. Duplicate (user, page) likes are ignored.
+    /// Returns true when the like was new.
+    ///
+    /// Arrival order need not be chronological — farm accounts created
+    /// mid-study backfill their camouflage histories with past timestamps.
+    /// Use the `*_sorted` accessors when time order matters.
+    pub fn record(&mut self, user: UserId, page: PageId, at: SimTime) -> bool {
+        if !self.graph.add_like(user, page) {
+            return false;
+        }
+        let idx = self.records.len() as u32;
+        self.records.push(LikeRecord { user, page, at });
+        self.by_page[page.idx()].push(idx);
+        self.by_user[user.idx()].push(idx);
+        true
+    }
+
+    /// Total number of likes ever recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no like was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The structural like graph (membership queries, counts).
+    pub fn graph(&self) -> &LikeGraph {
+        &self.graph
+    }
+
+    /// Like records of a page, in arrival order.
+    pub fn of_page(&self, page: PageId) -> impl Iterator<Item = &LikeRecord> {
+        self.by_page[page.idx()]
+            .iter()
+            .map(move |i| &self.records[*i as usize])
+    }
+
+    /// Like records of a page, sorted by time (stable on arrival order).
+    pub fn of_page_sorted(&self, page: PageId) -> Vec<LikeRecord> {
+        let mut v: Vec<LikeRecord> = self.of_page(page).copied().collect();
+        v.sort_by_key(|r| r.at);
+        v
+    }
+
+    /// Like records of a user, sorted by time (stable on arrival order).
+    pub fn of_user_sorted(&self, user: UserId) -> Vec<LikeRecord> {
+        let mut v: Vec<LikeRecord> = self.of_user(user).copied().collect();
+        v.sort_by_key(|r| r.at);
+        v
+    }
+
+    /// Like records of a user, in recording order.
+    pub fn of_user(&self, user: UserId) -> impl Iterator<Item = &LikeRecord> {
+        self.by_user[user.idx()]
+            .iter()
+            .map(move |i| &self.records[*i as usize])
+    }
+
+    /// How many pages `user` likes.
+    pub fn user_like_count(&self, user: UserId) -> usize {
+        self.by_user[user.idx()].len()
+    }
+
+    /// How many users like `page`.
+    pub fn page_like_count(&self, page: PageId) -> usize {
+        self.by_page[page.idx()].len()
+    }
+
+    /// All records, in global chronological (= insertion) order.
+    pub fn records(&self) -> &[LikeRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UserId {
+        UserId(i)
+    }
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+    fn t(d: u64) -> SimTime {
+        SimTime::at_day(d)
+    }
+
+    #[test]
+    fn record_and_query_both_sides() {
+        let mut l = LikeLedger::new(3, 2);
+        assert!(l.record(u(0), p(1), t(1)));
+        assert!(l.record(u(2), p(1), t(2)));
+        assert!(l.record(u(0), p(0), t(3)));
+        assert_eq!(l.len(), 3);
+        let page1: Vec<UserId> = l.of_page(p(1)).map(|r| r.user).collect();
+        assert_eq!(page1, vec![u(0), u(2)]);
+        let user0: Vec<PageId> = l.of_user(u(0)).map(|r| r.page).collect();
+        assert_eq!(user0, vec![p(1), p(0)]);
+        assert_eq!(l.user_like_count(u(0)), 2);
+        assert_eq!(l.page_like_count(p(1)), 2);
+        assert!(l.graph().likes_page(u(2), p(1)));
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut l = LikeLedger::new(1, 1);
+        assert!(l.record(u(0), p(0), t(0)));
+        assert!(!l.record(u(0), p(0), t(5)));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.of_page(p(0)).count(), 1);
+    }
+
+    #[test]
+    fn chronological_page_stream() {
+        let mut l = LikeLedger::new(10, 1);
+        for i in 0..10 {
+            l.record(u(i), p(0), t(u64::from(i)));
+        }
+        let times: Vec<u64> = l.of_page(p(0)).map(|r| r.at.day()).collect();
+        assert_eq!(times, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorted_accessors_handle_backfill() {
+        let mut l = LikeLedger::new(3, 2);
+        l.record(u(0), p(0), t(9));
+        l.record(u(0), p(1), t(2)); // backfilled history
+        l.record(u(1), p(0), t(1)); // backfilled on same page
+        let page0: Vec<u64> = l.of_page_sorted(p(0)).iter().map(|r| r.at.day()).collect();
+        assert_eq!(page0, vec![1, 9]);
+        let user0: Vec<u64> = l.of_user_sorted(u(0)).iter().map(|r| r.at.day()).collect();
+        assert_eq!(user0, vec![2, 9]);
+    }
+
+    #[test]
+    fn growth_preserves_history() {
+        let mut l = LikeLedger::new(1, 1);
+        l.record(u(0), p(0), t(0));
+        l.ensure_users(5);
+        l.ensure_pages(5);
+        l.record(u(4), p(4), t(1));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.user_like_count(u(0)), 1);
+        assert_eq!(l.user_like_count(u(4)), 1);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = LikeLedger::new(2, 2);
+        assert!(l.is_empty());
+        assert_eq!(l.of_page(p(0)).count(), 0);
+        assert_eq!(l.user_like_count(u(1)), 0);
+    }
+}

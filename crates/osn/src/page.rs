@@ -1,0 +1,63 @@
+//! Pages: the unit businesses promote and users like.
+
+use likelab_graph::{PageId, UserId};
+use likelab_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What kind of page this is. Background pages fill out users' like
+/// histories; honeypot pages are the instrumented ones the study promotes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PageCategory {
+    /// A regular page in the background catalogue (brands, bands, memes...).
+    Background,
+    /// An instrumented honeypot page created by the study.
+    Honeypot,
+}
+
+/// A page.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Page {
+    /// Dense id; equals the index in the page store.
+    pub id: PageId,
+    /// Display name. All honeypot pages are named "Virtual Electricity",
+    /// as in the paper.
+    pub name: String,
+    /// Page description. Honeypots carry the deflection disclaimer.
+    pub description: String,
+    /// Creating admin account, when the page has one in-world.
+    pub owner: Option<UserId>,
+    /// Creation time.
+    pub created_at: SimTime,
+    /// Category.
+    pub category: PageCategory,
+}
+
+impl Page {
+    /// True for instrumented honeypot pages.
+    pub fn is_honeypot(&self) -> bool {
+        self.category == PageCategory::Honeypot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honeypot_flag() {
+        let p = Page {
+            id: PageId(0),
+            name: "Virtual Electricity".into(),
+            description: "This is not a real page, so please do not like it.".into(),
+            owner: Some(UserId(1)),
+            created_at: SimTime::EPOCH,
+            category: PageCategory::Honeypot,
+        };
+        assert!(p.is_honeypot());
+        let b = Page {
+            category: PageCategory::Background,
+            ..p
+        };
+        assert!(!b.is_honeypot());
+    }
+}

@@ -1,0 +1,202 @@
+//! The page-admin reports tool.
+//!
+//! Facebook gives page administrators aggregated statistics about the users
+//! who liked their page — gender, age, country — computed from *both public
+//! and private* attributes (the paper leaned on this to sidestep profile
+//! privacy, per their footnote: current location comes from the IP address).
+//! The same tool publishes global-population statistics, which Table 2's
+//! last row quotes. This module is that tool.
+
+use crate::demographics::{AgeBracket, Gender, GeoBucket};
+use crate::world::OsnWorld;
+use likelab_graph::{PageId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated audience statistics, as the reports tool exposes them.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AudienceReport {
+    /// Total profiles aggregated.
+    pub total: usize,
+    /// Number of female profiles.
+    pub female: usize,
+    /// Number of male profiles.
+    pub male: usize,
+    /// Counts per age bracket (Table 2 order).
+    pub age_counts: [usize; 6],
+    /// Counts per Figure 1 geo bucket, keyed by display name for stable
+    /// serialization.
+    pub country_counts: BTreeMap<String, usize>,
+}
+
+impl AudienceReport {
+    /// Aggregate the given users' true attributes.
+    pub fn over_users(world: &OsnWorld, users: &[UserId]) -> Self {
+        let mut r = AudienceReport::default();
+        for &u in users {
+            let p = &world.account(u).profile;
+            r.total += 1;
+            match p.gender {
+                Gender::Female => r.female += 1,
+                Gender::Male => r.male += 1,
+            }
+            r.age_counts[p.age_bracket().index()] += 1;
+            *r.country_counts
+                .entry(p.country.geo_bucket().to_string())
+                .or_insert(0) += 1;
+        }
+        r
+    }
+
+    /// The report a page admin sees: aggregated over every account that ever
+    /// liked the page (the platform aggregates what it knows, not what is
+    /// public).
+    pub fn for_page(world: &OsnWorld, page: PageId) -> Self {
+        let users: Vec<UserId> = world.all_likers(page).into_iter().map(|(u, _)| u).collect();
+        Self::over_users(world, &users)
+    }
+
+    /// The platform-wide report (Table 2's "Facebook" row equivalent).
+    pub fn global(world: &OsnWorld) -> Self {
+        let users: Vec<UserId> = world.user_ids().collect();
+        Self::over_users(world, &users)
+    }
+
+    /// Female fraction, 0 when empty.
+    pub fn female_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.female as f64 / self.total as f64
+        }
+    }
+
+    /// Age distribution as fractions over the six brackets.
+    pub fn age_distribution(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        if self.total == 0 {
+            return out;
+        }
+        for (i, c) in self.age_counts.iter().enumerate() {
+            out[i] = *c as f64 / self.total as f64;
+        }
+        out
+    }
+
+    /// Geo-bucket shares as fractions, in [`GeoBucket::ALL`] order.
+    pub fn geo_distribution(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        if self.total == 0 {
+            return out;
+        }
+        for (i, b) in GeoBucket::ALL.iter().enumerate() {
+            out[i] = self
+                .country_counts
+                .get(&b.to_string())
+                .copied()
+                .unwrap_or(0) as f64
+                / self.total as f64;
+        }
+        out
+    }
+
+    /// Share of one age bracket.
+    pub fn age_share(&self, bracket: AgeBracket) -> f64 {
+        self.age_distribution()[bracket.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::{ActorClass, PrivacySettings};
+    use crate::demographics::{Country, Profile};
+    use crate::page::PageCategory;
+    use likelab_sim::SimTime;
+
+    fn add_user(world: &mut OsnWorld, gender: Gender, age: u8, country: Country) -> UserId {
+        world.create_account(
+            Profile {
+                gender,
+                age,
+                country,
+                home_region: 0,
+            },
+            ActorClass::Organic,
+            PrivacySettings {
+                friend_list_public: false, // reports ignore privacy
+                likes_public: false,
+                searchable: false,
+            },
+            SimTime::EPOCH,
+        )
+    }
+
+    #[test]
+    fn page_report_aggregates_regardless_of_privacy() {
+        let mut w = OsnWorld::new();
+        let a = add_user(&mut w, Gender::Female, 16, Country::Usa);
+        let b = add_user(&mut w, Gender::Male, 30, Country::India);
+        let c = add_user(&mut w, Gender::Male, 60, Country::Brazil);
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for (i, u) in [a, b, c].into_iter().enumerate() {
+            w.record_like(u, p, SimTime::at_day(i as u64));
+        }
+        let r = AudienceReport::for_page(&w, p);
+        assert_eq!(r.total, 3);
+        assert_eq!(r.female, 1);
+        assert_eq!(r.male, 2);
+        assert_eq!(r.age_counts, [1, 0, 1, 0, 0, 1]);
+        assert_eq!(r.country_counts["USA"], 1);
+        assert_eq!(r.country_counts["India"], 1);
+        assert_eq!(r.country_counts["Other"], 1);
+        assert!((r.female_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_distribution_is_in_legend_order() {
+        let mut w = OsnWorld::new();
+        let a = add_user(&mut w, Gender::Male, 20, Country::Turkey);
+        let b = add_user(&mut w, Gender::Male, 20, Country::Turkey);
+        let c = add_user(&mut w, Gender::Male, 20, Country::France);
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        for u in [a, b, c] {
+            w.record_like(u, p, SimTime::EPOCH);
+        }
+        let geo = AudienceReport::for_page(&w, p).geo_distribution();
+        // [USA, India, Egypt, Turkey, France, Other]
+        assert!((geo[3] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((geo[4] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(geo[0], 0.0);
+    }
+
+    #[test]
+    fn report_includes_terminated_likers() {
+        // The platform's own aggregation sees everything it ever recorded.
+        let mut w = OsnWorld::new();
+        let a = add_user(&mut w, Gender::Female, 20, Country::Usa);
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        w.record_like(a, p, SimTime::EPOCH);
+        w.terminate_account(a, SimTime::at_day(1));
+        assert_eq!(AudienceReport::for_page(&w, p).total, 1);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let w = OsnWorld::new();
+        let r = AudienceReport::over_users(&w, &[]);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.female_fraction(), 0.0);
+        assert_eq!(r.age_distribution(), [0.0; 6]);
+        assert_eq!(r.geo_distribution(), [0.0; 6]);
+    }
+
+    #[test]
+    fn global_report_covers_all_accounts() {
+        let mut w = OsnWorld::new();
+        add_user(&mut w, Gender::Female, 20, Country::Usa);
+        add_user(&mut w, Gender::Male, 40, Country::India);
+        let g = AudienceReport::global(&w);
+        assert_eq!(g.total, 2);
+    }
+}

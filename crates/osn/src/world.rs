@@ -1,0 +1,286 @@
+//! The platform state: accounts, pages, friendships, likes — one world.
+//!
+//! `OsnWorld` is the single mutable state every other subsystem operates on.
+//! Farms create accounts in it, the ad engine records likes into it, the
+//! crawler reads privacy-filtered views of it, anti-fraud terminates
+//! accounts in it.
+
+use crate::account::{Account, AccountStatus, ActorClass, PrivacySettings};
+use crate::demographics::Profile;
+use crate::likes::LikeLedger;
+use crate::page::{Page, PageCategory};
+use likelab_graph::{FriendGraph, PageId, UserId};
+use likelab_sim::SimTime;
+
+/// The simulated platform.
+#[derive(Clone, Debug, Default)]
+pub struct OsnWorld {
+    accounts: Vec<Account>,
+    pages: Vec<Page>,
+    friends: FriendGraph,
+    ledger: LikeLedger,
+}
+
+impl OsnWorld {
+    /// An empty world.
+    pub fn new() -> Self {
+        OsnWorld::default()
+    }
+
+    // ----- accounts -----------------------------------------------------
+
+    /// Create an account and return its id.
+    pub fn create_account(
+        &mut self,
+        profile: Profile,
+        class: ActorClass,
+        privacy: PrivacySettings,
+        created_at: SimTime,
+    ) -> UserId {
+        let id = UserId(self.accounts.len() as u32);
+        self.accounts.push(Account {
+            id,
+            profile,
+            created_at,
+            class,
+            status: AccountStatus::Active,
+            privacy,
+            off_network_friends: 0,
+        });
+        self.friends.ensure_nodes(self.accounts.len());
+        self.ledger.ensure_users(self.accounts.len());
+        id
+    }
+
+    /// The account record.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn account(&self, id: UserId) -> &Account {
+        &self.accounts[id.idx()]
+    }
+
+    /// Number of accounts ever created (including terminated).
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// All account ids.
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.accounts.len() as u32).map(UserId)
+    }
+
+    /// Set the count of friends beyond the simulated window (see
+    /// [`Account::off_network_friends`]).
+    pub fn set_off_network_friends(&mut self, id: UserId, n: u32) {
+        self.accounts[id.idx()].off_network_friends = n;
+    }
+
+    /// Total friend count as the profile reports it: in-world degree plus
+    /// off-network friends.
+    pub fn total_friend_count(&self, id: UserId) -> usize {
+        self.friends.degree(id) + self.accounts[id.idx()].off_network_friends as usize
+    }
+
+    /// Terminate an account (idempotent; the first termination time wins).
+    /// Returns true when the account was active.
+    pub fn terminate_account(&mut self, id: UserId, at: SimTime) -> bool {
+        let acct = &mut self.accounts[id.idx()];
+        if acct.status.is_active() {
+            acct.status = AccountStatus::Terminated(at);
+            true
+        } else {
+            false
+        }
+    }
+
+    // ----- pages ---------------------------------------------------------
+
+    /// Create a page and return its id.
+    pub fn create_page(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        owner: Option<UserId>,
+        category: PageCategory,
+        created_at: SimTime,
+    ) -> PageId {
+        let id = PageId(self.pages.len() as u32);
+        self.pages.push(Page {
+            id,
+            name: name.into(),
+            description: description.into(),
+            owner,
+            created_at,
+            category,
+        });
+        self.ledger.ensure_pages(self.pages.len());
+        id
+    }
+
+    /// The page record.
+    pub fn page(&self, id: PageId) -> &Page {
+        &self.pages[id.idx()]
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// All page ids.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages.len() as u32).map(PageId)
+    }
+
+    // ----- friendships ---------------------------------------------------
+
+    /// Befriend two accounts. Returns true when the edge was new.
+    pub fn add_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        self.friends.add_edge(a, b)
+    }
+
+    /// The friendship graph (read-only).
+    pub fn friends(&self) -> &FriendGraph {
+        &self.friends
+    }
+
+    /// Mutable friendship graph, for bulk generators.
+    pub fn friends_mut(&mut self) -> &mut FriendGraph {
+        &mut self.friends
+    }
+
+    // ----- likes -----------------------------------------------------------
+
+    /// Record a like. Likes by terminated accounts are rejected.
+    /// Returns true when the like was new and accepted.
+    pub fn record_like(&mut self, user: UserId, page: PageId, at: SimTime) -> bool {
+        if !self.accounts[user.idx()].is_active() {
+            return false;
+        }
+        self.ledger.record(user, page, at)
+    }
+
+    /// The like ledger (read-only).
+    pub fn likes(&self) -> &LikeLedger {
+        &self.ledger
+    }
+
+    /// Current *visible* likers of a page: active accounts only, in like
+    /// order. Terminated accounts' likes disappear from public view, which
+    /// is how the paper could count terminated likers a month later.
+    pub fn visible_likers(&self, page: PageId) -> Vec<UserId> {
+        self.ledger
+            .of_page(page)
+            .map(|r| r.user)
+            .filter(|u| self.accounts[u.idx()].is_active())
+            .collect()
+    }
+
+    /// Every account that ever liked `page`, with like times, regardless of
+    /// current status. This is the *platform-side* record (admin reports are
+    /// computed from it).
+    pub fn all_likers(&self, page: PageId) -> Vec<(UserId, SimTime)> {
+        self.ledger.of_page(page).map(|r| (r.user, r.at)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demographics::{Country, Gender};
+
+    fn profile() -> Profile {
+        Profile {
+            gender: Gender::Male,
+            age: 22,
+            country: Country::India,
+            home_region: 0,
+        }
+    }
+
+    fn privacy() -> PrivacySettings {
+        PrivacySettings {
+            friend_list_public: true,
+            likes_public: true,
+            searchable: true,
+        }
+    }
+
+    fn world_with(n: usize) -> OsnWorld {
+        let mut w = OsnWorld::new();
+        for _ in 0..n {
+            w.create_account(profile(), ActorClass::Organic, privacy(), SimTime::EPOCH);
+        }
+        w
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let w = world_with(3);
+        assert_eq!(w.account_count(), 3);
+        for (i, id) in w.user_ids().enumerate() {
+            assert_eq!(id, UserId(i as u32));
+            assert_eq!(w.account(id).id, id);
+        }
+    }
+
+    #[test]
+    fn likes_flow_through_ledger() {
+        let mut w = world_with(2);
+        let p = w.create_page("x", "", None, PageCategory::Background, SimTime::EPOCH);
+        assert!(w.record_like(UserId(0), p, SimTime::at_day(1)));
+        assert!(!w.record_like(UserId(0), p, SimTime::at_day(2)), "dup");
+        assert_eq!(w.likes().page_like_count(p), 1);
+    }
+
+    #[test]
+    fn terminated_accounts_cannot_like_and_vanish() {
+        let mut w = world_with(3);
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        w.record_like(UserId(0), p, SimTime::at_day(1));
+        w.record_like(UserId(1), p, SimTime::at_day(2));
+        assert!(w.terminate_account(UserId(0), SimTime::at_day(3)));
+        assert!(!w.terminate_account(UserId(0), SimTime::at_day(4)), "idempotent");
+        // New likes rejected.
+        assert!(!w.record_like(UserId(0), p, SimTime::at_day(5)));
+        // Public view loses the terminated liker; platform record keeps it.
+        assert_eq!(w.visible_likers(p), vec![UserId(1)]);
+        assert_eq!(w.all_likers(p).len(), 2);
+        match w.account(UserId(0)).status {
+            AccountStatus::Terminated(t) => assert_eq!(t, SimTime::at_day(3)),
+            AccountStatus::Active => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn off_network_friends_pad_totals() {
+        let mut w = world_with(2);
+        w.add_friendship(UserId(0), UserId(1));
+        assert_eq!(w.total_friend_count(UserId(0)), 1);
+        w.set_off_network_friends(UserId(0), 120);
+        assert_eq!(w.total_friend_count(UserId(0)), 121);
+        assert_eq!(w.total_friend_count(UserId(1)), 1);
+    }
+
+    #[test]
+    fn friendships_are_shared_graph() {
+        let mut w = world_with(3);
+        assert!(w.add_friendship(UserId(0), UserId(2)));
+        assert!(!w.add_friendship(UserId(2), UserId(0)));
+        assert!(w.friends().has_edge(UserId(0), UserId(2)));
+        assert_eq!(w.friends().degree(UserId(1)), 0);
+    }
+
+    #[test]
+    fn pages_are_dense() {
+        let mut w = world_with(1);
+        let a = w.create_page("a", "d", Some(UserId(0)), PageCategory::Honeypot, SimTime::EPOCH);
+        let b = w.create_page("b", "d", None, PageCategory::Background, SimTime::EPOCH);
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert!(w.page(a).is_honeypot());
+        assert!(!w.page(b).is_honeypot());
+        assert_eq!(w.page_ids().count(), 2);
+    }
+}

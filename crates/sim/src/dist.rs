@@ -1,0 +1,362 @@
+//! Samplers for the distributions the generative models need.
+//!
+//! The population synthesizer draws demographics from categorical marginals,
+//! page popularity follows a Zipf law, per-user like counts are log-normal
+//! (heavy-tailed, strictly positive — the paper observed 1 to 10,000 page
+//! likes per user), organic activity is Poisson, and burst jitter is
+//! exponential. Everything takes the crate [`Rng`] so seeded
+//! runs stay reproducible.
+
+use crate::rng::Rng;
+
+/// Draw from an exponential distribution with the given rate (λ > 0).
+///
+/// # Panics
+/// Panics when `rate` is not strictly positive and finite.
+pub fn exponential(rng: &mut Rng, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive, got {rate}"
+    );
+    // Inverse CDF; 1 - f64() is in (0, 1], so ln() is finite.
+    -(1.0 - rng.f64()).ln() / rate
+}
+
+/// Draw from a standard normal via the Marsaglia polar method.
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    loop {
+        let u = 2.0 * rng.f64() - 1.0;
+        let v = 2.0 * rng.f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw from a normal with the given mean and standard deviation (σ ≥ 0).
+pub fn normal(rng: &mut Rng, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "standard deviation must be non-negative, got {std_dev}"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draw from a log-normal with the given parameters of the *underlying*
+/// normal (`mu`, `sigma`). The median of the distribution is `exp(mu)`.
+pub fn log_normal(rng: &mut Rng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Log-normal parameterized by its median and the multiplicative spread
+/// `sigma` (in log-space). Convenient for calibrating to published medians,
+/// e.g. "median page-like count 34".
+pub fn log_normal_median(rng: &mut Rng, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "log-normal median must be positive");
+    log_normal(rng, median.ln(), sigma)
+}
+
+/// Draw a Poisson-distributed count.
+///
+/// Uses Knuth's product method for small λ and a normal approximation with
+/// continuity correction for large λ (the tail error is irrelevant at the
+/// λ > 30 scale where it engages).
+pub fn poisson(rng: &mut Rng, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson lambda must be non-negative, got {lambda}"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, lambda, lambda.sqrt());
+        if x < 0.0 {
+            0
+        } else {
+            (x + 0.5) as u64
+        }
+    }
+}
+
+/// A Zipf sampler over ranks `1..=n` with exponent `s`, built once and reused
+/// (rejection-free inverse-CDF over precomputed cumulative weights).
+///
+/// Page popularity in the background catalogue follows this law: a few pages
+/// are liked by everyone, most are liked by almost no one.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is exactly one rank (degenerate sampler).
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// Sample a 0-based rank (0 is the most popular).
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.f64() * total;
+        // First cumulative weight strictly above the target.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// A categorical distribution with named outcomes, sampled via cumulative
+/// weights. Used for demographics marginals (country, gender, age bracket).
+#[derive(Clone, Debug)]
+pub struct Categorical<T: Clone> {
+    outcomes: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> Categorical<T> {
+    /// Build from `(outcome, weight)` pairs. Weights need not sum to one.
+    ///
+    /// # Panics
+    /// Panics when empty, when a weight is negative/non-finite, or when all
+    /// weights are zero.
+    pub fn new(pairs: &[(T, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "categorical over no outcomes");
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut total = 0.0;
+        for (o, w) in pairs {
+            assert!(w.is_finite() && *w >= 0.0, "invalid weight {w}");
+            total += *w;
+            outcomes.push(o.clone());
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "categorical weights sum to zero");
+        Categorical {
+            outcomes,
+            cumulative,
+        }
+    }
+
+    /// Sample an outcome.
+    pub fn sample(&self, rng: &mut Rng) -> T {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.f64() * total;
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.outcomes[idx.min(self.outcomes.len() - 1)].clone()
+    }
+
+    /// The outcomes, in construction order.
+    pub fn outcomes(&self) -> &[T] {
+        &self.outcomes
+    }
+
+    /// The probability of outcome `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(0xD15EA5E)
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} should be ~0.5");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        assert!((0..10_000).all(|_| exponential(&mut r, 0.1) >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median_calibration() {
+        let mut r = rng();
+        let n = 100_001;
+        let mut xs: Vec<f64> = (0..n)
+            .map(|_| log_normal_median(&mut r, 34.0, 1.2))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!(
+            (median / 34.0 - 1.0).abs() < 0.05,
+            "median {median} should be ~34"
+        );
+        assert!(xs.iter().all(|x| *x > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 3.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<u64> = (0..n).map(|_| poisson(&mut r, 200.0)).collect();
+        let mean = xs.iter().sum::<u64>() as f64 / n as f64;
+        let var = xs
+            .iter()
+            .map(|x| (*x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+        assert!((var / 200.0 - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        assert_eq!(poisson(&mut rng(), 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // Under Zipf(s=1, n=1000), P(rank 1) = 1/H_1000 ≈ 0.1336.
+        let p1 = f64::from(counts[0]) / n as f64;
+        assert!((p1 - 0.1336).abs() < 0.01, "P(rank 1) = {p1}");
+        // Monotone-ish decay: first rank beats the 100th by a wide margin.
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for c in counts {
+            assert!((f64::from(c) / 50_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.5);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let c = Categorical::new(&[("a", 1.0), ("b", 2.0), ("c", 7.0)]);
+        let mut r = rng();
+        let n = 100_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(c.sample(&mut r)).or_insert(0u32) += 1;
+        }
+        assert!((f64::from(counts["a"]) / n as f64 - 0.1).abs() < 0.01);
+        assert!((f64::from(counts["b"]) / n as f64 - 0.2).abs() < 0.01);
+        assert!((f64::from(counts["c"]) / n as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_is_never_drawn() {
+        let c = Categorical::new(&[(1u8, 0.0), (2u8, 1.0)]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(c.sample(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn categorical_probability_accessor() {
+        let c = Categorical::new(&[("x", 3.0), ("y", 1.0)]);
+        assert!((c.probability(0) - 0.75).abs() < 1e-12);
+        assert!((c.probability(1) - 0.25).abs() < 1e-12);
+        assert_eq!(c.outcomes(), &["x", "y"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(&[("a", 0.0)]);
+    }
+}

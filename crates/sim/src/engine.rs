@@ -1,0 +1,196 @@
+//! The simulation driver.
+//!
+//! [`Engine`] owns the clock and the event queue; the orchestration layer
+//! (the honeypot study) supplies the event type and a handler. The engine
+//! enforces the fundamental discrete-event invariant: the clock never moves
+//! backwards, and events scheduled in the past are rejected loudly rather
+//! than silently reordered.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A discrete-event simulation driver over an event type `E`.
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    fired: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine with the clock at the study epoch.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::EPOCH,
+            queue: EventQueue::new(),
+            fired: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` is before the current clock — an event in the past is
+    /// always an orchestration bug, and silently clamping it would corrupt
+    /// the temporal analyses.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < now {now}",
+            now = self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its firing time.
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "queue yielded an event in the past");
+        self.now = at;
+        self.fired += 1;
+        Some((at, ev))
+    }
+
+    /// Run until the queue drains or the clock would pass `end`, dispatching
+    /// each event to `handler`. Events at exactly `end` still fire. The
+    /// handler may schedule further events through the engine it receives.
+    ///
+    /// Returns the number of events dispatched by this call.
+    pub fn run_until<F>(&mut self, end: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        let before = self.fired;
+        while let Some(next) = self.queue.peek_time() {
+            if next > end {
+                break;
+            }
+            let (at, ev) = self.step().expect("peeked event must pop");
+            handler(self, at, ev);
+        }
+        // The clock still advances to `end` even if the tail was quiet, so a
+        // subsequent run starts from where the caller said the world stands.
+        if end > self.now {
+            self.now = end;
+        }
+        self.fired - before
+    }
+
+    /// Run until the queue fully drains.
+    pub fn run_to_completion<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Engine<E>, SimTime, E),
+    {
+        let before = self.fired;
+        while let Some((at, ev)) = self.step() {
+            handler(self, at, ev);
+        }
+        self.fired - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::at_day(1), Ev::Tick(1));
+        e.schedule(SimTime::at_day(2), Ev::Tick(2));
+        let mut seen = Vec::new();
+        e.run_to_completion(|eng, at, ev| {
+            assert_eq!(eng.now(), at);
+            seen.push((at.day(), ev));
+        });
+        assert_eq!(seen, vec![(1, Ev::Tick(1)), (2, Ev::Tick(2))]);
+        assert_eq!(e.fired(), 2);
+    }
+
+    #[test]
+    fn handler_can_reschedule() {
+        // A self-perpetuating 2-hour poll, the crawler's core pattern.
+        let mut e: Engine<()> = Engine::new();
+        e.schedule(SimTime::EPOCH, ());
+        let mut polls = 0u32;
+        e.run_until(SimTime::at_day(1), |eng, at, ()| {
+            polls += 1;
+            eng.schedule(at + SimDuration::hours(2), ());
+        });
+        // Polls at 0h, 2h, ..., 24h inclusive = 13.
+        assert_eq!(polls, 13);
+        assert_eq!(e.now(), SimTime::at_day(1));
+        assert_eq!(e.pending(), 1, "the 26h poll stays queued");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_quiet() {
+        let mut e: Engine<()> = Engine::new();
+        let n = e.run_until(SimTime::at_day(5), |_, _, ()| {});
+        assert_eq!(n, 0);
+        assert_eq!(e.now(), SimTime::at_day(5));
+    }
+
+    #[test]
+    fn events_exactly_at_end_fire() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::at_day(3), Ev::Tick(3));
+        let mut hit = false;
+        e.run_until(SimTime::at_day(3), |_, _, _| hit = true);
+        assert!(hit);
+    }
+
+    #[test]
+    fn events_after_end_stay_pending() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::at_day(3) + SimDuration::secs(1), Ev::Tick(3));
+        e.run_until(SimTime::at_day(3), |_, _, _| panic!("must not fire"));
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::at_day(1), Ev::Tick(1));
+        e.run_to_completion(|_, _, _| {});
+        e.schedule(SimTime::EPOCH, Ev::Tick(0));
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut e = Engine::new();
+        for i in 0..10 {
+            e.schedule(SimTime::at_day(1), Ev::Tick(i));
+        }
+        let mut order = Vec::new();
+        e.run_to_completion(|_, _, Ev::Tick(i)| order.push(i));
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,45 @@
+//! # likelab-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the like-fraud laboratory: a virtual clock
+//! ([`SimTime`]/[`SimDuration`]), a stable-ordered event queue wrapped in a
+//! driver ([`Engine`]), a reproducible random source ([`Rng`], xoshiro256**
+//! pinned by golden tests), the distribution samplers the generative models
+//! need ([`dist`]), and a run journal ([`Trace`]).
+//!
+//! ## Why synchronous and single-threaded?
+//!
+//! The workload is pure CPU-bound simulation. Following the networking
+//! guides' own advice (async runtimes buy nothing for CPU-bound work) the
+//! kernel is synchronous; determinism is the feature that matters here,
+//! because a `(seed, config)` pair must regenerate an identical study —
+//! that's what makes the reproduction auditable.
+//!
+//! ```
+//! use likelab_sim::{Engine, SimDuration, SimTime};
+//!
+//! // A crawler that polls every 2 hours for a day.
+//! let mut engine: Engine<&str> = Engine::new();
+//! engine.schedule(SimTime::EPOCH, "poll");
+//! let mut polls = 0;
+//! engine.run_until(SimTime::at_day(1), |eng, now, _| {
+//!     polls += 1;
+//!     eng.schedule(now + SimDuration::hours(2), "poll");
+//! });
+//! assert_eq!(polls, 13); // 0h, 2h, ..., 24h
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::Engine;
+pub use queue::EventQueue;
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Note, Trace};

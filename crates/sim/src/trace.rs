@@ -1,0 +1,143 @@
+//! Lightweight observability for simulation runs.
+//!
+//! [`Trace`] collects named monotone counters and a bounded journal of
+//! timestamped notes. The study logger uses it to keep a record equivalent to
+//! the paper's monitoring notes ("campaign X remained inactive", "stopped
+//! monitoring page Y after a quiet week") without any I/O in the hot path.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A timestamped journal entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Note {
+    /// When the note was recorded (simulation clock).
+    pub at: SimTime,
+    /// Free-form message.
+    pub text: String,
+}
+
+/// Counters plus a bounded journal.
+#[derive(Debug, Default)]
+pub struct Trace {
+    counters: BTreeMap<String, u64>,
+    notes: Vec<Note>,
+    note_cap: usize,
+    dropped_notes: u64,
+}
+
+impl Trace {
+    /// A trace that keeps at most `note_cap` journal entries (0 = unbounded).
+    pub fn with_capacity(note_cap: usize) -> Self {
+        Trace {
+            note_cap,
+            ..Trace::default()
+        }
+    }
+
+    /// Increment the named counter by `delta`.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Record a journal note at simulation time `at`.
+    pub fn note(&mut self, at: SimTime, text: impl Into<String>) {
+        if self.note_cap > 0 && self.notes.len() >= self.note_cap {
+            self.dropped_notes += 1;
+            return;
+        }
+        self.notes.push(Note {
+            at,
+            text: text.into(),
+        });
+    }
+
+    /// The journal, in recording order.
+    pub fn notes(&self) -> &[Note] {
+        &self.notes
+    }
+
+    /// Notes dropped because the cap was hit.
+    pub fn dropped_notes(&self) -> u64 {
+        self.dropped_notes
+    }
+
+    /// Render the journal and counters as a human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            let _ = writeln!(out, "[{}] {}", n.at, n.text);
+        }
+        if self.dropped_notes > 0 {
+            let _ = writeln!(out, "... {} notes dropped (cap reached)", self.dropped_notes);
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "-- counters --");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "{k}: {v}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = Trace::default();
+        t.count("likes.observed", 3);
+        t.count("likes.observed", 4);
+        t.count("crawl.failures", 1);
+        assert_eq!(t.counter("likes.observed"), 7);
+        assert_eq!(t.counter("crawl.failures"), 1);
+        assert_eq!(t.counter("never"), 0);
+        let all: Vec<_> = t.counters().collect();
+        assert_eq!(all, vec![("crawl.failures", 1), ("likes.observed", 7)]);
+    }
+
+    #[test]
+    fn notes_record_in_order() {
+        let mut t = Trace::default();
+        t.note(SimTime::EPOCH, "launch");
+        t.note(SimTime::EPOCH + SimDuration::days(2), "burst seen");
+        assert_eq!(t.notes().len(), 2);
+        assert_eq!(t.notes()[1].text, "burst seen");
+    }
+
+    #[test]
+    fn note_cap_drops_and_counts() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.note(SimTime::at_day(i), format!("n{i}"));
+        }
+        assert_eq!(t.notes().len(), 2);
+        assert_eq!(t.dropped_notes(), 3);
+        assert!(t.render().contains("3 notes dropped"));
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut t = Trace::default();
+        t.note(SimTime::at_day(1), "hello");
+        t.count("x", 9);
+        let r = t.render();
+        assert!(r.contains("d1+00:00:00"));
+        assert!(r.contains("hello"));
+        assert!(r.contains("x: 9"));
+    }
+}

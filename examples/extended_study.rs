@@ -1,0 +1,144 @@
+//! Extended study: the paper's "larger and more diverse honeypot
+//! measurements" future work, as a demonstration that the harness is not
+//! hard-wired to the 13 published campaigns.
+//!
+//! Defines a fifth, hypothetical farm — "InstaBoost", a *hybrid* that
+//! trickles like BoostLikes but runs on cheap disposable accounts — adds
+//! three extra campaigns (two InstaBoost orders and a gender-targeted ad
+//! buy), and runs the full protocol over all 16 campaigns.
+//!
+//! ```text
+//! cargo run --release --example extended_study [scale]
+//! ```
+
+use likelab::core::presets::{paper_campaigns, paper_farms};
+use likelab::farms::{DeliveryStyle, FarmSpec, GeoSourcing, PoolTopology, Region};
+use likelab::honeypot::{CampaignSpec, Promotion};
+use likelab::osn::{Country, Gender, Targeting};
+use likelab::sim::SimDuration;
+use likelab::{run_study, StudyConfig};
+
+/// A hybrid farm: human-paced delivery on bot-grade accounts.
+fn instaboost() -> FarmSpec {
+    FarmSpec {
+        name: "InstaBoost.example".into(),
+        operator: 9,
+        style: DeliveryStyle::Trickle { days: 10 },
+        geo: GeoSourcing::FollowOrder {
+            worldwide_mix: vec![
+                (Country::Indonesia, 0.4),
+                (Country::Philippines, 0.35),
+                (Country::Mexico, 0.25),
+            ],
+        },
+        female_fraction: 0.35,
+        age_weights: [0.3, 0.45, 0.15, 0.06, 0.03, 0.01],
+        friend_median: 120.0,
+        friend_sigma: 0.9,
+        topology: PoolTopology::PairsAndTriplets {
+            triplet_fraction: 0.2,
+            isolate_fraction: 0.4,
+        },
+        hubs_per_segment: 10,
+        hub_attach_prob: 0.03,
+        friend_list_public: 0.45,
+        camouflage_median: 900.0,
+        camouflage_sigma: 0.6,
+        job_page_fraction: 0.9,
+        bursty_camouflage: true,
+        max_account_age: SimDuration::days(200),
+        segment_capacity: 1_500,
+        delivery_fraction: (0.85, 1.0),
+        scam_regions: vec![],
+    }
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(0.15);
+
+    let mut config = StudyConfig::paper(7_2014, scale);
+    let ib_index = config.farms.len();
+    assert_eq!(ib_index, paper_farms().len(), "appending after the paper's four");
+    config.farms.push(instaboost());
+    config.campaigns = paper_campaigns();
+    config.campaigns.push(CampaignSpec {
+        label: "IB-ALL".into(),
+        promotion: Promotion::FarmOrder {
+            farm: ib_index,
+            region: Region::Worldwide,
+            likes: 1_000,
+            price_cents: 2_499,
+            advertised_duration: "10 days".into(),
+        },
+    });
+    config.campaigns.push(CampaignSpec {
+        label: "IB-USA".into(),
+        promotion: Promotion::FarmOrder {
+            farm: ib_index,
+            region: Region::Country(Country::Usa),
+            likes: 1_000,
+            price_cents: 7_999,
+            advertised_duration: "10 days".into(),
+        },
+    });
+    config.campaigns.push(CampaignSpec {
+        label: "FB-F24".into(),
+        promotion: Promotion::PlatformAds {
+            targeting: Targeting {
+                countries: Some(vec![Country::Usa]),
+                gender: Some(Gender::Female),
+                age_range: Some((13, 24)),
+            },
+            daily_budget_cents: 600.0,
+            duration_days: 15,
+        },
+    });
+
+    eprintln!(
+        "running the extended study: {} campaigns, {} farms, scale {scale}...",
+        config.campaigns.len(),
+        config.farms.len()
+    );
+    let outcome = run_study(&config);
+    println!("{}", outcome.report.render());
+
+    // The hybrid's signature: trickle tempo (evades the burst detector)
+    // but bot-grade accounts (caught by volume/friend features).
+    let ib = outcome
+        .report
+        .figure2
+        .iter()
+        .find(|s| s.label == "IB-USA")
+        .expect("IB-USA ran");
+    println!(
+        "\nInstaBoost hybrid: {} likes, peak-2h {:.0}% (trickle), t90 {:.1} d",
+        ib.total(),
+        ib.peak_2h_share * 100.0,
+        ib.days_to_90pct
+    );
+    let ib_median = outcome
+        .report
+        .figure4
+        .iter()
+        .find(|c| c.label == "IB-USA")
+        .map(|c| c.median())
+        .unwrap_or(f64::NAN);
+    println!(
+        "InstaBoost likers' median page-like count: {ib_median:.0} — temporal camouflage \
+         without profile camouflage; the per-account features still give it away."
+    );
+    let gender_row = outcome
+        .report
+        .table2
+        .iter()
+        .find(|r| r.label == "FB-F24")
+        .expect("FB-F24 ran");
+    println!(
+        "FB-F24 (female 13-24 targeting): {:.0}% female likers, {:.1}% in 13-24",
+        gender_row.female_pct,
+        gender_row.age_pct[0] + gender_row.age_pct[1]
+    );
+}

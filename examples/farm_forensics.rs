@@ -1,0 +1,172 @@
+//! Farm forensics: buy likes from each farm for a fresh honeypot page and
+//! dissect what arrives — delivery tempo, account demographics, social
+//! topology, camouflage volume, and the shared-operator fingerprint.
+//!
+//! This is the paper's §4 as an interactive lab, outside the full study
+//! harness: it exercises the farm models directly through the public API.
+//!
+//! ```text
+//! cargo run --release --example farm_forensics [scale]
+//! ```
+
+use likelab::farms::{peak_window_share, FarmOrder, FarmRoster, FarmSpec, Region};
+use likelab::graph::components::ComponentCensus;
+use likelab::osn::population::{synthesize, PopulationConfig};
+use likelab::osn::{Country, OsnWorld, PageCategory};
+use likelab::sim::{Rng, SimDuration, SimTime};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(0.5);
+    let mut rng = Rng::seed_from_u64(2014);
+    let mut world = OsnWorld::new();
+    let pop = synthesize(
+        &mut world,
+        &PopulationConfig::default().scaled(scale * 0.2),
+        &mut rng.fork("pop"),
+    );
+    let mut roster = FarmRoster::new(
+        vec![
+            FarmSpec::boostlikes(),
+            FarmSpec::socialformula(),
+            FarmSpec::authenticlikes(),
+            FarmSpec::mammothsocials(),
+        ],
+        pop.background_pages.clone(),
+        scale,
+        rng.fork("farms"),
+    );
+
+    println!("ordering 1000 USA likes from each farm (scale {scale})...\n");
+    println!(
+        "{:22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "Farm", "likes", "peak2h", "medFriend", "medLikes", "giant%", "pairs"
+    );
+
+    let mut al_accounts = Vec::new();
+    let mut ms_accounts = Vec::new();
+    for (idx, name) in [
+        (0usize, "BoostLikes.com"),
+        (1, "SocialFormula.com"),
+        (2, "AuthenticLikes.com"),
+        (3, "MammothSocials.com"),
+    ] {
+        let page = world.create_page(
+            format!("forensics-{name}"),
+            "",
+            None,
+            PageCategory::Honeypot,
+            pop.launch,
+        );
+        let delivery = roster.fulfill(
+            &mut world,
+            &FarmOrder {
+                farm: idx,
+                page,
+                region: Region::Country(Country::Usa),
+                likes: 1_000,
+                placed_at: pop.launch,
+            },
+        );
+        if delivery.scam {
+            println!("{name:22} took the money and delivered nothing");
+            continue;
+        }
+        let times: Vec<SimTime> = delivery.likes.iter().map(|l| l.at).collect();
+        let peak = peak_window_share(&times, SimDuration::hours(2));
+        let median = |mut v: Vec<f64>| -> f64 {
+            if v.is_empty() {
+                return f64::NAN;
+            }
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let med_friends = median(
+            delivery
+                .accounts
+                .iter()
+                .map(|u| world.total_friend_count(*u) as f64)
+                .collect(),
+        );
+        let med_likes = median(
+            delivery
+                .accounts
+                .iter()
+                .map(|u| world.likes().user_like_count(*u) as f64)
+                .collect(),
+        );
+        let census = ComponentCensus::compute(world.friends(), &delivery.accounts);
+        println!(
+            "{:22} {:>8} {:>9.0}% {:>10.0} {:>10.0} {:>9.0}% {:>8}",
+            name,
+            delivery.likes.len(),
+            peak * 100.0,
+            med_friends,
+            med_likes,
+            census.giant_fraction() * 100.0,
+            census.pairs,
+        );
+        if idx == 2 {
+            al_accounts = delivery.accounts.clone();
+        }
+        if idx == 3 {
+            ms_accounts = delivery.accounts.clone();
+        }
+    }
+
+    // The shared-operator fingerprint: AL and MS hand out the same accounts.
+    let al_set: std::collections::HashSet<_> = al_accounts.iter().collect();
+    let shared = ms_accounts.iter().filter(|u| al_set.contains(u)).count();
+    println!(
+        "\nshared AL/MS accounts: {shared} of {} MS likers ({:.0}%) — the ALMS fingerprint",
+        ms_accounts.len(),
+        shared as f64 / ms_accounts.len().max(1) as f64 * 100.0
+    );
+
+    // Reordering from the same farm: round-robin reuse.
+    let page2 = world.create_page("forensics-SF-2", "", None, PageCategory::Honeypot, pop.launch);
+    let d1_users: std::collections::HashSet<_> = {
+        let page1 =
+            world.create_page("forensics-SF-1", "", None, PageCategory::Honeypot, pop.launch);
+        roster
+            .fulfill(
+                &mut world,
+                &FarmOrder {
+                    farm: 1,
+                    page: page1,
+                    region: Region::Worldwide,
+                    likes: 1_000,
+                    placed_at: pop.launch,
+                },
+            )
+            .accounts
+            .into_iter()
+            .collect()
+    };
+    let d2 = roster.fulfill(
+        &mut world,
+        &FarmOrder {
+            farm: 1,
+            page: page2,
+            region: Region::Country(Country::Usa),
+            likes: 1_000,
+            placed_at: pop.launch + SimDuration::days(4),
+        },
+    );
+    let reused = d2.accounts.iter().filter(|u| d1_users.contains(u)).count();
+    println!(
+        "SocialFormula re-order reuse: {reused} of {} accounts seen in the previous job",
+        d2.accounts.len()
+    );
+    let turkish = d2
+        .accounts
+        .iter()
+        .filter(|u| world.account(**u).profile.country == Country::Turkey)
+        .count();
+    println!(
+        "SocialFormula 'USA' order actually shipped {:.0}% Turkish accounts",
+        turkish as f64 / d2.accounts.len().max(1) as f64 * 100.0
+    );
+}

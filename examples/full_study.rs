@@ -1,0 +1,120 @@
+//! The full-scale reproduction: runs the study at paper scale (1.0), prints
+//! the paper-vs-measured comparison for every table and figure, and exports
+//! machine-readable artifacts:
+//!
+//! - `target/likelab/report.json` — the complete study report;
+//! - `target/likelab/dataset.json` — the raw crawled dataset;
+//! - `target/likelab/figure3_direct.dot` / `figure3_twohop.dot` — Figure 3
+//!   (render with `dot -Tsvg`);
+//! - `target/likelab/figure{1,2a,2b,4a,4b,5a,5b}.svg` — the figures
+//!   themselves, rendered.
+//!
+//! ```text
+//! cargo run --release --example full_study [scale] [seed]
+//! ```
+
+use likelab::core::paper;
+use likelab::{checklist, render_checklist, run_study, StudyConfig};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(1.0);
+    let seed: u64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(42);
+
+    eprintln!("full study: seed={seed}, scale={scale} (this builds a {}-ish account world)",
+        (60_000.0 * scale) as u64);
+    let started = std::time::Instant::now();
+    let outcome = run_study(&StudyConfig::paper(seed, scale));
+    eprintln!("simulated in {:.1}s", started.elapsed().as_secs_f64());
+
+    // --- side-by-side Table 1 -------------------------------------------
+    println!("== Table 1: paper vs measured (scale {scale}) ==");
+    println!(
+        "{:8} {:>12} {:>12} {:>12} {:>12}",
+        "Campaign", "paper likes", "measured", "paper term", "measured"
+    );
+    for row in paper::TABLE1 {
+        let measured = outcome.dataset.campaign(row.label);
+        let fmt_opt = |v: Option<usize>| v.map(|x| x.to_string()).unwrap_or_else(|| "-".into());
+        println!(
+            "{:8} {:>12} {:>12} {:>12} {:>12}",
+            row.label,
+            fmt_opt(row.likes.map(|l| ((l as f64) * scale).round() as usize)),
+            fmt_opt(measured.filter(|c| !c.inactive).map(|c| c.like_count())),
+            fmt_opt(row.terminated),
+            fmt_opt(measured.filter(|c| !c.inactive).map(|c| c.terminated_after_month)),
+        );
+    }
+    println!("(paper like counts shown scaled by {scale})\n");
+
+    println!("{}", outcome.report.render());
+    println!("== Reproduction shape checklist ==");
+    let checks = checklist(&outcome.report);
+    println!("{}", render_checklist(&checks));
+    println!(
+        "{}/{} shape criteria hold",
+        checks.iter().filter(|c| c.pass).count(),
+        checks.len()
+    );
+    println!("\n== Study journal (first 30 notes) ==");
+    for n in outcome.trace.notes().iter().take(30) {
+        println!("[{}] {}", n.at, n.text);
+    }
+
+    // --- exports -----------------------------------------------------------
+    let dir = Path::new("target/likelab");
+    fs::create_dir_all(dir).expect("create export dir");
+    fs::write(
+        dir.join("report.json"),
+        outcome.report.to_json().expect("serialize report"),
+    )
+    .expect("write report.json");
+    fs::write(
+        dir.join("dataset.json"),
+        outcome.dataset.to_json().expect("serialize dataset"),
+    )
+    .expect("write dataset.json");
+    fs::write(
+        dir.join("figure3_direct.dot"),
+        &outcome.report.figure3_direct_dot,
+    )
+    .expect("write figure3_direct.dot");
+    fs::write(
+        dir.join("figure3_twohop.dot"),
+        &outcome.report.figure3_twohop_dot,
+    )
+    .expect("write figure3_twohop.dot");
+
+    // Rendered figures.
+    use likelab::analysis::svg;
+    let r = &outcome.report;
+    let fig2a: Vec<_> = r.figure2.iter().filter(|s| s.platform_ads).cloned().collect();
+    let fig2b: Vec<_> = r.figure2.iter().filter(|s| !s.platform_ads).cloned().collect();
+    let fig4a: Vec<_> = r
+        .figure4
+        .iter()
+        .filter(|c| c.platform_ads || c.label == "Facebook")
+        .cloned()
+        .collect();
+    let fig4b: Vec<_> = r
+        .figure4
+        .iter()
+        .filter(|c| !c.platform_ads || c.label == "Facebook")
+        .cloned()
+        .collect();
+    let renders = [
+        ("figure1.svg", svg::figure1_svg(&r.figure1)),
+        ("figure2a.svg", svg::figure2_svg(&fig2a, "Figure 2(a): Facebook campaigns")),
+        ("figure2b.svg", svg::figure2_svg(&fig2b, "Figure 2(b): Like farms")),
+        ("figure4a.svg", svg::figure4_svg(&fig4a, 10_000.0)),
+        ("figure4b.svg", svg::figure4_svg(&fig4b, 10_000.0)),
+        ("figure5a.svg", svg::figure5_svg(&r.figure5_pages, "Figure 5(a): page-like set similarity")),
+        ("figure5b.svg", svg::figure5_svg(&r.figure5_users, "Figure 5(b): liker set similarity")),
+    ];
+    for (name, content) in renders {
+        fs::write(dir.join(name), content).expect("write svg");
+    }
+    eprintln!("exports written to {}", dir.display());
+}

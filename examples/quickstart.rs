@@ -1,0 +1,38 @@
+//! Quickstart: run the paper's 13-campaign honeypot study at a small scale
+//! and print every table and figure plus the reproduction checklist.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scale] [seed]
+//! ```
+
+use likelab::{checklist, render_checklist, run_study, StudyConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.15);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
+
+    eprintln!("running the IMC'14 honeypot study: seed={seed}, scale={scale} ...");
+    let started = std::time::Instant::now();
+    let outcome = run_study(&StudyConfig::paper(seed, scale));
+    eprintln!(
+        "done in {:.1}s: {} accounts, {} likes in the world, {} campaign likes collected",
+        started.elapsed().as_secs_f64(),
+        outcome.world.account_count(),
+        outcome.world.likes().len(),
+        outcome.dataset.total_likes(),
+    );
+
+    println!("{}", outcome.report.render());
+    println!("== Reproduction shape checklist ==");
+    let checks = checklist(&outcome.report);
+    println!("{}", render_checklist(&checks));
+    let passed = checks.iter().filter(|c| c.pass).count();
+    println!("{passed}/{} shape criteria hold", checks.len());
+}

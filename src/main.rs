@@ -1,0 +1,208 @@
+//! `likelab` — command-line front end for the like-fraud laboratory.
+//!
+//! ```text
+//! likelab run        [--scale S] [--seed N]        run the study, print the report
+//! likelab checklist  [--scale S] [--seed N]        reproduction criteria (exit 1 on failure)
+//! likelab export DIR [--scale S] [--seed N]        write JSON, DOT, and SVG artifacts
+//! likelab paper                                    print the published tables
+//! ```
+
+use likelab::core::paper;
+use likelab::{checklist, render_checklist, run_study, StudyConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    scale: f64,
+    seed: u64,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: 0.15,
+        seed: 42,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if opts.scale <= 0.0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> &'static str {
+    "likelab — honeypot like-fraud laboratory (De Cristofaro et al., IMC 2014)\n\n\
+     USAGE:\n\
+     \x20 likelab run        [--scale S] [--seed N]   run the study, print every table/figure\n\
+     \x20 likelab checklist  [--scale S] [--seed N]   run + evaluate the 23 reproduction criteria\n\
+     \x20 likelab export DIR [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
+     \x20 likelab paper                               print the paper's published tables\n\n\
+     Defaults: --scale 0.15 --seed 42. scale 1.0 reproduces paper-sized campaigns."
+}
+
+fn cmd_run(opts: &Opts) -> ExitCode {
+    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    println!("{}", outcome.report.render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_checklist(opts: &Opts) -> ExitCode {
+    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    let checks = checklist(&outcome.report);
+    println!("{}", render_checklist(&checks));
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    println!(
+        "{}/{} criteria hold",
+        checks.len() - failed,
+        checks.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
+    let dir = PathBuf::from(
+        opts.positional
+            .first()
+            .ok_or("export needs a target directory")?,
+    );
+    fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    let r = &outcome.report;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        fs::write(dir.join(name), content).map_err(|e| format!("write {name}: {e}"))
+    };
+    write("report.json", r.to_json().map_err(|e| e.to_string())?)?;
+    write(
+        "dataset.json",
+        outcome.dataset.to_json().map_err(|e| e.to_string())?,
+    )?;
+    write("figure3_direct.dot", r.figure3_direct_dot.clone())?;
+    write("figure3_twohop.dot", r.figure3_twohop_dot.clone())?;
+    use likelab::analysis::svg;
+    let (ads, farms): (Vec<_>, Vec<_>) =
+        r.figure2.iter().cloned().partition(|s| s.platform_ads);
+    write("figure1.svg", svg::figure1_svg(&r.figure1))?;
+    write(
+        "figure2a.svg",
+        svg::figure2_svg(&ads, "Figure 2(a): Facebook campaigns"),
+    )?;
+    write(
+        "figure2b.svg",
+        svg::figure2_svg(&farms, "Figure 2(b): Like farms"),
+    )?;
+    write("figure4.svg", svg::figure4_svg(&r.figure4, 10_000.0))?;
+    write(
+        "figure5a.svg",
+        svg::figure5_svg(&r.figure5_pages, "Figure 5(a): page-like set similarity"),
+    )?;
+    write(
+        "figure5b.svg",
+        svg::figure5_svg(&r.figure5_users, "Figure 5(b): liker set similarity"),
+    )?;
+    println!("artifacts written to {}", dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_paper() -> ExitCode {
+    println!("Published Table 1 (IMC 2014):");
+    println!(
+        "{:8} {:20} {:10} {:>9} {:>9} {:>11} {:>7} {:>11}",
+        "Campaign", "Provider", "Location", "Budget", "Duration", "Monitoring", "#Likes", "#Terminated"
+    );
+    for r in paper::TABLE1 {
+        println!(
+            "{:8} {:20} {:10} {:>9} {:>9} {:>11} {:>7} {:>11}",
+            r.label,
+            r.provider,
+            r.location,
+            r.budget,
+            r.duration,
+            r.monitoring_days
+                .map(|d| format!("{d} days"))
+                .unwrap_or_else(|| "-".into()),
+            r.likes.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            r.terminated
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nPublished Table 3:");
+    println!(
+        "{:20} {:>7} {:>10} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "Provider", "Likers", "PublicFL", "AvgFr", "StdFr", "MedFr", "Edges", "2-Hop"
+    );
+    for r in paper::TABLE3 {
+        println!(
+            "{:20} {:>7} {:>10} {:>8.0} {:>8.0} {:>8.0} {:>8} {:>7}",
+            r.provider,
+            r.likers,
+            format!("{} ({:.1}%)", r.public_friend_lists, r.public_pct),
+            r.friends_mean,
+            r.friends_std,
+            r.friends_median,
+            r.friendships,
+            r.two_hop,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "checklist" => cmd_checklist(&opts),
+        "export" => match cmd_export(&opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "paper" => cmd_paper(),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
