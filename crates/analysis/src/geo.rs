@@ -34,14 +34,11 @@ impl GeoRow {
         if self.likers == 0 {
             return None;
         }
-        GeoBucket::ALL
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                self.share(*a)
-                    .partial_cmp(&self.share(*b))
-                    .expect("finite shares")
-            })
+        GeoBucket::ALL.iter().copied().max_by(|a, b| {
+            self.share(*a)
+                .partial_cmp(&self.share(*b))
+                .expect("finite shares")
+        })
     }
 }
 

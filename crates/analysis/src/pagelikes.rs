@@ -108,7 +108,9 @@ mod tests {
         let d = Dataset {
             campaigns: vec![campaign(
                 "SF-ALL",
-                (0..9).map(|i| liker(i, Some(1_000 + i as usize * 100))).collect(),
+                (0..9)
+                    .map(|i| liker(i, Some(1_000 + i as usize * 100)))
+                    .collect(),
             )],
             baseline: (0..9)
                 .map(|i| BaselineRecord {

@@ -11,6 +11,7 @@ use crate::social::{ObservedSocial, SocialRow};
 use crate::temporal::{figure2, TimeSeries};
 use crate::termination::{termination_summary, TerminationSummary};
 use likelab_honeypot::Dataset;
+use likelab_sim::{parallel_jobs, Exec};
 use serde::{Deserialize, Serialize};
 
 /// One row of Table 1.
@@ -78,45 +79,114 @@ pub struct Totals {
     pub observed_friendships: usize,
 }
 
+/// One computed report section; the unit of parallelism in
+/// [`StudyReport::compute_with`].
+enum Section {
+    Table1(Vec<Table1Row>),
+    Table2(Vec<DemographicsRow>),
+    Table3(Vec<SocialRow>),
+    Figure1(Vec<GeoRow>),
+    Figure2(Vec<TimeSeries>),
+    Dot(String),
+    Figure4(Vec<LikeCountCurve>),
+    Similarity(SimilarityMatrix),
+    Termination(TerminationSummary),
+    Totals(Totals),
+}
+
 impl StudyReport {
-    /// Compute everything from a dataset.
+    /// Compute everything from a dataset, fanning sections out across the
+    /// available cores ([`Exec::auto`]). Output is bit-identical to
+    /// [`StudyReport::compute_sequential`] — see [`compute_with`][Self::compute_with].
     pub fn compute(dataset: &Dataset) -> Self {
-        let social = ObservedSocial::build(dataset);
-        StudyReport {
-            table1: dataset
-                .campaigns
-                .iter()
-                .map(|c| Table1Row {
-                    label: c.spec.label.clone(),
-                    provider: Provider::of_label(&c.spec.label)
-                        .map(|p| p.to_string())
-                        .unwrap_or_else(|| "?".into()),
-                    location: c.spec.location(),
-                    budget: c.spec.budget(),
-                    duration: c.spec.duration(),
-                    monitoring_days: c.monitoring_days,
-                    likes: (!c.inactive).then(|| c.like_count()),
-                    terminated: (!c.inactive).then_some(c.terminated_after_month),
+        Self::compute_with(dataset, Exec::auto())
+    }
+
+    /// Compute everything in the calling thread. The reference for the
+    /// determinism tests.
+    pub fn compute_sequential(dataset: &Dataset) -> Self {
+        Self::compute_with(dataset, Exec::Sequential)
+    }
+
+    /// Compute everything from a dataset under an explicit execution policy.
+    ///
+    /// Every section (a table, a figure, the termination follow-up, the
+    /// totals) is a pure function of `&Dataset` or of the shared
+    /// [`ObservedSocial`] index, so sections run concurrently and are
+    /// reassembled in declaration order: the result does not depend on
+    /// `exec` in any way — only wall-clock time does.
+    pub fn compute_with(dataset: &Dataset, exec: Exec) -> Self {
+        let social = &ObservedSocial::build(dataset);
+        type Job<'a> = Box<dyn Fn() -> Section + Send + Sync + 'a>;
+        let jobs: Vec<Job<'_>> = vec![
+            Box::new(|| Section::Table1(Self::table1(dataset))),
+            Box::new(|| Section::Table2(table2(dataset))),
+            Box::new(|| Section::Table3(social.table3())),
+            Box::new(|| Section::Figure1(figure1(dataset))),
+            Box::new(|| Section::Figure2(figure2(dataset, 15))),
+            Box::new(|| Section::Dot(social.figure3_dot(false))),
+            Box::new(|| Section::Dot(social.figure3_dot(true))),
+            Box::new(|| Section::Figure4(figure4(dataset))),
+            Box::new(|| Section::Similarity(figure5_pages(dataset))),
+            Box::new(|| Section::Similarity(figure5_users(dataset))),
+            Box::new(|| Section::Termination(termination_summary(dataset))),
+            Box::new(|| {
+                Section::Totals(Totals {
+                    campaign_likes: dataset.total_likes(),
+                    farm_likes: dataset.farm_likes(),
+                    ad_likes: dataset.ad_likes(),
+                    observed_page_likes: dataset.observed_page_likes(),
+                    observed_friendships: dataset.observed_friendships(),
                 })
-                .collect(),
-            table2: table2(dataset),
-            table3: social.table3(),
-            figure1: figure1(dataset),
-            figure2: figure2(dataset, 15),
-            figure3_direct_dot: social.figure3_dot(false),
-            figure3_twohop_dot: social.figure3_dot(true),
-            figure4: figure4(dataset),
-            figure5_pages: figure5_pages(dataset),
-            figure5_users: figure5_users(dataset),
-            termination: termination_summary(dataset),
-            totals: Totals {
-                campaign_likes: dataset.total_likes(),
-                farm_likes: dataset.farm_likes(),
-                ad_likes: dataset.ad_likes(),
-                observed_page_likes: dataset.observed_page_likes(),
-                observed_friendships: dataset.observed_friendships(),
-            },
+            }),
+        ];
+        let mut sections = parallel_jobs(exec, jobs).into_iter();
+
+        // parallel_jobs preserves job order, so sections come back in the
+        // exact sequence they were declared above.
+        macro_rules! take {
+            ($variant:ident) => {
+                match sections.next() {
+                    Some(Section::$variant(v)) => v,
+                    _ => unreachable!("sections arrive in declaration order"),
+                }
+            };
         }
+
+        StudyReport {
+            table1: take!(Table1),
+            table2: take!(Table2),
+            table3: take!(Table3),
+            figure1: take!(Figure1),
+            figure2: take!(Figure2),
+            figure3_direct_dot: take!(Dot),
+            figure3_twohop_dot: take!(Dot),
+            figure4: take!(Figure4),
+            figure5_pages: take!(Similarity),
+            figure5_users: take!(Similarity),
+            termination: take!(Termination),
+            totals: take!(Totals),
+        }
+    }
+
+    /// Table 1 — the campaign roster, straight off the dataset.
+    fn table1(dataset: &Dataset) -> Vec<Table1Row> {
+        dataset
+            .campaigns
+            .iter()
+            .map(|c| Table1Row {
+                label: c.spec.label.clone(),
+                provider: Provider::of_label(&c.spec.label)
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                location: c.spec.location(),
+                budget: c.spec.budget(),
+                duration: c.spec.duration(),
+                monitoring_days: c.monitoring_days,
+                likes: (!c.inactive).then(|| c.like_count()),
+                terminated: (!c.inactive).then_some(c.terminated_after_month),
+            })
+            .collect()
     }
 
     /// Serialize to pretty JSON.

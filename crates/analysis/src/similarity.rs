@@ -139,7 +139,11 @@ mod tests {
         Dataset {
             campaigns: vec![
                 // SF-ALL and SF-USA share user 1 and pages {1,2}.
-                campaign("SF-ALL", vec![liker(1, vec![1, 2]), liker(2, vec![3])], false),
+                campaign(
+                    "SF-ALL",
+                    vec![liker(1, vec![1, 2]), liker(2, vec![3])],
+                    false,
+                ),
                 campaign("SF-USA", vec![liker(1, vec![1, 2])], false),
                 campaign("BL-ALL", vec![], true),
                 campaign("AL-ALL", vec![liker(9, vec![50])], false),

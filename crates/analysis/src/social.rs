@@ -118,7 +118,11 @@ impl ObservedSocial {
 
     /// The Table 3 group of a liker (ALMS wins; then Table 3 order).
     pub fn group_of(&self, u: UserId) -> Option<Provider> {
-        if self.groups.get(&Provider::Alms).is_some_and(|g| g.contains(&u)) {
+        if self
+            .groups
+            .get(&Provider::Alms)
+            .is_some_and(|g| g.contains(&u))
+        {
             return Some(Provider::Alms);
         }
         Provider::ALL
@@ -154,11 +158,8 @@ impl ObservedSocial {
                         .filter(|u| self.friend_lists.contains_key(u))
                         .count(),
                     friends: SummaryStats::of(&counts),
-                    friendships_between_likers: Self::pairs_involving(
-                        &self.direct_pairs,
-                        &group,
-                    )
-                    .count(),
+                    friendships_between_likers: Self::pairs_involving(&self.direct_pairs, &group)
+                        .count(),
                     two_hop_between_likers: Self::pairs_involving(&self.two_hop_pairs, &group)
                         .count(),
                 }
@@ -357,7 +358,10 @@ mod tests {
         assert_eq!(sf.public_friend_lists, 2);
         assert_eq!(sf.friendships_between_likers, 1);
         assert_eq!(sf.two_hop_between_likers, 1, "1–10 involves SF");
-        let fb = rows.iter().find(|r| r.provider == Provider::Facebook).unwrap();
+        let fb = rows
+            .iter()
+            .find(|r| r.provider == Provider::Facebook)
+            .unwrap();
         assert_eq!(fb.likers, 0);
         assert_eq!(fb.friends.n, 0);
     }

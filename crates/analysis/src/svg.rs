@@ -59,10 +59,10 @@ fn legend(labels: &[&str]) -> String {
     for (i, label) in labels.iter().enumerate() {
         let y = MARGIN + 14.0 * i as f64;
         let color = PALETTE[i % PALETTE.len()];
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<rect x=\"{x}\" y=\"{ry}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
-             <text x=\"{tx}\" y=\"{ty}\">{label}</text>\n",
+             <text x=\"{tx}\" y=\"{ty}\">{label}</text>",
             x = WIDTH - MARGIN + 6.0,
             ry = y - 9.0,
             tx = WIDTH - MARGIN + 20.0,
@@ -86,10 +86,10 @@ pub fn figure1_svg(rows: &[GeoRow]) -> String {
         for (bi, share) in row.shares.iter().enumerate() {
             let y_top = scale_y((acc + share) * 100.0, 100.0);
             let y_bot = scale_y(acc * 100.0, 100.0);
-            let _ = write!(
+            let _ = writeln!(
                 svg,
                 "<rect x=\"{x:.1}\" y=\"{y_top:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" \
-                 fill=\"{color}\"><title>{label} {bucket}: {pct:.1}%</title></rect>\n",
+                 fill=\"{color}\"><title>{label} {bucket}: {pct:.1}%</title></rect>",
                 h = (y_bot - y_top).max(0.0),
                 color = PALETTE[bi % PALETTE.len()],
                 label = row.label,
@@ -98,10 +98,10 @@ pub fn figure1_svg(rows: &[GeoRow]) -> String {
             );
             acc += share;
         }
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<text x=\"{cx:.1}\" y=\"{ty}\" text-anchor=\"middle\" font-size=\"9\" \
-             transform=\"rotate(-45 {cx:.1} {ty})\">{label}</text>\n",
+             transform=\"rotate(-45 {cx:.1} {ty})\">{label}</text>",
             cx = x + w / 2.0,
             ty = HEIGHT - MARGIN + 24.0,
             label = row.label,
@@ -134,19 +134,19 @@ pub fn figure2_svg(series: &[TimeSeries], title: &str) -> String {
             .map(|(d, n)| format!("{:.1},{:.1}", scale_x(*d, x_max), scale_y(*n as f64, y_max)))
             .collect::<Vec<_>>()
             .join(" ");
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<polyline points=\"{points}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\">\
-             <title>{label}</title></polyline>\n",
+             <title>{label}</title></polyline>",
             color = PALETTE[i % PALETTE.len()],
             label = s.label,
         );
     }
     // Y-axis ticks.
     for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{x}\" y=\"{y:.1}\" text-anchor=\"end\" font-size=\"9\">{v:.0}</text>\n",
+            "<text x=\"{x}\" y=\"{y:.1}\" text-anchor=\"end\" font-size=\"9\">{v:.0}</text>",
             x = MARGIN - 4.0,
             y = scale_y(y_max * frac, y_max) + 3.0,
             v = y_max * frac,
@@ -173,10 +173,10 @@ pub fn figure4_svg(curves: &[LikeCountCurve], x_max: f64) -> String {
             .map(|(x, y)| format!("{:.1},{:.1}", scale_x(*x, x_max), scale_y(*y, 1.0)))
             .collect::<Vec<_>>()
             .join(" ");
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<polyline points=\"{points}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\">\
-             <title>{label} (median {median:.0})</title></polyline>\n",
+             <title>{label} (median {median:.0})</title></polyline>",
             color = PALETTE[i % PALETTE.len()],
             label = c.label,
             median = c.median(),
@@ -204,28 +204,28 @@ pub fn figure5_svg(matrix: &SimilarityMatrix, title: &str) -> String {
             let t = (v / 100.0).clamp(0.0, 1.0);
             let r = (255.0 * (1.0 - t * 0.75)) as u8;
             let g = (255.0 * (1.0 - t * 0.55)) as u8;
-            let _ = write!(
+            let _ = writeln!(
                 svg,
                 "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{cell:.1}\" height=\"{cell:.1}\" \
                  fill=\"rgb({r},{g},255)\" stroke=\"#ddd\">\
-                 <title>{a} vs {b}: {v:.1}</title></rect>\n",
+                 <title>{a} vs {b}: {v:.1}</title></rect>",
                 x = MARGIN + cell * j as f64,
                 y = MARGIN + cell * i as f64,
                 a = matrix.labels[i],
                 b = matrix.labels[j],
             );
         }
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{x}\" y=\"{y:.1}\" text-anchor=\"end\" font-size=\"9\">{label}</text>\n",
+            "<text x=\"{x}\" y=\"{y:.1}\" text-anchor=\"end\" font-size=\"9\">{label}</text>",
             x = MARGIN - 4.0,
             y = MARGIN + cell * (i as f64 + 0.6),
             label = matrix.labels[i],
         );
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"start\" font-size=\"9\" \
-             transform=\"rotate(-60 {x:.1} {y:.1})\">{label}</text>\n",
+             transform=\"rotate(-60 {x:.1} {y:.1})\">{label}</text>",
             x = MARGIN + cell * (i as f64 + 0.5),
             y = MARGIN - 6.0,
             label = matrix.labels[i],

@@ -100,9 +100,7 @@ fn days_to_fraction(offsets: &[SimDuration], fraction: f64) -> f64 {
     if offsets.is_empty() {
         return 0.0;
     }
-    let idx = ((offsets.len() as f64 * fraction).ceil() as usize)
-        .clamp(1, offsets.len())
-        - 1;
+    let idx = ((offsets.len() as f64 * fraction).ceil() as usize).clamp(1, offsets.len()) - 1;
     offsets[idx].as_days_f64()
 }
 
@@ -290,10 +288,7 @@ mod tests {
 
     #[test]
     fn empty_campaign_is_flat_zero() {
-        let d = dataset(
-            vec![campaign("FB-FRA", true, vec![])],
-            SimTime::EPOCH,
-        );
+        let d = dataset(vec![campaign("FB-FRA", true, vec![])], SimTime::EPOCH);
         let fig = figure2(&d, 15);
         assert_eq!(fig[0].total(), 0);
         assert_eq!(fig[0].peak_2h_share, 0.0);

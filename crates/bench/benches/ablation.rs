@@ -152,8 +152,7 @@ fn ablation_stealth_connectivity() {
         spec.topology = likelab_farms::PoolTopology::DenseNetwork {
             within_degree: within,
         };
-        let mut roster =
-            FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(7));
+        let mut roster = FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(7));
         let page = world.create_page("h", "", None, PageCategory::Honeypot, SimTime::at_day(100));
         let d = roster.fulfill(
             &mut world,
@@ -182,7 +181,10 @@ fn ablation_stealth_connectivity() {
          connected blob of Figure 3(a); with none, even the stealth farm's likers\n\
          fragment like a bot farm's"
     );
-    print_block("Ablation A2: stealth connectivity vs. Figure 3 structure", &body);
+    print_block(
+        "Ablation A2: stealth connectivity vs. Figure 3 structure",
+        &body,
+    );
 }
 
 fn ablation_privacy_rate() {
@@ -196,8 +198,7 @@ fn ablation_privacy_rate() {
         let (mut world, background) = small_world();
         let mut spec = FarmSpec::boostlikes();
         spec.friend_list_public = public;
-        let mut roster =
-            FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(9));
+        let mut roster = FarmRoster::new(vec![spec], background, 0.3, Rng::seed_from_u64(9));
         let page = world.create_page("h", "", None, PageCategory::Honeypot, SimTime::at_day(100));
         let d = roster.fulfill(
             &mut world,
@@ -238,7 +239,10 @@ fn ablation_privacy_rate() {
         "takeaway: at the paper's 26% public rate roughly half the liker-liker\n\
          edges are visible — its Table 3 'lower bound' caveat, quantified"
     );
-    print_block("Ablation A3: friend-list privacy vs. observed structure", &body);
+    print_block(
+        "Ablation A3: friend-list privacy vs. observed structure",
+        &body,
+    );
 }
 
 fn ablation_allocation_sharpness() {
@@ -288,7 +292,10 @@ fn ablation_allocation_sharpness() {
         "takeaway: a mildly price-sensitive auction already concentrates
          worldwide budgets; sharpness 8 reproduces the paper's 96% India"
     );
-    print_block("Ablation A4: allocation sharpness vs. FB-ALL India share", &body);
+    print_block(
+        "Ablation A4: allocation sharpness vs. FB-ALL India share",
+        &body,
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -23,17 +23,30 @@ fn print_comparison() {
     let scored: Vec<(UserId, f64)> = o
         .world
         .user_ids()
-        .map(|u| (u, score(&extract(&o.world, u, now, &cfg), &ScorerWeights::default())))
+        .map(|u| {
+            (
+                u,
+                score(&extract(&o.world, u, now, &cfg), &ScorerWeights::default()),
+            )
+        })
         .collect();
     let auc = roc(&o.world, &scored, PositiveClass::FarmOnly).auc;
-    let _ = writeln!(body, "combined scorer (hand weights): AUC {auc:.3} vs farm labels");
+    let _ = writeln!(
+        body,
+        "combined scorer (hand weights): AUC {auc:.3} vs farm labels"
+    );
 
     // Trained variant.
     let train: Vec<_> = o
         .world
         .user_ids()
         .step_by(3)
-        .map(|u| (extract(&o.world, u, now, &cfg), o.world.account(u).class.is_farm()))
+        .map(|u| {
+            (
+                extract(&o.world, u, now, &cfg),
+                o.world.account(u).class.is_farm(),
+            )
+        })
         .collect();
     let trained = fit(&train, &TrainConfig::default());
     let scored_t: Vec<(UserId, f64)> = o
@@ -107,7 +120,13 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("sybilrank_full_graph", |b| {
         let seeds: Vec<UserId> = o.population.organic.iter().step_by(500).copied().collect();
-        b.iter(|| black_box(sybil_rank(o.world.friends(), &seeds, &SybilRankConfig::default())))
+        b.iter(|| {
+            black_box(sybil_rank(
+                o.world.friends(),
+                &seeds,
+                &SybilRankConfig::default(),
+            ))
+        })
     });
     group.finish();
 }

@@ -60,16 +60,12 @@ fn bench_study(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/full_study");
     group.sample_size(10);
     for scale in [0.02f64, 0.05] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scale),
-            &scale,
-            |b, &scale| {
-                b.iter(|| {
-                    let outcome = run_study(&StudyConfig::paper(7, scale));
-                    black_box(outcome.dataset.total_likes())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| {
+                let outcome = run_study(&StudyConfig::paper(7, scale));
+                black_box(outcome.dataset.total_likes())
+            })
+        });
     }
     group.finish();
 }

@@ -25,7 +25,11 @@ fn print_comparison() {
             body,
             "{:9} {:>9} {:>8}  {}",
             c.label,
-            if m.is_nan() { "-".into() } else { format!("{m:.0}") },
+            if m.is_nan() {
+                "-".into()
+            } else {
+                format!("{m:.0}")
+            },
             c.cdf.len(),
             sparkline(&series),
         );

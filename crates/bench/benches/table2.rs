@@ -26,8 +26,11 @@ fn print_comparison() {
             row.label,
             format!("{:.0}/{:.0}", row.female_pct, row.male_pct),
             format!("{:.0}/{:.0}", m.female_pct, m.male_pct),
-            row.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "-".into()),
-            m.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "-".into()),
+            row.kl
+                .map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            m.kl.map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
     }
     let _ = writeln!(
@@ -46,7 +49,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table2/kl_divergence", |b| {
         let p = [0.53, 0.43, 0.02, 0.01, 0.005, 0.005];
         let q = [0.149, 0.323, 0.266, 0.132, 0.072, 0.059];
-        b.iter(|| black_box(likelab_analysis::kl_divergence(black_box(&p), black_box(&q))))
+        b.iter(|| {
+            black_box(likelab_analysis::kl_divergence(
+                black_box(&p),
+                black_box(&q),
+            ))
+        })
     });
 }
 

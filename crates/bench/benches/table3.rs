@@ -15,7 +15,15 @@ fn print_comparison() {
     let _ = writeln!(
         body,
         "{:20} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9} {:>11} {:>9}",
-        "Provider", "p.likers*", "measured", "p.medFr", "measured", "p.#edges*", "measured", "p.#2hop*", "measured"
+        "Provider",
+        "p.likers*",
+        "measured",
+        "p.medFr",
+        "measured",
+        "p.#edges*",
+        "measured",
+        "p.#2hop*",
+        "measured"
     );
     let s = bench_scale();
     for row in paper::TABLE3 {
@@ -37,7 +45,10 @@ fn print_comparison() {
             m.two_hop_between_likers,
         );
     }
-    let _ = writeln!(body, "(*liker/edge counts scaled by {s}; friend medians are scale-invariant)");
+    let _ = writeln!(
+        body,
+        "(*liker/edge counts scaled by {s}; friend medians are scale-invariant)"
+    );
     let _ = writeln!(
         body,
         "shape: BL friend median >> everyone; BL in-group edges >> bot farms; ALMS group non-empty"

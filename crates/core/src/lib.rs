@@ -12,7 +12,9 @@
 //!   producing a [`StudyReport`](likelab_analysis::StudyReport) with every
 //!   table and figure;
 //! - [`shape`] — the reproduction checklist (orderings and factors that
-//!   must hold, since absolute numbers can't match a live 2014 platform).
+//!   must hold, since absolute numbers can't match a live 2014 platform);
+//! - [`sweep`] — [`run_sweep`]: N-seed × M-scale study fan-out with
+//!   per-metric mean/std/CI aggregation and deterministic per-run seeds.
 //!
 //! ```no_run
 //! use likelab_core::{run_study, StudyConfig};
@@ -28,6 +30,8 @@ pub mod paper;
 pub mod presets;
 pub mod shape;
 pub mod study;
+pub mod sweep;
 
 pub use shape::{checklist, render_checklist, ShapeCheck};
-pub use study::{run_study, StudyConfig, StudyOutcome};
+pub use study::{run_study, run_study_with, StudyConfig, StudyOutcome};
+pub use sweep::{run_sweep, MetricAggregate, SweepConfig, SweepReport};

@@ -31,19 +31,136 @@ pub struct PaperTable1Row {
 
 /// Table 1 as published.
 pub const TABLE1: [PaperTable1Row; 13] = [
-    PaperTable1Row { label: "FB-USA", provider: "Facebook.com", location: "USA", budget: "$6/day", duration: "15 days", monitoring_days: Some(22), likes: Some(32), terminated: Some(0) },
-    PaperTable1Row { label: "FB-FRA", provider: "Facebook.com", location: "France", budget: "$6/day", duration: "15 days", monitoring_days: Some(22), likes: Some(44), terminated: Some(0) },
-    PaperTable1Row { label: "FB-IND", provider: "Facebook.com", location: "India", budget: "$6/day", duration: "15 days", monitoring_days: Some(22), likes: Some(518), terminated: Some(2) },
-    PaperTable1Row { label: "FB-EGY", provider: "Facebook.com", location: "Egypt", budget: "$6/day", duration: "15 days", monitoring_days: Some(22), likes: Some(691), terminated: Some(6) },
-    PaperTable1Row { label: "FB-ALL", provider: "Facebook.com", location: "Worldwide", budget: "$6/day", duration: "15 days", monitoring_days: Some(22), likes: Some(484), terminated: Some(3) },
-    PaperTable1Row { label: "BL-ALL", provider: "BoostLikes.com", location: "Worldwide", budget: "$70.00", duration: "15 days", monitoring_days: None, likes: None, terminated: None },
-    PaperTable1Row { label: "BL-USA", provider: "BoostLikes.com", location: "USA", budget: "$190.00", duration: "15 days", monitoring_days: Some(22), likes: Some(621), terminated: Some(1) },
-    PaperTable1Row { label: "SF-ALL", provider: "SocialFormula.com", location: "Worldwide", budget: "$14.99", duration: "3 days", monitoring_days: Some(10), likes: Some(984), terminated: Some(11) },
-    PaperTable1Row { label: "SF-USA", provider: "SocialFormula.com", location: "USA", budget: "$69.99", duration: "3 days", monitoring_days: Some(10), likes: Some(738), terminated: Some(9) },
-    PaperTable1Row { label: "AL-ALL", provider: "AuthenticLikes.com", location: "Worldwide", budget: "$49.95", duration: "3-5 days", monitoring_days: Some(12), likes: Some(755), terminated: Some(8) },
-    PaperTable1Row { label: "AL-USA", provider: "AuthenticLikes.com", location: "USA", budget: "$59.95", duration: "3-5 days", monitoring_days: Some(22), likes: Some(1038), terminated: Some(36) },
-    PaperTable1Row { label: "MS-ALL", provider: "MammothSocials.com", location: "Worldwide", budget: "$20.00", duration: "-", monitoring_days: None, likes: None, terminated: None },
-    PaperTable1Row { label: "MS-USA", provider: "MammothSocials.com", location: "USA", budget: "$95.00", duration: "-", monitoring_days: Some(12), likes: Some(317), terminated: Some(9) },
+    PaperTable1Row {
+        label: "FB-USA",
+        provider: "Facebook.com",
+        location: "USA",
+        budget: "$6/day",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(32),
+        terminated: Some(0),
+    },
+    PaperTable1Row {
+        label: "FB-FRA",
+        provider: "Facebook.com",
+        location: "France",
+        budget: "$6/day",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(44),
+        terminated: Some(0),
+    },
+    PaperTable1Row {
+        label: "FB-IND",
+        provider: "Facebook.com",
+        location: "India",
+        budget: "$6/day",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(518),
+        terminated: Some(2),
+    },
+    PaperTable1Row {
+        label: "FB-EGY",
+        provider: "Facebook.com",
+        location: "Egypt",
+        budget: "$6/day",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(691),
+        terminated: Some(6),
+    },
+    PaperTable1Row {
+        label: "FB-ALL",
+        provider: "Facebook.com",
+        location: "Worldwide",
+        budget: "$6/day",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(484),
+        terminated: Some(3),
+    },
+    PaperTable1Row {
+        label: "BL-ALL",
+        provider: "BoostLikes.com",
+        location: "Worldwide",
+        budget: "$70.00",
+        duration: "15 days",
+        monitoring_days: None,
+        likes: None,
+        terminated: None,
+    },
+    PaperTable1Row {
+        label: "BL-USA",
+        provider: "BoostLikes.com",
+        location: "USA",
+        budget: "$190.00",
+        duration: "15 days",
+        monitoring_days: Some(22),
+        likes: Some(621),
+        terminated: Some(1),
+    },
+    PaperTable1Row {
+        label: "SF-ALL",
+        provider: "SocialFormula.com",
+        location: "Worldwide",
+        budget: "$14.99",
+        duration: "3 days",
+        monitoring_days: Some(10),
+        likes: Some(984),
+        terminated: Some(11),
+    },
+    PaperTable1Row {
+        label: "SF-USA",
+        provider: "SocialFormula.com",
+        location: "USA",
+        budget: "$69.99",
+        duration: "3 days",
+        monitoring_days: Some(10),
+        likes: Some(738),
+        terminated: Some(9),
+    },
+    PaperTable1Row {
+        label: "AL-ALL",
+        provider: "AuthenticLikes.com",
+        location: "Worldwide",
+        budget: "$49.95",
+        duration: "3-5 days",
+        monitoring_days: Some(12),
+        likes: Some(755),
+        terminated: Some(8),
+    },
+    PaperTable1Row {
+        label: "AL-USA",
+        provider: "AuthenticLikes.com",
+        location: "USA",
+        budget: "$59.95",
+        duration: "3-5 days",
+        monitoring_days: Some(22),
+        likes: Some(1038),
+        terminated: Some(36),
+    },
+    PaperTable1Row {
+        label: "MS-ALL",
+        provider: "MammothSocials.com",
+        location: "Worldwide",
+        budget: "$20.00",
+        duration: "-",
+        monitoring_days: None,
+        likes: None,
+        terminated: None,
+    },
+    PaperTable1Row {
+        label: "MS-USA",
+        provider: "MammothSocials.com",
+        location: "USA",
+        budget: "$95.00",
+        duration: "-",
+        monitoring_days: Some(12),
+        likes: Some(317),
+        terminated: Some(9),
+    },
 ];
 
 /// One row of the published Table 2 (percentages).
@@ -63,18 +180,90 @@ pub struct PaperTable2Row {
 
 /// Table 2 as published (the global row last).
 pub const TABLE2: [PaperTable2Row; 12] = [
-    PaperTable2Row { label: "FB-USA", female_pct: 54.0, male_pct: 46.0, age_pct: [54.0, 27.0, 6.8, 6.8, 1.4, 4.1], kl: Some(0.45) },
-    PaperTable2Row { label: "FB-FRA", female_pct: 46.0, male_pct: 54.0, age_pct: [60.8, 20.8, 8.7, 2.6, 5.2, 1.7], kl: Some(0.54) },
-    PaperTable2Row { label: "FB-IND", female_pct: 7.0, male_pct: 93.0, age_pct: [52.7, 43.5, 2.3, 0.7, 0.5, 0.3], kl: Some(1.12) },
-    PaperTable2Row { label: "FB-EGY", female_pct: 18.0, male_pct: 82.0, age_pct: [54.6, 34.4, 6.4, 2.9, 0.8, 0.8], kl: Some(0.64) },
-    PaperTable2Row { label: "FB-ALL", female_pct: 6.0, male_pct: 94.0, age_pct: [51.3, 44.4, 2.1, 1.1, 0.5, 0.6], kl: Some(1.04) },
-    PaperTable2Row { label: "BL-USA", female_pct: 53.0, male_pct: 47.0, age_pct: [34.2, 54.5, 8.8, 1.5, 0.7, 0.5], kl: Some(0.60) },
-    PaperTable2Row { label: "SF-ALL", female_pct: 37.0, male_pct: 63.0, age_pct: [19.8, 33.3, 21.0, 15.2, 7.2, 2.8], kl: Some(0.04) },
-    PaperTable2Row { label: "SF-USA", female_pct: 37.0, male_pct: 63.0, age_pct: [22.3, 34.6, 22.9, 11.6, 5.4, 2.9], kl: Some(0.04) },
-    PaperTable2Row { label: "AL-ALL", female_pct: 42.0, male_pct: 58.0, age_pct: [15.8, 52.8, 13.4, 9.7, 5.2, 3.0], kl: Some(0.12) },
-    PaperTable2Row { label: "AL-USA", female_pct: 31.0, male_pct: 68.0, age_pct: [7.2, 41.0, 35.0, 10.0, 3.5, 2.8], kl: Some(0.09) },
-    PaperTable2Row { label: "MS-USA", female_pct: 26.0, male_pct: 74.0, age_pct: [8.6, 46.9, 34.5, 6.4, 1.9, 1.4], kl: Some(0.17) },
-    PaperTable2Row { label: "Facebook", female_pct: 46.0, male_pct: 54.0, age_pct: [14.9, 32.3, 26.6, 13.2, 7.2, 5.9], kl: None },
+    PaperTable2Row {
+        label: "FB-USA",
+        female_pct: 54.0,
+        male_pct: 46.0,
+        age_pct: [54.0, 27.0, 6.8, 6.8, 1.4, 4.1],
+        kl: Some(0.45),
+    },
+    PaperTable2Row {
+        label: "FB-FRA",
+        female_pct: 46.0,
+        male_pct: 54.0,
+        age_pct: [60.8, 20.8, 8.7, 2.6, 5.2, 1.7],
+        kl: Some(0.54),
+    },
+    PaperTable2Row {
+        label: "FB-IND",
+        female_pct: 7.0,
+        male_pct: 93.0,
+        age_pct: [52.7, 43.5, 2.3, 0.7, 0.5, 0.3],
+        kl: Some(1.12),
+    },
+    PaperTable2Row {
+        label: "FB-EGY",
+        female_pct: 18.0,
+        male_pct: 82.0,
+        age_pct: [54.6, 34.4, 6.4, 2.9, 0.8, 0.8],
+        kl: Some(0.64),
+    },
+    PaperTable2Row {
+        label: "FB-ALL",
+        female_pct: 6.0,
+        male_pct: 94.0,
+        age_pct: [51.3, 44.4, 2.1, 1.1, 0.5, 0.6],
+        kl: Some(1.04),
+    },
+    PaperTable2Row {
+        label: "BL-USA",
+        female_pct: 53.0,
+        male_pct: 47.0,
+        age_pct: [34.2, 54.5, 8.8, 1.5, 0.7, 0.5],
+        kl: Some(0.60),
+    },
+    PaperTable2Row {
+        label: "SF-ALL",
+        female_pct: 37.0,
+        male_pct: 63.0,
+        age_pct: [19.8, 33.3, 21.0, 15.2, 7.2, 2.8],
+        kl: Some(0.04),
+    },
+    PaperTable2Row {
+        label: "SF-USA",
+        female_pct: 37.0,
+        male_pct: 63.0,
+        age_pct: [22.3, 34.6, 22.9, 11.6, 5.4, 2.9],
+        kl: Some(0.04),
+    },
+    PaperTable2Row {
+        label: "AL-ALL",
+        female_pct: 42.0,
+        male_pct: 58.0,
+        age_pct: [15.8, 52.8, 13.4, 9.7, 5.2, 3.0],
+        kl: Some(0.12),
+    },
+    PaperTable2Row {
+        label: "AL-USA",
+        female_pct: 31.0,
+        male_pct: 68.0,
+        age_pct: [7.2, 41.0, 35.0, 10.0, 3.5, 2.8],
+        kl: Some(0.09),
+    },
+    PaperTable2Row {
+        label: "MS-USA",
+        female_pct: 26.0,
+        male_pct: 74.0,
+        age_pct: [8.6, 46.9, 34.5, 6.4, 1.9, 1.4],
+        kl: Some(0.17),
+    },
+    PaperTable2Row {
+        label: "Facebook",
+        female_pct: 46.0,
+        male_pct: 54.0,
+        age_pct: [14.9, 32.3, 26.6, 13.2, 7.2, 5.9],
+        kl: None,
+    },
 ];
 
 /// One row of the published Table 3.
@@ -102,12 +291,72 @@ pub struct PaperTable3Row {
 
 /// Table 3 as published.
 pub const TABLE3: [PaperTable3Row; 6] = [
-    PaperTable3Row { provider: "Facebook.com", likers: 1448, public_friend_lists: 261, public_pct: 18.0, friends_mean: 315.0, friends_std: 454.0, friends_median: 198.0, friendships: 6, two_hop: 169 },
-    PaperTable3Row { provider: "BoostLikes.com", likers: 621, public_friend_lists: 161, public_pct: 25.9, friends_mean: 1171.0, friends_std: 1096.0, friends_median: 850.0, friendships: 540, two_hop: 2987 },
-    PaperTable3Row { provider: "SocialFormula.com", likers: 1644, public_friend_lists: 954, public_pct: 58.0, friends_mean: 246.0, friends_std: 330.0, friends_median: 155.0, friendships: 50, two_hop: 1132 },
-    PaperTable3Row { provider: "AuthenticLikes.com", likers: 1597, public_friend_lists: 680, public_pct: 42.6, friends_mean: 719.0, friends_std: 973.0, friends_median: 343.0, friendships: 64, two_hop: 1174 },
-    PaperTable3Row { provider: "MammothSocials.com", likers: 121, public_friend_lists: 62, public_pct: 51.2, friends_mean: 250.0, friends_std: 585.0, friends_median: 68.0, friendships: 4, two_hop: 129 },
-    PaperTable3Row { provider: "ALMS", likers: 213, public_friend_lists: 101, public_pct: 47.4, friends_mean: 426.0, friends_std: 961.0, friends_median: 46.0, friendships: 27, two_hop: 229 },
+    PaperTable3Row {
+        provider: "Facebook.com",
+        likers: 1448,
+        public_friend_lists: 261,
+        public_pct: 18.0,
+        friends_mean: 315.0,
+        friends_std: 454.0,
+        friends_median: 198.0,
+        friendships: 6,
+        two_hop: 169,
+    },
+    PaperTable3Row {
+        provider: "BoostLikes.com",
+        likers: 621,
+        public_friend_lists: 161,
+        public_pct: 25.9,
+        friends_mean: 1171.0,
+        friends_std: 1096.0,
+        friends_median: 850.0,
+        friendships: 540,
+        two_hop: 2987,
+    },
+    PaperTable3Row {
+        provider: "SocialFormula.com",
+        likers: 1644,
+        public_friend_lists: 954,
+        public_pct: 58.0,
+        friends_mean: 246.0,
+        friends_std: 330.0,
+        friends_median: 155.0,
+        friendships: 50,
+        two_hop: 1132,
+    },
+    PaperTable3Row {
+        provider: "AuthenticLikes.com",
+        likers: 1597,
+        public_friend_lists: 680,
+        public_pct: 42.6,
+        friends_mean: 719.0,
+        friends_std: 973.0,
+        friends_median: 343.0,
+        friendships: 64,
+        two_hop: 1174,
+    },
+    PaperTable3Row {
+        provider: "MammothSocials.com",
+        likers: 121,
+        public_friend_lists: 62,
+        public_pct: 51.2,
+        friends_mean: 250.0,
+        friends_std: 585.0,
+        friends_median: 68.0,
+        friendships: 4,
+        two_hop: 129,
+    },
+    PaperTable3Row {
+        provider: "ALMS",
+        likers: 213,
+        public_friend_lists: 101,
+        public_pct: 47.4,
+        friends_mean: 426.0,
+        friends_std: 961.0,
+        friends_median: 46.0,
+        friendships: 27,
+        two_hop: 229,
+    },
 ];
 
 /// Figure 1 headline: FB-ALL's likes came almost exclusively from India.
@@ -198,11 +447,7 @@ mod tests {
     fn table2_rows_sum_to_roughly_100() {
         for r in &TABLE2 {
             let sum: f64 = r.age_pct.iter().sum();
-            assert!(
-                (sum - 100.0).abs() < 1.5,
-                "{}: ages sum to {sum}",
-                r.label
-            );
+            assert!((sum - 100.0).abs() < 1.5, "{}: ages sum to {sum}", r.label);
             assert!((r.female_pct + r.male_pct - 100.0).abs() < 1.5);
         }
     }

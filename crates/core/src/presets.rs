@@ -34,7 +34,13 @@ fn ads(label: &str, targeting: Targeting) -> CampaignSpec {
     }
 }
 
-fn farm(label: &str, farm: usize, region: Region, price_cents: u64, duration: &str) -> CampaignSpec {
+fn farm(
+    label: &str,
+    farm: usize,
+    region: Region,
+    price_cents: u64,
+    duration: &str,
+) -> CampaignSpec {
     CampaignSpec {
         label: label.into(),
         promotion: Promotion::FarmOrder {
@@ -56,11 +62,23 @@ pub fn paper_campaigns() -> Vec<CampaignSpec> {
         ads("FB-EGY", Targeting::country(Country::Egypt)),
         ads("FB-ALL", Targeting::worldwide()),
         farm("BL-ALL", BL, Region::Worldwide, 7_000, "15 days"),
-        farm("BL-USA", BL, Region::Country(Country::Usa), 19_000, "15 days"),
+        farm(
+            "BL-USA",
+            BL,
+            Region::Country(Country::Usa),
+            19_000,
+            "15 days",
+        ),
         farm("SF-ALL", SF, Region::Worldwide, 1_499, "3 days"),
         farm("SF-USA", SF, Region::Country(Country::Usa), 6_999, "3 days"),
         farm("AL-ALL", AL, Region::Worldwide, 4_995, "3-5 days"),
-        farm("AL-USA", AL, Region::Country(Country::Usa), 5_995, "3-5 days"),
+        farm(
+            "AL-USA",
+            AL,
+            Region::Country(Country::Usa),
+            5_995,
+            "3-5 days",
+        ),
         farm("MS-ALL", MS, Region::Worldwide, 2_000, "-"),
         farm("MS-USA", MS, Region::Country(Country::Usa), 9_500, "-"),
     ]

@@ -60,8 +60,16 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
         "no likes delivered".into(),
         format!(
             "BL-ALL: {:?}, MS-ALL: {:?}",
-            report.table1.iter().find(|r| r.label == "BL-ALL").and_then(|r| r.likes),
-            report.table1.iter().find(|r| r.label == "MS-ALL").and_then(|r| r.likes)
+            report
+                .table1
+                .iter()
+                .find(|r| r.label == "BL-ALL")
+                .and_then(|r| r.likes),
+            report
+                .table1
+                .iter()
+                .find(|r| r.label == "MS-ALL")
+                .and_then(|r| r.likes)
         ),
         report
             .table1
@@ -135,7 +143,12 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
         "Table 2",
         "FB-IND/EGY/ALL diverge hard from the global population",
         "KL 1.12 / 0.64 / 1.04".into(),
-        format!("KL {:.2} / {:.2} / {:.2}", kl("FB-IND"), kl("FB-EGY"), kl("FB-ALL")),
+        format!(
+            "KL {:.2} / {:.2} / {:.2}",
+            kl("FB-IND"),
+            kl("FB-EGY"),
+            kl("FB-ALL")
+        ),
         kl("FB-IND") > 0.4 && kl("FB-EGY") > 0.3 && kl("FB-ALL") > 0.4,
     ));
     out.push(check(
@@ -157,9 +170,15 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
         "likes garnered within ~2 hours".into(),
         format!(
             "peak 2h shares: SF {:.0}%, AL {:.0}%, MS {:.0}%",
-            series("SF-ALL").map(|s| s.peak_2h_share * 100.0).unwrap_or(0.0),
-            series("AL-USA").map(|s| s.peak_2h_share * 100.0).unwrap_or(0.0),
-            series("MS-USA").map(|s| s.peak_2h_share * 100.0).unwrap_or(0.0),
+            series("SF-ALL")
+                .map(|s| s.peak_2h_share * 100.0)
+                .unwrap_or(0.0),
+            series("AL-USA")
+                .map(|s| s.peak_2h_share * 100.0)
+                .unwrap_or(0.0),
+            series("MS-USA")
+                .map(|s| s.peak_2h_share * 100.0)
+                .unwrap_or(0.0),
         ),
         burst_ok,
     ));
@@ -173,9 +192,14 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
         format!(
             "BL-USA t90 = {:.1}d, peak 2h {:.0}%",
             series("BL-USA").map(|s| s.days_to_90pct).unwrap_or(0.0),
-            series("BL-USA").map(|s| s.peak_2h_share * 100.0).unwrap_or(0.0),
+            series("BL-USA")
+                .map(|s| s.peak_2h_share * 100.0)
+                .unwrap_or(0.0),
         ),
-        smooth_ok && series("BL-USA").map(|s| s.days_to_90pct > 8.0).unwrap_or(false),
+        smooth_ok
+            && series("BL-USA")
+                .map(|s| s.days_to_90pct > 8.0)
+                .unwrap_or(false),
     ));
 
     // --- Table 3 / Figure 3 ------------------------------------------------
@@ -246,8 +270,7 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
             median("SF-ALL"),
             median("Facebook")
         ),
-        median("FB-IND") > median("Facebook") * 5.0
-            && median("SF-ALL") > median("Facebook") * 10.0,
+        median("FB-IND") > median("Facebook") * 5.0 && median("SF-ALL") > median("Facebook") * 10.0,
     ));
     out.push(check(
         "Figure 4",

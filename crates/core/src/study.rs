@@ -27,11 +27,11 @@ use likelab_honeypot::{
 };
 use likelab_osn::ads::{plan_campaign, AdCampaignSpec};
 use likelab_osn::organic::plan_background_activity;
-use likelab_osn::population::{synthesize, Population, PopulationConfig};
+use likelab_osn::population::{synthesize_with, Population, PopulationConfig};
 use likelab_osn::{
     AdMarket, AudienceReport, CrawlApi, CrawlConfig, FraudOps, FraudOpsConfig, OsnWorld,
 };
-use likelab_sim::{Engine, Rng, SimDuration, SimTime, Trace};
+use likelab_sim::{Engine, Exec, Rng, SimDuration, SimTime, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Everything a study run is parameterized by.
@@ -129,14 +129,29 @@ fn campaign_days(spec: &CampaignSpec, farms: &[FarmSpec]) -> u64 {
 }
 
 /// Run the study. See the module docs for the protocol.
+///
+/// Parallelizable stages (population synthesis, report assembly) use
+/// [`Exec::auto`]; the outcome is bit-identical for any worker count — see
+/// [`run_study_with`].
 pub fn run_study(config: &StudyConfig) -> StudyOutcome {
+    run_study_with(config, Exec::auto())
+}
+
+/// Run the study under an explicit execution policy.
+///
+/// `exec` governs the two embarrassingly parallel stages — per-user like
+/// history synthesis and per-section report assembly. The event loop itself
+/// is inherently serial and untouched. Every parallel stage derives its
+/// randomness from index-split streams and reassembles results in index
+/// order, so the returned outcome is bit-identical for every `exec`.
+pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut trace = Trace::with_capacity(10_000);
     let mut world = OsnWorld::new();
 
     // --- population -----------------------------------------------------
     let pop_config = config.population.clone().scaled(config.scale);
-    let population = synthesize(&mut world, &pop_config, &mut rng.fork("population"));
+    let population = synthesize_with(&mut world, &pop_config, &mut rng.fork("population"), exec);
     let launch = population.launch;
     trace.note(
         launch,
@@ -163,8 +178,12 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
     let mut engine: Engine<Ev> = Engine::new();
     let mut max_campaign_end = launch;
 
-    let mut ads_rng = rng.fork("ads");
-    for spec in &config.campaigns {
+    // Each campaign plans its ads from `ads_rng.split(campaign_index)`: the
+    // stream is a pure function of (seed, index), so adding draws to one
+    // campaign — or planning campaigns out of order, or in parallel — never
+    // perturbs another campaign's stream.
+    let ads_rng = rng.fork("ads");
+    for (campaign_index, spec) in config.campaigns.iter().enumerate() {
         let (page, _owner) = deploy_honeypot(&mut world, launch);
         honeypots.push(page);
         let days = campaign_days(spec, &config.farms);
@@ -189,11 +208,21 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
                         leakage: config.ad_leakage,
                     },
                     launch,
-                    &mut ads_rng,
+                    &mut ads_rng.split(campaign_index as u64),
                 );
-                trace.note(launch, format!("{}: ad plan of {} likes", spec.label, plan.len()));
+                trace.note(
+                    launch,
+                    format!("{}: ad plan of {} likes", spec.label, plan.len()),
+                );
                 for p in plan {
-                    engine.schedule(p.at, Ev::Like(TimedLike { user: p.user, page, at: p.at }));
+                    engine.schedule(
+                        p.at,
+                        Ev::Like(TimedLike {
+                            user: p.user,
+                            page,
+                            at: p.at,
+                        }),
+                    );
                 }
             }
             Promotion::FarmOrder {
@@ -216,7 +245,10 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
                     is_scam = true;
                     trace.note(
                         launch,
-                        format!("{}: campaign remained inactive (charged in advance)", spec.label),
+                        format!(
+                            "{}: campaign remained inactive (charged in advance)",
+                            spec.label
+                        ),
                     );
                 } else {
                     trace.note(
@@ -235,9 +267,8 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
             }
         }
         inactive.push(is_scam);
-        monitors.push((!is_scam).then(|| {
-            PageMonitor::new(page, launch, campaign_end, config.crawler)
-        }));
+        monitors
+            .push((!is_scam).then(|| PageMonitor::new(page, launch, campaign_end, config.crawler)));
     }
 
     let end = max_campaign_end + config.termination_check_after;
@@ -253,7 +284,10 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
             window,
             &mut rng.fork("organic"),
         );
-        trace.note(launch, format!("organic activity: {} likes planned", plan.len()));
+        trace.note(
+            launch,
+            format!("organic activity: {} likes planned", plan.len()),
+        );
         for l in plan {
             engine.schedule(
                 l.at,
@@ -339,17 +373,14 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
     }
 
     let n_baseline = ((config.baseline_sample as f64 * config.scale).round() as usize).max(50);
-    let baseline: Vec<BaselineRecord> = likelab_osn::directory::random_sample(
-        &world,
-        n_baseline,
-        &mut rng.fork("baseline"),
-    )
-    .into_iter()
-    .map(|user| BaselineRecord {
-        user,
-        like_count: world.likes().user_like_count(user),
-    })
-    .collect();
+    let baseline: Vec<BaselineRecord> =
+        likelab_osn::directory::random_sample(&world, n_baseline, &mut rng.fork("baseline"))
+            .into_iter()
+            .map(|user| BaselineRecord {
+                user,
+                like_count: world.likes().user_like_count(user),
+            })
+            .collect();
 
     let dataset = Dataset {
         campaigns: campaigns_data,
@@ -357,7 +388,7 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
         launch,
         global_report: AudienceReport::global(&world),
     };
-    let report = StudyReport::compute(&dataset);
+    let report = StudyReport::compute_with(&dataset, exec);
 
     StudyOutcome {
         dataset,
@@ -434,7 +465,11 @@ mod tests {
     fn burst_farms_burst_trickles_trickle() {
         let o = outcome();
         let series = |l: &str| o.report.figure2.iter().find(|s| s.label == l).unwrap();
-        assert!(series("AL-USA").peak_2h_share > 0.3, "{}", series("AL-USA").peak_2h_share);
+        assert!(
+            series("AL-USA").peak_2h_share > 0.3,
+            "{}",
+            series("AL-USA").peak_2h_share
+        );
         assert!(series("SF-ALL").peak_2h_share > 0.3);
         assert!(series("BL-USA").peak_2h_share < 0.1);
         assert!(series("FB-IND").peak_2h_share < 0.1);
@@ -534,7 +569,14 @@ mod tests {
         let o = outcome();
         use likelab_analysis::Provider as P;
         let t = &o.report.termination;
-        let likers = |p: P| o.report.table3.iter().find(|r| r.provider == p).unwrap().likers;
+        let likers = |p: P| {
+            o.report
+                .table3
+                .iter()
+                .find(|r| r.provider == p)
+                .unwrap()
+                .likers
+        };
         let rate = |p: P| t.rate(p, likers(p).max(1));
         assert!(
             rate(P::BoostLikes) < rate(P::AuthenticLikes) + 0.02,
@@ -570,12 +612,7 @@ mod tests {
                 assert!(c.monitoring_days.is_none());
             } else {
                 let days = c.monitoring_days.expect("active campaigns stop eventually");
-                assert!(
-                    (8..=40).contains(&days),
-                    "{}: {} days",
-                    c.spec.label,
-                    days
-                );
+                assert!((8..=40).contains(&days), "{}: {} days", c.spec.label, days);
             }
         }
     }

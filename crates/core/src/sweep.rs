@@ -1,0 +1,336 @@
+//! Multi-seed, multi-scale study sweeps.
+//!
+//! One simulated study is a single draw from the generative model; the
+//! paper's claims are about *distributions* (Table 2's demographics skews,
+//! Figure 2's burst timing, §5's termination counts). A sweep runs the full
+//! study protocol for `n_seeds` independent seeds at each requested world
+//! scale, extracts a fixed set of headline metrics per run, and aggregates
+//! them into per-scale mean / standard deviation / 95% confidence intervals —
+//! the numbers a reproduction should actually be judged against.
+//!
+//! ## Determinism
+//!
+//! Run `k` draws its seed from
+//! [`derive_stream_seed`]`(master_seed, k)` — a pure function, so the same
+//! master seed regenerates the same sweep forever, regardless of how many
+//! workers execute it or in what order runs finish. The same `n_seeds` seeds
+//! are reused across scales, pairing runs so cross-scale comparisons cancel
+//! seed noise. [`run_sweep`] fans runs out via
+//! [`parallel_map`], whose output is position-stable: a parallel sweep is
+//! byte-identical (through JSON) to a sequential one.
+
+use crate::study::{run_study, StudyConfig};
+use likelab_analysis::StudyReport;
+use likelab_sim::{derive_stream_seed, parallel_map, Exec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What to sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Master seed; per-run seeds derive from it via [`derive_stream_seed`].
+    pub master_seed: u64,
+    /// Independent seeds per scale.
+    pub n_seeds: usize,
+    /// World scales to sweep (1.0 = paper-sized campaigns).
+    pub scales: Vec<f64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            master_seed: 42,
+            n_seeds: 8,
+            scales: vec![0.1],
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The seed of run `k` (shared across scales, so runs pair up).
+    pub fn seed_of_run(&self, k: usize) -> u64 {
+        derive_stream_seed(self.master_seed, k as u64)
+    }
+}
+
+/// One study run's extracted metrics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The derived per-run seed the study ran with.
+    pub seed: u64,
+    /// Headline metrics, keyed by stable metric name.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Mean/spread summary of one metric across the runs of one scale.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MetricAggregate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single run).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% CI (`1.96·sd/√n`).
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of runs aggregated.
+    pub n: usize,
+}
+
+impl MetricAggregate {
+    /// Aggregate a non-empty sample.
+    pub fn of(values: &[f64]) -> MetricAggregate {
+        assert!(!values.is_empty(), "aggregating an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in values {
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+        MetricAggregate {
+            mean,
+            std_dev,
+            ci95: 1.96 * std_dev / (n as f64).sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+}
+
+/// All runs and aggregates at one world scale.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// The world scale these runs used.
+    pub scale: f64,
+    /// Per-run records, in run (= derived-seed) order.
+    pub runs: Vec<RunRecord>,
+    /// Per-metric aggregates over the runs.
+    pub aggregates: BTreeMap<String, MetricAggregate>,
+}
+
+/// The aggregated result of a sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The configuration that produced this report.
+    pub config: SweepConfig,
+    /// One cell per scale, in configuration order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Render a compact per-scale summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "== scale {} ({} runs) ==\n",
+                cell.scale,
+                cell.runs.len()
+            ));
+            out.push_str(&format!(
+                "{:26} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                "metric", "mean", "std", "ci95", "min", "max"
+            ));
+            for (name, a) in &cell.aggregates {
+                out.push_str(&format!(
+                    "{:26} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                    name, a.mean, a.std_dev, a.ci95, a.min, a.max
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Extract the headline metrics of one study report.
+///
+/// Names are part of the JSON surface — append, never rename.
+pub fn study_metrics(report: &StudyReport) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    m.insert("campaign_likes".into(), report.totals.campaign_likes as f64);
+    m.insert("farm_likes".into(), report.totals.farm_likes as f64);
+    m.insert("ad_likes".into(), report.totals.ad_likes as f64);
+    m.insert(
+        "observed_page_likes".into(),
+        report.totals.observed_page_likes as f64,
+    );
+    m.insert(
+        "observed_friendships".into(),
+        report.totals.observed_friendships as f64,
+    );
+    m.insert(
+        "terminated_accounts".into(),
+        report.termination.total as f64,
+    );
+    m.insert(
+        "active_campaigns".into(),
+        report.table1.iter().filter(|r| r.likes.is_some()).count() as f64,
+    );
+    let kls: Vec<f64> = report.table2.iter().filter_map(|r| r.kl).collect();
+    if !kls.is_empty() {
+        m.insert(
+            "mean_kl_divergence".into(),
+            kls.iter().sum::<f64>() / kls.len() as f64,
+        );
+    }
+    m
+}
+
+/// Run the full sweep under an explicit execution policy.
+///
+/// The `n_seeds × scales` cross product fans out as one flat work list, so
+/// a tall sweep (many seeds, one scale) parallelizes as well as a wide one.
+/// Each run's own parallel stages keep their [`Exec::auto`] policy; since
+/// every stage is exec-independent by construction, nesting affects thread
+/// counts only, never results.
+pub fn run_sweep(config: &SweepConfig, exec: Exec) -> SweepReport {
+    assert!(config.n_seeds > 0, "sweep needs at least one seed");
+    assert!(!config.scales.is_empty(), "sweep needs at least one scale");
+    for s in &config.scales {
+        assert!(*s > 0.0, "scale must be positive, got {s}");
+    }
+
+    let work: Vec<(f64, u64)> = config
+        .scales
+        .iter()
+        .flat_map(|scale| (0..config.n_seeds).map(|k| (*scale, config.seed_of_run(k))))
+        .collect();
+    let records = parallel_map(exec, &work, |_, &(scale, seed)| {
+        let outcome = run_study(&StudyConfig::paper(seed, scale));
+        RunRecord {
+            seed,
+            metrics: study_metrics(&outcome.report),
+        }
+    });
+
+    let mut cells = Vec::with_capacity(config.scales.len());
+    for (i, scale) in config.scales.iter().enumerate() {
+        let runs: Vec<RunRecord> = records[i * config.n_seeds..(i + 1) * config.n_seeds].to_vec();
+        let names: Vec<String> = runs
+            .first()
+            .map(|r| r.metrics.keys().cloned().collect())
+            .unwrap_or_default();
+        let aggregates = names
+            .into_iter()
+            .filter_map(|name| {
+                let values: Vec<f64> = runs
+                    .iter()
+                    .filter_map(|r| r.metrics.get(&name).copied())
+                    .collect();
+                (!values.is_empty()).then(|| (name, MetricAggregate::of(&values)))
+            })
+            .collect();
+        cells.push(SweepCell {
+            scale: *scale,
+            runs,
+            aggregates,
+        });
+    }
+    SweepReport {
+        config: config.clone(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_math_is_right() {
+        let a = MetricAggregate::of(&[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.mean, 5.0);
+        assert!((a.std_dev - 2.581_988_897_471_611).abs() < 1e-12);
+        assert!((a.ci95 - 1.96 * a.std_dev / 2.0).abs() < 1e-12);
+        assert_eq!(a.min, 2.0);
+        assert_eq!(a.max, 8.0);
+        assert_eq!(a.n, 4);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let a = MetricAggregate::of(&[7.5]);
+        assert_eq!(a.mean, 7.5);
+        assert_eq!(a.std_dev, 0.0);
+        assert_eq!(a.ci95, 0.0);
+        assert_eq!(a.n, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_rejected() {
+        let _ = MetricAggregate::of(&[]);
+    }
+
+    #[test]
+    fn run_seeds_are_distinct_and_stable() {
+        let config = SweepConfig {
+            master_seed: 42,
+            n_seeds: 16,
+            scales: vec![0.05],
+        };
+        let seeds: Vec<u64> = (0..16).map(|k| config.seed_of_run(k)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 16);
+        // Stable across calls and config clones.
+        assert_eq!(config.clone().seed_of_run(3), seeds[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn zero_seeds_rejected() {
+        let config = SweepConfig {
+            n_seeds: 0,
+            ..SweepConfig::default()
+        };
+        let _ = run_sweep(&config, Exec::Sequential);
+    }
+
+    // Full-study sweep runs live in tests/sweep_determinism.rs (they are
+    // integration-scale); here we only exercise the pure plumbing.
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = SweepReport {
+            config: SweepConfig {
+                master_seed: 1,
+                n_seeds: 1,
+                scales: vec![0.5],
+            },
+            cells: vec![SweepCell {
+                scale: 0.5,
+                runs: vec![RunRecord {
+                    seed: 99,
+                    metrics: [("campaign_likes".to_string(), 123.0)]
+                        .into_iter()
+                        .collect(),
+                }],
+                aggregates: [("campaign_likes".to_string(), MetricAggregate::of(&[123.0]))]
+                    .into_iter()
+                    .collect(),
+            }],
+        };
+        let json = report.to_json().unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.to_json().unwrap(), json);
+        assert_eq!(back.cells[0].runs[0].seed, 99);
+    }
+}

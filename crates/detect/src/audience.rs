@@ -136,8 +136,7 @@ mod tests {
         let clickers = add_from(&mut world, &young_male_india_bp(), 200, &mut rng);
         let normal_page =
             world.create_page("n", "", None, PageCategory::Background, SimTime::EPOCH);
-        let boosted_page =
-            world.create_page("b", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        let boosted_page = world.create_page("b", "", None, PageCategory::Honeypot, SimTime::EPOCH);
         for u in normals.iter().take(200) {
             world.record_like(*u, normal_page, SimTime::at_day(1));
         }

@@ -44,7 +44,7 @@ pub struct BurstVerdict {
 }
 
 /// The densest-window share of a sorted-or-not time stream.
-pub fn peak_share(times: &mut Vec<SimTime>, window: SimDuration) -> f64 {
+pub fn peak_share(times: &mut [SimTime], window: SimDuration) -> f64 {
     if times.is_empty() {
         return 0.0;
     }
@@ -202,7 +202,11 @@ mod tests {
             );
         }
         for i in 30..60u32 {
-            w.record_like(UserId(0), PageId(i), SimTime::at_day(10 + 30 * u64::from(i)));
+            w.record_like(
+                UserId(0),
+                PageId(i),
+                SimTime::at_day(10 + 30 * u64::from(i)),
+            );
         }
         let v = judge_account(&w, UserId(0), &BurstConfig::default());
         assert!(v.flagged);

@@ -24,9 +24,7 @@ impl PositiveClass {
     pub fn is_positive(self, class: ActorClass) -> bool {
         match self {
             PositiveClass::FarmOnly => class.is_farm(),
-            PositiveClass::FarmAndClickProne => {
-                class.is_farm() || class == ActorClass::ClickProne
-            }
+            PositiveClass::FarmAndClickProne => class.is_farm() || class == ActorClass::ClickProne,
         }
     }
 }
@@ -255,8 +253,7 @@ mod tests {
             .collect();
         let w = world_with_classes(&classes);
         let mut rng = likelab_sim::Rng::seed_from_u64(5);
-        let scored: Vec<(UserId, f64)> =
-            (0..n).map(|i| (UserId(i as u32), rng.f64())).collect();
+        let scored: Vec<(UserId, f64)> = (0..n).map(|i| (UserId(i as u32), rng.f64())).collect();
         let r = roc(&w, &scored, PositiveClass::FarmOnly);
         assert!((r.auc - 0.5).abs() < 0.05, "auc {}", r.auc);
     }

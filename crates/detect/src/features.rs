@@ -26,7 +26,12 @@ pub struct AccountFeatures {
 }
 
 /// Extract features for one account at time `now`.
-pub fn extract(world: &OsnWorld, user: UserId, now: SimTime, burst: &BurstConfig) -> AccountFeatures {
+pub fn extract(
+    world: &OsnWorld,
+    user: UserId,
+    now: SimTime,
+    burst: &BurstConfig,
+) -> AccountFeatures {
     let acct = world.account(user);
     AccountFeatures {
         burstiness: judge_account(world, user, burst).peak_share,
@@ -41,9 +46,7 @@ pub fn extract(world: &OsnWorld, user: UserId, now: SimTime, burst: &BurstConfig
 mod tests {
     use super::*;
     use likelab_graph::PageId;
-    use likelab_osn::{
-        ActorClass, Country, Gender, PageCategory, PrivacySettings, Profile,
-    };
+    use likelab_osn::{ActorClass, Country, Gender, PageCategory, PrivacySettings, Profile};
     use likelab_sim::SimDuration;
 
     #[test]

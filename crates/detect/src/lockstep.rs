@@ -95,10 +95,7 @@ pub fn detect(world: &OsnWorld, config: &LockstepConfig) -> LockstepReport {
         .filter(|(_, c)| *c as usize >= config.min_shared_buckets)
         .map(|(p, _)| p)
         .collect();
-    let mut members: Vec<UserId> = strong
-        .iter()
-        .flat_map(|(a, b)| [*a, *b])
-        .collect();
+    let mut members: Vec<UserId> = strong.iter().flat_map(|(a, b)| [*a, *b]).collect();
     members.sort_unstable();
     members.dedup();
     let mut uf = likelab_graph::UnionFind::new(&members);

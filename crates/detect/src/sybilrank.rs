@@ -20,16 +20,10 @@ use likelab_graph::{FriendGraph, UserId};
 use serde::{Deserialize, Serialize};
 
 /// SybilRank parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
 pub struct SybilRankConfig {
     /// Power-iteration count; `None` uses ⌈log₂ n⌉ as in the paper.
     pub iterations: Option<usize>,
-}
-
-impl Default for SybilRankConfig {
-    fn default() -> Self {
-        SybilRankConfig { iterations: None }
-    }
 }
 
 /// Degree-normalized trust scores per account (higher = more trusted).
@@ -52,10 +46,7 @@ impl TrustScores {
     /// Accounts ranked most-suspicious first (lowest trust), restricted to
     /// nodes with at least one edge (isolated nodes carry no graph signal).
     pub fn ranked_suspicious(&self, graph: &FriendGraph) -> Vec<UserId> {
-        let mut v: Vec<UserId> = graph
-            .nodes()
-            .filter(|u| graph.degree(*u) > 0)
-            .collect();
+        let mut v: Vec<UserId> = graph.nodes().filter(|u| graph.degree(*u) > 0).collect();
         v.sort_by(|a, b| {
             self.trust(*a)
                 .partial_cmp(&self.trust(*b))

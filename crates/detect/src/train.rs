@@ -203,8 +203,7 @@ mod tests {
         let trained = fit(&train, &TrainConfig::default());
         let hand = ScorerWeights::default();
         let auc_of = |w: &ScorerWeights| {
-            let scored: Vec<(f64, bool)> =
-                test.iter().map(|(f, y)| (score(f, w), *y)).collect();
+            let scored: Vec<(f64, bool)> = test.iter().map(|(f, y)| (score(f, w), *y)).collect();
             auc(&scored)
         };
         assert!(

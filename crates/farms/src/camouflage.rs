@@ -94,13 +94,7 @@ mod tests {
 
     #[test]
     fn bursty_history_is_sessionized() {
-        let times = camouflage_times(
-            900,
-            SimTime::EPOCH,
-            SimTime::at_day(90),
-            true,
-            &mut rng(),
-        );
+        let times = camouflage_times(900, SimTime::EPOCH, SimTime::at_day(90), true, &mut rng());
         assert_eq!(times.len(), 900);
         // The densest 2h window holds a session's worth, not a uniform sliver.
         let share = peak_window_share(&times, SimDuration::hours(2));
@@ -113,13 +107,7 @@ mod tests {
 
     #[test]
     fn smooth_history_is_spread() {
-        let times = camouflage_times(
-            900,
-            SimTime::EPOCH,
-            SimTime::at_day(90),
-            false,
-            &mut rng(),
-        );
+        let times = camouflage_times(900, SimTime::EPOCH, SimTime::at_day(90), false, &mut rng());
         let share = peak_window_share(&times, SimDuration::hours(2));
         assert!(share < 0.03, "smooth share {share}");
     }
@@ -145,7 +133,9 @@ mod tests {
 
     #[test]
     fn zero_likes_zero_times() {
-        assert!(camouflage_times(0, SimTime::EPOCH, SimTime::at_day(1), true, &mut rng()).is_empty());
+        assert!(
+            camouflage_times(0, SimTime::EPOCH, SimTime::at_day(1), true, &mut rng()).is_empty()
+        );
     }
 
     #[test]

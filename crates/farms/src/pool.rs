@@ -105,12 +105,11 @@ mod tests {
 
     fn take_n(s: &mut Segment, next: &mut u32, k: usize) -> Vec<UserId> {
         let mut fresh = Vec::new();
-        let out = s.take(k, &mut fresh, || {
+        s.take(k, &mut fresh, || {
             let id = UserId(*next);
             *next += 1;
             id
-        });
-        out
+        })
     }
 
     #[test]

@@ -77,12 +77,7 @@ impl FarmRoster {
     /// A roster over the given farms. `background_pages` is the world's
     /// public page catalogue (camouflage targets); `scale` shrinks pool
     /// capacities and order sizes together with the study's world scale.
-    pub fn new(
-        specs: Vec<FarmSpec>,
-        background_pages: Vec<PageId>,
-        scale: f64,
-        rng: Rng,
-    ) -> Self {
+    pub fn new(specs: Vec<FarmSpec>, background_pages: Vec<PageId>, scale: f64, rng: Rng) -> Self {
         assert!(scale > 0.0, "scale must be positive");
         let background_zipf = if background_pages.is_empty() {
             None
@@ -247,8 +242,8 @@ impl FarmRoster {
         let mut future_camouflage = Vec::new();
         let job_pages = self.job_pages[&spec.operator].clone();
         for &a in &fresh {
-            let n = log_normal_median(rng, spec.camouflage_median, spec.camouflage_sigma)
-                .round() as usize;
+            let n = log_normal_median(rng, spec.camouflage_median, spec.camouflage_sigma).round()
+                as usize;
             let n = n.min(6_000);
             let pages = match &self.background_zipf {
                 Some(zipf) => camouflage_pages(
@@ -496,10 +491,7 @@ mod tests {
             .future_camouflage
             .iter()
             .all(|l| l.at > SimTime::at_day(100)));
-        assert!(d
-            .future_camouflage
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at));
+        assert!(d.future_camouflage.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

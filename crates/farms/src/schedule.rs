@@ -57,9 +57,7 @@ pub fn delivery_times(
             let mut starts: Vec<SimTime> = (0..bursts)
                 .map(|i| {
                     let stride = span / bursts as u64;
-                    let jitter = SimDuration::secs(
-                        rng.below((stride.as_secs() / 2).max(1)),
-                    );
+                    let jitter = SimDuration::secs(rng.below((stride.as_secs() / 2).max(1)));
                     start + start_delay + stride * i as u64 + jitter
                 })
                 .collect();
@@ -153,7 +151,9 @@ mod tests {
         let share = peak_window_share(&times, SimDuration::hours(2));
         assert!(share > 0.35, "densest 2h window holds {share} of likes");
         // Everything within the order's span.
-        assert!(times.iter().all(|t| t.since(SimTime::EPOCH) <= SimDuration::days(4)));
+        assert!(times
+            .iter()
+            .all(|t| t.since(SimTime::EPOCH) <= SimDuration::days(4)));
     }
 
     #[test]
@@ -187,8 +187,13 @@ mod tests {
                 k
             );
             assert_eq!(
-                delivery_times(DeliveryStyle::Trickle { days: 5 }, k, SimTime::EPOCH, &mut rng())
-                    .len(),
+                delivery_times(
+                    DeliveryStyle::Trickle { days: 5 },
+                    k,
+                    SimTime::EPOCH,
+                    &mut rng()
+                )
+                .len(),
                 k
             );
         }
@@ -212,7 +217,10 @@ mod tests {
         };
         let times = delivery_times(style, 700, SimTime::EPOCH, &mut rng());
         let share = peak_window_share(&times, SimDuration::hours(4));
-        assert!((share - 1.0).abs() < 1e-12, "one burst = all inside: {share}");
+        assert!(
+            (share - 1.0).abs() < 1e-12,
+            "one burst = all inside: {share}"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl FriendGraph {
     pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(i, ns)| {
             let a = UserId(i as u32);
-            ns.iter().copied().filter(move |b| a < *b).map(move |b| (a, b))
+            ns.iter()
+                .copied()
+                .filter(move |b| a < *b)
+                .map(move |b| (a, b))
         })
     }
 

@@ -58,10 +58,7 @@ pub fn induced_dot(
         if drop_isolated && !has_edge.contains(u) {
             continue;
         }
-        let color = group_of
-            .get(u)
-            .map(|g| color_of(g))
-            .unwrap_or("#999999");
+        let color = group_of.get(u).map(|g| color_of(g)).unwrap_or("#999999");
         let _ = writeln!(out, "  \"{u}\" [color=\"{color}\"];");
     }
     induced_edges.sort_unstable();

@@ -96,7 +96,7 @@ fn pair_from_index(k: u64, n: u64) -> (u64, u64) {
     let row_start = |i: u64| i * (2 * n - i - 1) / 2;
     let (mut lo, mut hi) = (0u64, n - 1);
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if row_start(mid) <= k {
             lo = mid;
         } else {
@@ -127,8 +127,8 @@ pub fn barabasi_albert(g: &mut FriendGraph, members: &[UserId], m: usize, rng: &
     // Repeated-endpoints trick: sampling uniformly from the endpoint list is
     // sampling proportionally to degree.
     let mut endpoints: Vec<usize> = Vec::new();
-    for i in 0..seed {
-        for _ in 0..g.degree(members[i]).max(1) {
+    for (i, member) in members.iter().enumerate().take(seed) {
+        for _ in 0..g.degree(*member).max(1) {
             endpoints.push(i);
         }
     }
@@ -231,12 +231,7 @@ pub fn planted_partition(
 /// # Panics
 /// Panics when `members` and `target_degrees` differ in length or a target
 /// is negative/non-finite.
-pub fn chung_lu(
-    g: &mut FriendGraph,
-    members: &[UserId],
-    target_degrees: &[f64],
-    rng: &mut Rng,
-) {
+pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64], rng: &mut Rng) {
     assert_eq!(
         members.len(),
         target_degrees.len(),
@@ -485,10 +480,8 @@ mod tests {
             .collect();
         let mut g = FriendGraph::with_nodes(1_000);
         chung_lu(&mut g, &ms, &targets, &mut rng());
-        let hub_mean: f64 =
-            (0..10).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 10.0;
-        let leaf_mean: f64 =
-            (10..1_000).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 990.0;
+        let hub_mean: f64 = (0..10).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 10.0;
+        let leaf_mean: f64 = (10..1_000).map(|i| g.degree(u(i)) as f64).sum::<f64>() / 990.0;
         assert!(
             (hub_mean / leaf_mean - 10.0).abs() < 3.0,
             "hub {hub_mean} vs leaf {leaf_mean} should be ~10x"

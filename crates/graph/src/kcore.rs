@@ -72,7 +72,8 @@ pub fn max_core_in(core: &[u32], members: &[UserId]) -> u32 {
 pub fn core_histogram(core: &[u32], members: &[UserId]) -> HashMap<u32, usize> {
     let mut h = HashMap::new();
     for u in members {
-        *h.entry(core.get(u.idx()).copied().unwrap_or(0)).or_insert(0) += 1;
+        *h.entry(core.get(u.idx()).copied().unwrap_or(0))
+            .or_insert(0) += 1;
     }
     h
 }

@@ -62,11 +62,7 @@ pub fn degree_stats(graph: &FriendGraph, members: &[UserId]) -> SummaryStats {
 /// Histogram of degrees over a member subset: `hist[d]` is the number of
 /// members with degree `d`.
 pub fn degree_histogram(graph: &FriendGraph, members: &[UserId]) -> Vec<usize> {
-    let max_d = members
-        .iter()
-        .map(|u| graph.degree(*u))
-        .max()
-        .unwrap_or(0);
+    let max_d = members.iter().map(|u| graph.degree(*u)).max().unwrap_or(0);
     let mut hist = vec![0usize; max_d + 1];
     for u in members {
         hist[graph.degree(*u)] += 1;

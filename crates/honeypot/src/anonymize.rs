@@ -105,10 +105,7 @@ pub fn anonymize(dataset: &Dataset, salt: u64, k_anonymity: usize) -> Dataset {
         .campaigns
         .iter()
         .flat_map(|c| c.likers.iter())
-        .flat_map(|l| {
-            std::iter::once(l.user.0)
-                .chain(l.friends.iter().flatten().map(|f| f.0))
-        })
+        .flat_map(|l| std::iter::once(l.user.0).chain(l.friends.iter().flatten().map(|f| f.0)))
         .chain(dataset.baseline.iter().map(|b| b.user.0))
         .max()
         .unwrap_or(0) as usize
@@ -117,8 +114,11 @@ pub fn anonymize(dataset: &Dataset, salt: u64, k_anonymity: usize) -> Dataset {
         .campaigns
         .iter()
         .flat_map(|c| {
-            std::iter::once(c.page.0)
-                .chain(c.likers.iter().flat_map(|l| l.liked_pages.iter().flatten().map(|p| p.0)))
+            std::iter::once(c.page.0).chain(
+                c.likers
+                    .iter()
+                    .flat_map(|l| l.liked_pages.iter().flatten().map(|p| p.0)),
+            )
         })
         .max()
         .unwrap_or(0) as usize
@@ -183,11 +183,13 @@ mod tests {
     }
 
     fn dataset() -> Dataset {
-        let mut report = AudienceReport::default();
-        report.total = 3;
-        report.female = 1;
-        report.male = 2;
-        report.age_counts = [2, 1, 0, 0, 0, 0];
+        let mut report = AudienceReport {
+            total: 3,
+            female: 1,
+            male: 2,
+            age_counts: [2, 1, 0, 0, 0, 0],
+            ..Default::default()
+        };
         report.country_counts.insert("India".into(), 2);
         report.country_counts.insert("USA".into(), 1);
         Dataset {
@@ -242,7 +244,10 @@ mod tests {
         let d = anonymize(&raw, 1234, 2);
         // The specific identity mapping changes (statistically certain for
         // this salt, asserted to catch a broken shuffle).
-        assert_ne!(d.campaigns[0].likers[0].user, raw.campaigns[0].likers[0].user);
+        assert_ne!(
+            d.campaigns[0].likers[0].user,
+            raw.campaigns[0].likers[0].user
+        );
     }
 
     #[test]
@@ -254,7 +259,11 @@ mod tests {
         assert_eq!(raw.observed_page_likes(), anon.observed_page_likes());
         // Per-liker structural quantities survive: like counts, friend
         // counts, first-seen times.
-        for (a, b) in raw.campaigns[0].likers.iter().zip(&anon.campaigns[0].likers) {
+        for (a, b) in raw.campaigns[0]
+            .likers
+            .iter()
+            .zip(&anon.campaigns[0].likers)
+        {
             assert_eq!(a.total_friend_count, b.total_friend_count);
             assert_eq!(
                 a.liked_pages.as_ref().map(Vec::len),

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn table1_columns_render() {
-        let names = vec!["BoostLikes.com".to_string(), "SocialFormula.com".to_string()];
+        let names = vec![
+            "BoostLikes.com".to_string(),
+            "SocialFormula.com".to_string(),
+        ];
         let ads = ads_spec();
         assert_eq!(ads.provider(&names), "Facebook.com");
         assert_eq!(ads.location(), "USA");

@@ -113,7 +113,12 @@ mod tests {
         for i in 0..3 {
             w.record_like(UserId(i), p, SimTime::at_day(1));
         }
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(3));
         m.poll(&w, &mut api, SimTime::at_day(2));
         (w, m, api)

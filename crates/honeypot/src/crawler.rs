@@ -70,7 +70,12 @@ pub struct PageMonitor {
 impl PageMonitor {
     /// Start monitoring `page`; `campaign_end` is when the paid promotion
     /// ends (the crawler slows down after it).
-    pub fn new(page: PageId, launched: SimTime, campaign_end: SimTime, config: CrawlerConfig) -> Self {
+    pub fn new(
+        page: PageId,
+        launched: SimTime,
+        campaign_end: SimTime,
+        config: CrawlerConfig,
+    ) -> Self {
         PageMonitor {
             page,
             config,
@@ -93,8 +98,7 @@ impl PageMonitor {
         match api.page_likers(world, self.page) {
             Ok(likers) => {
                 let mut new = 0usize;
-                let current: std::collections::BTreeSet<UserId> =
-                    likers.iter().copied().collect();
+                let current: std::collections::BTreeSet<UserId> = likers.iter().copied().collect();
                 for u in &likers {
                     if !self.first_seen.contains_key(u) {
                         self.first_seen.insert(*u, now);
@@ -140,8 +144,7 @@ impl PageMonitor {
         // straggler like, whichever is later) ends monitoring. This is what
         // turns the paper's 15-day campaigns into 22-day monitoring windows.
         let quiet_since = self.last_new_like.max(self.campaign_end);
-        if now > self.campaign_end && now.saturating_since(quiet_since) >= self.config.quiet_stop
-        {
+        if now > self.campaign_end && now.saturating_since(quiet_since) >= self.config.quiet_stop {
             self.stopped_at = Some(now);
             return None;
         }
@@ -165,8 +168,7 @@ impl PageMonitor {
 
     /// Liker ids in first-seen order (ties broken by id).
     pub fn likers(&self) -> Vec<UserId> {
-        let mut v: Vec<(UserId, SimTime)> =
-            self.first_seen.iter().map(|(u, t)| (*u, *t)).collect();
+        let mut v: Vec<(UserId, SimTime)> = self.first_seen.iter().map(|(u, t)| (*u, *t)).collect();
         v.sort_by_key(|(u, t)| (*t, *u));
         v.into_iter().map(|(u, _)| u).collect()
     }
@@ -185,7 +187,7 @@ impl PageMonitor {
     /// Days of monitoring, launch to stop (Table 1's "Monitoring" column).
     pub fn monitoring_days(&self) -> Option<u64> {
         self.stopped_at
-            .map(|t| (t.saturating_since(self.launched).as_secs() + 86_399) / 86_400)
+            .map(|t| t.saturating_since(self.launched).as_secs().div_ceil(86_400))
     }
 }
 
@@ -251,7 +253,12 @@ mod tests {
     #[test]
     fn first_seen_is_quantized_to_polls() {
         let (mut w, p) = world_with_page(3);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         // A like at 0h30 is first seen at the 2h poll.
         let likes = vec![(UserId(0), SimTime::EPOCH + SimDuration::minutes(30))];
         run(&mut w, p, &mut m, likes, SimTime::at_day(1));
@@ -264,7 +271,12 @@ mod tests {
     #[test]
     fn stops_after_a_quiet_week_post_campaign() {
         let (mut w, p) = world_with_page(2);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let likes = vec![
             (UserId(0), SimTime::at_day(1)),
             (UserId(1), SimTime::at_day(14)),
@@ -280,7 +292,12 @@ mod tests {
     #[test]
     fn late_likes_extend_monitoring() {
         let (mut w, p) = world_with_page(2);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let likes = vec![
             (UserId(0), SimTime::at_day(1)),
             (UserId(1), SimTime::at_day(20)), // post-campaign straggler
@@ -294,7 +311,12 @@ mod tests {
     #[test]
     fn poll_cadence_switches_after_campaign() {
         let (mut w, p) = world_with_page(1);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(2), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(2),
+            CrawlerConfig::default(),
+        );
         let mut api = api();
         // Keep a like trickle so it doesn't stop.
         w.record_like(UserId(0), p, SimTime::EPOCH);
@@ -308,7 +330,12 @@ mod tests {
     fn failures_are_recorded_and_carry_last_count() {
         let (mut w, p) = world_with_page(1);
         w.record_like(UserId(0), p, SimTime::EPOCH);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let mut api = CrawlApi::new(CrawlConfig { failure_prob: 1.0 }, Rng::seed_from_u64(1));
         m.poll(&w, &mut api, SimTime::EPOCH + SimDuration::hours(2));
         assert!(m.observations()[0].failed);
@@ -329,7 +356,12 @@ mod tests {
     #[test]
     fn likers_ordered_by_first_seen() {
         let (mut w, p) = world_with_page(3);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let likes = vec![
             (UserId(2), SimTime::at_day(3)),
             (UserId(0), SimTime::at_day(1)),
@@ -342,8 +374,12 @@ mod tests {
     #[test]
     fn disappearances_are_tracked_live() {
         let (mut w, p) = world_with_page(3);
-        let mut m =
-            PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
         let mut api = api_ok();
         for i in 0..3 {
             w.record_like(UserId(i), p, SimTime::at_day(1));
@@ -365,7 +401,12 @@ mod tests {
     #[test]
     fn stopped_monitor_refuses_polls() {
         let (w, p) = world_with_page(1);
-        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(1), CrawlerConfig::default());
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(1),
+            CrawlerConfig::default(),
+        );
         let mut a = api_ok();
         // Way past campaign end with zero likes → stops at first poll.
         assert_eq!(m.poll(&w, &mut a, SimTime::at_day(30)), None);

@@ -175,15 +175,17 @@ mod tests {
     fn dataset() -> Dataset {
         Dataset {
             campaigns: vec![
-                data("FB-ALL", true, vec![liker(0, 10, 100, true), liker(1, 5, 50, false)]),
+                data(
+                    "FB-ALL",
+                    true,
+                    vec![liker(0, 10, 100, true), liker(1, 5, 50, false)],
+                ),
                 data("BL-USA", false, vec![liker(2, 800, 60, true)]),
             ],
-            baseline: vec![
-                BaselineRecord {
-                    user: UserId(9),
-                    like_count: 34,
-                },
-            ],
+            baseline: vec![BaselineRecord {
+                user: UserId(9),
+                like_count: 34,
+            }],
             launch: SimTime::at_day(100),
             global_report: AudienceReport::default(),
         }

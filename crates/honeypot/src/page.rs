@@ -5,9 +5,7 @@
 //! designed to deflect genuine interest.
 
 use likelab_graph::{PageId, UserId};
-use likelab_osn::{
-    ActorClass, Country, Gender, OsnWorld, PageCategory, PrivacySettings, Profile,
-};
+use likelab_osn::{ActorClass, Country, Gender, OsnWorld, PageCategory, PrivacySettings, Profile};
 use likelab_sim::SimTime;
 
 /// The honeypot page name used throughout the study.

@@ -3,8 +3,8 @@
 use likelab_graph::{PageId, UserId};
 use likelab_honeypot::{CrawlerConfig, PageMonitor};
 use likelab_osn::{
-    ActorClass, Country, CrawlApi, CrawlConfig, Gender, OsnWorld, PageCategory,
-    PrivacySettings, Profile,
+    ActorClass, Country, CrawlApi, CrawlConfig, Gender, OsnWorld, PageCategory, PrivacySettings,
+    Profile,
 };
 use likelab_sim::{Rng, SimDuration, SimTime};
 use proptest::prelude::*;

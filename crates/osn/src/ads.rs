@@ -146,10 +146,8 @@ pub fn plan_campaign(
     // auction splits budget by initial audience size, not by live pool
     // drain (an advertiser's allocation doesn't re-plan hour by hour).
     // Pools that empty mid-run simply stop converting — wasted spend.
-    let initial_depths: Vec<(Country, usize)> = pools
-        .iter()
-        .map(|(c, pool)| (*c, pool.len()))
-        .collect();
+    let initial_depths: Vec<(Country, usize)> =
+        pools.iter().map(|(c, pool)| (*c, pool.len())).collect();
     for day in 0..spec.duration_days {
         let day_start = launch + SimDuration::days(day);
         let allocation = market.allocate(spec.daily_budget_cents, &initial_depths);

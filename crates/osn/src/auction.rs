@@ -72,11 +72,7 @@ impl AdMarket {
     /// nothing. Returns `(country, budget_cents)` shares summing to the
     /// input budget (up to rounding), allocated winner-take-most by
     /// `depth / price`, raised to the sharpness exponent.
-    pub fn allocate(
-        &self,
-        budget_cents: f64,
-        markets: &[(Country, usize)],
-    ) -> Vec<(Country, f64)> {
+    pub fn allocate(&self, budget_cents: f64, markets: &[(Country, usize)]) -> Vec<(Country, f64)> {
         let mut scores: Vec<(Country, f64)> = markets
             .iter()
             .filter(|(_, depth)| *depth > 0)

@@ -113,11 +113,7 @@ impl CrawlApi {
 
     /// A profile's public view. Terminated profiles return [`CrawlError::Gone`]
     /// (this is how the paper counted terminated accounts a month later).
-    pub fn profile(
-        &mut self,
-        world: &OsnWorld,
-        user: UserId,
-    ) -> Result<PublicProfile, CrawlError> {
+    pub fn profile(&mut self, world: &OsnWorld, user: UserId) -> Result<PublicProfile, CrawlError> {
         self.roll()?;
         let acct = world.account(user);
         if let AccountStatus::Terminated(_) = acct.status {
@@ -211,10 +207,7 @@ mod tests {
     }
 
     fn api(failure_prob: f64) -> CrawlApi {
-        CrawlApi::new(
-            CrawlConfig { failure_prob },
-            Rng::seed_from_u64(42),
-        )
+        CrawlApi::new(CrawlConfig { failure_prob }, Rng::seed_from_u64(42))
     }
 
     #[test]
@@ -281,7 +274,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= 198, "8 retries at 50% should almost always land: {ok}");
+        assert!(
+            ok >= 198,
+            "8 retries at 50% should almost always land: {ok}"
+        );
     }
 
     #[test]

@@ -119,8 +119,7 @@ impl FraudOps {
         } else {
             0.0
         };
-        let volume =
-            (world.likes().user_like_count(user) as f64 / c.volume_scale).min(1.0);
+        let volume = (world.likes().user_like_count(user) as f64 / c.volume_scale).min(1.0);
         (c.base_hazard
             + c.burst_weight * burst
             + c.isolation_weight * isolation
@@ -177,8 +176,12 @@ mod tests {
     /// gradual user (u1).
     fn contrast_world() -> OsnWorld {
         let mut w = OsnWorld::new();
-        let bot =
-            w.create_account(profile(), ActorClass::Bot(0), privacy(), SimTime::at_day(395));
+        let bot = w.create_account(
+            profile(),
+            ActorClass::Bot(0),
+            privacy(),
+            SimTime::at_day(395),
+        );
         let real = w.create_account(profile(), ActorClass::Organic, privacy(), SimTime::EPOCH);
         // Friends for the real user.
         for _ in 0..40 {
@@ -199,7 +202,11 @@ mod tests {
             .collect();
         // Bot: 30 likes within one hour on day 400.
         for (i, p) in pages.iter().enumerate() {
-            w.record_like(bot, *p, SimTime::at_day(400) + SimDuration::minutes(2 * i as u64));
+            w.record_like(
+                bot,
+                *p,
+                SimTime::at_day(400) + SimDuration::minutes(2 * i as u64),
+            );
         }
         // Real user: 30 likes spread over 300 days.
         for (i, p) in pages.iter().enumerate() {

@@ -49,7 +49,7 @@ pub use demographics::{AgeBracket, Country, Gender, GeoBucket, Profile};
 pub use fraudops::{FraudOps, FraudOpsConfig};
 pub use likes::{LikeLedger, LikeRecord};
 pub use page::{Page, PageCategory};
-pub use posts::{simulate_engagement, EngagementModel, EngagementReport};
 pub use population::{Population, PopulationConfig};
+pub use posts::{simulate_engagement, EngagementModel, EngagementReport};
 pub use reports::AudienceReport;
 pub use world::OsnWorld;

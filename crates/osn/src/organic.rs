@@ -55,7 +55,7 @@ pub fn plan_background_activity(
         loop {
             let gap_days = exponential(&mut rng, appetite);
             let gap = SimDuration::secs((gap_days * 86_400.0) as u64);
-            t = t + gap;
+            t += gap;
             if t.since(from) >= window {
                 break;
             }
@@ -88,8 +88,7 @@ mod tests {
         let (world, pop, config) = setup();
         let mut rng = Rng::seed_from_u64(1);
         let window = SimDuration::days(15);
-        let plan =
-            plan_background_activity(&world, &pop, &config, pop.launch, window, &mut rng);
+        let plan = plan_background_activity(&world, &pop, &config, pop.launch, window, &mut rng);
         assert!(!plan.is_empty());
         for w in plan.windows(2) {
             assert!(w[0].at <= w[1].at);

@@ -26,7 +26,7 @@ use crate::page::PageCategory;
 use crate::world::OsnWorld;
 use likelab_graph::{generate, PageId, UserId};
 use likelab_sim::dist::{log_normal_median, Zipf};
-use likelab_sim::{Rng, SimDuration, SimTime};
+use likelab_sim::{parallel_map, Exec, Rng, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -261,14 +261,33 @@ fn click_prone_blueprint(country: Country) -> Blueprint {
 }
 
 /// Synthesize the population into `world`, returning the handles.
+///
+/// Uses [`Exec::auto`] for the parallel like-history stage; see
+/// [`synthesize_with`] for the determinism contract.
 pub fn synthesize(world: &mut OsnWorld, config: &PopulationConfig, rng: &mut Rng) -> Population {
+    synthesize_with(world, config, rng, Exec::auto())
+}
+
+/// Synthesize the population into `world` under an explicit execution policy.
+///
+/// Account creation and graph wiring mutate the world arena and stay
+/// sequential. Like-history synthesis — the dominant cost at paper scale —
+/// fans out per user: user `j` draws from `likes_rng.split(j)`, a stream that
+/// depends only on the seed and the user's index, so the flattened history is
+/// the same for [`Exec::Sequential`] and any worker count.
+pub fn synthesize_with(
+    world: &mut OsnWorld,
+    config: &PopulationConfig,
+    rng: &mut Rng,
+    exec: Exec,
+) -> Population {
     let mut pop = Population {
         launch: SimTime::EPOCH + config.history,
         ..Population::default()
     };
     let mut account_rng = rng.fork("population.accounts");
     let mut graph_rng = rng.fork("population.graph");
-    let mut likes_rng = rng.fork("population.likes");
+    let likes_rng = rng.fork("population.likes");
 
     // --- accounts, grouped by country ---------------------------------
     let total_weight: f64 = config.country_mix.iter().map(|(_, w)| w).sum();
@@ -288,8 +307,7 @@ pub fn synthesize(world: &mut OsnWorld, config: &PopulationConfig, rng: &mut Rng
             };
             // Account ages: organic accounts were created throughout the
             // platform's life — anywhere in the history window.
-            let created =
-                SimTime::from_secs(account_rng.below(config.history.as_secs().max(1)));
+            let created = SimTime::from_secs(account_rng.below(config.history.as_secs().max(1)));
             let id = world.create_account(profile, ActorClass::Organic, privacy, created);
             let target = log_normal_median(
                 &mut account_rng,
@@ -314,13 +332,11 @@ pub fn synthesize(world: &mut OsnWorld, config: &PopulationConfig, rng: &mut Rng
         for _ in 0..n_cp {
             let profile = cp_blueprint.sample(&mut account_rng);
             let privacy = PrivacySettings {
-                friend_list_public: account_rng
-                    .chance(config.click_prone_friend_list_public),
+                friend_list_public: account_rng.chance(config.click_prone_friend_list_public),
                 likes_public: account_rng.chance(config.likes_public),
                 searchable: account_rng.chance(config.searchable),
             };
-            let created =
-                SimTime::from_secs(account_rng.below(config.history.as_secs().max(1)));
+            let created = SimTime::from_secs(account_rng.below(config.history.as_secs().max(1)));
             let id = world.create_account(profile, ActorClass::ClickProne, privacy, created);
             let target = log_normal_median(
                 &mut account_rng,
@@ -400,8 +416,8 @@ pub fn synthesize(world: &mut OsnWorld, config: &PopulationConfig, rng: &mut Rng
     }
 
     // --- background catalogue: global head + country slices ---------------
-    let n_global = ((config.n_background_pages as f64) * config.global_page_fraction)
-        .round() as usize;
+    let n_global =
+        ((config.n_background_pages as f64) * config.global_page_fraction).round() as usize;
     for i in 0..n_global {
         let id = world.create_page(
             format!("bg-global-{i}"),
@@ -432,41 +448,46 @@ pub fn synthesize(world: &mut OsnWorld, config: &PopulationConfig, rng: &mut Rng
     }
 
     // --- like histories ----------------------------------------------------
+    // The dominant cost at full scale, and embarrassingly parallel: every
+    // user's history is an independent draw. User `j` gets the split stream
+    // `likes_rng.split(j)` — a pure function of the seed and the index — so
+    // shards can run on any worker in any order and still produce exactly
+    // the history the sequential loop would.
     let sampler = BackgroundSampler::new(&pop, config);
-    let mut pending: Vec<(UserId, PageId, SimTime)> = Vec::new();
     let history_secs = config.history.as_secs().max(1);
-    for (id, class, median, sigma) in pop
+    let jobs: Vec<(UserId, Country, f64, f64)> = pop
         .organic
         .iter()
-        .map(|u| (*u, ActorClass::Organic, config.organic_like_median, config.organic_like_sigma))
+        .map(|u| (*u, config.organic_like_median, config.organic_like_sigma))
         .chain(pop.click_prone.iter().map(|u| {
             (
                 *u,
-                ActorClass::ClickProne,
                 config.click_prone_like_median,
                 config.click_prone_like_sigma,
             )
         }))
-    {
-        let _ = class;
-        let country = world.account(id).profile.country;
-        let n_likes = log_normal_median(&mut likes_rng, median, sigma).round() as usize;
-        let n_likes = n_likes
-            .min(config.n_background_pages / 2)
-            .min(10_000);
+        .map(|(id, median, sigma)| (id, world.account(id).profile.country, median, sigma))
+        .collect();
+    let shards = parallel_map(exec, &jobs, |j, &(id, country, median, sigma)| {
+        let mut user_rng = likes_rng.split(j as u64);
+        let n_likes = log_normal_median(&mut user_rng, median, sigma).round() as usize;
+        let n_likes = n_likes.min(config.n_background_pages / 2).min(10_000);
         // Distinct pages: Zipf concentrates mass on the head, so rejection
         // on a per-user seen-set keeps realized like counts on target.
+        let mut likes = Vec::with_capacity(n_likes);
         let mut seen = std::collections::HashSet::with_capacity(n_likes * 2);
         let mut attempts = 0usize;
         while seen.len() < n_likes && attempts < n_likes * 8 + 16 {
             attempts += 1;
-            let page = sampler.sample(&pop, country, &mut likes_rng);
+            let page = sampler.sample(&pop, country, &mut user_rng);
             if seen.insert(page) {
-                let at = SimTime::from_secs(likes_rng.below(history_secs));
-                pending.push((id, page, at));
+                let at = SimTime::from_secs(user_rng.below(history_secs));
+                likes.push((id, page, at));
             }
         }
-    }
+        likes
+    });
+    let mut pending: Vec<(UserId, PageId, SimTime)> = shards.into_iter().flatten().collect();
     // The ledger requires chronological per-page streams: sort globally.
     pending.sort_by_key(|(u, p, at)| (*at, *u, *p));
     for (u, p, at) in pending {
@@ -620,8 +641,7 @@ mod tests {
     #[test]
     fn friendship_graph_is_populated_and_connected_enough() {
         let (world, pop, _) = build();
-        let mean_deg =
-            2.0 * world.friends().edge_count() as f64 / world.account_count() as f64;
+        let mean_deg = 2.0 * world.friends().edge_count() as f64 / world.account_count() as f64;
         assert!(mean_deg > 4.0, "mean degree {mean_deg} too low");
         // A sample of users should mostly have at least one friend.
         let friendless = pop
@@ -638,6 +658,27 @@ mod tests {
         let (world, pop, _) = build();
         for r in world.likes().records().iter().take(10_000) {
             assert!(r.at < pop.launch, "background like after launch");
+        }
+    }
+
+    #[test]
+    fn parallel_synthesis_is_bit_identical_to_sequential() {
+        let run = |exec: Exec| {
+            let mut world = OsnWorld::new();
+            let config = small_config();
+            let mut rng = Rng::seed_from_u64(77);
+            let pop = synthesize_with(&mut world, &config, &mut rng, exec);
+            let likes: Vec<_> = world
+                .likes()
+                .records()
+                .iter()
+                .map(|r| (r.user, r.page, r.at))
+                .collect();
+            (likes, pop.organic.len(), pop.click_prone.len())
+        };
+        let sequential = run(Exec::Sequential);
+        for workers in [2, 5] {
+            assert_eq!(sequential, run(Exec::workers(workers)), "workers={workers}");
         }
     }
 

@@ -167,7 +167,11 @@ mod tests {
         let (bot_world, p2) = world_with_fans(&[(ActorClass::Bot(1), 1_000)]);
         let bots = simulate_engagement(&bot_world, p2, 30, &model, &mut rng);
         assert_eq!(organic.fans, 1_000);
-        assert!(organic.reactions > 150, "organic reactions {}", organic.reactions);
+        assert!(
+            organic.reactions > 150,
+            "organic reactions {}",
+            organic.reactions
+        );
         assert_eq!(bots.reactions, 0, "a bot audience is a void");
         assert!(organic.engagement_rate() > 0.03);
         assert_eq!(bots.engagement_rate(), 0.0);
@@ -222,7 +226,13 @@ mod tests {
         };
         let mut rng = Rng::seed_from_u64(5);
         let r = simulate_engagement(&w, PageId(0), 10, &EngagementModel::default(), &mut rng);
-        assert_eq!(r, EngagementReport { posts: 10, ..Default::default() });
+        assert_eq!(
+            r,
+            EngagementReport {
+                posts: 10,
+                ..Default::default()
+            }
+        );
         assert_eq!(r.reactions_per_post(), 0.0);
     }
 }

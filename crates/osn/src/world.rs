@@ -241,7 +241,10 @@ mod tests {
         w.record_like(UserId(0), p, SimTime::at_day(1));
         w.record_like(UserId(1), p, SimTime::at_day(2));
         assert!(w.terminate_account(UserId(0), SimTime::at_day(3)));
-        assert!(!w.terminate_account(UserId(0), SimTime::at_day(4)), "idempotent");
+        assert!(
+            !w.terminate_account(UserId(0), SimTime::at_day(4)),
+            "idempotent"
+        );
         // New likes rejected.
         assert!(!w.record_like(UserId(0), p, SimTime::at_day(5)));
         // Public view loses the terminated liker; platform record keeps it.
@@ -275,7 +278,13 @@ mod tests {
     #[test]
     fn pages_are_dense() {
         let mut w = world_with(1);
-        let a = w.create_page("a", "d", Some(UserId(0)), PageCategory::Honeypot, SimTime::EPOCH);
+        let a = w.create_page(
+            "a",
+            "d",
+            Some(UserId(0)),
+            PageCategory::Honeypot,
+            SimTime::EPOCH,
+        );
         let b = w.create_page("b", "d", None, PageCategory::Background, SimTime::EPOCH);
         assert_eq!(a, PageId(0));
         assert_eq!(b, PageId(1));

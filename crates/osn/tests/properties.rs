@@ -1,11 +1,11 @@
 //! Property-based tests of the platform substrate's invariants.
 
+use likelab_graph::{PageId, UserId};
 use likelab_osn::demographics::{AgeBracket, Blueprint, Country};
 use likelab_osn::{
     ActorClass, AudienceReport, Gender, LikeLedger, OsnWorld, PageCategory, PrivacySettings,
     Profile,
 };
-use likelab_graph::{PageId, UserId};
 use likelab_sim::{Rng, SimTime};
 use proptest::prelude::*;
 

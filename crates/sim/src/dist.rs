@@ -271,11 +271,7 @@ mod tests {
         let n = 50_000;
         let xs: Vec<u64> = (0..n).map(|_| poisson(&mut r, 200.0)).collect();
         let mean = xs.iter().sum::<u64>() as f64 / n as f64;
-        let var = xs
-            .iter()
-            .map(|x| (*x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = xs.iter().map(|x| (*x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
         assert!((var / 200.0 - 1.0).abs() < 0.1, "var {var}");
     }

@@ -14,6 +14,14 @@
 //! because a `(seed, config)` pair must regenerate an identical study —
 //! that's what makes the reproduction auditable.
 //!
+//! The *event loop* stays single-threaded, but the stages around it —
+//! population synthesis before a run, campaign analysis after one, and
+//! multi-seed sweeps above it — are embarrassingly parallel. The
+//! [`parallel`] module fans those out without giving up determinism: work
+//! is identified by index, per-index RNG streams come from
+//! [`Rng::split`](rng::Rng::split), and results land in per-index slots, so
+//! parallel output is bit-identical to sequential.
+//!
 //! ```
 //! use likelab_sim::{Engine, SimDuration, SimTime};
 //!
@@ -33,13 +41,15 @@
 
 pub mod dist;
 pub mod engine;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::Engine;
+pub use parallel::{parallel_jobs, parallel_map, Exec};
 pub use queue::EventQueue;
-pub use rng::Rng;
+pub use rng::{derive_stream_seed, Rng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Note, Trace};

@@ -31,6 +31,20 @@ fn fnv1a(label: &str) -> u64 {
     h
 }
 
+/// Derive a stream seed for `(master, stream)` — e.g. one study run within a
+/// seed sweep, or one shard of a partitioned workload.
+///
+/// Pure function of its inputs: sweep run `k` of master seed `m` sees the same
+/// stream whether runs execute sequentially, in parallel, or in any subset.
+/// Two SplitMix64 rounds separate master and stream contributions so that
+/// `(m, k)` and `(m ^ x, k ^ x)` do not collide the way a plain XOR would.
+pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
+    let mut sm = master;
+    let hashed_master = splitmix64(&mut sm);
+    let mut mixed = hashed_master ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut mixed)
+}
+
 /// A deterministic xoshiro256** generator.
 ///
 /// Streams are stable across releases of this crate (golden tests pin them).
@@ -61,6 +75,27 @@ impl Rng {
     pub fn fork(&mut self, label: &str) -> Rng {
         let mixed = self.next_u64() ^ fnv1a(label);
         Rng::seed_from_u64(mixed)
+    }
+
+    /// Derive an independent child generator for stream `index` *without*
+    /// advancing this generator.
+    ///
+    /// This is the parallel-safe sibling of [`Rng::fork`]: because the parent
+    /// state is only read, any number of workers can derive their streams from
+    /// a shared snapshot, and the set of child streams depends only on the
+    /// parent state and the indices — never on the order in which workers run.
+    /// That property is what makes parallel runs bit-identical to sequential
+    /// ones.
+    pub fn split(&self, index: u64) -> Rng {
+        // Hash the full 256-bit state down to 64 bits, then mix in the stream
+        // index with an odd multiplier so neighbouring indices land far apart.
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47);
+        let folded = splitmix64(&mut sm);
+        let mut mixed = folded ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+        Rng::seed_from_u64(splitmix64(&mut mixed))
     }
 
     /// Next raw 64-bit output.
@@ -194,10 +229,7 @@ impl Rng {
         assert!(!weights.is_empty(), "weighted_index over no weights");
         let mut total = 0.0;
         for (i, w) in weights.iter().enumerate() {
-            assert!(
-                w.is_finite() && *w >= 0.0,
-                "weight {i} is invalid: {w}"
-            );
+            assert!(w.is_finite() && *w >= 0.0, "weight {i} is invalid: {w}");
             total += w;
         }
         assert!(total > 0.0, "weights sum to zero");
@@ -276,6 +308,53 @@ mod tests {
         let mut other = parent3.fork("farms");
         let mut same_label = Rng::seed_from_u64(9).fork("ads");
         assert_ne!(other.next_u64(), same_label.next_u64());
+    }
+
+    #[test]
+    fn split_does_not_advance_the_parent() {
+        let parent = Rng::seed_from_u64(42);
+        let mut advanced = parent.clone();
+        let _ = parent.split(0);
+        let _ = parent.split(1);
+        // The parent state is untouched: it still produces the pinned stream.
+        let mut untouched = parent.clone();
+        for _ in 0..100 {
+            assert_eq!(untouched.next_u64(), advanced.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_deterministic_and_index_dependent() {
+        let parent = Rng::seed_from_u64(9);
+        let mut a = parent.split(3);
+        let mut b = Rng::seed_from_u64(9).split(3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = parent.split(4);
+        let mut d = parent.split(3);
+        let same = (0..64).filter(|_| c.next_u64() == d.next_u64()).count();
+        assert_eq!(same, 0, "distinct indices must give distinct streams");
+    }
+
+    #[test]
+    fn split_order_is_irrelevant() {
+        let parent = Rng::seed_from_u64(123);
+        let forward: Vec<u64> = (0..8).map(|i| parent.split(i).next_u64()).collect();
+        let backward: Vec<u64> = (0..8).rev().map(|i| parent.split(i).next_u64()).collect();
+        let reversed: Vec<u64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn derive_stream_seed_is_pure_and_spreads() {
+        assert_eq!(derive_stream_seed(42, 0), derive_stream_seed(42, 0));
+        let seeds: Vec<u64> = (0..64).map(|k| derive_stream_seed(42, k)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "stream seeds must be distinct");
+        assert_ne!(derive_stream_seed(1, 0), derive_stream_seed(2, 0));
     }
 
     #[test]

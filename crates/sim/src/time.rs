@@ -11,15 +11,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
 /// An instant on the simulation clock, in whole seconds since the study epoch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span between two [`SimTime`]s, in whole seconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -327,7 +323,10 @@ mod tests {
     #[test]
     fn duration_division_counts_periods() {
         assert_eq!(SimDuration::days(15) / SimDuration::hours(2), 180);
-        assert_eq!(SimDuration::days(1) % SimDuration::hours(7), SimDuration::hours(3));
+        assert_eq!(
+            SimDuration::days(1) % SimDuration::hours(7),
+            SimDuration::hours(3)
+        );
     }
 
     #[test]

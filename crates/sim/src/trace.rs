@@ -80,7 +80,11 @@ impl Trace {
             let _ = writeln!(out, "[{}] {}", n.at, n.text);
         }
         if self.dropped_notes > 0 {
-            let _ = writeln!(out, "... {} notes dropped (cap reached)", self.dropped_notes);
+            let _ = writeln!(
+                out,
+                "... {} notes dropped (cap reached)",
+                self.dropped_notes
+            );
         }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "-- counters --");

@@ -92,7 +92,10 @@ fn main() {
     );
 
     // --- lockstep detector ------------------------------------------------------
-    eprintln!("\nrunning lockstep detection over {} likes...", world.likes().len());
+    eprintln!(
+        "\nrunning lockstep detection over {} likes...",
+        world.likes().len()
+    );
     let report = detect(world, &LockstepConfig::default());
     let flagged = report.flagged();
     let farm_flagged = flagged

@@ -5,8 +5,14 @@
 //! cargo run --release --example experiments_md [scale] [seed] > EXPERIMENTS.md
 //! ```
 
-use likelab::analysis::{demographics::table2, geo::figure1, pagelikes::figure4,
-    similarity::{figure5_pages, figure5_users}, temporal::figure2, Provider};
+use likelab::analysis::{
+    demographics::table2,
+    geo::figure1,
+    pagelikes::figure4,
+    similarity::{figure5_pages, figure5_users},
+    temporal::figure2,
+    Provider,
+};
 use likelab::core::paper;
 use likelab::osn::GeoBucket;
 use likelab::{checklist, run_study, StudyConfig};
@@ -81,7 +87,10 @@ fn main() {
 
     // ---- Figure 1 --------------------------------------------------------
     let _ = writeln!(w, "## Figure 1 — liker geolocation\n");
-    let _ = writeln!(w, "| Campaign | USA% | India% | Egypt% | Turkey% | France% | Other% |");
+    let _ = writeln!(
+        w,
+        "| Campaign | USA% | India% | Egypt% | Turkey% | France% | Other% |"
+    );
     let _ = writeln!(w, "|---|---|---|---|---|---|---|");
     for r in figure1(&o.dataset) {
         let _ = writeln!(
@@ -97,23 +106,36 @@ fn main() {
         );
     }
     let fig1 = figure1(&o.dataset);
-    let india = fig1.iter().find(|r| r.label == "FB-ALL").unwrap().share(GeoBucket::India);
+    let india = fig1
+        .iter()
+        .find(|r| r.label == "FB-ALL")
+        .unwrap()
+        .share(GeoBucket::India);
     let _ = writeln!(
         w,
         "\nPaper headlines: FB-ALL 96% India (measured {:.0}%); targeted FB \
          campaigns 87–99.8% in-country (measured: see rows); SocialFormula \
          Turkish regardless of targeting (measured SF-USA {:.0}% Turkey).\n",
         india * 100.0,
-        fig1.iter().find(|r| r.label == "SF-USA").unwrap().share(GeoBucket::Turkey) * 100.0,
+        fig1.iter()
+            .find(|r| r.label == "SF-USA")
+            .unwrap()
+            .share(GeoBucket::Turkey)
+            * 100.0,
     );
 
     // ---- Table 2 ---------------------------------------------------------
     let _ = writeln!(w, "## Table 2 — gender, age, KL divergence\n");
-    let _ = writeln!(w, "| Campaign | Paper %F/%M | Measured | Paper KL | Measured KL |");
+    let _ = writeln!(
+        w,
+        "| Campaign | Paper %F/%M | Measured | Paper KL | Measured KL |"
+    );
     let _ = writeln!(w, "|---|---|---|---|---|");
     let t2 = table2(&o.dataset);
     for row in paper::TABLE2 {
-        let Some(m) = t2.iter().find(|r| r.label == row.label) else { continue };
+        let Some(m) = t2.iter().find(|r| r.label == row.label) else {
+            continue;
+        };
         let _ = writeln!(
             w,
             "| {} | {:.0}/{:.0} | {:.0}/{:.0} | {} | {} |",
@@ -122,8 +144,11 @@ fn main() {
             row.male_pct,
             m.female_pct,
             m.male_pct,
-            row.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "–".into()),
-            m.kl.map(|k| format!("{k:.2}")).unwrap_or_else(|| "–".into()),
+            row.kl
+                .map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "–".into()),
+            m.kl.map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "–".into()),
         );
     }
     let _ = writeln!(
@@ -134,14 +159,21 @@ fn main() {
 
     // ---- Figure 2 --------------------------------------------------------
     let _ = writeln!(w, "## Figure 2 — cumulative likes over 15 days\n");
-    let _ = writeln!(w, "| Campaign | Panel | Total | Peak-2h share | Days to 90% | Max daily share |");
+    let _ = writeln!(
+        w,
+        "| Campaign | Panel | Total | Peak-2h share | Days to 90% | Max daily share |"
+    );
     let _ = writeln!(w, "|---|---|---|---|---|---|");
     for s in figure2(&o.dataset, 15) {
         let _ = writeln!(
             w,
             "| {} | {} | {} | {:.0}% | {:.1} | {:.0}% |",
             s.label,
-            if s.platform_ads { "2(a) ads" } else { "2(b) farms" },
+            if s.platform_ads {
+                "2(a) ads"
+            } else {
+                "2(b) farms"
+            },
             s.total(),
             s.peak_2h_share * 100.0,
             s.days_to_90pct,
@@ -160,7 +192,12 @@ fn main() {
     let _ = writeln!(w, "| Provider | Paper likers (×{scale}) | Measured | Paper public-FL% | Measured | Paper med. friends | Measured | Paper #edges (×{scale}) | Measured | Paper #2-hop (×{scale}) | Measured |");
     let _ = writeln!(w, "|---|---|---|---|---|---|---|---|---|---|---|");
     for row in paper::TABLE3 {
-        let m = o.report.table3.iter().find(|r| r.provider.to_string() == row.provider).unwrap();
+        let m = o
+            .report
+            .table3
+            .iter()
+            .find(|r| r.provider.to_string() == row.provider)
+            .unwrap();
         let _ = writeln!(
             w,
             "| {} | {:.0} | {} | {:.1} | {:.1} | {:.0} | {:.0} | {:.1} | {} | {:.1} | {} |",
@@ -179,14 +216,22 @@ fn main() {
     }
     let obs = likelab::analysis::ObservedSocial::build(&o.dataset);
     let _ = writeln!(w, "\n### Figure 3 — induced friendship-graph structure\n");
-    let _ = writeln!(w, "| Provider | Members | Singletons | Pairs | Triplets | ≥4 comps | Giant % |");
+    let _ = writeln!(
+        w,
+        "| Provider | Members | Singletons | Pairs | Triplets | ≥4 comps | Giant % |"
+    );
     let _ = writeln!(w, "|---|---|---|---|---|---|---|");
     for p in Provider::ALL {
         let c = obs.group_census(p);
         let _ = writeln!(
             w,
             "| {} | {} | {} | {} | {} | {} | {:.0}% |",
-            p, c.members, c.singletons, c.pairs, c.triplets, c.larger,
+            p,
+            c.members,
+            c.singletons,
+            c.pairs,
+            c.triplets,
+            c.larger,
             c.giant_fraction() * 100.0,
         );
     }
@@ -196,20 +241,32 @@ fn main() {
          SocialFormula pairs/triplets; AL↔MS cross edges ({} measured) point \
          to the shared operator. DOT exports of the drawing itself: \
          `target/likelab/figure3_*.dot` from `examples/full_study.rs`.\n",
-        obs.cross_group_pairs(Provider::AuthenticLikes, Provider::MammothSocials).len(),
+        obs.cross_group_pairs(Provider::AuthenticLikes, Provider::MammothSocials)
+            .len(),
     );
 
     // ---- Figure 4 ---------------------------------------------------------
     let _ = writeln!(w, "## Figure 4 — page-like count distributions\n");
-    let _ = writeln!(w, "| Curve | Paper median | Measured median | n (public like lists) |");
+    let _ = writeln!(
+        w,
+        "| Curve | Paper median | Measured median | n (public like lists) |"
+    );
     let _ = writeln!(w, "|---|---|---|---|");
     for c in figure4(&o.dataset) {
         let paper_median: String = match c.label.as_str() {
             "Facebook" => format!("{}", paper::BASELINE_MEDIAN_LIKES),
             "BL-USA" => format!("{}", paper::BL_USA_MEDIAN_LIKES),
-            l if l.starts_with("FB-") => format!("{:.0}–{:.0}", paper::FB_CAMPAIGN_MEDIAN_LIKES.0, paper::FB_CAMPAIGN_MEDIAN_LIKES.1),
+            l if l.starts_with("FB-") => format!(
+                "{:.0}–{:.0}",
+                paper::FB_CAMPAIGN_MEDIAN_LIKES.0,
+                paper::FB_CAMPAIGN_MEDIAN_LIKES.1
+            ),
             "BL-ALL" | "MS-ALL" => "–".into(),
-            _ => format!("{:.0}–{:.0}", paper::FARM_CAMPAIGN_MEDIAN_LIKES.0, paper::FARM_CAMPAIGN_MEDIAN_LIKES.1),
+            _ => format!(
+                "{:.0}–{:.0}",
+                paper::FARM_CAMPAIGN_MEDIAN_LIKES.0,
+                paper::FARM_CAMPAIGN_MEDIAN_LIKES.1
+            ),
         };
         let m = c.median();
         let _ = writeln!(
@@ -217,7 +274,11 @@ fn main() {
             "| {} | {} | {} | {} |",
             c.label,
             paper_median,
-            if m.is_nan() { "–".into() } else { format!("{m:.0}") },
+            if m.is_nan() {
+                "–".into()
+            } else {
+                format!("{m:.0}")
+            },
             c.cdf.len(),
         );
     }
@@ -236,14 +297,54 @@ fn main() {
     let _ = writeln!(w, "| Pair | Matrix | Measured | Paper's reading |");
     let _ = writeln!(w, "|---|---|---|---|");
     let rows = [
-        ("SF-ALL ↔ SF-USA", users.get("SF-ALL", "SF-USA"), "users", "same accounts reused across campaigns"),
-        ("AL-USA ↔ MS-USA", users.get("AL-USA", "MS-USA"), "users", "same operator runs both farms"),
-        ("FB-IND ↔ FB-ALL", pages.get("FB-IND", "FB-ALL"), "pages", "FB-IND/EGY/ALL resemble each other"),
-        ("FB-IND ↔ FB-EGY", pages.get("FB-IND", "FB-EGY"), "pages", "ditto"),
-        ("SF-ALL ↔ SF-USA", pages.get("SF-ALL", "SF-USA"), "pages", "shared accounts ⇒ shared histories"),
-        ("AL-USA ↔ MS-USA", pages.get("AL-USA", "MS-USA"), "pages", "shared operator job pool"),
-        ("SF-ALL ↔ AL-USA", pages.get("SF-ALL", "AL-USA"), "pages", "distinct operators stay dim"),
-        ("FB-IND ↔ AL-USA", pages.get("FB-IND", "AL-USA"), "pages", "ads vs. farms stay dim"),
+        (
+            "SF-ALL ↔ SF-USA",
+            users.get("SF-ALL", "SF-USA"),
+            "users",
+            "same accounts reused across campaigns",
+        ),
+        (
+            "AL-USA ↔ MS-USA",
+            users.get("AL-USA", "MS-USA"),
+            "users",
+            "same operator runs both farms",
+        ),
+        (
+            "FB-IND ↔ FB-ALL",
+            pages.get("FB-IND", "FB-ALL"),
+            "pages",
+            "FB-IND/EGY/ALL resemble each other",
+        ),
+        (
+            "FB-IND ↔ FB-EGY",
+            pages.get("FB-IND", "FB-EGY"),
+            "pages",
+            "ditto",
+        ),
+        (
+            "SF-ALL ↔ SF-USA",
+            pages.get("SF-ALL", "SF-USA"),
+            "pages",
+            "shared accounts ⇒ shared histories",
+        ),
+        (
+            "AL-USA ↔ MS-USA",
+            pages.get("AL-USA", "MS-USA"),
+            "pages",
+            "shared operator job pool",
+        ),
+        (
+            "SF-ALL ↔ AL-USA",
+            pages.get("SF-ALL", "AL-USA"),
+            "pages",
+            "distinct operators stay dim",
+        ),
+        (
+            "FB-IND ↔ AL-USA",
+            pages.get("FB-IND", "AL-USA"),
+            "pages",
+            "ads vs. farms stay dim",
+        ),
     ];
     for (pair, v, matrix, reading) in rows {
         let _ = writeln!(w, "| {pair} | {matrix} | {v:.1} | {reading} |");
@@ -267,11 +368,20 @@ fn main() {
         (Provider::AuthenticLikes, paper::TERMINATED_AUTHENTICLIKES),
         (Provider::MammothSocials, paper::TERMINATED_MAMMOTHSOCIALS),
     ] {
-        let likers = o.report.table3.iter().find(|r| r.provider == p).map(|r| r.likers).unwrap_or(0);
+        let likers = o
+            .report
+            .table3
+            .iter()
+            .find(|r| r.provider == p)
+            .map(|r| r.likers)
+            .unwrap_or(0);
         let _ = writeln!(
             w,
             "| {} | {} | {} | {:.1}% |",
-            p, paper_n, t.provider(p), t.rate(p, likers.max(1)) * 100.0,
+            p,
+            paper_n,
+            t.provider(p),
+            t.rate(p, likers.max(1)) * 100.0,
         );
     }
     let _ = writeln!(
@@ -289,7 +399,10 @@ fn main() {
         let _ = writeln!(
             w,
             "| {} | {} | {} | {} | {} |",
-            c.artifact, c.criterion, c.paper, c.measured,
+            c.artifact,
+            c.criterion,
+            c.paper,
+            c.measured,
             if c.pass { "yes" } else { "**NO**" },
         );
     }

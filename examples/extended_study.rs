@@ -61,7 +61,11 @@ fn main() {
 
     let mut config = StudyConfig::paper(7_2014, scale);
     let ib_index = config.farms.len();
-    assert_eq!(ib_index, paper_farms().len(), "appending after the paper's four");
+    assert_eq!(
+        ib_index,
+        paper_farms().len(),
+        "appending after the paper's four"
+    );
     config.farms.push(instaboost());
     config.campaigns = paper_campaigns();
     config.campaigns.push(CampaignSpec {

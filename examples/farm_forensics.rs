@@ -126,10 +126,21 @@ fn main() {
     );
 
     // Reordering from the same farm: round-robin reuse.
-    let page2 = world.create_page("forensics-SF-2", "", None, PageCategory::Honeypot, pop.launch);
+    let page2 = world.create_page(
+        "forensics-SF-2",
+        "",
+        None,
+        PageCategory::Honeypot,
+        pop.launch,
+    );
     let d1_users: std::collections::HashSet<_> = {
-        let page1 =
-            world.create_page("forensics-SF-1", "", None, PageCategory::Honeypot, pop.launch);
+        let page1 = world.create_page(
+            "forensics-SF-1",
+            "",
+            None,
+            PageCategory::Honeypot,
+            pop.launch,
+        );
         roster
             .fulfill(
                 &mut world,

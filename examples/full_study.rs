@@ -23,8 +23,10 @@ fn main() {
     let scale: f64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(1.0);
     let seed: u64 = args.next().map(|s| s.parse().unwrap()).unwrap_or(42);
 
-    eprintln!("full study: seed={seed}, scale={scale} (this builds a {}-ish account world)",
-        (60_000.0 * scale) as u64);
+    eprintln!(
+        "full study: seed={seed}, scale={scale} (this builds a {}-ish account world)",
+        (60_000.0 * scale) as u64
+    );
     let started = std::time::Instant::now();
     let outcome = run_study(&StudyConfig::paper(seed, scale));
     eprintln!("simulated in {:.1}s", started.elapsed().as_secs_f64());
@@ -44,7 +46,11 @@ fn main() {
             fmt_opt(row.likes.map(|l| ((l as f64) * scale).round() as usize)),
             fmt_opt(measured.filter(|c| !c.inactive).map(|c| c.like_count())),
             fmt_opt(row.terminated),
-            fmt_opt(measured.filter(|c| !c.inactive).map(|c| c.terminated_after_month)),
+            fmt_opt(
+                measured
+                    .filter(|c| !c.inactive)
+                    .map(|c| c.terminated_after_month)
+            ),
         );
     }
     println!("(paper like counts shown scaled by {scale})\n");
@@ -90,8 +96,18 @@ fn main() {
     // Rendered figures.
     use likelab::analysis::svg;
     let r = &outcome.report;
-    let fig2a: Vec<_> = r.figure2.iter().filter(|s| s.platform_ads).cloned().collect();
-    let fig2b: Vec<_> = r.figure2.iter().filter(|s| !s.platform_ads).cloned().collect();
+    let fig2a: Vec<_> = r
+        .figure2
+        .iter()
+        .filter(|s| s.platform_ads)
+        .cloned()
+        .collect();
+    let fig2b: Vec<_> = r
+        .figure2
+        .iter()
+        .filter(|s| !s.platform_ads)
+        .cloned()
+        .collect();
     let fig4a: Vec<_> = r
         .figure4
         .iter()
@@ -106,12 +122,24 @@ fn main() {
         .collect();
     let renders = [
         ("figure1.svg", svg::figure1_svg(&r.figure1)),
-        ("figure2a.svg", svg::figure2_svg(&fig2a, "Figure 2(a): Facebook campaigns")),
-        ("figure2b.svg", svg::figure2_svg(&fig2b, "Figure 2(b): Like farms")),
+        (
+            "figure2a.svg",
+            svg::figure2_svg(&fig2a, "Figure 2(a): Facebook campaigns"),
+        ),
+        (
+            "figure2b.svg",
+            svg::figure2_svg(&fig2b, "Figure 2(b): Like farms"),
+        ),
         ("figure4a.svg", svg::figure4_svg(&fig4a, 10_000.0)),
         ("figure4b.svg", svg::figure4_svg(&fig4b, 10_000.0)),
-        ("figure5a.svg", svg::figure5_svg(&r.figure5_pages, "Figure 5(a): page-like set similarity")),
-        ("figure5b.svg", svg::figure5_svg(&r.figure5_users, "Figure 5(b): liker set similarity")),
+        (
+            "figure5a.svg",
+            svg::figure5_svg(&r.figure5_pages, "Figure 5(a): page-like set similarity"),
+        ),
+        (
+            "figure5b.svg",
+            svg::figure5_svg(&r.figure5_users, "Figure 5(b): liker set similarity"),
+        ),
     ];
     for (name, content) in renders {
         fs::write(dir.join(name), content).expect("write svg");

@@ -43,4 +43,7 @@ pub use likelab_honeypot as honeypot;
 pub use likelab_osn as osn;
 pub use likelab_sim as sim;
 
-pub use likelab_core::{checklist, render_checklist, run_study, ShapeCheck, StudyConfig, StudyOutcome};
+pub use likelab_core::{
+    checklist, render_checklist, run_study, run_study_with, run_sweep, MetricAggregate, ShapeCheck,
+    StudyConfig, StudyOutcome, SweepConfig, SweepReport,
+};

@@ -4,11 +4,13 @@
 //! likelab run        [--scale S] [--seed N]        run the study, print the report
 //! likelab checklist  [--scale S] [--seed N]        reproduction criteria (exit 1 on failure)
 //! likelab export DIR [--scale S] [--seed N]        write JSON, DOT, and SVG artifacts
+//! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
 //! ```
 
 use likelab::core::paper;
-use likelab::{checklist, render_checklist, run_study, StudyConfig};
+use likelab::sim::Exec;
+use likelab::{checklist, render_checklist, run_study, run_sweep, StudyConfig, SweepConfig};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -16,6 +18,10 @@ use std::process::ExitCode;
 struct Opts {
     scale: f64,
     seed: u64,
+    seeds: usize,
+    scales: Vec<f64>,
+    out: Option<PathBuf>,
+    sequential: bool,
     positional: Vec<String>,
 }
 
@@ -23,6 +29,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         scale: 0.15,
         seed: 42,
+        seeds: 8,
+        scales: vec![0.1],
+        out: None,
+        sequential: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -39,6 +49,32 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--seed needs a value")?;
                 opts.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                opts.seeds = v.parse().map_err(|_| format!("bad seed count: {v}"))?;
+                if opts.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
+            }
+            "--scales" => {
+                let v = it.next().ok_or("--scales needs a comma-separated list")?;
+                opts.scales = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("bad scale: {s}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if opts.scales.is_empty() || opts.scales.iter().any(|s| *s <= 0.0) {
+                    return Err("--scales needs positive values".into());
+                }
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                opts.out = Some(PathBuf::from(v));
+            }
+            "--sequential" => opts.sequential = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
@@ -54,8 +90,13 @@ fn usage() -> &'static str {
      \x20 likelab run        [--scale S] [--seed N]   run the study, print every table/figure\n\
      \x20 likelab checklist  [--scale S] [--seed N]   run + evaluate the 23 reproduction criteria\n\
      \x20 likelab export DIR [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
+     \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
+     \x20               [--seed M] [--out FILE] [--sequential]\n\
      \x20 likelab paper                               print the paper's published tables\n\n\
-     Defaults: --scale 0.15 --seed 42. scale 1.0 reproduces paper-sized campaigns."
+     Defaults: --scale 0.15 --seed 42; sweep: --seeds 8 --scales 0.1.\n\
+     scale 1.0 reproduces paper-sized campaigns. Sweep runs fan out across\n\
+     cores (limit with LIKELAB_THREADS=k; --sequential forces one thread);\n\
+     results are bit-identical for any thread count."
 }
 
 fn cmd_run(opts: &Opts) -> ExitCode {
@@ -71,11 +112,7 @@ fn cmd_checklist(opts: &Opts) -> ExitCode {
     let checks = checklist(&outcome.report);
     println!("{}", render_checklist(&checks));
     let failed = checks.iter().filter(|c| !c.pass).count();
-    println!(
-        "{}/{} criteria hold",
-        checks.len() - failed,
-        checks.len()
-    );
+    println!("{}/{} criteria hold", checks.len() - failed, checks.len());
     if failed == 0 {
         ExitCode::SUCCESS
     } else {
@@ -104,8 +141,7 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
     write("figure3_direct.dot", r.figure3_direct_dot.clone())?;
     write("figure3_twohop.dot", r.figure3_twohop_dot.clone())?;
     use likelab::analysis::svg;
-    let (ads, farms): (Vec<_>, Vec<_>) =
-        r.figure2.iter().cloned().partition(|s| s.platform_ads);
+    let (ads, farms): (Vec<_>, Vec<_>) = r.figure2.iter().cloned().partition(|s| s.platform_ads);
     write("figure1.svg", svg::figure1_svg(&r.figure1))?;
     write(
         "figure2a.svg",
@@ -128,11 +164,46 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
+    let config = SweepConfig {
+        master_seed: opts.seed,
+        n_seeds: opts.seeds,
+        scales: opts.scales.clone(),
+    };
+    let exec = if opts.sequential {
+        Exec::Sequential
+    } else {
+        Exec::auto()
+    };
+    eprintln!(
+        "sweeping: {} seeds x {} scales from master seed {} ({} workers)...",
+        config.n_seeds,
+        config.scales.len(),
+        config.master_seed,
+        exec.worker_count(),
+    );
+    let report = run_sweep(&config, exec);
+    print!("{}", report.render());
+    if let Some(path) = &opts.out {
+        let json = report.to_json().map_err(|e| e.to_string())?;
+        fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("sweep report written to {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_paper() -> ExitCode {
     println!("Published Table 1 (IMC 2014):");
     println!(
         "{:8} {:20} {:10} {:>9} {:>9} {:>11} {:>7} {:>11}",
-        "Campaign", "Provider", "Location", "Budget", "Duration", "Monitoring", "#Likes", "#Terminated"
+        "Campaign",
+        "Provider",
+        "Location",
+        "Budget",
+        "Duration",
+        "Monitoring",
+        "#Likes",
+        "#Terminated"
     );
     for r in paper::TABLE1 {
         println!(
@@ -189,6 +260,13 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "checklist" => cmd_checklist(&opts),
         "export" => match cmd_export(&opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "sweep" => match cmd_sweep(&opts) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -122,7 +122,10 @@ fn detection_catches_bots_but_not_stealth() {
         .map(|u| (u, score(&extract(&o.world, u, now, &cfg), &weights)))
         .collect();
     let auc_bots = roc(&o.world, &scored, PositiveClass::FarmOnly).auc;
-    assert!(auc_bots > 0.75, "detector should separate farms: AUC {auc_bots}");
+    assert!(
+        auc_bots > 0.75,
+        "detector should separate farms: AUC {auc_bots}"
+    );
 
     // Mean scores: bots far above organic, stealth close to organic.
     let mean = |pred: &dyn Fn(ActorClass) -> bool| {
@@ -187,7 +190,10 @@ fn trace_journal_records_the_run() {
     let o = outcome();
     let journal = o.trace.render();
     assert!(journal.contains("population ready"));
-    assert!(journal.contains("remained inactive"), "scam campaigns noted");
+    assert!(
+        journal.contains("remained inactive"),
+        "scam campaigns noted"
+    );
     assert!(journal.contains("event loop drained"));
 }
 

@@ -35,10 +35,7 @@ fn trained_detector_beats_chance_and_matches_hand_weights() {
         }
     }
     let trained = fit(&train, &TrainConfig::default());
-    let scored: Vec<(UserId, f64)> = eval
-        .iter()
-        .map(|(u, f)| (*u, score(f, &trained)))
-        .collect();
+    let scored: Vec<(UserId, f64)> = eval.iter().map(|(u, f)| (*u, score(f, &trained))).collect();
     let auc = roc(&o.world, &scored, PositiveClass::FarmOnly).auc;
     assert!(auc > 0.8, "trained on study data: AUC {auc}");
 }

@@ -1,0 +1,58 @@
+//! Determinism contract of the parallel paths: a parallel run must be
+//! *byte-identical* (through serialized JSON) to a sequential run — for the
+//! per-study report computation and for the multi-seed sweep engine.
+//!
+//! These are the tests backing the claim in DESIGN.md that parallelism in
+//! this codebase changes wall-clock time and nothing else. The container
+//! running CI may have a single core, so worker counts are forced explicitly
+//! rather than taken from the machine: the threaded code paths execute even
+//! where `Exec::auto()` would degenerate to sequential.
+
+use likelab::analysis::StudyReport;
+use likelab::sim::Exec;
+use likelab::{run_study, run_study_with, run_sweep, StudyConfig, SweepConfig};
+
+/// A small but non-trivial world: all 13 campaigns active, thousands of
+/// accounts, every analysis section non-empty.
+const SCALE: f64 = 0.03;
+
+#[test]
+fn parallel_study_report_is_byte_identical_to_sequential() {
+    let outcome = run_study(&StudyConfig::paper(7, SCALE));
+    let sequential = StudyReport::compute_sequential(&outcome.dataset)
+        .to_json()
+        .expect("report serializes");
+    for workers in [2, 4, 8] {
+        let parallel = StudyReport::compute_with(&outcome.dataset, Exec::workers(workers))
+            .to_json()
+            .expect("report serializes");
+        assert_eq!(sequential, parallel, "workers={workers}");
+    }
+}
+
+#[test]
+fn study_outcome_does_not_depend_on_worker_count() {
+    let run = |exec: Exec| {
+        run_study_with(&StudyConfig::paper(11, SCALE), exec)
+            .report
+            .to_json()
+            .expect("report serializes")
+    };
+    assert_eq!(run(Exec::Sequential), run(Exec::workers(4)));
+}
+
+#[test]
+fn eight_seed_sweep_is_byte_identical_across_worker_counts() {
+    let config = SweepConfig {
+        master_seed: 42,
+        n_seeds: 8,
+        scales: vec![0.0125],
+    };
+    let sequential = run_sweep(&config, Exec::Sequential)
+        .to_json()
+        .expect("sweep report serializes");
+    let parallel = run_sweep(&config, Exec::workers(4))
+        .to_json()
+        .expect("sweep report serializes");
+    assert_eq!(sequential, parallel);
+}

@@ -1,0 +1,228 @@
+//! # criterion (vendored shim)
+//!
+//! A small wall-clock micro-benchmark harness exposing the `criterion` API
+//! surface this workspace uses (the build environment has no crates.io
+//! access): [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `b.iter(...)`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until the measurement budget is spent, and reports the mean
+//! per-iteration time. No statistics beyond mean/min — the repository's
+//! EXPERIMENTS.md quotes these numbers as order-of-magnitude indicators,
+//! not confidence intervals.
+//!
+//! Environment knobs: `CRITERION_MEASURE_MS` (per-bench measurement budget,
+//! default 300 ms), `CRITERION_FILTER` (substring filter on bench names).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(measure_ms),
+            filter: std::env::var("CRITERION_FILTER").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (the real crate reads CLI flags here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(name) {
+            let mut b = Bencher {
+                measure: self.measure,
+                report: None,
+            };
+            f(&mut b);
+            match b.report {
+                Some(r) => println!(
+                    "{name:50} time: [{} mean, {} min, {} iters]",
+                    format_ns(r.mean_ns),
+                    format_ns(r.min_ns),
+                    r.iters
+                ),
+                None => println!("{name:50} (no measurement)"),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks (`group/bench-id` naming).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op: the shim sizes measurement by time budget, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility no-op (measurement budget comes from the environment).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming a function and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id naming just a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Human-scale rendering of a nanosecond quantity.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    measure: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Time `f`, called repeatedly until the measurement budget is spent.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up: one call, which also sizes the batches.
+        let start = Instant::now();
+        black_box(f());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.measure;
+        let batch = (budget.as_nanos() / 20 / first.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min_ns = f64::INFINITY;
+        while total < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            iters += batch;
+            min_ns = min_ns.min(dt.as_nanos() as f64 / batch as f64);
+        }
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns,
+            iters,
+        });
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

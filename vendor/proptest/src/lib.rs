@@ -1,0 +1,130 @@
+//! # proptest (vendored shim)
+//!
+//! A minimal, dependency-free stand-in for the real `proptest` crate (the
+//! build environment has no crates.io access). It keeps the property-test
+//! *surface* the workspace uses — `proptest! { fn f(x in strategy) {...} }`,
+//! range/`any`/`vec`/tuple/`prop_map` strategies, and the `prop_assert*`
+//! macros — while swapping the engine for a simple deterministic sampler:
+//!
+//! - every test function runs a fixed number of random cases (default 96,
+//!   override with the `PROPTEST_CASES` environment variable);
+//! - case RNG seeds derive from the test name, so runs are reproducible and
+//!   failures can be replayed by rerunning the same test binary;
+//! - the first cases are biased toward range endpoints (the classic
+//!   edge-case bugs), the rest are uniform;
+//! - there is no shrinking — the failure message reports the case number.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors namespaced like the real crate (`prop::collection`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{hash_set, vec};
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, vec, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests.
+///
+/// Each function body runs once per generated case; use the `prop_assert*`
+/// macros inside (plain `assert!` also works — it just panics without the
+/// case number).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    stringify!($name),
+                    ($($strategy,)+),
+                    |($($parm,)+)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left), stringify!($right), l, r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{} (left: `{:?}`, right: `{:?}`)",
+                ::std::format!($($fmt)*), l, r,
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` (both: `{:?}`)",
+                stringify!($left),
+                stringify!($right),
+                l,
+            ));
+        }
+    }};
+}
+
+/// Skip the current case unless `cond` holds (no replacement case is drawn —
+/// the shim simply counts the case as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

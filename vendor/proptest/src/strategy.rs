@@ -1,0 +1,333 @@
+//! Strategies: deterministic samplers over value spaces.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The sampler RNG — SplitMix64, deterministic by construction.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+    /// Case index, used to bias early cases toward range endpoints.
+    pub case: usize,
+}
+
+impl TestRng {
+    /// Seed a case RNG.
+    pub fn new(seed: u64, case: usize) -> Self {
+        TestRng {
+            state: seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            case,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- integer and float ranges ---------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Bias the first two cases toward the endpoints.
+                match rng.case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                match rng.case {
+                    0 => lo,
+                    1 => hi,
+                    _ => {
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        let draw = (u128::from(rng.next_u64()) * span) >> 64;
+                        (lo as i128 + draw as i128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        if rng.case == 0 {
+            return self.start;
+        }
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        match rng.case {
+            0 => lo,
+            1 => hi,
+            _ => lo + (hi - lo) * rng.unit_f64(),
+        }
+    }
+}
+
+// --- any -------------------------------------------------------------------
+
+/// Marker returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The full value space of `T`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                match rng.case {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        match rng.case {
+            0 => 0,
+            1 => i64::MAX,
+            2 => i64::MIN,
+            _ => rng.next_u64() as i64,
+        }
+    }
+}
+
+// --- collections and tuples ------------------------------------------------
+
+/// Lengths a [`vec`] strategy may take.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// The [`vec`] strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A `Vec` of values from `element`, with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.lo < self.size.hi, "empty size range");
+        let len = if rng.case == 0 {
+            self.size.lo
+        } else {
+            self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+        };
+        // Element draws should not inherit endpoint bias from the case
+        // index, or every early-case vector would be all-minimum.
+        let mut element_rng = TestRng {
+            state: rng.next_u64(),
+            case: 2,
+        };
+        (0..len)
+            .map(|_| self.element.sample(&mut element_rng))
+            .collect()
+    }
+}
+
+/// The [`hash_set`] strategy.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A `HashSet` of values from `element`, with a target size drawn from
+/// `size`. Duplicates collapse, so the realized set may be smaller — matching
+/// the real crate's treatment of sizes as upper bounds under collision.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(self.size.lo < self.size.hi, "empty size range");
+        let len = if rng.case == 0 {
+            self.size.lo
+        } else {
+            self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+        };
+        let mut element_rng = TestRng {
+            state: rng.next_u64(),
+            case: 2,
+        };
+        (0..len)
+            .map(|_| self.element.sample(&mut element_rng))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($idx:tt : $s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(0: A);
+impl_tuple_strategy!(0: A, 1: B);
+impl_tuple_strategy!(0: A, 1: B, 2: C);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E);
+impl_tuple_strategy!(0: A, 1: B, 2: C, 3: D, 4: E, 5: F);

@@ -1,0 +1,43 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96)
+}
+
+/// FNV-1a — stable seed from the test name.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run one property: draw `case_count()` inputs from `strategies` and apply
+/// `property` to each. Panics (failing the enclosing `#[test]`) on the first
+/// case whose property returns `Err`.
+pub fn run<S, F>(name: &str, strategies: S, mut property: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    let seed = fnv1a(name);
+    let cases = case_count();
+    for case in 0..cases {
+        let mut rng = TestRng::new(seed, case);
+        let input = strategies.sample(&mut rng);
+        if let Err(message) = property(input) {
+            panic!(
+                "proptest property `{name}` failed at case {case}/{cases}: {message} \
+                 (deterministic: rerun this test to reproduce)"
+            );
+        }
+    }
+}

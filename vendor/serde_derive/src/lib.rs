@@ -1,0 +1,469 @@
+//! # serde_derive (vendored shim)
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` value model. Written against `proc_macro` alone (the
+//! build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields;
+//! - tuple structs (one field serializes transparently, like serde newtypes;
+//!   more fields serialize as an array);
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde's default representation).
+//!
+//! Not supported (the derive panics with a clear message): generic types and
+//! `#[serde(...)]` attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_serialize()
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.impl_deserialize()
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// What a variant (or struct body) carries.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields — only the arity matters.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Cursor over a flat token list.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // `#`
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("expected `[...]` after `#`"),
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skip a type expression up to a top-level `,` (or end of stream).
+    /// Parentheses/brackets arrive as atomic groups; only angle brackets
+    /// need explicit depth tracking.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => break,
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Parse the field names of a `{ ... }` struct body or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        match c.next() {
+            Some(TokenTree::Ident(i)) => names.push(i.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        c.skip_type();
+        c.next(); // the `,`, if any
+    }
+    names
+}
+
+/// Count the fields of a `( ... )` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        c.skip_type();
+        c.next(); // the `,`, if any
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                c.pos += 1;
+                Fields::Named(parse_named_fields(body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                c.pos += 1;
+                Fields::Tuple(count_tuple_fields(body))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume up to and including the trailing comma (tolerates
+        // discriminants, which this workspace does not use).
+        while let Some(t) = c.next() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut c = Cursor::new(input);
+        c.skip_attributes();
+        c.skip_visibility();
+        let kind = c.expect_ident("`struct` or `enum`");
+        let name = c.expect_ident("type name");
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == '<' {
+                panic!("derive(Serialize/Deserialize) shim does not support generics on `{name}`");
+            }
+        }
+        match kind.as_str() {
+            "struct" => {
+                let fields = match c.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                    other => panic!("unexpected struct body: {other:?}"),
+                };
+                Item::Struct { name, fields }
+            }
+            "enum" => {
+                let variants = match c.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        parse_variants(g.stream())
+                    }
+                    other => panic!("unexpected enum body: {other:?}"),
+                };
+                Item::Enum { name, variants }
+            }
+            other => panic!("cannot derive for `{other}` items"),
+        }
+    }
+
+    fn impl_serialize(&self) -> String {
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Named(names) => {
+                        let pairs: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value(&self.{f}))"
+                                )
+                            })
+                            .collect();
+                        format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+                    }
+                    Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    }
+                    Fields::Unit => "::serde::Value::Null".to_string(),
+                };
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => format!(
+                                "{name}::{vname} => \
+                                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                            ),
+                            Fields::Tuple(n) => {
+                                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                                let inner = if *n == 1 {
+                                    "::serde::Serialize::to_value(x0)".to_string()
+                                } else {
+                                    let items: Vec<String> = binds
+                                        .iter()
+                                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                        .collect();
+                                    format!(
+                                        "::serde::Value::Array(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                };
+                                format!(
+                                    "{name}::{vname}({binds}) => ::serde::Value::Object(\
+                                     ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                     {inner})]),",
+                                    binds = binds.join(", ")
+                                )
+                            }
+                            Fields::Named(fields) => {
+                                let pairs: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from(\"{f}\"), \
+                                             ::serde::Serialize::to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(\
+                                     ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                                    fields = fields.join(", "),
+                                    pairs = pairs.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                       fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                       }}\n\
+                     }}",
+                    arms.join("\n")
+                )
+            }
+        }
+    }
+
+    fn impl_deserialize(&self) -> String {
+        let header = |name: &str, body: &str| {
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) \
+                   -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        };
+        match self {
+            Item::Struct { name, fields } => {
+                let body = match fields {
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?,"))
+                            .collect();
+                        format!(
+                            "::std::result::Result::Ok({name} {{ {} }})",
+                            inits.join(" ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::element(v, {i})?"))
+                            .collect();
+                        format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+                    }
+                    Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                };
+                header(name, &body)
+            }
+            Item::Enum { name, variants } => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.fields, Fields::Unit))
+                    .map(|v| {
+                        format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                            vname = v.name
+                        )
+                    })
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            Fields::Unit => None,
+                            Fields::Tuple(1) => Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(inner)?)),"
+                            )),
+                            Fields::Tuple(n) => {
+                                let inits: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::element(inner, {i})?"))
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok(\
+                                     {name}::{vname}({})),",
+                                    inits.join(", ")
+                                ))
+                            }
+                            Fields::Named(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| format!("{f}: ::serde::field(inner, \"{f}\")?,"))
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => ::std::result::Result::Ok(\
+                                     {name}::{vname} {{ {} }}),",
+                                    inits.join(" ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                let body = format!(
+                    "match v {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                           ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                       }},\n\
+                       ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                           {tagged_arms}\n\
+                           other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                       }}\n\
+                       other => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"{name} variant\", other)),\n\
+                     }}",
+                    unit_arms = unit_arms.join("\n"),
+                    tagged_arms = tagged_arms.join("\n"),
+                );
+                header(name, &body)
+            }
+        }
+    }
+}
