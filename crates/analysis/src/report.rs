@@ -116,30 +116,79 @@ impl StudyReport {
     /// reassembled in declaration order: the result does not depend on
     /// `exec` in any way — only wall-clock time does.
     pub fn compute_with(dataset: &Dataset, exec: Exec) -> Self {
-        let social = &ObservedSocial::build(dataset);
+        likelab_obs::span!("report.compute");
+        let social_index = {
+            let _s = likelab_obs::span::enter("report.social_index");
+            ObservedSocial::build(dataset)
+        };
+        let social = &social_index;
         type Job<'a> = Box<dyn Fn() -> Section + Send + Sync + 'a>;
-        let jobs: Vec<Job<'_>> = vec![
-            Box::new(|| Section::Table1(Self::table1(dataset))),
-            Box::new(|| Section::Table2(table2(dataset))),
-            Box::new(|| Section::Table3(social.table3())),
-            Box::new(|| Section::Figure1(figure1(dataset))),
-            Box::new(|| Section::Figure2(figure2(dataset, 15))),
-            Box::new(|| Section::Dot(social.figure3_dot(false))),
-            Box::new(|| Section::Dot(social.figure3_dot(true))),
-            Box::new(|| Section::Figure4(figure4(dataset))),
-            Box::new(|| Section::Similarity(figure5_pages(dataset))),
-            Box::new(|| Section::Similarity(figure5_users(dataset))),
-            Box::new(|| Section::Termination(termination_summary(dataset))),
-            Box::new(|| {
-                Section::Totals(Totals {
-                    campaign_likes: dataset.total_likes(),
-                    farm_likes: dataset.farm_likes(),
-                    ad_likes: dataset.ad_likes(),
-                    observed_page_likes: dataset.observed_page_likes(),
-                    observed_friendships: dataset.observed_friendships(),
-                })
-            }),
+        let named: Vec<(&'static str, Job<'_>)> = vec![
+            (
+                "table1",
+                Box::new(|| Section::Table1(Self::table1(dataset))),
+            ),
+            ("table2", Box::new(|| Section::Table2(table2(dataset)))),
+            ("table3", Box::new(|| Section::Table3(social.table3()))),
+            ("figure1", Box::new(|| Section::Figure1(figure1(dataset)))),
+            (
+                "figure2",
+                Box::new(|| Section::Figure2(figure2(dataset, 15))),
+            ),
+            (
+                "figure3_direct",
+                Box::new(|| Section::Dot(social.figure3_dot(false))),
+            ),
+            (
+                "figure3_twohop",
+                Box::new(|| Section::Dot(social.figure3_dot(true))),
+            ),
+            ("figure4", Box::new(|| Section::Figure4(figure4(dataset)))),
+            (
+                "figure5_pages",
+                Box::new(|| Section::Similarity(figure5_pages(dataset))),
+            ),
+            (
+                "figure5_users",
+                Box::new(|| Section::Similarity(figure5_users(dataset))),
+            ),
+            (
+                "termination",
+                Box::new(|| Section::Termination(termination_summary(dataset))),
+            ),
+            (
+                "totals",
+                Box::new(|| {
+                    Section::Totals(Totals {
+                        campaign_likes: dataset.total_likes(),
+                        farm_likes: dataset.farm_likes(),
+                        ad_likes: dataset.ad_likes(),
+                        observed_page_likes: dataset.observed_page_likes(),
+                        observed_friendships: dataset.observed_friendships(),
+                    })
+                }),
+            ),
         ];
+        // Label each section's wall time so `--timing` shows where report
+        // time goes (`report.section.ns{section=...}` per the naming
+        // conventions in OBSERVABILITY.md).
+        let jobs: Vec<Job<'_>> = named
+            .into_iter()
+            .map(|(name, job)| -> Job<'_> {
+                Box::new(move || {
+                    if !likelab_obs::enabled() {
+                        return job();
+                    }
+                    let start = likelab_obs::now_ns();
+                    let section = job();
+                    likelab_obs::metrics::record_ns(
+                        &format!("report.section.ns{{section={name}}}"),
+                        likelab_obs::now_ns().saturating_sub(start),
+                    );
+                    section
+                })
+            })
+            .collect();
         let mut sections = parallel_jobs(exec, jobs).into_iter();
 
         // parallel_jobs preserves job order, so sections come back in the

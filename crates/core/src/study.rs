@@ -133,6 +133,16 @@ fn campaign_days(spec: &CampaignSpec, farms: &[FarmSpec]) -> u64 {
 /// Parallelizable stages (population synthesis, report assembly) use
 /// [`Exec::auto`]; the outcome is bit-identical for any worker count — see
 /// [`run_study_with`].
+///
+/// ```
+/// use likelab_core::{run_study, StudyConfig};
+///
+/// // Scale 0.01 keeps the doc test fast; 1.0 is paper-sized.
+/// let outcome = run_study(&StudyConfig::paper(42, 0.01));
+/// assert_eq!(outcome.dataset.campaigns.len(), 13);
+/// let text = outcome.report.render();
+/// assert!(text.contains("Table 1"));
+/// ```
 pub fn run_study(config: &StudyConfig) -> StudyOutcome {
     run_study_with(config, Exec::auto())
 }
@@ -145,11 +155,13 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
 /// randomness from index-split streams and reassembles results in index
 /// order, so the returned outcome is bit-identical for every `exec`.
 pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
+    likelab_obs::span!("study.run");
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut trace = Trace::with_capacity(10_000);
     let mut world = OsnWorld::new();
 
     // --- population -----------------------------------------------------
+    let population_span = likelab_obs::span::enter("study.population");
     let pop_config = config.population.clone().scaled(config.scale);
     let population = synthesize_with(&mut world, &pop_config, &mut rng.fork("population"), exec);
     let launch = population.launch;
@@ -163,7 +175,10 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         ),
     );
 
+    drop(population_span);
+
     // --- honeypots and promotions ----------------------------------------
+    let promotions_span = likelab_obs::span::enter("study.promotions");
     // Farm camouflage draws from the globally popular head of the
     // catalogue: farm accounts mimic generic users, not locals.
     let mut roster = FarmRoster::new(
@@ -300,6 +315,9 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         }
     }
 
+    drop(promotions_span);
+    let event_loop_span = likelab_obs::span::enter("study.event_loop");
+
     // --- crawler polls and fraud sweeps -----------------------------------
     for (i, m) in monitors.iter().enumerate() {
         if m.is_some() {
@@ -346,7 +364,11 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         ),
     );
 
+    drop(event_loop_span);
+    likelab_obs::metrics::counter("study.events.fired", engine.fired());
+
     // --- collection -------------------------------------------------------
+    let collection_span = likelab_obs::span::enter("study.collection");
     let mut campaigns_data = Vec::with_capacity(config.campaigns.len());
     for (i, spec) in config.campaigns.iter().enumerate() {
         let page = honeypots[i];
@@ -388,7 +410,11 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         launch,
         global_report: AudienceReport::global(&world),
     };
-    let report = StudyReport::compute_with(&dataset, exec);
+    drop(collection_span);
+    let report = {
+        let _s = likelab_obs::span::enter("study.report");
+        StudyReport::compute_with(&dataset, exec)
+    };
 
     StudyOutcome {
         dataset,

@@ -199,6 +199,18 @@ pub fn study_metrics(report: &StudyReport) -> BTreeMap<String, f64> {
 /// Each run's own parallel stages keep their [`Exec::auto`] policy; since
 /// every stage is exec-independent by construction, nesting affects thread
 /// counts only, never results.
+///
+/// ```
+/// use likelab_core::{run_sweep, SweepConfig};
+/// use likelab_sim::Exec;
+///
+/// let config = SweepConfig { master_seed: 42, n_seeds: 2, scales: vec![0.01] };
+/// let report = run_sweep(&config, Exec::auto());
+/// assert_eq!(report.cells.len(), 1);
+/// let cell = &report.cells[0];
+/// assert_eq!(cell.runs.len(), 2);
+/// assert!(cell.aggregates.contains_key("campaign_likes"));
+/// ```
 pub fn run_sweep(config: &SweepConfig, exec: Exec) -> SweepReport {
     assert!(config.n_seeds > 0, "sweep needs at least one seed");
     assert!(!config.scales.is_empty(), "sweep needs at least one scale");
@@ -206,6 +218,7 @@ pub fn run_sweep(config: &SweepConfig, exec: Exec) -> SweepReport {
         assert!(*s > 0.0, "scale must be positive, got {s}");
     }
 
+    likelab_obs::span!("sweep.run");
     let work: Vec<(f64, u64)> = config
         .scales
         .iter()
@@ -213,11 +226,13 @@ pub fn run_sweep(config: &SweepConfig, exec: Exec) -> SweepReport {
         .collect();
     let records = parallel_map(exec, &work, |_, &(scale, seed)| {
         let outcome = run_study(&StudyConfig::paper(seed, scale));
+        likelab_obs::metrics::counter("sweep.jobs.completed", 1);
         RunRecord {
             seed,
             metrics: study_metrics(&outcome.report),
         }
     });
+    likelab_obs::span!("sweep.aggregate");
 
     let mut cells = Vec::with_capacity(config.scales.len());
     for (i, scale) in config.scales.iter().enumerate() {

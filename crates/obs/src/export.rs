@@ -1,0 +1,452 @@
+//! Snapshot exporters: stable-schema JSON for machines, a flame-style
+//! tree and a timing table for humans.
+//!
+//! The JSON schemas are versioned and snapshot-tested; consumers can rely
+//! on field names and nesting (see `OBSERVABILITY.md` § exporter formats).
+//! JSON is hand-rolled so this crate stays dependency-free; keys render in
+//! deterministic (sorted) order.
+
+use crate::metrics::Histogram;
+use crate::span::{SpanRecord, SpanStat};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A merged, consistent view of every shard at one point in time.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All histograms, by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Exact per-name span aggregates (immune to ring eviction).
+    pub span_stats: BTreeMap<String, SpanStat>,
+    /// Finished spans that survived the ring buffers, in start order.
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from ring buffers before this snapshot.
+    pub dropped_spans: u64,
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render nanoseconds for humans: `1.23s`, `45.6ms`, `789µs`, or `12ns`.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns_f / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns_f / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.0}µs", ns_f / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl Snapshot {
+    /// Counters, histograms, and span aggregates as a JSON document.
+    ///
+    /// Schema (version 1):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "counters": {"name": 123},
+    ///   "histograms": {"name": {"count": 2, "sum": 30, "min": 10,
+    ///     "max": 20, "p50": 15, "p99": 20, "buckets": [[15, 1], [31, 1]]}},
+    ///   "spans": {"name": {"count": 1, "total_ns": 42}}
+    /// }
+    /// ```
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {v}", json_escape(name));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .map(|(upper, n)| format!("[{upper}, {n}]"))
+                .collect();
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_escape(name),
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                buckets.join(", ")
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"spans\": {");
+        first = true;
+        for (name, s) in &self.span_stats {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}}}",
+                json_escape(name),
+                s.count,
+                s.total_ns
+            );
+        }
+        out.push_str(if first { "}\n}" } else { "\n  }\n}" });
+        out.push('\n');
+        out
+    }
+
+    /// The span trace as a JSON document.
+    ///
+    /// Schema (version 1):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "dropped": 0,
+    ///   "spans": [
+    ///     {"id": 1, "parent": null, "name": "study.run", "thread": 0,
+    ///      "start_ns": 0, "dur_ns": 123}
+    ///   ]
+    /// }
+    /// ```
+    pub fn trace_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        let _ = write!(
+            out,
+            "  \"dropped\": {},\n  \"spans\": [",
+            self.dropped_spans
+        );
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let parent = s
+                .parent
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into());
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {}, \"parent\": {}, \"name\": \"{}\", \"thread\": {}, \
+                 \"start_ns\": {}, \"dur_ns\": {}}}",
+                s.id,
+                parent,
+                json_escape(&s.name),
+                s.thread,
+                s.start_ns,
+                s.dur_ns
+            );
+        }
+        out.push_str(if first { "]\n}" } else { "\n  ]\n}" });
+        out.push('\n');
+        out
+    }
+
+    /// A flame-style text tree: spans grouped under their parents,
+    /// same-name siblings aggregated, children sorted by total time.
+    ///
+    /// Spans whose parent was evicted from a ring buffer are promoted to
+    /// roots, so a truncated trace still renders.
+    pub fn flame(&self) -> String {
+        #[derive(Default)]
+        struct Node {
+            count: u64,
+            total_ns: u64,
+            children: BTreeMap<String, Node>,
+        }
+
+        let known: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.id).collect();
+        let mut children_of: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &self.spans {
+            let parent = s.parent.filter(|p| known.contains(p));
+            children_of.entry(parent).or_default().push(s);
+        }
+
+        fn build(
+            parent: Option<u64>,
+            children_of: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+            into: &mut BTreeMap<String, Node>,
+        ) {
+            let Some(spans) = children_of.get(&parent) else {
+                return;
+            };
+            for s in spans {
+                let node = into.entry(s.name.clone()).or_default();
+                node.count += 1;
+                node.total_ns += s.dur_ns;
+                build(Some(s.id), children_of, &mut node.children);
+            }
+        }
+
+        let mut roots: BTreeMap<String, Node> = BTreeMap::new();
+        build(None, &children_of, &mut roots);
+
+        fn render(
+            nodes: &BTreeMap<String, Node>,
+            depth: usize,
+            grand_total: u64,
+            out: &mut String,
+        ) {
+            let mut ordered: Vec<(&String, &Node)> = nodes.iter().collect();
+            ordered.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+            for (name, node) in ordered {
+                let pct = if grand_total > 0 {
+                    node.total_ns as f64 * 100.0 / grand_total as f64
+                } else {
+                    0.0
+                };
+                let indent = "  ".repeat(depth);
+                let label = format!("{indent}{name}");
+                let _ = writeln!(
+                    out,
+                    "{label:<44} {:>7}x {:>10} {pct:>5.1}%",
+                    node.count,
+                    fmt_ns(node.total_ns)
+                );
+                render(&node.children, depth + 1, grand_total, out);
+            }
+        }
+
+        let grand_total: u64 = roots.values().map(|n| n.total_ns).sum();
+        let mut out = String::new();
+        render(&roots, 0, grand_total, &mut out);
+        if self.dropped_spans > 0 {
+            let _ = writeln!(
+                out,
+                "... {} spans evicted before snapshot",
+                self.dropped_spans
+            );
+        }
+        out
+    }
+
+    /// The human `--timing` summary: per-phase wall time from the exact
+    /// span aggregates (sorted by total, descending), then counters, then
+    /// histogram summaries.
+    pub fn timing_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== timing: spans ==\n");
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>10} {:>10} {:>6}",
+            "span", "count", "total", "mean", "%"
+        );
+        let top = self
+            .span_stats
+            .values()
+            .map(|s| s.total_ns)
+            .max()
+            .unwrap_or(0);
+        let mut rows: Vec<(&String, &SpanStat)> = self.span_stats.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        for (name, s) in rows {
+            let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+            let pct = if top > 0 {
+                s.total_ns as f64 * 100.0 / top as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{name:<40} {:>8} {:>10} {:>10} {pct:>5.1}%",
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(mean)
+            );
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n== timing: counters ==\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n== timing: histograms ==\n");
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "p99"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:<40} {:>8} {:>10} {:>10} {:>10}",
+                    h.count(),
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.quantile(0.5)),
+                    fmt_ns(h.quantile(0.99))
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_snapshot() -> Snapshot {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        Snapshot {
+            counters: [("likes.synthesized".to_string(), 42)]
+                .into_iter()
+                .collect(),
+            histograms: [("parallel.job.ns".to_string(), h)].into_iter().collect(),
+            span_stats: [(
+                "study.run".to_string(),
+                SpanStat {
+                    count: 1,
+                    total_ns: 1000,
+                },
+            )]
+            .into_iter()
+            .collect(),
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "study.run".into(),
+                    thread: 0,
+                    start_ns: 0,
+                    dur_ns: 1000,
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "study.report".into(),
+                    thread: 0,
+                    start_ns: 100,
+                    dur_ns: 400,
+                },
+            ],
+            dropped_spans: 0,
+        }
+    }
+
+    // The JSON schemas are a public surface: downstream tooling parses
+    // them. These snapshot strings must only change with a version bump.
+    #[test]
+    fn metrics_json_schema_is_stable() {
+        let expected = "{\n  \"version\": 1,\n  \"counters\": {\n    \"likes.synthesized\": 42\n  },\n  \"histograms\": {\n    \"parallel.job.ns\": {\"count\": 2, \"sum\": 30, \"min\": 10, \"max\": 20, \"p50\": 15, \"p99\": 20, \"buckets\": [[15, 1], [31, 1]]}\n  },\n  \"spans\": {\n    \"study.run\": {\"count\": 1, \"total_ns\": 1000}\n  }\n}\n";
+        assert_eq!(fixed_snapshot().metrics_json(), expected);
+    }
+
+    #[test]
+    fn trace_json_schema_is_stable() {
+        let expected = "{\n  \"version\": 1,\n  \"dropped\": 0,\n  \"spans\": [\n    {\"id\": 1, \"parent\": null, \"name\": \"study.run\", \"thread\": 0, \"start_ns\": 0, \"dur_ns\": 1000},\n    {\"id\": 2, \"parent\": 1, \"name\": \"study.report\", \"thread\": 0, \"start_ns\": 100, \"dur_ns\": 400}\n  ]\n}\n";
+        assert_eq!(fixed_snapshot().trace_json(), expected);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_valid_json() {
+        let snap = Snapshot::default();
+        assert_eq!(
+            snap.metrics_json(),
+            "{\n  \"version\": 1,\n  \"counters\": {},\n  \"histograms\": {},\n  \"spans\": {}\n}\n"
+        );
+        assert_eq!(
+            snap.trace_json(),
+            "{\n  \"version\": 1,\n  \"dropped\": 0,\n  \"spans\": []\n}\n"
+        );
+        assert_eq!(snap.flame(), "");
+        assert!(snap.timing_table().contains("== timing: spans =="));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn flame_nests_children_under_parents() {
+        let flame = fixed_snapshot().flame();
+        let run_line = flame.lines().position(|l| l.starts_with("study.run"));
+        let report_line = flame.lines().position(|l| l.starts_with("  study.report"));
+        assert!(run_line.is_some(), "root at depth 0:\n{flame}");
+        assert!(report_line.is_some(), "child indented under root:\n{flame}");
+        assert!(run_line < report_line);
+    }
+
+    #[test]
+    fn flame_promotes_orphans_to_roots() {
+        let mut snap = fixed_snapshot();
+        // Parent id 1 evicted: child must still render, at root depth.
+        snap.spans.retain(|s| s.id != 1);
+        snap.dropped_spans = 1;
+        let flame = snap.flame();
+        assert!(flame.lines().any(|l| l.starts_with("study.report")));
+        assert!(flame.contains("1 spans evicted"));
+    }
+
+    #[test]
+    fn timing_table_sorts_by_total() {
+        let mut snap = fixed_snapshot();
+        snap.span_stats.insert(
+            "study.small".into(),
+            SpanStat {
+                count: 5,
+                total_ns: 10,
+            },
+        );
+        let table = snap.timing_table();
+        let run = table
+            .lines()
+            .position(|l| l.starts_with("study.run"))
+            .unwrap();
+        let small = table
+            .lines()
+            .position(|l| l.starts_with("study.small"))
+            .unwrap();
+        assert!(run < small, "bigger total first:\n{table}");
+        assert!(table.contains("likes.synthesized"));
+        assert!(table.contains("parallel.job.ns"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "2µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

@@ -1,0 +1,272 @@
+//! The metrics registry: named monotone counters and log-bucketed
+//! histograms, sharded per thread and merged on snapshot.
+//!
+//! Metric names are flat strings following the `OBSERVABILITY.md`
+//! conventions (`subsystem.noun.unit`, labels baked in as
+//! `name{label=value}`). Both entry points are no-ops while observability
+//! is [disabled](crate::enabled).
+
+use crate::shard::with_shard;
+
+/// Add `delta` to the named counter (no-op while disabled).
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|s| s.count(name, delta));
+}
+
+/// Record one observation (conventionally nanoseconds, hence the name —
+/// any `u64` quantity works) into the named histogram (no-op while
+/// disabled).
+#[inline]
+pub fn record_ns(name: &str, value: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|s| s.observe(name, value));
+}
+
+/// Number of power-of-two buckets: bucket `i` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds exactly zero, bucket 64 tops out at
+/// `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram with exact count/sum/min/max.
+///
+/// Bucket boundaries are fixed powers of two, which makes
+/// [`merge`](Histogram::merge) a plain element-wise add — associative and
+/// commutative, so per-thread shards can merge in any order and produce
+/// the same totals. Quantiles are upper-bound estimates (the reported
+/// value is the upper edge of the bucket containing the quantile, clamped
+/// to the observed min/max).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        64 - value.leading_zeros() as usize
+    }
+
+    /// The inclusive upper edge of bucket `i`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Fold another histogram into this one (element-wise bucket add).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of quantile `q` in `[0, 1]`, clamped to the
+    /// observed `[min, max]` range. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_edge, count)` pairs, in
+    /// ascending edge order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (Self::bucket_upper(i), *n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = Histogram::new();
+        for v in [3, 9, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 113);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 28.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 → [0,0]; 1 → (0,1]; 2,3 → (1,3]; 4 → (3,7].
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1)]);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((500..=1000).contains(&p50), "p50 estimate {p50}");
+        assert!(p99 >= p50);
+        assert!(p99 <= h.max());
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let mut h = Histogram::new();
+            for v in values {
+                h.record(*v);
+            }
+            h
+        };
+        let a = mk(&[1, 2, 3]);
+        let b = mk(&[10, 20]);
+        let c = mk(&[500, 1_000_000]);
+
+        let digest = |h: &Histogram| {
+            (
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.nonzero_buckets().collect::<Vec<_>>(),
+            )
+        };
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(digest(&ab_c), digest(&a_bc));
+
+        // a ⊕ b == b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(digest(&ab), digest(&ba));
+    }
+
+    #[test]
+    fn huge_values_saturate_not_wrap() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-thread storage shards and the global shard registry.
+//!
+//! Every instrumented thread owns one [`Shard`]: its counters, histograms,
+//! span aggregates, and a bounded ring buffer of finished spans. The hot
+//! path touches only the calling thread's shard — the shard mutex exists
+//! for the snapshot reader and is uncontended during normal execution, so
+//! instrumented worker pools never serialize against each other. Shards
+//! outlive their threads (the registry holds an `Arc`), so spans recorded
+//! by short-lived scoped workers survive into the snapshot.
+
+use crate::export::Snapshot;
+use crate::metrics::Histogram;
+use crate::span::{SpanRecord, SpanStat};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Default capacity of each thread's finished-span ring buffer.
+pub const DEFAULT_SPAN_RING_CAPACITY: usize = 16_384;
+
+static RING_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_SPAN_RING_CAPACITY);
+
+/// Set the per-thread span ring capacity (applies to subsequent pushes;
+/// existing entries are kept until eviction). `0` disables span recording
+/// entirely while leaving aggregates exact.
+pub fn set_span_ring_capacity(capacity: usize) {
+    RING_CAPACITY.store(capacity, Ordering::SeqCst);
+}
+
+/// One thread's private slice of the observability state.
+#[derive(Debug, Default)]
+pub struct Shard {
+    /// Dense thread index assigned at registration (0 = first registered).
+    pub thread: u64,
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+    span_stats: HashMap<String, SpanStat>,
+    ring: VecDeque<SpanRecord>,
+    dropped_spans: u64,
+}
+
+impl Shard {
+    /// Add `delta` to the named counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Record one finished span: exact per-name aggregate plus the bounded
+    /// ring entry (evicting the oldest span when full).
+    pub fn finish_span(&mut self, record: SpanRecord) {
+        let stat = self.span_stats.entry(record.name.clone()).or_default();
+        stat.count += 1;
+        stat.total_ns += record.dur_ns;
+        let cap = RING_CAPACITY.load(Ordering::Relaxed);
+        if cap == 0 {
+            self.dropped_spans += 1;
+            return;
+        }
+        while self.ring.len() >= cap {
+            self.ring.pop_front();
+            self.dropped_spans += 1;
+        }
+        self.ring.push_back(record);
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+        self.span_stats.clear();
+        self.ring.clear();
+        self.dropped_spans = 0;
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<Shard>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<Shard>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<Shard>>>> = const { RefCell::new(None) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking instrumented thread must not wedge observability for the
+    // rest of the process: the data is monotone, so poisoning is harmless.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` against the calling thread's shard, registering it on first use.
+pub fn with_shard<R>(f: impl FnOnce(&mut Shard) -> R) -> R {
+    let arc = LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        Arc::clone(slot.get_or_insert_with(|| {
+            let shard = Arc::new(Mutex::new(Shard {
+                thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+                ..Shard::default()
+            }));
+            lock(registry()).push(Arc::clone(&shard));
+            shard
+        }))
+    });
+    let result = f(&mut lock(&arc));
+    result
+}
+
+/// Merge every registered shard into one [`Snapshot`]. Counters sum,
+/// histograms merge bucket-wise (associative and commutative, so the shard
+/// order cannot matter), spans concatenate and sort by start time.
+pub fn merge_all() -> Snapshot {
+    let shards = lock(registry());
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut span_stats: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    let mut dropped_spans = 0;
+    for shard in shards.iter() {
+        let shard = lock(shard);
+        for (name, v) in &shard.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &shard.histograms {
+            histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, s) in &shard.span_stats {
+            let agg = span_stats.entry(name.clone()).or_default();
+            agg.count += s.count;
+            agg.total_ns += s.total_ns;
+        }
+        spans.extend(shard.ring.iter().cloned());
+        dropped_spans += shard.dropped_spans;
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.thread, s.id));
+    Snapshot {
+        counters,
+        histograms,
+        span_stats,
+        spans,
+        dropped_spans,
+    }
+}
+
+/// Clear every registered shard's data (registration itself persists).
+pub fn reset_all() {
+    for shard in lock(registry()).iter() {
+        lock(shard).clear();
+    }
+}
+
+/// Serialize tests that manipulate the process-global observability state.
+/// Returns a guard; hold it for the duration of the test.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let m = LOCK.get_or_init(|| Mutex::new(()));
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_and_observes() {
+        let mut s = Shard::default();
+        s.count("a", 1);
+        s.count("a", 2);
+        s.observe("h", 10);
+        s.observe("h", 20);
+        assert_eq!(s.counters["a"], 3);
+        assert_eq!(s.histograms["h"].count(), 2);
+        assert_eq!(s.histograms["h"].sum(), 30);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let _guard = test_lock();
+        set_span_ring_capacity(2);
+        let mut s = Shard::default();
+        for i in 0..5u64 {
+            s.finish_span(SpanRecord {
+                id: i,
+                parent: None,
+                name: "x".into(),
+                thread: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        assert_eq!(s.ring.len(), 2);
+        assert_eq!(s.dropped_spans, 3);
+        let ids: Vec<u64> = s.ring.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 4], "oldest evicted first");
+        // Aggregates stay exact despite eviction.
+        assert_eq!(s.span_stats["x"].count, 5);
+        set_span_ring_capacity(DEFAULT_SPAN_RING_CAPACITY);
+    }
+
+    #[test]
+    fn zero_capacity_disables_ring_not_aggregates() {
+        let _guard = test_lock();
+        set_span_ring_capacity(0);
+        let mut s = Shard::default();
+        s.finish_span(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "y".into(),
+            thread: 0,
+            start_ns: 0,
+            dur_ns: 7,
+        });
+        assert!(s.ring.is_empty());
+        assert_eq!(s.span_stats["y"].total_ns, 7);
+        set_span_ring_capacity(DEFAULT_SPAN_RING_CAPACITY);
+    }
+}

@@ -1,0 +1,194 @@
+//! Hierarchical tracing spans.
+//!
+//! A span is a named wall-clock interval. Spans nest per thread: each
+//! thread keeps a stack of open spans, and a new span's parent is whatever
+//! span is open on the same thread at entry (worker threads spawned inside
+//! a span start fresh — cross-thread parenting would require plumbing a
+//! context through `std::thread::scope`, which the hot paths cannot
+//! afford). Finished spans land in the thread's bounded ring buffer for
+//! trace export, and in an exact per-name aggregate for the timing table.
+
+use crate::shard::with_shard;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One finished span, as exported in `--trace-out` JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (allocation order, starts at 1).
+    pub id: u64,
+    /// The span open on the same thread at entry, if any.
+    pub parent: Option<u64>,
+    /// Span name (`subsystem.phase` by convention).
+    pub name: String,
+    /// Dense id of the recording thread (0 = first instrumented thread).
+    pub thread: u64,
+    /// Start, in nanoseconds since the observability epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Exact per-name span aggregate (never dropped, unlike ring entries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans finished under this name.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_ns: u64,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_ns: u64,
+}
+
+/// Guard for an open span; the span closes (and is recorded) on drop.
+/// Inert — carrying no allocation — when observability is disabled.
+#[must_use = "a span closes when its guard drops; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+/// Open a span named `name`; it closes when the returned guard drops.
+///
+/// Prefer the [`span!`](crate::span!) macro for whole-scope spans. When
+/// disabled this costs one atomic load and returns an inert guard.
+#[inline]
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { active: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        let parent = s.last().copied();
+        s.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name: name.to_owned(),
+            start_ns: crate::now_ns(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_ns = crate::now_ns().saturating_sub(active.start_ns);
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order in well-nested code; tolerate
+            // out-of-order drops (e.g. a guard moved out of its scope) by
+            // removing this id wherever it sits.
+            if s.last() == Some(&active.id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|x| *x == active.id) {
+                s.remove(pos);
+            }
+        });
+        with_shard(|shard| {
+            let thread = shard.thread;
+            shard.finish_span(SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                name: active.name,
+                thread,
+                start_ns: active.start_ns,
+                dur_ns,
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::test_lock;
+
+    #[test]
+    fn nesting_links_parents_on_one_thread() {
+        let _guard = test_lock();
+        crate::reset();
+        crate::enable();
+        {
+            let _a = enter("t.outer");
+            {
+                let _b = enter("t.middle");
+                let _c = enter("t.inner");
+            }
+            let _d = enter("t.sibling");
+        }
+        crate::disable();
+        let snap = crate::snapshot();
+        let by_name = |n: &str| snap.spans.iter().find(|s| s.name == n).unwrap().clone();
+        let outer = by_name("t.outer");
+        let middle = by_name("t.middle");
+        let inner = by_name("t.inner");
+        let sibling = by_name("t.sibling");
+        assert_eq!(outer.parent, None);
+        assert_eq!(middle.parent, Some(outer.id));
+        assert_eq!(inner.parent, Some(middle.id));
+        assert_eq!(sibling.parent, Some(outer.id), "stack popped correctly");
+        assert!(outer.dur_ns >= middle.dur_ns);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert_and_stackless() {
+        let _guard = test_lock();
+        crate::reset();
+        crate::disable();
+        {
+            let _a = enter("never");
+            STACK.with(|s| assert!(s.borrow().is_empty()));
+        }
+        assert!(crate::snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn aggregates_count_every_span() {
+        let _guard = test_lock();
+        crate::reset();
+        crate::enable();
+        for _ in 0..10 {
+            let _s = enter("t.repeat");
+        }
+        crate::disable();
+        let snap = crate::snapshot();
+        assert_eq!(snap.span_stats["t.repeat"].count, 10);
+    }
+
+    #[test]
+    fn spans_from_scoped_workers_survive_thread_death() {
+        let _guard = test_lock();
+        crate::reset();
+        crate::enable();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _s = enter("t.worker");
+                });
+            }
+        });
+        crate::disable();
+        let snap = crate::snapshot();
+        assert_eq!(snap.span_stats["t.worker"].count, 4);
+        let workers: Vec<_> = snap.spans.iter().filter(|s| s.name == "t.worker").collect();
+        assert_eq!(workers.len(), 4);
+        assert!(workers.iter().all(|s| s.parent.is_none()));
+    }
+}

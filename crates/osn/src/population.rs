@@ -281,6 +281,7 @@ pub fn synthesize_with(
     rng: &mut Rng,
     exec: Exec,
 ) -> Population {
+    likelab_obs::span!("population.synthesize");
     let mut pop = Population {
         launch: SimTime::EPOCH + config.history,
         ..Population::default()
@@ -290,6 +291,7 @@ pub fn synthesize_with(
     let likes_rng = rng.fork("population.likes");
 
     // --- accounts, grouped by country ---------------------------------
+    let accounts_span = likelab_obs::span::enter("population.accounts");
     let total_weight: f64 = config.country_mix.iter().map(|(_, w)| w).sum();
     let mut organic_by_country: BTreeMap<Country, Vec<UserId>> = BTreeMap::new();
     let mut degree_target: Vec<(UserId, f64)> = Vec::new();
@@ -351,6 +353,8 @@ pub fn synthesize_with(
         pop.click_prone_by_country.insert(*country, cp_ids);
         organic_by_country.insert(*country, ids);
     }
+    drop(accounts_span);
+    let graph_span = likelab_obs::span::enter("population.graph");
 
     // --- friendships ----------------------------------------------------
     // Each account carries a scale-invariant *total* friend-count target;
@@ -414,6 +418,8 @@ pub fn synthesize_with(
         let off = (total - realized).max(0.0).round() as u32;
         world.set_off_network_friends(*u, off);
     }
+    drop(graph_span);
+    let catalogue_span = likelab_obs::span::enter("population.catalogue");
 
     // --- background catalogue: global head + country slices ---------------
     let n_global =
@@ -446,6 +452,8 @@ pub fn synthesize_with(
         }
         pop.country_slices.insert(*country, slice);
     }
+    drop(catalogue_span);
+    likelab_obs::span!("population.likes");
 
     // --- like histories ----------------------------------------------------
     // The dominant cost at full scale, and embarrassingly parallel: every
@@ -488,6 +496,7 @@ pub fn synthesize_with(
         likes
     });
     let mut pending: Vec<(UserId, PageId, SimTime)> = shards.into_iter().flatten().collect();
+    likelab_obs::metrics::counter("likes.synthesized", pending.len() as u64);
     // The ledger requires chronological per-page streams: sort globally.
     pending.sort_by_key(|(u, p, at)| (*at, *u, *p));
     for (u, p, at) in pending {

@@ -2,7 +2,7 @@
 //!
 //! The paper's motivation is that a like is worth $3.60–$214.81 *because it
 //! promises future engagement*: fans see the page's posts and react. The
-//! press reports it cites ([7] "Who 'likes' my Virtual Bagels?", [20]
+//! press reports it cites (\[7\] "Who 'likes' my Virtual Bagels?", \[20\]
 //! "Facebook Fraud") showed the collapse: pages stuffed with bought likes
 //! post into a void, and feed algorithms then throttle their organic reach
 //! further. This module makes that observable in-world: pages publish

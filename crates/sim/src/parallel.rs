@@ -18,6 +18,7 @@
 //! from sequential and parallel runs: randomness flows from indices, results
 //! from slots, and neither observes thread interleaving.
 
+use likelab_obs::metrics;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -82,18 +83,42 @@ impl Exec {
 /// per-item RNG streams from it.
 ///
 /// A panic in `f` propagates to the caller once all workers have stopped.
+///
+/// ```
+/// use likelab_sim::{parallel_map, Exec, Rng};
+///
+/// let parent = Rng::seed_from_u64(7);
+/// let items: Vec<u64> = (0..32).collect();
+/// // Each item draws from its own index-split stream, so the output is
+/// // the same for any worker count:
+/// let draw = |i: usize, x: &u64| parent.split(i as u64).next_u64() ^ x;
+/// let sequential = parallel_map(Exec::Sequential, &items, draw);
+/// let parallel = parallel_map(Exec::workers(4), &items, draw);
+/// assert_eq!(sequential, parallel);
+/// ```
 pub fn parallel_map<T, U, F>(exec: Exec, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    let _map_span = likelab_obs::span::enter("parallel.map");
+    // Per-job clock reads are gated on one flag check so the disabled cost
+    // of instrumentation stays a single relaxed atomic load per call.
+    let obs = likelab_obs::enabled();
+    let start_ns = if obs { likelab_obs::now_ns() } else { 0 };
     let workers = exec.worker_count().min(items.len());
     if workers <= 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                if obs {
+                    timed_job(start_ns, || f(i, item)).0
+                } else {
+                    f(i, item)
+                }
+            })
             .collect();
     }
 
@@ -103,13 +128,28 @@ where
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut busy_ns = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let value = if obs {
+                        let (value, spent) = timed_job(start_ns, || f(i, &items[i]));
+                        busy_ns += spent;
+                        value
+                    } else {
+                        f(i, &items[i])
+                    };
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
+                if obs {
+                    // One sample per worker per map: the spread of this
+                    // histogram is the pool's load imbalance, and
+                    // busy / parallel.map wall time is worker utilization.
+                    metrics::record_ns("parallel.worker.busy_ns", busy_ns);
+                }
             });
         }
     });
@@ -121,6 +161,22 @@ where
                 .expect("every index claimed exactly once")
         })
         .collect()
+}
+
+/// Run one job under the clock, recording queue delay (claim time minus
+/// `map_start_ns`), execution time, and a completion count. Only called
+/// when observability is enabled.
+fn timed_job<U>(map_start_ns: u64, job: impl FnOnce() -> U) -> (U, u64) {
+    let claimed_ns = likelab_obs::now_ns();
+    metrics::record_ns(
+        "parallel.job.queue_ns",
+        claimed_ns.saturating_sub(map_start_ns),
+    );
+    let value = job();
+    let exec_ns = likelab_obs::now_ns().saturating_sub(claimed_ns);
+    metrics::record_ns("parallel.job.ns", exec_ns);
+    metrics::counter("parallel.jobs.completed", 1);
+    (value, exec_ns)
 }
 
 /// Run independent jobs, returning their results in job order.

@@ -86,6 +86,17 @@ impl Rng {
     /// parent state and the indices — never on the order in which workers run.
     /// That property is what makes parallel runs bit-identical to sequential
     /// ones.
+    ///
+    /// ```
+    /// use likelab_sim::Rng;
+    ///
+    /// let parent = Rng::seed_from_u64(42);
+    /// // Splitting is read-only and a pure function of (state, index):
+    /// let a = parent.split(0).next_u64();
+    /// let b = parent.split(1).next_u64();
+    /// assert_ne!(a, b, "distinct indices give distinct streams");
+    /// assert_eq!(a, parent.split(0).next_u64(), "same index, same stream");
+    /// ```
     pub fn split(&self, index: u64) -> Rng {
         // Hash the full 256-bit state down to 64 bits, then mix in the stream
         // index with an odd multiplier so neighbouring indices land far apart.

@@ -418,5 +418,34 @@ fn main() {
          See DESIGN.md §3 for the index.\n"
     );
 
+    let _ = writeln!(
+        w,
+        "## Reproducing these numbers\n\n\
+         Every command below runs against the current CLI (`cargo install \
+         --path .` installs `likelab`).\n\n\
+         ```bash\n\
+         # This exact document (writes to stdout):\n\
+         cargo run --release --example experiments_md {scale} {seed} > EXPERIMENTS.md\n\n\
+         # The same run, rendered as aligned tables instead of Markdown:\n\
+         likelab run --seed {seed} --scale {scale}\n\n\
+         # The 23-criterion shape checklist (exit code 1 if any fails):\n\
+         likelab checklist --seed {seed} --scale {scale}\n\n\
+         # Error bars: 8 independent seeds at 10% scale, with a JSON report:\n\
+         likelab sweep --seeds 8 --scales 0.1 --out sweep.json\n\n\
+         # JSON / DOT / SVG artifacts for every table and figure:\n\
+         likelab export out/ --seed {seed} --scale {scale}\n\
+         ```\n\n\
+         Where the time goes (see OBSERVABILITY.md for the schemas):\n\n\
+         ```bash\n\
+         # Per-phase timing tables + span tree after the run:\n\
+         likelab run --seed {seed} --scale {scale} --timing\n\n\
+         # Machine-readable metrics and span records from a sweep:\n\
+         likelab sweep --seeds 8 --scales 0.1 --timing \\\n\
+         \x20    --metrics-out metrics.json --trace-out trace.json\n\n\
+         # Instrumentation overhead budget (<5% enabled, ~0 disabled):\n\
+         cargo bench -p likelab-bench --bench obs\n\
+         ```\n"
+    );
+
     println!("{md}");
 }

@@ -71,27 +71,25 @@ fn main() {
 
     // --- exports -----------------------------------------------------------
     let dir = Path::new("target/likelab");
-    fs::create_dir_all(dir).expect("create export dir");
-    fs::write(
-        dir.join("report.json"),
-        outcome.report.to_json().expect("serialize report"),
-    )
-    .expect("write report.json");
-    fs::write(
-        dir.join("dataset.json"),
-        outcome.dataset.to_json().expect("serialize dataset"),
-    )
-    .expect("write dataset.json");
-    fs::write(
-        dir.join("figure3_direct.dot"),
-        &outcome.report.figure3_direct_dot,
-    )
-    .expect("write figure3_direct.dot");
-    fs::write(
-        dir.join("figure3_twohop.dot"),
-        &outcome.report.figure3_twohop_dot,
-    )
-    .expect("write figure3_twohop.dot");
+    let write = |name: &str, content: &str| {
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, content) {
+            panic!("write {}: {e}", path.display());
+        }
+    };
+    if let Err(e) = fs::create_dir_all(dir) {
+        panic!("create {}: {e}", dir.display());
+    }
+    write(
+        "report.json",
+        &outcome.report.to_json().expect("serialize report"),
+    );
+    write(
+        "dataset.json",
+        &outcome.dataset.to_json().expect("serialize dataset"),
+    );
+    write("figure3_direct.dot", &outcome.report.figure3_direct_dot);
+    write("figure3_twohop.dot", &outcome.report.figure3_twohop_dot);
 
     // Rendered figures.
     use likelab::analysis::svg;
@@ -142,7 +140,7 @@ fn main() {
         ),
     ];
     for (name, content) in renders {
-        fs::write(dir.join(name), content).expect("write svg");
+        write(name, &content);
     }
     eprintln!("exports written to {}", dir.display());
 }

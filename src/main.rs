@@ -7,6 +7,11 @@
 //! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
 //! ```
+//!
+//! `run`, `checklist`, and `sweep` accept the observability flags
+//! `--timing` (print a per-phase timing table), `--metrics-out FILE`, and
+//! `--trace-out FILE` (write the metrics / span-trace JSON documented in
+//! OBSERVABILITY.md).
 
 use likelab::core::paper;
 use likelab::sim::Exec;
@@ -22,7 +27,17 @@ struct Opts {
     scales: Vec<f64>,
     out: Option<PathBuf>,
     sequential: bool,
+    timing: bool,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     positional: Vec<String>,
+}
+
+impl Opts {
+    /// Any flag that needs collected data turns instrumentation on.
+    fn wants_observability(&self) -> bool {
+        self.timing || self.metrics_out.is_some() || self.trace_out.is_some()
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -33,6 +48,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         scales: vec![0.1],
         out: None,
         sequential: false,
+        timing: false,
+        metrics_out: None,
+        trace_out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -75,6 +93,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.out = Some(PathBuf::from(v));
             }
             "--sequential" => opts.sequential = true,
+            "--timing" => opts.timing = true,
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a file path")?;
+                opts.metrics_out = Some(PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a file path")?;
+                opts.trace_out = Some(PathBuf::from(v));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
@@ -93,31 +120,76 @@ fn usage() -> &'static str {
      \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
      \x20               [--seed M] [--out FILE] [--sequential]\n\
      \x20 likelab paper                               print the paper's published tables\n\n\
+     Observability (run, checklist, sweep — see OBSERVABILITY.md):\n\
+     \x20 --timing             print per-phase wall-time, counters, histograms\n\
+     \x20 --metrics-out FILE   write counters/histograms/span aggregates as JSON\n\
+     \x20 --trace-out FILE     write the span trace as JSON\n\n\
      Defaults: --scale 0.15 --seed 42; sweep: --seeds 8 --scales 0.1.\n\
      scale 1.0 reproduces paper-sized campaigns. Sweep runs fan out across\n\
      cores (limit with LIKELAB_THREADS=k; --sequential forces one thread);\n\
      results are bit-identical for any thread count."
 }
 
-fn cmd_run(opts: &Opts) -> ExitCode {
-    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
-    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
-    println!("{}", outcome.report.render());
-    ExitCode::SUCCESS
+/// Write `content` to `path`, naming the offending path on failure.
+fn write_file(path: &std::path::Path, content: &str) -> Result<(), String> {
+    fs::write(path, content).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
-fn cmd_checklist(opts: &Opts) -> ExitCode {
+/// Turn instrumentation on if any observability flag asks for it.
+fn start_observability(opts: &Opts) {
+    if opts.wants_observability() {
+        likelab_obs::reset();
+        likelab_obs::enable();
+    }
+}
+
+/// After the workload: print the `--timing` tables and write the
+/// `--metrics-out` / `--trace-out` JSON files (formats in OBSERVABILITY.md).
+fn emit_observability(opts: &Opts) -> Result<(), String> {
+    if !opts.wants_observability() {
+        return Ok(());
+    }
+    likelab_obs::disable();
+    let snap = likelab_obs::snapshot();
+    if opts.timing {
+        println!("\n{}", snap.timing_table());
+        println!("== timing: span tree ==");
+        print!("{}", snap.flame());
+    }
+    if let Some(path) = &opts.metrics_out {
+        write_file(path, &snap.metrics_json())?;
+        eprintln!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &opts.trace_out {
+        write_file(path, &snap.trace_json())?;
+        eprintln!("trace written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
     eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    start_observability(opts);
+    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    println!("{}", outcome.report.render());
+    emit_observability(opts)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_checklist(opts: &Opts) -> Result<ExitCode, String> {
+    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    start_observability(opts);
     let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
     let checks = checklist(&outcome.report);
     println!("{}", render_checklist(&checks));
     let failed = checks.iter().filter(|c| !c.pass).count();
     println!("{}/{} criteria hold", checks.len() - failed, checks.len());
-    if failed == 0 {
+    emit_observability(opts)?;
+    Ok(if failed == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
-    }
+    })
 }
 
 fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
@@ -131,7 +203,7 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
     let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
     let r = &outcome.report;
     let write = |name: &str, content: String| -> Result<(), String> {
-        fs::write(dir.join(name), content).map_err(|e| format!("write {name}: {e}"))
+        write_file(&dir.join(name), &content)
     };
     write("report.json", r.to_json().map_err(|e| e.to_string())?)?;
     write(
@@ -182,13 +254,15 @@ fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
         config.master_seed,
         exec.worker_count(),
     );
+    start_observability(opts);
     let report = run_sweep(&config, exec);
     print!("{}", report.render());
     if let Some(path) = &opts.out {
         let json = report.to_json().map_err(|e| e.to_string())?;
-        fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        write_file(path, &json)?;
         println!("sweep report written to {}", path.display());
     }
+    emit_observability(opts)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -256,30 +330,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "run" => cmd_run(&opts),
         "checklist" => cmd_checklist(&opts),
-        "export" => match cmd_export(&opts) {
-            Ok(code) => code,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "sweep" => match cmd_sweep(&opts) {
-            Ok(code) => code,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        "paper" => cmd_paper(),
+        "export" => cmd_export(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "paper" => Ok(cmd_paper()),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
-            ExitCode::SUCCESS
+            Ok(ExitCode::SUCCESS)
         }
         other => {
             eprintln!("unknown command: {other}\n\n{}", usage());
+            Ok(ExitCode::FAILURE)
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

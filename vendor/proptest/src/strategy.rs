@@ -204,7 +204,7 @@ impl Strategy for Any<i64> {
 
 // --- collections and tuples ------------------------------------------------
 
-/// Lengths a [`vec`] strategy may take.
+/// Lengths a [`vec()`] strategy may take.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -235,7 +235,7 @@ impl From<usize> for SizeRange {
     }
 }
 
-/// The [`vec`] strategy.
+/// The [`vec()`] strategy.
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
