@@ -219,7 +219,7 @@ fn ablation_privacy_rate() {
             if !world.account(u).privacy.friend_list_public {
                 continue;
             }
-            for &v in world.friends().neighbors(u) {
+            for v in world.friends().neighbors(u) {
                 if likers.contains(&v) {
                     observed.insert((u.min(v), u.max(v)));
                 }

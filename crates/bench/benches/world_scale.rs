@@ -1,0 +1,162 @@
+//! `world_scale` — million-account world build + report benchmark.
+//!
+//! Measures the three numbers the scale work is judged by:
+//!
+//! 1. **build time** — population synthesis alone (accounts, friendships,
+//!    background like histories through the sharded ledger);
+//! 2. **peak allocated bytes** — tracked by a counting global allocator
+//!    (benchmark binary only; the library crates stay `forbid(unsafe_code)`);
+//! 3. **end-to-end report time** — a full `run_study_with` on the same
+//!    preset, campaigns through rendered report.
+//!
+//! Results go to stdout and to `BENCH_world_scale.json` at the repository
+//! root (override with `LIKELAB_BENCH_OUT`). The world is the `scale`
+//! preset trimmed by `LIKELAB_BENCH_WORLD_SCALE` (default 0.05 — CI-sized;
+//! pass 1.0 for the full ~1M-account world). `LIKELAB_THREADS` governs the
+//! worker count as everywhere else.
+
+use likelab_core::presets::scale_population;
+use likelab_core::{run_study_with, StudyConfig};
+use likelab_osn::population::synthesize_with;
+use likelab_osn::OsnWorld;
+use likelab_sim::{Exec, Rng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Bytes currently allocated.
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of `CURRENT`.
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`] wrapper that tracks live and peak allocation. Counts are
+/// requested sizes (allocator slack is invisible), which is exactly the
+/// number the data-structure work can influence.
+struct CountingAlloc;
+
+fn on_alloc(n: usize) {
+    let live = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                on_alloc(new_size - layout.size());
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_f64("LIKELAB_BENCH_WORLD_SCALE", 0.05);
+    let seed = 42u64;
+    let exec = Exec::auto();
+    let out_path = std::env::var("LIKELAB_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_world_scale.json")
+        },
+        PathBuf::from,
+    );
+
+    // --- phase 1: world build (population synthesis only) ----------------
+    let config = scale_population().scaled(scale);
+    let mut world = OsnWorld::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let t = Instant::now();
+    let population = synthesize_with(&mut world, &config, &mut rng, exec);
+    let build_seconds = t.elapsed().as_secs_f64();
+    let build_peak = PEAK.load(Ordering::Relaxed);
+
+    let accounts = world.account_count();
+    let pages = world.page_count();
+    let likes = world.likes().len();
+    let edges = world.friends().edge_count();
+    let shards = world.likes().shard_count();
+    let distinct_profiles = world.account_store().distinct_profiles();
+    let organic = population.organic.len();
+    drop(population);
+    drop(world);
+
+    // --- phase 2: end-to-end study (build + campaigns + report) ----------
+    let t = Instant::now();
+    let outcome = run_study_with(&StudyConfig::scale_world(seed, scale), exec);
+    let rendered = outcome.report.render();
+    let report_seconds = t.elapsed().as_secs_f64();
+    let peak = PEAK.load(Ordering::Relaxed);
+    assert!(rendered.contains("Table 1"), "report did not render");
+
+    println!("== world_scale: scale preset at scale {scale} ==");
+    println!("workers:            {}", exec.worker_count());
+    println!("accounts:           {accounts}");
+    println!("pages:              {pages}");
+    println!("likes:              {likes}");
+    println!("friend edges:       {edges}");
+    println!("ledger shards:      {shards}");
+    println!("distinct profiles:  {distinct_profiles}");
+    println!("build:              {build_seconds:.3} s");
+    println!("end-to-end report:  {report_seconds:.3} s");
+    println!(
+        "peak allocated:     {:.1} MiB (build phase {:.1} MiB)",
+        peak as f64 / (1024.0 * 1024.0),
+        build_peak as f64 / (1024.0 * 1024.0),
+    );
+
+    // Flat JSON by hand: the bench crate has no serde dependency and the
+    // record is a single object.
+    let json = format!(
+        "{{\n  \"bench\": \"world_scale\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \
+         \"workers\": {},\n  \"accounts\": {accounts},\n  \"organic\": {organic},\n  \
+         \"pages\": {pages},\n  \"likes\": {likes},\n  \"friend_edges\": {edges},\n  \
+         \"ledger_shards\": {shards},\n  \"distinct_profiles\": {distinct_profiles},\n  \
+         \"build_seconds\": {build_seconds:.6},\n  \"report_seconds\": {report_seconds:.6},\n  \
+         \"build_peak_alloc_bytes\": {build_peak},\n  \"peak_alloc_bytes\": {peak}\n}}\n",
+        exec.worker_count(),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("written: {}", out_path.display()),
+        Err(e) => {
+            eprintln!("error: write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+}

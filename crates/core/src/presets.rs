@@ -1,7 +1,9 @@
-//! The 13 campaign presets of Table 1 and the four-farm roster order.
+//! The 13 campaign presets of Table 1, the four-farm roster order, and the
+//! million-account `scale` population.
 
 use likelab_farms::{FarmSpec, Region};
 use likelab_honeypot::{CampaignSpec, Promotion};
+use likelab_osn::population::PopulationConfig;
 use likelab_osn::{Country, Targeting};
 
 /// Roster index of BoostLikes.
@@ -21,6 +23,27 @@ pub fn paper_farms() -> Vec<FarmSpec> {
         FarmSpec::authenticlikes(),
         FarmSpec::mammothsocials(),
     ]
+}
+
+/// Population model for the `scale` preset: a million organic accounts over
+/// a 50k-page catalogue. Per-user appetites are trimmed relative to the
+/// paper defaults (median 15 likes instead of 34, click-prone 120 instead
+/// of 750) and the in-world friend-list share drops to 2%, so the full
+/// world lands around 25–30M likes and ~1–2M friendship edges — big enough
+/// to exercise the sharded ledger, the CSR graph, and the interned account
+/// columns, while staying runnable on one machine. Distributional *shapes*
+/// (country mix, Zipf catalogue, privacy rates) are the paper's.
+pub fn scale_population() -> PopulationConfig {
+    PopulationConfig {
+        n_organic: 1_000_000,
+        n_background_pages: 50_000,
+        organic_like_median: 15.0,
+        organic_like_sigma: 0.8,
+        click_prone_like_median: 120.0,
+        click_prone_like_sigma: 0.7,
+        in_world_degree_fraction: 0.02,
+        ..PopulationConfig::default()
+    }
 }
 
 fn ads(label: &str, targeting: Targeting) -> CampaignSpec {

@@ -90,6 +90,17 @@ impl StudyConfig {
             farms: paper_farms(),
         }
     }
+
+    /// The million-account `scale` preset: the paper's protocol over the
+    /// [`scale_population`][crate::presets::scale_population] world
+    /// (~1M accounts / 50k pages at `scale` 1.0). Same campaigns, farms,
+    /// and measurement pipeline — only the world is bigger.
+    pub fn scale_world(seed: u64, scale: f64) -> Self {
+        StudyConfig {
+            population: crate::presets::scale_population(),
+            ..StudyConfig::paper(seed, scale)
+        }
+    }
 }
 
 /// The outcome of a study run.
@@ -408,7 +419,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         campaigns: campaigns_data,
         baseline,
         launch,
-        global_report: AudienceReport::global(&world),
+        global_report: AudienceReport::global_with(&world, exec),
     };
     drop(collection_span);
     let report = {

@@ -273,4 +273,119 @@ mod tests {
         assert_eq!(c.recall(), 0.0);
         assert_eq!(c.f1(), 0.0);
     }
+
+    /// Every metric stays defined (no NaN) on the degenerate inputs a
+    /// detector can legitimately produce.
+    fn assert_all_finite(c: &Confusion) {
+        for (name, v) in [
+            ("precision", c.precision()),
+            ("recall", c.recall()),
+            ("f1", c.f1()),
+            ("fpr", c.fpr()),
+        ] {
+            assert!(v.is_finite(), "{name} = {v} on {c:?}");
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} out of range");
+        }
+    }
+
+    #[test]
+    fn empty_score_list_is_fully_defined() {
+        let w = world_with_classes(&[]);
+        let c = confusion_at(&w, &[], 0.5, PositiveClass::FarmOnly);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 0,
+                fp: 0,
+                tn: 0,
+                fn_: 0
+            }
+        );
+        assert_all_finite(&c);
+        assert_eq!(c.precision(), 1.0, "vacuous flagging is precise");
+        assert_eq!(c.recall(), 0.0);
+        let r = roc(&w, &[], PositiveClass::FarmOnly);
+        assert_eq!(r.auc, 0.5, "no labels -> chance fallback");
+        assert_eq!(r.points, vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn all_tied_scores_collapse_to_one_roc_step() {
+        // Half bots, half organics, every score identical: the sweep must
+        // step over the tie block as one unit, not interleave arbitrarily.
+        let w = world_with_classes(&[
+            ActorClass::Bot(1),
+            ActorClass::Bot(1),
+            ActorClass::Organic,
+            ActorClass::Organic,
+        ]);
+        let scored: Vec<(UserId, f64)> = (0..4).map(|i| (UserId(i), 0.7)).collect();
+        let r = roc(&w, &scored, PositiveClass::FarmOnly);
+        assert_eq!(
+            r.points,
+            vec![(0.0, 0.0), (1.0, 1.0)],
+            "a single tie block is one diagonal step"
+        );
+        assert!((r.auc - 0.5).abs() < 1e-12, "ties give chance auc");
+        for threshold in [0.0, 0.7, 1.0] {
+            assert_all_finite(&confusion_at(
+                &w,
+                &scored,
+                threshold,
+                PositiveClass::FarmOnly,
+            ));
+        }
+    }
+
+    #[test]
+    fn single_class_worlds_stay_defined() {
+        // All-positive world: fpr has an empty denominator.
+        let all_bots = world_with_classes(&[ActorClass::Bot(1); 3]);
+        let scored: Vec<(UserId, f64)> = vec![(UserId(0), 0.9), (UserId(1), 0.5), (UserId(2), 0.1)];
+        let c = confusion_at(&all_bots, &scored, 0.5, PositiveClass::FarmOnly);
+        assert_all_finite(&c);
+        assert_eq!(c.fpr(), 0.0, "no negatives -> fpr 0");
+        assert_eq!(roc(&all_bots, &scored, PositiveClass::FarmOnly).auc, 0.5);
+
+        // All-negative world: recall has an empty denominator.
+        let all_organic = world_with_classes(&[ActorClass::Organic; 3]);
+        let c = confusion_at(&all_organic, &scored, 0.5, PositiveClass::FarmOnly);
+        assert_all_finite(&c);
+        assert_eq!(c.recall(), 0.0, "no positives -> recall 0");
+        assert_eq!(roc(&all_organic, &scored, PositiveClass::FarmOnly).auc, 0.5);
+    }
+
+    #[test]
+    fn roc_is_monotone_and_bounded() {
+        // A messy mixed case: duplicates, ties, inversions.
+        let classes = [
+            ActorClass::Bot(1),
+            ActorClass::Organic,
+            ActorClass::Bot(2),
+            ActorClass::Organic,
+            ActorClass::StealthSybil(1),
+            ActorClass::Organic,
+            ActorClass::ClickProne,
+        ];
+        let w = world_with_classes(&classes);
+        let scored: Vec<(UserId, f64)> = vec![
+            (UserId(0), 0.9),
+            (UserId(1), 0.9), // tie across classes
+            (UserId(2), 0.3),
+            (UserId(3), 0.8),
+            (UserId(4), 0.3), // tie across classes
+            (UserId(5), 0.1),
+            (UserId(6), 0.5),
+        ];
+        for positive in [PositiveClass::FarmOnly, PositiveClass::FarmAndClickProne] {
+            let r = roc(&w, &scored, positive);
+            assert!((0.0..=1.0).contains(&r.auc), "auc {} out of range", r.auc);
+            assert_eq!(r.points.first(), Some(&(0.0, 0.0)));
+            assert_eq!(r.points.last(), Some(&(1.0, 1.0)));
+            for pair in r.points.windows(2) {
+                assert!(pair[1].0 >= pair[0].0, "fpr not monotone: {:?}", r.points);
+                assert!(pair[1].1 >= pair[0].1, "tpr not monotone: {:?}", r.points);
+            }
+        }
+    }
 }

@@ -1,33 +1,136 @@
 //! The undirected friendship graph.
 //!
 //! Facebook friendships are bidirectional (the paper contrasts this with
-//! Twitter's follower model), so the store is a symmetric adjacency list with
-//! sorted neighbor vectors: `O(log d)` membership tests, `O(d)` neighbor
-//! scans, and cheap edge iteration for the social-graph analyses.
+//! Twitter's follower model). At million-account scale a `Vec<Vec<UserId>>`
+//! adjacency list pays one heap allocation per node and scatters neighbor
+//! data across the heap, so the store is a **CSR (compressed sparse row)**
+//! representation — one offset array plus one flat edge array, sorted per
+//! node — with a small per-node overlay absorbing incremental inserts.
+//!
+//! The overlay keeps `add_edge` cheap while generators build the graph;
+//! once it grows past a fraction of the CSR body the graph re-compacts,
+//! amortizing to `O(E)` total work. Steady-state queries (`has_edge`,
+//! `neighbors`, `degree`) hit the flat arrays: `O(log d)` membership tests,
+//! zero-allocation `O(d)` neighbor scans, and cache-friendly edge iteration
+//! for the social-graph analyses.
 
 use crate::ids::UserId;
 use serde::{Deserialize, Serialize};
+use std::ops::Deref;
+
+/// Compaction triggers when the overlay holds at least this many directed
+/// entries *and* at least a quarter of the CSR body's size. The floor keeps
+/// small graphs from recompacting on every insert; the fraction bounds the
+/// total compaction work at a constant factor of the final edge count.
+const COMPACT_FLOOR: usize = 4_096;
 
 /// An undirected simple graph over dense [`UserId`]s.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FriendGraph {
-    /// Sorted neighbor list per node.
-    adj: Vec<Vec<UserId>>,
+    /// CSR row offsets; `offsets[u]..offsets[u+1]` indexes `csr`.
+    offsets: Vec<u64>,
+    /// CSR edge array, sorted within each node's range.
+    csr: Vec<UserId>,
+    /// Per-node sorted overlay of edges added since the last compaction.
+    extra: Vec<Vec<UserId>>,
+    /// Total directed entries currently in `extra`.
+    extra_len: usize,
     edges: usize,
+}
+
+impl Default for FriendGraph {
+    fn default() -> Self {
+        FriendGraph::with_nodes(0)
+    }
+}
+
+/// The neighbor list of one node, as returned by [`FriendGraph::neighbors`].
+///
+/// Dereferences to a sorted `[UserId]` slice. When the node has no pending
+/// overlay entries this borrows the CSR body directly (zero-copy); otherwise
+/// it holds the merged list. Call [`FriendGraph::compact`] after bulk
+/// construction to guarantee the zero-copy path.
+#[derive(Debug)]
+pub enum Neighbors<'a> {
+    /// Borrowed directly from the CSR edge array.
+    Slice(&'a [UserId]),
+    /// Merged CSR + overlay entries (node had pending inserts).
+    Owned(Vec<UserId>),
+}
+
+impl Deref for Neighbors<'_> {
+    type Target = [UserId];
+
+    fn deref(&self) -> &[UserId] {
+        match self {
+            Neighbors::Slice(s) => s,
+            Neighbors::Owned(v) => v,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Neighbors<'a> {
+    type Item = &'a UserId;
+    type IntoIter = std::slice::Iter<'a, UserId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// By-value iterator over a [`Neighbors`] list.
+pub enum NeighborsIter<'a> {
+    /// Iterating a borrowed CSR slice.
+    Slice(std::iter::Copied<std::slice::Iter<'a, UserId>>),
+    /// Iterating a merged (owned) list.
+    Owned(std::vec::IntoIter<UserId>),
+}
+
+impl Iterator for NeighborsIter<'_> {
+    type Item = UserId;
+
+    fn next(&mut self) -> Option<UserId> {
+        match self {
+            NeighborsIter::Slice(it) => it.next(),
+            NeighborsIter::Owned(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NeighborsIter::Slice(it) => it.size_hint(),
+            NeighborsIter::Owned(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for Neighbors<'a> {
+    type Item = UserId;
+    type IntoIter = NeighborsIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        match self {
+            Neighbors::Slice(s) => NeighborsIter::Slice(s.iter().copied()),
+            Neighbors::Owned(v) => NeighborsIter::Owned(v.into_iter()),
+        }
+    }
 }
 
 impl FriendGraph {
     /// An empty graph over `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
         FriendGraph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            csr: Vec::new(),
+            extra: vec![Vec::new(); n],
+            extra_len: 0,
             edges: 0,
         }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges.
@@ -37,9 +140,16 @@ impl FriendGraph {
 
     /// Grow the node set to at least `n` nodes.
     pub fn ensure_nodes(&mut self, n: usize) {
-        if n > self.adj.len() {
-            self.adj.resize(n, Vec::new());
+        if n > self.node_count() {
+            let last = *self.offsets.last().expect("offsets never empty");
+            self.offsets.resize(n + 1, last);
+            self.extra.resize(n, Vec::new());
         }
+    }
+
+    /// The CSR slice of `u` (overlay entries excluded).
+    fn csr_range(&self, u: UserId) -> &[UserId] {
+        &self.csr[self.offsets[u.idx()] as usize..self.offsets[u.idx() + 1] as usize]
     }
 
     /// Add the undirected edge `{a, b}`. Self-loops are rejected; duplicate
@@ -50,52 +160,124 @@ impl FriendGraph {
     pub fn add_edge(&mut self, a: UserId, b: UserId) -> bool {
         assert!(a != b, "self-friendship {a} is not a thing");
         assert!(
-            a.idx() < self.adj.len() && b.idx() < self.adj.len(),
+            a.idx() < self.node_count() && b.idx() < self.node_count(),
             "edge endpoint out of range: {a}, {b} (n = {})",
-            self.adj.len()
+            self.node_count()
         );
-        let pos = match self.adj[a.idx()].binary_search(&b) {
+        if self.csr_range(a).binary_search(&b).is_ok() {
+            return false;
+        }
+        let pos = match self.extra[a.idx()].binary_search(&b) {
             Ok(_) => return false,
             Err(pos) => pos,
         };
-        self.adj[a.idx()].insert(pos, b);
-        let pos_b = self.adj[b.idx()]
+        self.extra[a.idx()].insert(pos, b);
+        let pos_b = self.extra[b.idx()]
             .binary_search(&a)
             .expect_err("symmetric edge must be absent");
-        self.adj[b.idx()].insert(pos_b, a);
+        self.extra[b.idx()].insert(pos_b, a);
+        self.extra_len += 2;
         self.edges += 1;
+        if self.extra_len >= COMPACT_FLOOR && self.extra_len * 4 >= self.csr.len() {
+            self.compact();
+        }
         true
+    }
+
+    /// Merge the overlay into the CSR body. Idempotent; after this call every
+    /// [`neighbors`][Self::neighbors] result borrows the flat edge array.
+    pub fn compact(&mut self) {
+        if self.extra_len == 0 {
+            return;
+        }
+        let n = self.node_count();
+        let mut csr = Vec::with_capacity(self.csr.len() + self.extra_len);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        for u in 0..n {
+            let old = &self.csr[self.offsets[u] as usize..self.offsets[u + 1] as usize];
+            let new = &self.extra[u];
+            // Two-pointer merge of two sorted, disjoint lists.
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() && j < new.len() {
+                if old[i] < new[j] {
+                    csr.push(old[i]);
+                    i += 1;
+                } else {
+                    csr.push(new[j]);
+                    j += 1;
+                }
+            }
+            csr.extend_from_slice(&old[i..]);
+            csr.extend_from_slice(&new[j..]);
+            offsets.push(csr.len() as u64);
+        }
+        self.csr = csr;
+        self.offsets = offsets;
+        for v in &mut self.extra {
+            v.clear();
+        }
+        self.extra_len = 0;
+    }
+
+    /// True when every edge lives in the flat CSR arrays (no overlay).
+    pub fn is_compact(&self) -> bool {
+        self.extra_len == 0
     }
 
     /// True when `{a, b}` is an edge.
     pub fn has_edge(&self, a: UserId, b: UserId) -> bool {
-        a.idx() < self.adj.len() && self.adj[a.idx()].binary_search(&b).is_ok()
+        a.idx() < self.node_count()
+            && (self.csr_range(a).binary_search(&b).is_ok()
+                || self.extra[a.idx()].binary_search(&b).is_ok())
     }
 
     /// Degree of `u` (number of friends).
     pub fn degree(&self, u: UserId) -> usize {
-        self.adj[u.idx()].len()
+        self.csr_range(u).len() + self.extra[u.idx()].len()
     }
 
-    /// The sorted neighbor list of `u`.
-    pub fn neighbors(&self, u: UserId) -> &[UserId] {
-        &self.adj[u.idx()]
+    /// The sorted neighbor list of `u`. Zero-copy when the graph is
+    /// [compact][Self::is_compact]; otherwise merges the node's overlay.
+    pub fn neighbors(&self, u: UserId) -> Neighbors<'_> {
+        let base = self.csr_range(u);
+        let over = &self.extra[u.idx()];
+        if over.is_empty() {
+            return Neighbors::Slice(base);
+        }
+        let mut merged = Vec::with_capacity(base.len() + over.len());
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() && j < over.len() {
+            if base[i] < over[j] {
+                merged.push(base[i]);
+                i += 1;
+            } else {
+                merged.push(over[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&base[i..]);
+        merged.extend_from_slice(&over[j..]);
+        Neighbors::Owned(merged)
     }
 
-    /// Iterate all undirected edges as `(a, b)` with `a < b`.
+    /// Iterate all undirected edges as `(a, b)` with `a < b`, in ascending
+    /// `(a, b)` order.
     pub fn edges(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(i, ns)| {
-            let a = UserId(i as u32);
-            ns.iter()
+        self.nodes().flat_map(move |a| {
+            let larger: Vec<UserId> = self
+                .neighbors(a)
+                .iter()
                 .copied()
-                .filter(move |b| a < *b)
-                .map(move |b| (a, b))
+                .filter(|b| a < *b)
+                .collect();
+            larger.into_iter().map(move |b| (a, b))
         })
     }
 
     /// All node ids.
     pub fn nodes(&self) -> impl Iterator<Item = UserId> + '_ {
-        (0..self.adj.len() as u32).map(UserId)
+        (0..self.node_count() as u32).map(UserId)
     }
 
     /// Number of common neighbors of `a` and `b` (sorted-merge intersection).
@@ -156,7 +338,7 @@ mod tests {
         for b in [5, 1, 3, 2] {
             g.add_edge(u(0), u(b));
         }
-        assert_eq!(g.neighbors(u(0)), &[u(1), u(2), u(3), u(5)]);
+        assert_eq!(*g.neighbors(u(0)), [u(1), u(2), u(3), u(5)]);
     }
 
     #[test]
@@ -195,5 +377,53 @@ mod tests {
     fn has_edge_handles_out_of_range_gracefully() {
         let g = FriendGraph::with_nodes(2);
         assert!(!g.has_edge(u(9), u(0)));
+    }
+
+    #[test]
+    fn compaction_preserves_every_query() {
+        let mut g = FriendGraph::with_nodes(8);
+        for (a, b) in [(0, 3), (0, 5), (1, 2), (2, 3), (4, 7), (5, 6)] {
+            g.add_edge(u(a), u(b));
+        }
+        let degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        let edges: Vec<_> = g.edges().collect();
+        g.compact();
+        assert!(g.is_compact());
+        assert_eq!(degrees, g.nodes().map(|n| g.degree(n)).collect::<Vec<_>>());
+        assert_eq!(edges, g.edges().collect::<Vec<_>>());
+        assert!(g.has_edge(u(0), u(3)));
+        assert!(!g.has_edge(u(0), u(1)));
+        assert_eq!(*g.neighbors(u(0)), [u(3), u(5)]);
+        // Inserting after compaction lands in the overlay and still queries.
+        assert!(g.add_edge(u(0), u(1)));
+        assert!(!g.is_compact());
+        assert_eq!(*g.neighbors(u(0)), [u(1), u(3), u(5)]);
+        assert_eq!(g.degree(u(0)), 3);
+    }
+
+    #[test]
+    fn compact_growth_interleaving() {
+        // Grow, add, compact, grow again — invariants must hold throughout.
+        let mut g = FriendGraph::with_nodes(3);
+        g.add_edge(u(0), u(1));
+        g.compact();
+        g.ensure_nodes(6);
+        assert!(g.add_edge(u(4), u(5)));
+        assert!(g.add_edge(u(0), u(4)));
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(*g.neighbors(u(0)), [u(1), u(4)]);
+        assert_eq!(*g.neighbors(u(4)), [u(0), u(5)]);
+        g.compact();
+        assert_eq!(*g.neighbors(u(4)), [u(0), u(5)]);
+        assert_eq!(g.degree(u(3)), 0);
+    }
+
+    #[test]
+    fn empty_and_default_graphs() {
+        let g = FriendGraph::default();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert!(g.is_compact());
     }
 }

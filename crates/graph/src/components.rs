@@ -71,7 +71,7 @@ pub fn components(graph: &FriendGraph, members: &[UserId]) -> Vec<Vec<UserId>> {
     let member_set: std::collections::HashSet<UserId> = members.iter().copied().collect();
     let mut uf = UnionFind::new(members);
     for &u in members {
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if member_set.contains(&v) {
                 uf.union(u, v);
             }

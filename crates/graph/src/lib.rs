@@ -26,7 +26,7 @@ pub mod kcore;
 pub mod metrics;
 pub mod twohop;
 
-pub use adjacency::FriendGraph;
+pub use adjacency::{FriendGraph, Neighbors};
 pub use bipartite::LikeGraph;
 pub use components::{components, ComponentCensus, UnionFind};
 pub use ids::{PageId, UserId};

@@ -15,7 +15,7 @@ pub fn direct_edges_within(graph: &FriendGraph, members: &[UserId]) -> usize {
     let set: HashSet<UserId> = members.iter().copied().collect();
     let mut count = 0;
     for &u in members {
-        for &v in graph.neighbors(u) {
+        for v in graph.neighbors(u) {
             if u < v && set.contains(&v) {
                 count += 1;
             }
@@ -38,7 +38,7 @@ pub fn two_hop_pairs(
     // node then contributes all pairs of its member-neighbors.
     let mut via: HashMap<UserId, Vec<UserId>> = HashMap::new();
     for &m in members {
-        for &mid in graph.neighbors(m) {
+        for mid in graph.neighbors(m) {
             via.entry(mid).or_default().push(m);
         }
     }

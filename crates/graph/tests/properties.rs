@@ -38,7 +38,7 @@ proptest! {
         for u in g.nodes() {
             prop_assert!(!g.has_edge(u, u));
             for v in g.neighbors(u) {
-                prop_assert!(g.has_edge(*v, u), "symmetry");
+                prop_assert!(g.has_edge(v, u), "symmetry");
             }
         }
         // Handshake lemma.
@@ -139,6 +139,55 @@ proptest! {
         }
         let distinct: HashSet<(u32, u32)> = likes.iter().copied().collect();
         prop_assert_eq!(g.like_count(), distinct.len());
+    }
+
+    /// The CSR adjacency round-trips against a naive Vec-of-sets reference
+    /// built from the same random edge list: identical neighbor lists
+    /// (sorted), degrees, membership answers, and canonical edge iteration —
+    /// with or without explicit mid-build compaction of the CSR overlay.
+    #[test]
+    fn csr_round_trips_against_reference(
+        (n, es) in edges(30, 160),
+        compact_every in 1usize..40,
+    ) {
+        use std::collections::BTreeSet;
+        let mut g = FriendGraph::with_nodes(n as usize);
+        let mut compacted = FriendGraph::with_nodes(n as usize);
+        let mut reference: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n as usize];
+        for (i, (a, b)) in es.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let added = g.add_edge(UserId(*a), UserId(*b));
+            prop_assert_eq!(added, compacted.add_edge(UserId(*a), UserId(*b)));
+            let fresh = reference[*a as usize].insert(*b);
+            reference[*b as usize].insert(*a);
+            prop_assert_eq!(added, fresh, "dedup disagrees with reference");
+            if i % compact_every == 0 {
+                compacted.compact();
+            }
+        }
+        compacted.compact();
+        prop_assert!(compacted.is_compact());
+        for u in 0..n {
+            let want: Vec<UserId> = reference[u as usize].iter().map(|v| UserId(*v)).collect();
+            let got: Vec<UserId> = g.neighbors(UserId(u)).iter().copied().collect();
+            prop_assert_eq!(&got, &want, "neighbors of {} (overlay)", u);
+            let got_c: Vec<UserId> = compacted.neighbors(UserId(u)).iter().copied().collect();
+            prop_assert_eq!(&got_c, &want, "neighbors of {} (compacted)", u);
+            prop_assert_eq!(g.degree(UserId(u)), want.len());
+            for v in 0..n {
+                let expect = reference[u as usize].contains(&v);
+                prop_assert_eq!(g.has_edge(UserId(u), UserId(v)), expect);
+                prop_assert_eq!(compacted.has_edge(UserId(u), UserId(v)), expect);
+            }
+        }
+        let expected_edges: usize = reference.iter().map(BTreeSet::len).sum::<usize>() / 2;
+        prop_assert_eq!(g.edge_count(), expected_edges);
+        let canonical: Vec<(UserId, UserId)> = g.edges().collect();
+        prop_assert_eq!(canonical.len(), expected_edges);
+        prop_assert!(canonical.iter().all(|(a, b)| a < b));
+        prop_assert_eq!(canonical, compacted.edges().collect::<Vec<_>>());
     }
 
     /// Summary statistics stay within sane bounds.

@@ -60,6 +60,13 @@ impl AccountStatus {
     }
 }
 
+/// Bit positions for the packed [`PrivacySettings`] representation used by
+/// the struct-of-arrays account store (one byte per account instead of
+/// three bools).
+const FRIEND_LIST_PUBLIC: u8 = 1 << 0;
+const LIKES_PUBLIC: u8 = 1 << 1;
+const SEARCHABLE: u8 = 1 << 2;
+
 /// Per-account privacy settings, fixed at account creation (the paper's
 /// measurements are snapshots, so modelling setting churn adds nothing).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -74,8 +81,33 @@ pub struct PrivacySettings {
     pub searchable: bool,
 }
 
+impl PrivacySettings {
+    /// Pack into one byte (the account store's columnar representation).
+    pub fn to_bits(self) -> u8 {
+        (if self.friend_list_public {
+            FRIEND_LIST_PUBLIC
+        } else {
+            0
+        }) | (if self.likes_public { LIKES_PUBLIC } else { 0 })
+            | (if self.searchable { SEARCHABLE } else { 0 })
+    }
+
+    /// Unpack from the byte produced by [`to_bits`][Self::to_bits].
+    pub fn from_bits(bits: u8) -> Self {
+        PrivacySettings {
+            friend_list_public: bits & FRIEND_LIST_PUBLIC != 0,
+            likes_public: bits & LIKES_PUBLIC != 0,
+            searchable: bits & SEARCHABLE != 0,
+        }
+    }
+}
+
 /// A user account.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Copy`: this is a *view* assembled on demand from the columnar
+/// [`AccountStore`](crate::store::AccountStore), not the storage layout —
+/// accessors hand it out by value.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Account {
     /// Dense id; equals the index in the account store.
     pub id: UserId,
@@ -126,6 +158,20 @@ mod tests {
         assert_eq!(ActorClass::Bot(2).operator(), Some(2));
         assert_eq!(ActorClass::StealthSybil(7).operator(), Some(7));
         assert_eq!(ActorClass::Organic.operator(), None);
+    }
+
+    #[test]
+    fn privacy_bits_round_trip() {
+        for bits in 0..8u8 {
+            let p = PrivacySettings::from_bits(bits);
+            assert_eq!(p.to_bits(), bits);
+        }
+        let p = PrivacySettings {
+            friend_list_public: true,
+            likes_public: false,
+            searchable: true,
+        };
+        assert_eq!(PrivacySettings::from_bits(p.to_bits()), p);
     }
 
     #[test]

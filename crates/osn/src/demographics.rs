@@ -203,7 +203,11 @@ pub const GLOBAL_FEMALE_FRACTION: f64 = 0.46;
 pub const GLOBAL_AGE_DIST: [f64; 6] = [0.149, 0.323, 0.266, 0.132, 0.072, 0.059];
 
 /// A complete demographic profile.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Derives `Hash`/`Eq` so world-scale account stores can intern profiles:
+/// the value space is tiny (2 genders × ~68 ages × 10 countries × regions),
+/// so millions of accounts share a few thousand distinct entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Profile {
     /// Reported gender.
     pub gender: Gender,

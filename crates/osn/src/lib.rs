@@ -39,6 +39,7 @@ pub mod page;
 pub mod population;
 pub mod posts;
 pub mod reports;
+pub mod store;
 pub mod world;
 
 pub use account::{Account, AccountStatus, ActorClass, PrivacySettings};
@@ -52,4 +53,5 @@ pub use page::{Page, PageCategory};
 pub use population::{Population, PopulationConfig};
 pub use posts::{simulate_engagement, EngagementModel, EngagementReport};
 pub use reports::AudienceReport;
+pub use store::AccountStore;
 pub use world::OsnWorld;

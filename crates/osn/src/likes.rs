@@ -3,8 +3,24 @@
 //! The ledger is the platform's authoritative record. The temporal analysis
 //! (Figure 2) and the burst detector both consume chronological per-page
 //! streams; the page-like analysis (Figure 4) consumes per-user counts.
+//!
+//! ## Layout
+//!
+//! At million-account scale the ledger holds tens of millions of records, so
+//! storage is struct-of-arrays (`users`/`pages`/`times` columns in global
+//! insertion order) and the per-page index is **sharded by page-id range**:
+//! each shard owns [`SHARD_PAGES`] consecutive pages and its own local
+//! `by_page` posting lists. Bulk ingestion ([`LikeLedger::ingest_batch`])
+//! groups accepted records per shard through [`likelab_sim::parallel`], and
+//! report aggregation can walk shards independently — nothing materializes a
+//! global intermediate `Vec` per page.
+//!
+//! Every accessor hands out [`LikeRecord`]s **by value** (assembled from the
+//! columns on demand), so iteration reads the same as it did when records
+//! were stored as an array of structs.
 
 use likelab_graph::{LikeGraph, PageId, UserId};
+use likelab_sim::parallel::{parallel_map, Exec};
 use likelab_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -19,24 +35,41 @@ pub struct LikeRecord {
     pub at: SimTime,
 }
 
-/// The append-only like ledger with both-side indexes.
+/// Pages per index shard. Small enough that a study's background-page count
+/// spreads over many shards, large enough that a shard's posting lists
+/// amortize per-shard bookkeeping.
+pub const SHARD_PAGES: usize = 4096;
+
+/// One page-range shard of the per-page index: posting lists (global record
+/// indices, in insertion order) for the pages in this shard's range.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct Shard {
+    by_page: Vec<Vec<u32>>,
+}
+
+/// The append-only like ledger with both-side indexes. See the module docs
+/// for the sharded struct-of-arrays layout.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LikeLedger {
-    records: Vec<LikeRecord>,
+    users: Vec<UserId>,
+    pages: Vec<PageId>,
+    times: Vec<SimTime>,
     graph: LikeGraph,
-    by_page: Vec<Vec<u32>>,
     by_user: Vec<Vec<u32>>,
+    shards: Vec<Shard>,
+    n_pages: usize,
 }
 
 impl LikeLedger {
     /// An empty ledger sized for `users` and `pages`.
     pub fn new(users: usize, pages: usize) -> Self {
-        LikeLedger {
-            records: Vec::new(),
+        let mut ledger = LikeLedger {
             graph: LikeGraph::new(users, pages),
-            by_page: vec![Vec::new(); pages],
             by_user: vec![Vec::new(); users],
-        }
+            ..LikeLedger::default()
+        };
+        ledger.grow_shards(pages);
+        ledger
     }
 
     /// Grow the user side.
@@ -50,8 +83,23 @@ impl LikeLedger {
     /// Grow the page side.
     pub fn ensure_pages(&mut self, n: usize) {
         self.graph.ensure_pages(n);
-        if n > self.by_page.len() {
-            self.by_page.resize(n, Vec::new());
+        self.grow_shards(n);
+    }
+
+    /// Size the shard list (and the tail shard's posting lists) for `n`
+    /// pages.
+    fn grow_shards(&mut self, n: usize) {
+        if n <= self.n_pages {
+            return;
+        }
+        self.n_pages = n;
+        let shard_count = n.div_ceil(SHARD_PAGES);
+        self.shards.resize_with(shard_count, Shard::default);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let covered = (n - s * SHARD_PAGES).min(SHARD_PAGES);
+            if covered > shard.by_page.len() {
+                shard.by_page.resize(covered, Vec::new());
+            }
         }
     }
 
@@ -65,21 +113,71 @@ impl LikeLedger {
         if !self.graph.add_like(user, page) {
             return false;
         }
-        let idx = self.records.len() as u32;
-        self.records.push(LikeRecord { user, page, at });
-        self.by_page[page.idx()].push(idx);
+        let idx = self.users.len() as u32;
+        self.users.push(user);
+        self.pages.push(page);
+        self.times.push(at);
         self.by_user[user.idx()].push(idx);
+        self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES].push(idx);
         true
+    }
+
+    /// Bulk-record a batch of likes, indexing pages per shard in parallel.
+    /// Returns how many were new (duplicates — within the batch or against
+    /// history — are ignored, first occurrence wins, exactly as if each item
+    /// had gone through [`record`][Self::record] in order).
+    ///
+    /// The result is byte-identical for every `exec`: acceptance and global
+    /// order are decided by a sequential dedup/append pass; the parallel
+    /// stage only groups each shard's accepted records into posting lists,
+    /// and each posting list's content is fully determined by the global
+    /// order. This is the synthesis ingestion path at scale — per-shard
+    /// batches through [`likelab_sim::parallel`] instead of a global
+    /// per-page intermediate.
+    pub fn ingest_batch(&mut self, items: &[(UserId, PageId, SimTime)], exec: Exec) -> usize {
+        // Sequential pass: dedup, append to the columns and the user index,
+        // and partition accepted records by destination shard.
+        let mut per_shard: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.shards.len()];
+        let mut accepted = 0usize;
+        for &(user, page, at) in items {
+            if !self.graph.add_like(user, page) {
+                continue;
+            }
+            let idx = self.users.len() as u32;
+            self.users.push(user);
+            self.pages.push(page);
+            self.times.push(at);
+            self.by_user[user.idx()].push(idx);
+            per_shard[page.idx() / SHARD_PAGES].push(((page.idx() % SHARD_PAGES) as u32, idx));
+            accepted += 1;
+        }
+        // Parallel per-shard grouping into dense posting-list deltas.
+        let deltas = parallel_map(exec, &per_shard, |s, pairs| {
+            let mut delta: Vec<Vec<u32>> = vec![Vec::new(); self.shards[s].by_page.len()];
+            for &(local, idx) in pairs {
+                delta[local as usize].push(idx);
+            }
+            delta
+        });
+        // Sequential shard-order merge.
+        for (shard, delta) in self.shards.iter_mut().zip(deltas) {
+            for (list, added) in shard.by_page.iter_mut().zip(delta) {
+                if !added.is_empty() {
+                    list.extend(added);
+                }
+            }
+        }
+        accepted
     }
 
     /// Total number of likes ever recorded.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.users.len()
     }
 
     /// True when no like was recorded.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.users.is_empty()
     }
 
     /// The structural like graph (membership queries, counts).
@@ -87,32 +185,56 @@ impl LikeLedger {
         &self.graph
     }
 
+    /// Number of page-range index shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The page ids covered by shard `s` (a `s * SHARD_PAGES ..` range
+    /// clamped to the page count). Aggregations that batch per shard walk
+    /// `0..shard_count()` and process each range independently.
+    pub fn shard_pages(&self, s: usize) -> std::ops::Range<u32> {
+        let lo = (s * SHARD_PAGES).min(self.n_pages) as u32;
+        let hi = ((s + 1) * SHARD_PAGES).min(self.n_pages) as u32;
+        lo..hi
+    }
+
+    /// Assemble the record at a global index.
+    fn record_at(&self, idx: u32) -> LikeRecord {
+        let i = idx as usize;
+        LikeRecord {
+            user: self.users[i],
+            page: self.pages[i],
+            at: self.times[i],
+        }
+    }
+
     /// Like records of a page, in arrival order.
-    pub fn of_page(&self, page: PageId) -> impl Iterator<Item = &LikeRecord> {
-        self.by_page[page.idx()]
+    pub fn of_page(&self, page: PageId) -> impl Iterator<Item = LikeRecord> + '_ {
+        self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES]
             .iter()
-            .map(move |i| &self.records[*i as usize])
+            .map(move |&i| self.record_at(i))
     }
 
     /// Like records of a page, sorted by time (stable on arrival order).
     pub fn of_page_sorted(&self, page: PageId) -> Vec<LikeRecord> {
-        let mut v: Vec<LikeRecord> = self.of_page(page).copied().collect();
+        let mut v: Vec<LikeRecord> = self.of_page(page).collect();
         v.sort_by_key(|r| r.at);
         v
     }
 
     /// Like records of a user, sorted by time (stable on arrival order).
     pub fn of_user_sorted(&self, user: UserId) -> Vec<LikeRecord> {
-        let mut v: Vec<LikeRecord> = self.of_user(user).copied().collect();
+        let mut v: Vec<LikeRecord> = self.of_user(user).collect();
         v.sort_by_key(|r| r.at);
         v
     }
 
     /// Like records of a user, in recording order.
-    pub fn of_user(&self, user: UserId) -> impl Iterator<Item = &LikeRecord> {
+    pub fn of_user(&self, user: UserId) -> impl Iterator<Item = LikeRecord> + '_ {
         self.by_user[user.idx()]
             .iter()
-            .map(move |i| &self.records[*i as usize])
+            .map(move |&i| self.record_at(i))
     }
 
     /// How many pages `user` likes.
@@ -122,12 +244,12 @@ impl LikeLedger {
 
     /// How many users like `page`.
     pub fn page_like_count(&self, page: PageId) -> usize {
-        self.by_page[page.idx()].len()
+        self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES].len()
     }
 
     /// All records, in global chronological (= insertion) order.
-    pub fn records(&self) -> &[LikeRecord] {
-        &self.records
+    pub fn records(&self) -> impl Iterator<Item = LikeRecord> + '_ {
+        (0..self.users.len() as u32).map(move |i| self.record_at(i))
     }
 }
 
@@ -210,5 +332,64 @@ mod tests {
         assert!(l.is_empty());
         assert_eq!(l.of_page(p(0)).count(), 0);
         assert_eq!(l.user_like_count(u(1)), 0);
+    }
+
+    #[test]
+    fn growth_spans_multiple_shards() {
+        let n = SHARD_PAGES * 2 + 10;
+        let mut l = LikeLedger::new(3, 1);
+        l.ensure_pages(n);
+        assert_eq!(l.shard_count(), 3);
+        assert_eq!(l.shard_pages(0), 0..SHARD_PAGES as u32);
+        assert_eq!(l.shard_pages(2), (2 * SHARD_PAGES) as u32..n as u32);
+        let far = p(n as u32 - 1);
+        assert!(l.record(u(2), far, t(4)));
+        assert_eq!(l.page_like_count(far), 1);
+        assert_eq!(l.of_page(far).next().unwrap().user, u(2));
+    }
+
+    #[test]
+    fn ingest_batch_matches_sequential_record() {
+        // Batch ingestion over several shards, with duplicates both inside
+        // the batch and against pre-existing history.
+        let n_pages = SHARD_PAGES + 50;
+        let mut batch: Vec<(UserId, PageId, SimTime)> = Vec::new();
+        for i in 0..400u32 {
+            let page = (i * 37) % n_pages as u32;
+            batch.push((u(i % 90), p(page), t(u64::from(i) % 40)));
+        }
+        batch.push(batch[3]); // in-batch duplicate
+        batch.push((u(0), p(0), t(99)));
+
+        let mut by_record = LikeLedger::new(90, n_pages);
+        by_record.record(u(0), p(0), t(7)); // pre-existing like, dup below
+        let mut expected_new = 0usize;
+        for &(user, page, at) in &batch {
+            if by_record.record(user, page, at) {
+                expected_new += 1;
+            }
+        }
+
+        for workers in [1usize, 3] {
+            let mut by_batch = LikeLedger::new(90, n_pages);
+            by_batch.record(u(0), p(0), t(7));
+            let accepted = by_batch.ingest_batch(&batch, Exec::workers(workers));
+            assert_eq!(accepted, expected_new, "workers={workers}");
+            assert_eq!(by_batch.len(), by_record.len());
+            let a: Vec<LikeRecord> = by_batch.records().collect();
+            let b: Vec<LikeRecord> = by_record.records().collect();
+            assert_eq!(a, b, "global order differs (workers={workers})");
+            for page in 0..n_pages as u32 {
+                let x: Vec<LikeRecord> = by_batch.of_page(p(page)).collect();
+                let y: Vec<LikeRecord> = by_record.of_page(p(page)).collect();
+                assert_eq!(x, y, "page {page} postings differ");
+            }
+            for user in 0..90 {
+                assert_eq!(
+                    by_batch.user_like_count(u(user)),
+                    by_record.user_like_count(u(user))
+                );
+            }
+        }
     }
 }

@@ -497,11 +497,12 @@ pub fn synthesize_with(
     });
     let mut pending: Vec<(UserId, PageId, SimTime)> = shards.into_iter().flatten().collect();
     likelab_obs::metrics::counter("likes.synthesized", pending.len() as u64);
-    // The ledger requires chronological per-page streams: sort globally.
+    // The ledger requires chronological per-page streams: sort globally,
+    // then bulk-ingest through the sharded batch path (per-shard page
+    // indexing runs through `exec`; the outcome is identical to recording
+    // each like in order).
     pending.sort_by_key(|(u, p, at)| (*at, *u, *p));
-    for (u, p, at) in pending {
-        world.record_like(u, p, at);
-    }
+    world.ingest_likes(&pending, exec);
 
     pop
 }
@@ -665,7 +666,7 @@ mod tests {
     #[test]
     fn background_like_times_are_pre_launch() {
         let (world, pop, _) = build();
-        for r in world.likes().records().iter().take(10_000) {
+        for r in world.likes().records().take(10_000) {
             assert!(r.at < pop.launch, "background like after launch");
         }
     }
@@ -680,7 +681,6 @@ mod tests {
             let likes: Vec<_> = world
                 .likes()
                 .records()
-                .iter()
                 .map(|r| (r.user, r.page, r.at))
                 .collect();
             (likes, pop.organic.len(), pop.click_prone.len())

@@ -10,8 +10,14 @@
 use crate::demographics::{AgeBracket, Gender, GeoBucket};
 use crate::world::OsnWorld;
 use likelab_graph::{PageId, UserId};
+use likelab_sim::parallel::{parallel_map, Exec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Users per aggregation chunk in the `*_with` parallel paths. Large enough
+/// that per-chunk report overhead vanishes, small enough that a
+/// million-account world spreads over every worker.
+const CHUNK_USERS: usize = 65_536;
 
 /// Aggregated audience statistics, as the reports tool exposes them.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -32,9 +38,15 @@ pub struct AudienceReport {
 impl AudienceReport {
     /// Aggregate the given users' true attributes.
     pub fn over_users(world: &OsnWorld, users: &[UserId]) -> Self {
+        Self::tally(world, users.iter().copied())
+    }
+
+    /// Accumulate one report over a stream of ids (reads only the profile
+    /// column of the account store).
+    fn tally(world: &OsnWorld, users: impl Iterator<Item = UserId>) -> Self {
         let mut r = AudienceReport::default();
-        for &u in users {
-            let p = &world.account(u).profile;
+        for u in users {
+            let p = world.profile(u);
             r.total += 1;
             match p.gender {
                 Gender::Female => r.female += 1,
@@ -44,6 +56,41 @@ impl AudienceReport {
             *r.country_counts
                 .entry(p.country.geo_bucket().to_string())
                 .or_insert(0) += 1;
+        }
+        r
+    }
+
+    /// Fold another report's counts into this one. Every field is a sum, so
+    /// the merged result is independent of merge order — which is what makes
+    /// the chunked parallel paths deterministic for any worker count.
+    fn merge(&mut self, other: AudienceReport) {
+        self.total += other.total;
+        self.female += other.female;
+        self.male += other.male;
+        for (a, b) in self.age_counts.iter_mut().zip(other.age_counts) {
+            *a += b;
+        }
+        for (k, v) in other.country_counts {
+            *self.country_counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// [`over_users`][Self::over_users], aggregated chunk-by-chunk through
+    /// `exec`. Identical output for every `exec` (partial reports are summed
+    /// in chunk order, and sums commute anyway).
+    pub fn over_users_with(world: &OsnWorld, users: &[UserId], exec: Exec) -> Self {
+        Self::over_users_chunked(world, users, exec, CHUNK_USERS)
+    }
+
+    fn over_users_chunked(world: &OsnWorld, users: &[UserId], exec: Exec, chunk: usize) -> Self {
+        if users.len() <= chunk {
+            return Self::over_users(world, users);
+        }
+        let chunks: Vec<&[UserId]> = users.chunks(chunk).collect();
+        let partials = parallel_map(exec, &chunks, |_, c| Self::over_users(world, c));
+        let mut r = AudienceReport::default();
+        for partial in partials {
+            r.merge(partial);
         }
         r
     }
@@ -58,8 +105,30 @@ impl AudienceReport {
 
     /// The platform-wide report (Table 2's "Facebook" row equivalent).
     pub fn global(world: &OsnWorld) -> Self {
-        let users: Vec<UserId> = world.user_ids().collect();
-        Self::over_users(world, &users)
+        Self::global_with(world, Exec::Sequential)
+    }
+
+    /// [`global`][Self::global] aggregated through `exec`, chunking by id
+    /// range so no global `Vec<UserId>` is ever materialized. Identical
+    /// output for every `exec`.
+    pub fn global_with(world: &OsnWorld, exec: Exec) -> Self {
+        Self::global_chunked(world, exec, CHUNK_USERS)
+    }
+
+    fn global_chunked(world: &OsnWorld, exec: Exec, chunk: usize) -> Self {
+        let n = world.account_count();
+        let ranges: Vec<(u32, u32)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo as u32, (lo + chunk).min(n) as u32))
+            .collect();
+        let partials = parallel_map(exec, &ranges, |_, &(lo, hi)| {
+            Self::tally(world, (lo..hi).map(UserId))
+        });
+        let mut r = AudienceReport::default();
+        for partial in partials {
+            r.merge(partial);
+        }
+        r
     }
 
     /// Female fraction, 0 when empty.
@@ -198,5 +267,41 @@ mod tests {
         add_user(&mut w, Gender::Male, 40, Country::India);
         let g = AudienceReport::global(&w);
         assert_eq!(g.total, 2);
+    }
+
+    #[test]
+    fn parallel_aggregation_matches_sequential() {
+        let mut w = OsnWorld::new();
+        let mut users = Vec::new();
+        for i in 0..500u32 {
+            let gender = if i % 3 == 0 {
+                Gender::Female
+            } else {
+                Gender::Male
+            };
+            let country = Country::ALL[i as usize % Country::ALL.len()];
+            users.push(add_user(&mut w, gender, (13 + i % 70) as u8, country));
+        }
+        let sequential = AudienceReport::over_users(&w, &users);
+        // A chunk size far below the user count forces the multi-chunk
+        // partial-merge path that the public `*_with` wrappers take at scale.
+        for workers in [1usize, 2, 7] {
+            let exec = Exec::workers(workers);
+            assert_eq!(
+                AudienceReport::over_users_chunked(&w, &users, exec, 64),
+                sequential,
+                "over_users chunked workers={workers}"
+            );
+            assert_eq!(
+                AudienceReport::global_chunked(&w, exec, 64),
+                sequential,
+                "global chunked workers={workers}"
+            );
+            assert_eq!(
+                AudienceReport::over_users_with(&w, &users, exec),
+                sequential
+            );
+            assert_eq!(AudienceReport::global_with(&w, exec), sequential);
+        }
     }
 }

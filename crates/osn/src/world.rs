@@ -4,18 +4,25 @@
 //! Farms create accounts in it, the ad engine records likes into it, the
 //! crawler reads privacy-filtered views of it, anti-fraud terminates
 //! accounts in it.
+//!
+//! Accounts live in a columnar [`AccountStore`] (struct-of-arrays with an
+//! interned demographics table); [`OsnWorld::account`] assembles the full
+//! [`Account`] view by value, and hot paths that need a single column go
+//! through [`OsnWorld::profile`] / the store accessors directly.
 
-use crate::account::{Account, AccountStatus, ActorClass, PrivacySettings};
+use crate::account::{Account, ActorClass, PrivacySettings};
 use crate::demographics::Profile;
 use crate::likes::LikeLedger;
 use crate::page::{Page, PageCategory};
+use crate::store::AccountStore;
 use likelab_graph::{FriendGraph, PageId, UserId};
+use likelab_sim::parallel::Exec;
 use likelab_sim::SimTime;
 
 /// The simulated platform.
 #[derive(Clone, Debug, Default)]
 pub struct OsnWorld {
-    accounts: Vec<Account>,
+    accounts: AccountStore,
     pages: Vec<Page>,
     friends: FriendGraph,
     ledger: LikeLedger,
@@ -37,27 +44,35 @@ impl OsnWorld {
         privacy: PrivacySettings,
         created_at: SimTime,
     ) -> UserId {
-        let id = UserId(self.accounts.len() as u32);
-        self.accounts.push(Account {
-            id,
-            profile,
-            created_at,
-            class,
-            status: AccountStatus::Active,
-            privacy,
-            off_network_friends: 0,
-        });
+        let id = self.accounts.push(profile, class, privacy, created_at);
         self.friends.ensure_nodes(self.accounts.len());
         self.ledger.ensure_users(self.accounts.len());
         id
     }
 
-    /// The account record.
+    /// The account record, assembled by value from the columnar store.
     ///
     /// # Panics
     /// Panics on an unknown id.
-    pub fn account(&self, id: UserId) -> &Account {
-        &self.accounts[id.idx()]
+    pub fn account(&self, id: UserId) -> Account {
+        self.accounts.get(id)
+    }
+
+    /// The demographic profile alone — the audience-aggregation hot path
+    /// (skips assembling the full [`Account`] view).
+    pub fn profile(&self, id: UserId) -> Profile {
+        self.accounts.profile(id)
+    }
+
+    /// True while the account is active (status column only).
+    pub fn is_active(&self, id: UserId) -> bool {
+        self.accounts.is_active(id)
+    }
+
+    /// The columnar account store (read-only), for aggregations that want
+    /// direct column access.
+    pub fn account_store(&self) -> &AccountStore {
+        &self.accounts
     }
 
     /// Number of accounts ever created (including terminated).
@@ -73,25 +88,19 @@ impl OsnWorld {
     /// Set the count of friends beyond the simulated window (see
     /// [`Account::off_network_friends`]).
     pub fn set_off_network_friends(&mut self, id: UserId, n: u32) {
-        self.accounts[id.idx()].off_network_friends = n;
+        self.accounts.set_off_network_friends(id, n);
     }
 
     /// Total friend count as the profile reports it: in-world degree plus
     /// off-network friends.
     pub fn total_friend_count(&self, id: UserId) -> usize {
-        self.friends.degree(id) + self.accounts[id.idx()].off_network_friends as usize
+        self.friends.degree(id) + self.accounts.off_network_friends(id) as usize
     }
 
     /// Terminate an account (idempotent; the first termination time wins).
     /// Returns true when the account was active.
     pub fn terminate_account(&mut self, id: UserId, at: SimTime) -> bool {
-        let acct = &mut self.accounts[id.idx()];
-        if acct.status.is_active() {
-            acct.status = AccountStatus::Terminated(at);
-            true
-        } else {
-            false
-        }
+        self.accounts.terminate(id, at)
     }
 
     // ----- pages ---------------------------------------------------------
@@ -155,10 +164,30 @@ impl OsnWorld {
     /// Record a like. Likes by terminated accounts are rejected.
     /// Returns true when the like was new and accepted.
     pub fn record_like(&mut self, user: UserId, page: PageId, at: SimTime) -> bool {
-        if !self.accounts[user.idx()].is_active() {
+        if !self.accounts.is_active(user) {
             return false;
         }
         self.ledger.record(user, page, at)
+    }
+
+    /// Bulk-record likes through the ledger's sharded batch path (see
+    /// [`LikeLedger::ingest_batch`]). Likes by terminated accounts are
+    /// rejected, duplicates ignored; returns how many were new and accepted.
+    /// Byte-identical outcome for every `exec`, and identical to calling
+    /// [`record_like`][Self::record_like] per item in order.
+    pub fn ingest_likes(&mut self, items: &[(UserId, PageId, SimTime)], exec: Exec) -> usize {
+        if items.iter().all(|&(u, _, _)| self.accounts.is_active(u)) {
+            // Synthesis-time fast path: nobody is terminated yet, ingest the
+            // batch without copying it.
+            self.ledger.ingest_batch(items, exec)
+        } else {
+            let alive: Vec<(UserId, PageId, SimTime)> = items
+                .iter()
+                .filter(|&&(u, _, _)| self.accounts.is_active(u))
+                .copied()
+                .collect();
+            self.ledger.ingest_batch(&alive, exec)
+        }
     }
 
     /// The like ledger (read-only).
@@ -173,7 +202,7 @@ impl OsnWorld {
         self.ledger
             .of_page(page)
             .map(|r| r.user)
-            .filter(|u| self.accounts[u.idx()].is_active())
+            .filter(|&u| self.accounts.is_active(u))
             .collect()
     }
 
@@ -188,6 +217,7 @@ impl OsnWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::account::AccountStatus;
     use crate::demographics::{Country, Gender};
 
     fn profile() -> Profile {
@@ -257,6 +287,22 @@ mod tests {
     }
 
     #[test]
+    fn ingest_rejects_terminated_likers() {
+        let mut w = world_with(3);
+        let p = w.create_page("h", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+        w.terminate_account(UserId(2), SimTime::at_day(1));
+        let batch = vec![
+            (UserId(0), p, SimTime::at_day(2)),
+            (UserId(2), p, SimTime::at_day(2)), // terminated: dropped
+            (UserId(1), p, SimTime::at_day(3)),
+            (UserId(0), p, SimTime::at_day(4)), // dup: dropped
+        ];
+        assert_eq!(w.ingest_likes(&batch, Exec::Sequential), 2);
+        assert_eq!(w.visible_likers(p), vec![UserId(0), UserId(1)]);
+        assert_eq!(w.likes().user_like_count(UserId(2)), 0);
+    }
+
+    #[test]
     fn off_network_friends_pad_totals() {
         let mut w = world_with(2);
         w.add_friendship(UserId(0), UserId(1));
@@ -291,5 +337,12 @@ mod tests {
         assert!(w.page(a).is_honeypot());
         assert!(!w.page(b).is_honeypot());
         assert_eq!(w.page_ids().count(), 2);
+    }
+
+    #[test]
+    fn profiles_intern_across_accounts() {
+        let w = world_with(50);
+        assert_eq!(w.account_store().distinct_profiles(), 1);
+        assert_eq!(w.profile(UserId(17)), profile());
     }
 }

@@ -65,6 +65,75 @@ proptest! {
         }
     }
 
+    /// Per-side streams are order-preserving projections of the global
+    /// record stream: `of_user(u)` equals the records with that user, in
+    /// global order, and `of_page(p)` likewise — whatever the (possibly
+    /// duplicated, unordered) insert stream.
+    #[test]
+    fn ledger_streams_project_global_order(
+        likes in prop::collection::vec((0u32..12, 0u32..12, 0u64..500), 0..150),
+    ) {
+        let mut ledger = LikeLedger::new(12, 12);
+        for (u, p, t) in &likes {
+            ledger.record(UserId(*u), PageId(*p), SimTime::from_secs(*t));
+        }
+        let all: Vec<_> = ledger.records().collect();
+        prop_assert_eq!(all.len(), ledger.len());
+        for u in 0..12 {
+            let direct: Vec<_> = ledger.of_user(UserId(u)).collect();
+            let projected: Vec<_> = all.iter().copied().filter(|r| r.user == UserId(u)).collect();
+            prop_assert_eq!(direct, projected, "user {} stream", u);
+            let sorted = ledger.of_user_sorted(UserId(u));
+            prop_assert!(sorted.windows(2).all(|w| w[0].at <= w[1].at));
+            prop_assert_eq!(sorted.len(), ledger.user_like_count(UserId(u)));
+        }
+        for p in 0..12 {
+            let direct: Vec<_> = ledger.of_page(PageId(p)).collect();
+            let projected: Vec<_> = all.iter().copied().filter(|r| r.page == PageId(p)).collect();
+            prop_assert_eq!(direct, projected, "page {} stream", p);
+        }
+    }
+
+    /// Batch ingestion is equivalent to recording each like in order — for
+    /// any worker count — and the page-range shards stay consistent with
+    /// the per-user index.
+    #[test]
+    fn ledger_ingest_matches_record(
+        likes in prop::collection::vec((0u32..10, 0u32..9000, 0u64..500), 0..200),
+        workers in 1usize..5,
+    ) {
+        use likelab_sim::Exec;
+        let n_pages = 9_000; // spans three page-range shards
+        let batch: Vec<_> = likes
+            .iter()
+            .map(|(u, p, t)| (UserId(*u), PageId(*p), SimTime::from_secs(*t)))
+            .collect();
+        let mut by_record = LikeLedger::new(10, n_pages);
+        for &(u, p, t) in &batch {
+            by_record.record(u, p, t);
+        }
+        let mut by_batch = LikeLedger::new(10, n_pages);
+        let accepted = by_batch.ingest_batch(&batch, Exec::workers(workers));
+        prop_assert_eq!(accepted, by_record.len());
+        prop_assert_eq!(
+            by_batch.records().collect::<Vec<_>>(),
+            by_record.records().collect::<Vec<_>>()
+        );
+        for u in 0..10 {
+            prop_assert_eq!(
+                by_batch.of_user(UserId(u)).collect::<Vec<_>>(),
+                by_record.of_user(UserId(u)).collect::<Vec<_>>()
+            );
+        }
+        // Spot-check per-page postings on the pages actually touched.
+        for &(_, p, _) in &batch {
+            prop_assert_eq!(
+                by_batch.of_page(p).collect::<Vec<_>>(),
+                by_record.of_page(p).collect::<Vec<_>>()
+            );
+        }
+    }
+
     /// Audience reports conserve mass: gender and age marginals both sum to
     /// the total, and geo shares sum to 1 for non-empty sets.
     #[test]

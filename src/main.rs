@@ -1,9 +1,9 @@
 //! `likelab` — command-line front end for the like-fraud laboratory.
 //!
 //! ```text
-//! likelab run        [--scale S] [--seed N]        run the study, print the report
-//! likelab checklist  [--scale S] [--seed N]        reproduction criteria (exit 1 on failure)
-//! likelab export DIR [--scale S] [--seed N]        write JSON, DOT, and SVG artifacts
+//! likelab run        [--preset P] [--scale S] [--seed N]   run the study, print the report
+//! likelab checklist  [--preset P] [--scale S] [--seed N]   reproduction criteria (exit 1 on failure)
+//! likelab export DIR [--preset P] [--scale S] [--seed N]   write JSON, DOT, and SVG artifacts
 //! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
 //! ```
@@ -20,8 +20,19 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Which world the study runs on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Preset {
+    /// The paper's population (default scale 0.15).
+    Paper,
+    /// The million-account world (default scale 1.0 — ~1M accounts,
+    /// 50k pages; use `--scale` to trim).
+    Scale,
+}
+
 struct Opts {
-    scale: f64,
+    preset: Preset,
+    scale: Option<f64>,
     seed: u64,
     seeds: usize,
     scales: Vec<f64>,
@@ -38,11 +49,37 @@ impl Opts {
     fn wants_observability(&self) -> bool {
         self.timing || self.metrics_out.is_some() || self.trace_out.is_some()
     }
+
+    /// Effective scale: `--scale` wins; otherwise each preset's default
+    /// (0.15 for `paper`, full size for `scale`).
+    fn effective_scale(&self) -> f64 {
+        self.scale.unwrap_or(match self.preset {
+            Preset::Paper => 0.15,
+            Preset::Scale => 1.0,
+        })
+    }
+
+    /// The study configuration the `run`/`checklist`/`export` commands use.
+    fn study_config(&self) -> StudyConfig {
+        match self.preset {
+            Preset::Paper => StudyConfig::paper(self.seed, self.effective_scale()),
+            Preset::Scale => StudyConfig::scale_world(self.seed, self.effective_scale()),
+        }
+    }
+
+    /// Human-readable preset name for progress messages.
+    fn preset_name(&self) -> &'static str {
+        match self.preset {
+            Preset::Paper => "paper",
+            Preset::Scale => "scale",
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
-        scale: 0.15,
+        preset: Preset::Paper,
+        scale: None,
         seed: 42,
         seeds: 8,
         scales: vec![0.1],
@@ -56,12 +93,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--preset" => {
+                let v = it.next().ok_or("--preset needs a value (paper|scale)")?;
+                opts.preset = match v.as_str() {
+                    "paper" => Preset::Paper,
+                    "scale" => Preset::Scale,
+                    other => return Err(format!("unknown preset: {other} (paper|scale)")),
+                };
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
-                opts.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
-                if opts.scale <= 0.0 {
+                let s: f64 = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if s <= 0.0 {
                     return Err("scale must be positive".into());
                 }
+                opts.scale = Some(s);
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -114,9 +160,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 fn usage() -> &'static str {
     "likelab — honeypot like-fraud laboratory (De Cristofaro et al., IMC 2014)\n\n\
      USAGE:\n\
-     \x20 likelab run        [--scale S] [--seed N]   run the study, print every table/figure\n\
-     \x20 likelab checklist  [--scale S] [--seed N]   run + evaluate the 23 reproduction criteria\n\
-     \x20 likelab export DIR [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
+     \x20 likelab run        [--preset P] [--scale S] [--seed N]   run the study, print every table/figure\n\
+     \x20 likelab checklist  [--preset P] [--scale S] [--seed N]   run + evaluate the 23 reproduction criteria\n\
+     \x20 likelab export DIR [--preset P] [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
      \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
      \x20               [--seed M] [--out FILE] [--sequential]\n\
      \x20 likelab paper                               print the paper's published tables\n\n\
@@ -124,7 +170,10 @@ fn usage() -> &'static str {
      \x20 --timing             print per-phase wall-time, counters, histograms\n\
      \x20 --metrics-out FILE   write counters/histograms/span aggregates as JSON\n\
      \x20 --trace-out FILE     write the span trace as JSON\n\n\
-     Defaults: --scale 0.15 --seed 42; sweep: --seeds 8 --scales 0.1.\n\
+     Presets: paper (default; scale 0.15 unless --scale) runs the paper's\n\
+     world; scale (default scale 1.0) runs the million-account world —\n\
+     ~1M accounts / 50k pages, trim with --scale for smoke tests.\n\n\
+     Defaults: --preset paper --seed 42; sweep: --seeds 8 --scales 0.1.\n\
      scale 1.0 reproduces paper-sized campaigns. Sweep runs fan out across\n\
      cores (limit with LIKELAB_THREADS=k; --sequential forces one thread);\n\
      results are bit-identical for any thread count."
@@ -168,18 +217,28 @@ fn emit_observability(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
-    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    eprintln!(
+        "running study: preset={}, seed={}, scale={}...",
+        opts.preset_name(),
+        opts.seed,
+        opts.effective_scale()
+    );
     start_observability(opts);
-    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    let outcome = run_study(&opts.study_config());
     println!("{}", outcome.report.render());
     emit_observability(opts)?;
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_checklist(opts: &Opts) -> Result<ExitCode, String> {
-    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
+    eprintln!(
+        "running study: preset={}, seed={}, scale={}...",
+        opts.preset_name(),
+        opts.seed,
+        opts.effective_scale()
+    );
     start_observability(opts);
-    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    let outcome = run_study(&opts.study_config());
     let checks = checklist(&outcome.report);
     println!("{}", render_checklist(&checks));
     let failed = checks.iter().filter(|c| !c.pass).count();
@@ -199,8 +258,13 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
             .ok_or("export needs a target directory")?,
     );
     fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    eprintln!("running study: seed={}, scale={}...", opts.seed, opts.scale);
-    let outcome = run_study(&StudyConfig::paper(opts.seed, opts.scale));
+    eprintln!(
+        "running study: preset={}, seed={}, scale={}...",
+        opts.preset_name(),
+        opts.seed,
+        opts.effective_scale()
+    );
+    let outcome = run_study(&opts.study_config());
     let r = &outcome.report;
     let write = |name: &str, content: String| -> Result<(), String> {
         write_file(&dir.join(name), &content)

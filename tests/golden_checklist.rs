@@ -1,0 +1,70 @@
+//! Golden-snapshot test for `likelab checklist` at the paper preset.
+//!
+//! The rendered checklist — all 23 reproduction criteria with their
+//! measured values, plus the pass-count footer — is checked in at
+//! `tests/golden/checklist_paper.txt` and compared byte-for-byte. Any
+//! change to the simulation pipeline that perturbs RNG draw order, world
+//! construction, or report arithmetic shows up here as a readable diff
+//! instead of a silent drift.
+//!
+//! To refresh after an *intentional* change:
+//!
+//! ```text
+//! LIKELAB_UPDATE_GOLDEN=1 cargo test --test golden_checklist
+//! ```
+//!
+//! then review the diff of the golden file like any other code change.
+
+use likelab::{checklist, render_checklist, run_study, StudyConfig};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/checklist_paper.txt"
+);
+
+/// Exactly what `likelab checklist` (paper preset, default seed 42 and
+/// scale 0.15) writes to stdout.
+fn rendered_checklist() -> String {
+    let outcome = run_study(&StudyConfig::paper(42, 0.15));
+    let checks = checklist(&outcome.report);
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    format!(
+        "{}\n{}/{} criteria hold\n",
+        render_checklist(&checks),
+        checks.len() - failed,
+        checks.len()
+    )
+}
+
+#[test]
+fn checklist_matches_golden_snapshot() {
+    let got = rendered_checklist();
+    if std::env::var_os("LIKELAB_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        eprintln!("golden refreshed: {GOLDEN_PATH}");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH).expect("golden file present");
+    if got != want {
+        let mismatch = got
+            .lines()
+            .zip(want.lines())
+            .enumerate()
+            .find(|(_, (g, w))| g != w);
+        match mismatch {
+            Some((i, (g, w))) => panic!(
+                "checklist output drifted from the golden snapshot at line {}:\n  \
+                 golden: {w}\n  got:    {g}\n\
+                 If the change is intentional, refresh with \
+                 LIKELAB_UPDATE_GOLDEN=1 cargo test --test golden_checklist",
+                i + 1
+            ),
+            None => panic!(
+                "checklist output drifted in length: golden {} lines, got {} lines. \
+                 Refresh with LIKELAB_UPDATE_GOLDEN=1 if intentional.",
+                want.lines().count(),
+                got.lines().count()
+            ),
+        }
+    }
+}

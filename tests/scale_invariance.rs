@@ -4,7 +4,8 @@
 //! full-scale results in EXPERIMENTS.md.
 
 use likelab::osn::GeoBucket;
-use likelab::{run_study, StudyConfig, StudyOutcome};
+use likelab::sim::Exec;
+use likelab::{run_study, run_study_with, StudyConfig, StudyOutcome};
 use std::sync::OnceLock;
 
 const SMALL: f64 = 0.06;
@@ -110,6 +111,30 @@ fn kl_divergences_are_scale_invariant() {
     // SF stays near zero at both scales; FB-IND stays large at both.
     assert!(kl(small, "SF-ALL") < 0.2 && kl(large, "SF-ALL") < 0.2);
     assert!(kl(small, "FB-IND") > 0.4 && kl(large, "FB-IND") > 0.4);
+}
+
+/// The million-account `scale` preset (trimmed so the test stays bounded)
+/// produces a byte-identical `StudyReport` JSON document for every worker
+/// count — the determinism contract survives the sharded ledger, the
+/// chunked report aggregation, and the CSR graph.
+#[test]
+fn scale_preset_report_is_worker_invariant() {
+    let config = StudyConfig::scale_world(11, 0.01);
+    let json_for = |exec: Exec| {
+        run_study_with(&config, exec)
+            .report
+            .to_json()
+            .expect("report serializes")
+    };
+    let sequential = json_for(Exec::Sequential);
+    assert!(!sequential.is_empty());
+    for workers in [1usize, 2, 8] {
+        let parallel = json_for(Exec::workers(workers));
+        assert!(
+            sequential == parallel,
+            "scale-preset report differs between sequential and {workers} workers"
+        );
+    }
 }
 
 #[test]
