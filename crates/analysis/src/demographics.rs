@@ -85,7 +85,9 @@ mod tests {
             report: r,
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

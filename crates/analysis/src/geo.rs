@@ -84,7 +84,9 @@ mod tests {
             report,
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

@@ -14,6 +14,7 @@
 //! | Figure 4 (page-like CDFs) | [`pagelikes`] |
 //! | Figure 5 (Jaccard matrices) | [`similarity`] |
 //! | §5 termination follow-up | [`termination`] |
+//! | Crawl coverage & robustness | [`crawl`] |
 //!
 //! Figures can also be rendered as standalone SVG files ([`svg`]).
 //!
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crawl;
 pub mod demographics;
 pub mod geo;
 pub mod pagelikes;
@@ -38,6 +40,7 @@ pub mod svg;
 pub mod temporal;
 pub mod termination;
 
+pub use crawl::{compare_reports, CrawlSection, RobustnessComparison};
 pub use provider::Provider;
 pub use report::{StudyReport, Table1Row, Totals};
 pub use social::ObservedSocial;

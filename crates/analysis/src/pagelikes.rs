@@ -78,6 +78,7 @@ mod tests {
             total_friend_count: None,
             liked_pages: likes.map(|n| (0..n as u32).map(PageId).collect()),
             gone_at_collection: false,
+            crawl_outcome: likelab_honeypot::CrawlOutcome::Complete,
         }
     }
 
@@ -99,7 +100,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

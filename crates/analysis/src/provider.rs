@@ -114,6 +114,7 @@ mod tests {
             total_friend_count: None,
             liked_pages: None,
             gone_at_collection: false,
+            crawl_outcome: likelab_honeypot::CrawlOutcome::Complete,
         }
     }
 
@@ -135,7 +136,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

@@ -1,6 +1,7 @@
 //! The assembled study report: every table and figure of the paper computed
 //! from one dataset, plus plain-text rendering.
 
+use crate::crawl::{crawl_section, CrawlSection};
 use crate::demographics::{table2, DemographicsRow};
 use crate::geo::{figure1, GeoRow};
 use crate::pagelikes::{figure4, LikeCountCurve};
@@ -60,6 +61,8 @@ pub struct StudyReport {
     pub figure5_users: SimilarityMatrix,
     /// §5 — termination follow-up.
     pub termination: TerminationSummary,
+    /// Crawl coverage: how much of the intended measurement landed.
+    pub crawl: CrawlSection,
     /// Dataset-level totals (likes collected, friendships observed...).
     pub totals: Totals,
 }
@@ -91,6 +94,7 @@ enum Section {
     Figure4(Vec<LikeCountCurve>),
     Similarity(SimilarityMatrix),
     Termination(TerminationSummary),
+    Crawl(CrawlSection),
     Totals(Totals),
 }
 
@@ -156,6 +160,7 @@ impl StudyReport {
                 "termination",
                 Box::new(|| Section::Termination(termination_summary(dataset))),
             ),
+            ("crawl", Box::new(|| Section::Crawl(crawl_section(dataset)))),
             (
                 "totals",
                 Box::new(|| {
@@ -214,6 +219,7 @@ impl StudyReport {
             figure5_pages: take!(Similarity),
             figure5_users: take!(Similarity),
             termination: take!(Termination),
+            crawl: take!(Crawl),
             totals: take!(Totals),
         }
     }
@@ -386,6 +392,48 @@ impl StudyReport {
         for (p, n) in &self.termination.by_provider {
             out.push_str(&format!("{p}: {n}\n"));
         }
+        if self.termination.unknown_total > 0 {
+            out.push_str(&format!(
+                "unresolved probes (no answer, not counted as alive): {}\n",
+                self.termination.unknown_total
+            ));
+        }
+
+        out.push_str("\n== Crawl coverage ==\n");
+        let mut rows = vec![vec![
+            "Campaign".to_string(),
+            "Polls".to_string(),
+            "Failed".to_string(),
+            "Throttled".to_string(),
+            "Outage".to_string(),
+            "Trips".to_string(),
+            "Profiles ok/gone/gave-up".to_string(),
+            "Coverage".to_string(),
+        ]];
+        for r in &self.crawl.per_campaign {
+            rows.push(vec![
+                r.label.clone(),
+                r.coverage.polls.to_string(),
+                r.coverage.failed_polls.to_string(),
+                r.coverage.rate_limited_polls.to_string(),
+                r.coverage.outage_polls.to_string(),
+                r.coverage.circuit_trips.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    r.coverage.profiles_complete,
+                    r.coverage.profiles_gone,
+                    r.coverage.profiles_gave_up
+                ),
+                format!("{:.1}%", r.profile_coverage * 100.0),
+            ]);
+        }
+        out.push_str(&render::table(&rows));
+        out.push_str(&format!(
+            "poll success {:.1}%, profile coverage {:.1}% overall\n",
+            self.crawl.poll_success_rate * 100.0,
+            self.crawl.profile_coverage * 100.0,
+        ));
+
         out.push_str(&format!(
             "\nTotals: {} campaign likes ({} farm / {} ads); {} page likes and {} friendships observed on liker profiles\n",
             self.totals.campaign_likes,

@@ -110,6 +110,7 @@ mod tests {
             total_friend_count: None,
             liked_pages: Some(pages.into_iter().map(PageId).collect()),
             gone_at_collection: false,
+            crawl_outcome: likelab_honeypot::CrawlOutcome::Complete,
         }
     }
 
@@ -131,7 +132,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

@@ -261,6 +261,7 @@ mod tests {
             friends: friends.map(|f| f.into_iter().map(UserId).collect()),
             liked_pages: None,
             gone_at_collection: false,
+            crawl_outcome: likelab_honeypot::CrawlOutcome::Complete,
         }
     }
 
@@ -282,7 +283,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 

@@ -79,8 +79,13 @@ pub fn interarrival_dispersion(offsets: &[SimDuration]) -> (f64, f64) {
     let n = gaps.len() as f64;
     let mean = gaps.iter().sum::<f64>() / n;
     if mean <= 0.0 {
-        // All likes at the same instant: maximal burstiness.
-        return (f64::INFINITY, 1.0);
+        // All likes at the same instant: maximal burstiness. The CV is
+        // formally 0/0 here, so report its supremum over n non-negative
+        // gaps — sqrt(n-1), approached as all mass concentrates in one
+        // gap. Finite on purpose: `f64::INFINITY` serializes to `null`
+        // in JSON and corrupted every export of a perfectly-bursty
+        // campaign.
+        return ((n - 1.0).sqrt(), 1.0);
     }
     let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n;
     let cv = var.sqrt() / mean;
@@ -188,12 +193,15 @@ mod tests {
                     total_friend_count: None,
                     liked_pages: None,
                     gone_at_collection: false,
+                    crawl_outcome: likelab_honeypot::CrawlOutcome::Complete,
                 })
                 .collect(),
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 
@@ -274,16 +282,42 @@ mod tests {
         let even: Vec<D> = (0..10).map(D::hours).collect();
         let (cv, gini) = interarrival_dispersion(&even);
         assert!(cv.abs() < 1e-12 && gini.abs() < 1e-12);
-        // All simultaneous: maximal.
+        // All simultaneous: maximal, but *finite* — the saturated case is
+        // reported as the CV supremum sqrt(n_gaps - 1), never infinity.
         let same = vec![D::HOUR; 5];
         let (cv, gini) = interarrival_dispersion(&same);
-        assert!(cv.is_infinite());
+        assert!(cv.is_finite());
+        assert!((cv - 3.0f64.sqrt()).abs() < 1e-12, "sqrt(4 gaps - 1): {cv}");
         assert_eq!(gini, 1.0);
+        // And it must dominate any non-degenerate stream of the same size:
+        // the supremum is an upper bound, so sorting by burstiness is safe.
+        let mut nearly = vec![D::ZERO; 4];
+        nearly.push(D::HOUR);
+        let (nearly_cv, _) = interarrival_dispersion(&nearly);
+        assert!(cv >= nearly_cv - 1e-9, "{cv} vs {nearly_cv}");
         // One big gap among tiny ones: high Gini.
         let mut bursty: Vec<D> = (0..50).map(D::secs).collect();
         bursty.push(D::days(10));
         let (_, gini) = interarrival_dispersion(&bursty);
         assert!(gini > 0.9, "gini {gini}");
+    }
+
+    #[test]
+    fn saturated_dispersion_round_trips_through_json() {
+        // A perfectly-bursty campaign: every like lands on the same poll.
+        let launch = SimTime::at_day(100);
+        let likes = vec![launch + SimDuration::hours(2); 10];
+        let d = dataset(vec![campaign("AL-ALL", false, likes)], launch);
+        let series = &figure2(&d, 15)[0];
+        assert!(series.gap_cv.is_finite());
+        let json = serde_json::to_string(series).unwrap();
+        assert!(
+            !json.contains("null"),
+            "saturated dispersion must not serialize to null: {json}"
+        );
+        let back: TimeSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.gap_cv, series.gap_cv, "gap_cv survives the trip");
+        assert_eq!(back.gap_gini, 1.0);
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct TerminationSummary {
     pub by_campaign: BTreeMap<String, usize>,
     /// Total across all campaigns.
     pub total: usize,
+    /// Probes that never got an answer, per campaign label — likers the
+    /// month-later re-check could neither confirm alive nor terminated.
+    /// Silently folding these into "not terminated" biased the counts.
+    pub unknown_by_campaign: BTreeMap<String, usize>,
+    /// Total unanswered probes across all campaigns.
+    pub unknown_total: usize,
 }
 
 impl TerminationSummary {
@@ -44,6 +50,9 @@ pub fn termination_summary(dataset: &Dataset) -> TerminationSummary {
         let n = c.terminated_after_month;
         s.by_campaign.insert(c.spec.label.clone(), n);
         s.total += n;
+        s.unknown_by_campaign
+            .insert(c.spec.label.clone(), c.termination_unknown);
+        s.unknown_total += c.termination_unknown;
         if let Some(p) = Provider::of_label(&c.spec.label) {
             *s.by_provider.entry(p).or_insert(0) += n;
         }
@@ -77,7 +86,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: None,
             terminated_after_month: terminated,
+            termination_unknown: 0,
             inactive: false,
+            coverage: likelab_honeypot::CrawlCoverage::default(),
         }
     }
 
@@ -111,6 +122,23 @@ mod tests {
         assert!(s.provider(Provider::BoostLikes) < s.provider(Provider::MammothSocials));
         assert!(s.provider(Provider::MammothSocials) < s.provider(Provider::SocialFormula));
         assert!(s.provider(Provider::SocialFormula) < s.provider(Provider::AuthenticLikes));
+    }
+
+    #[test]
+    fn unanswered_probes_are_surfaced_not_hidden() {
+        let mut flaky = campaign("AL-USA", 5);
+        flaky.termination_unknown = 7;
+        let d = Dataset {
+            campaigns: vec![campaign("BL-USA", 1), flaky],
+            baseline: vec![],
+            launch: SimTime::EPOCH,
+            global_report: AudienceReport::default(),
+        };
+        let s = termination_summary(&d);
+        assert_eq!(s.total, 6, "unknowns never inflate the terminated count");
+        assert_eq!(s.unknown_total, 7);
+        assert_eq!(s.unknown_by_campaign["AL-USA"], 7);
+        assert_eq!(s.unknown_by_campaign["BL-USA"], 0);
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Crawl-pipeline benches: the monitor poll loop (incremental diff vs the
+//! liker count) and the profile-collection pass under clean and chaos fault
+//! surfaces — the numbers behind the resilient-crawl PR's perf claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use likelab_graph::{PageId, UserId};
+use likelab_honeypot::{collect_profiles, CollectionConfig, CrawlerConfig, PageMonitor};
+use likelab_osn::{
+    ActorClass, Country, CrawlApi, CrawlConfig, Gender, OsnWorld, PageCategory, PrivacySettings,
+    Profile,
+};
+use likelab_sim::{Rng, SimTime};
+use std::hint::black_box;
+
+/// A world with `n` public accounts that all like one honeypot page over
+/// the first 15 days.
+fn liked_world(n: u32) -> (OsnWorld, PageId) {
+    let mut w = OsnWorld::new();
+    let mut rng = Rng::seed_from_u64(99);
+    for _ in 0..n {
+        w.create_account(
+            Profile {
+                gender: Gender::Male,
+                age: 25,
+                country: Country::Usa,
+                home_region: 0,
+            },
+            ActorClass::ClickProne,
+            PrivacySettings {
+                friend_list_public: true,
+                likes_public: true,
+                searchable: true,
+            },
+            SimTime::EPOCH,
+        );
+    }
+    let p = w.create_page("bench", "", None, PageCategory::Honeypot, SimTime::EPOCH);
+    for u in 0..n {
+        let at = SimTime::from_secs(rng.below(15 * 86_400));
+        w.record_like(UserId(u), p, at);
+    }
+    (w, p)
+}
+
+/// Drive a monitor from launch to stop; returns the poll count.
+fn run_monitor(world: &OsnWorld, page: PageId, api: &mut CrawlApi) -> usize {
+    let mut monitor = PageMonitor::new(
+        page,
+        SimTime::EPOCH,
+        SimTime::at_day(15),
+        CrawlerConfig::default(),
+    );
+    let mut next = Some(SimTime::EPOCH);
+    while let Some(now) = next {
+        next = monitor.poll(world, api, now);
+    }
+    monitor.observations().len()
+}
+
+/// The monitor poll loop: with the persistent seen-set diff this scales
+/// with likers + polls, not likers x polls.
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl/monitor_poll_loop");
+    for n in [500u32, 2_000, 8_000] {
+        let (world, page) = liked_world(n);
+        group.bench_with_input(BenchmarkId::new("clean", n), &n, |b, _| {
+            b.iter(|| {
+                let mut api = CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(5));
+                black_box(run_monitor(&world, page, &mut api))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chaos", n), &n, |b, _| {
+            b.iter(|| {
+                let mut api = CrawlApi::new(CrawlConfig::chaos(0.75), Rng::seed_from_u64(5));
+                black_box(run_monitor(&world, page, &mut api))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The profile-collection pass with retry/backoff, clean vs chaos.
+fn bench_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl/collect_profiles");
+    group.sample_size(20);
+    let (world, page) = liked_world(2_000);
+    let monitor = {
+        let mut m = PageMonitor::new(
+            page,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
+        let mut api = CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(5));
+        let mut next = Some(SimTime::EPOCH);
+        while let Some(now) = next {
+            next = m.poll(&world, &mut api, now);
+        }
+        m
+    };
+    for (label, config) in [
+        ("clean", CrawlConfig::clean()),
+        ("chaos", CrawlConfig::chaos(0.75)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut api = CrawlApi::new(config, Rng::seed_from_u64(6));
+                let mut at = SimTime::at_day(40);
+                let records = collect_profiles(
+                    &world,
+                    &mut api,
+                    &monitor,
+                    &mut at,
+                    &CollectionConfig::default(),
+                );
+                black_box((records.len(), api.stats().retries))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Raw fault-surface overhead: one request through the quiet profile vs
+/// the full regime stack.
+fn bench_api(c: &mut Criterion) {
+    let (world, _page) = liked_world(100);
+    let mut group = c.benchmark_group("crawl/profile_request");
+    for (label, config) in [
+        ("quiet", CrawlConfig::default()),
+        ("chaos", CrawlConfig::chaos(0.75)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut api = CrawlApi::new(config, Rng::seed_from_u64(7));
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 60;
+                black_box(
+                    api.profile(&world, UserId(t as u32 % 100), SimTime::from_secs(t))
+                        .ok(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor, bench_collection, bench_api);
+criterion_main!(benches);

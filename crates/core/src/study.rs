@@ -22,8 +22,8 @@ use likelab_analysis::StudyReport;
 use likelab_farms::{DeliveryStyle, FarmOrder, FarmRoster, FarmSpec, TimedLike};
 use likelab_graph::PageId;
 use likelab_honeypot::{
-    collect_profiles, count_terminated, deploy_honeypot, BaselineRecord, CampaignData,
-    CampaignSpec, CrawlerConfig, Dataset, PageMonitor, Promotion,
+    check_terminations, collect_profiles, deploy_honeypot, BaselineRecord, CampaignData,
+    CampaignSpec, CollectionConfig, CrawlOutcome, CrawlerConfig, Dataset, PageMonitor, Promotion,
 };
 use likelab_osn::ads::{plan_campaign, AdCampaignSpec};
 use likelab_osn::organic::plan_background_activity;
@@ -54,6 +54,8 @@ pub struct StudyConfig {
     pub crawler: CrawlerConfig,
     /// Crawl-surface fault injection.
     pub crawl: CrawlConfig,
+    /// Profile-collection retry/backoff policy and request budget.
+    pub collection: CollectionConfig,
     /// Ad-campaign geo leakage.
     pub ad_leakage: f64,
     /// Baseline directory sample size (scaled; the paper used 2000).
@@ -81,6 +83,7 @@ impl StudyConfig {
             fraud: FraudOpsConfig::default(),
             crawler: CrawlerConfig::default(),
             crawl: CrawlConfig::default(),
+            collection: CollectionConfig::default(),
             ad_leakage: 0.02,
             baseline_sample: 2_000,
             termination_check_after: SimDuration::days(30),
@@ -99,6 +102,34 @@ impl StudyConfig {
         StudyConfig {
             population: crate::presets::scale_population(),
             ..StudyConfig::paper(seed, scale)
+        }
+    }
+
+    /// The `chaos` preset: the paper's world run against a heavily faulted
+    /// crawl surface — elevated transient noise, tight rate-limit windows,
+    /// multi-hour outages (see `CrawlConfig::chaos`). The study must still
+    /// complete end to end; the robustness comparison quantifies the drift.
+    pub fn chaos(seed: u64, scale: f64) -> Self {
+        StudyConfig {
+            crawl: CrawlConfig::chaos(0.75),
+            ..StudyConfig::paper(seed, scale)
+        }
+    }
+
+    /// Replace the crawl fault profile with a named one
+    /// (`CrawlConfig::named` vocabulary: `none`, `default`, `throttled`,
+    /// `flaky`, `chaos`). Returns None for an unknown name.
+    pub fn with_fault_profile(mut self, name: &str) -> Option<Self> {
+        self.crawl = CrawlConfig::named(name)?;
+        Some(self)
+    }
+
+    /// The same configuration with a perfectly clean crawl surface — the
+    /// twin run the robustness comparison measures against.
+    pub fn clean_twin(&self) -> Self {
+        StudyConfig {
+            crawl: CrawlConfig::clean(),
+            ..self.clone()
         }
     }
 }
@@ -374,6 +405,16 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
             api.failures()
         ),
     );
+    if !config.crawl.faults.is_quiet() {
+        let s = api.stats();
+        trace.note(
+            end,
+            format!(
+                "crawl faults during monitoring: {} rate-limited, {} outage, {} transient",
+                s.rate_limited, s.outage, s.transient
+            ),
+        );
+    }
 
     drop(event_loop_span);
     likelab_obs::metrics::counter("study.events.fired", engine.fired());
@@ -381,18 +422,41 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     // --- collection -------------------------------------------------------
     let collection_span = likelab_obs::span::enter("study.collection");
     let mut campaigns_data = Vec::with_capacity(config.campaigns.len());
+    // The collection passes run on a virtual crawl clock starting at the
+    // study's end; backoff waits and rate-limit hints advance it. With
+    // fault regimes disabled nothing reads the cursor, so outcomes match
+    // the pre-regime pipeline draw for draw.
+    let mut crawl_at = end;
     for (i, spec) in config.campaigns.iter().enumerate() {
         let page = honeypots[i];
-        let (likers, observations, monitoring_days) = match &monitors[i] {
+        let (likers, observations, monitoring_days, mut coverage) = match &monitors[i] {
             Some(m) => (
-                collect_profiles(&world, &mut api, m),
+                collect_profiles(&world, &mut api, m, &mut crawl_at, &config.collection),
                 m.observations().to_vec(),
                 m.monitoring_days(),
+                m.coverage(),
             ),
-            None => (Vec::new(), Vec::new(), None),
+            None => (Vec::new(), Vec::new(), None, Default::default()),
         };
+        for l in &likers {
+            match l.crawl_outcome {
+                CrawlOutcome::Complete => coverage.profiles_complete += 1,
+                CrawlOutcome::Gone => coverage.profiles_gone += 1,
+                CrawlOutcome::GaveUp => coverage.profiles_gave_up += 1,
+            }
+        }
+        likelab_obs::metrics::counter(
+            &format!("crawl.coverage{{campaign={}}}", spec.label),
+            (coverage.profile_coverage() * 10_000.0) as u64,
+        );
         let liker_ids: Vec<_> = likers.iter().map(|l| l.user).collect();
-        let terminated_after_month = count_terminated(&world, &mut api, &liker_ids);
+        let probe = check_terminations(
+            &world,
+            &mut api,
+            &liker_ids,
+            &mut crawl_at,
+            &config.collection.retry,
+        );
         campaigns_data.push(CampaignData {
             spec: spec.clone(),
             page,
@@ -400,8 +464,10 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
             likers,
             report: AudienceReport::for_page(&world, page),
             monitoring_days,
-            terminated_after_month,
+            terminated_after_month: probe.terminated,
+            termination_unknown: probe.unknown,
             inactive: inactive[i],
+            coverage,
         });
     }
 

@@ -179,6 +179,7 @@ mod tests {
             friends: Some(friends.into_iter().map(UserId).collect()),
             liked_pages: Some(pages.into_iter().map(PageId).collect()),
             gone_at_collection: false,
+            crawl_outcome: crate::collector::CrawlOutcome::Complete,
         }
     }
 
@@ -211,7 +212,9 @@ mod tests {
                 report,
                 monitoring_days: Some(22),
                 terminated_after_month: 1,
+                termination_unknown: 0,
                 inactive: false,
+                coverage: crate::crawler::CrawlCoverage::default(),
             }],
             baseline: vec![BaselineRecord {
                 user: UserId(9),

@@ -3,13 +3,29 @@
 //! After the campaigns, the paper "crawled public information from the
 //! likers' profiles, obtaining the lists of liked pages as well as friend
 //! lists" and, a month later, re-checked which liker accounts still existed.
-//! Both passes run through the privacy-enforcing crawl API with retries.
+//! Both passes run through the privacy-enforcing crawl API with jittered
+//! exponential backoff and an optional per-pass request budget, and every
+//! record says *why* its fields are what they are: a private profile and a
+//! crawl that gave up are different facts, and blending them biased the
+//! original pipeline.
 
 use crate::crawler::PageMonitor;
 use likelab_graph::{PageId, UserId};
-use likelab_osn::{CrawlApi, CrawlError, OsnWorld};
+use likelab_osn::{CrawlApi, CrawlError, OsnWorld, RetryPolicy};
 use likelab_sim::SimTime;
 use serde::{Deserialize, Serialize};
+
+/// How the collection crawl of one liker's profile ended.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlOutcome {
+    /// The profile was fetched; empty fields mean *private*, nothing else.
+    #[default]
+    Complete,
+    /// The profile no longer exists (terminated account).
+    Gone,
+    /// Retries or the request budget ran out; empty fields mean *unknown*.
+    GaveUp,
+}
 
 /// Everything the study holds about one liker.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -18,26 +34,64 @@ pub struct LikerRecord {
     pub user: UserId,
     /// When the crawler first saw the like (poll-quantized).
     pub first_seen: SimTime,
-    /// Public friend list (None = private).
+    /// Public friend list (None = private, or unknown when the crawl gave up).
     pub friends: Option<Vec<UserId>>,
     /// Total friend count as shown on the profile, when public.
     pub total_friend_count: Option<usize>,
-    /// Public liked-pages list (None = private).
+    /// Public liked-pages list (None = private, or unknown when the crawl
+    /// gave up).
     pub liked_pages: Option<Vec<PageId>>,
     /// Whether the profile was already gone at collection time.
     pub gone_at_collection: bool,
+    /// How the collection crawl ended — distinguishes "private" from
+    /// "the crawler never got an answer".
+    pub crawl_outcome: CrawlOutcome,
 }
 
-/// Crawl every observed liker's profile. Transient failures are retried;
-/// profiles of already-terminated accounts come back marked gone.
+/// Knobs for one collection pass.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Retry/backoff behavior per profile.
+    pub retry: RetryPolicy,
+    /// Optional cap on requests this pass may issue (measured against the
+    /// API's global request counter). Once exhausted, remaining likers are
+    /// recorded as [`CrawlOutcome::GaveUp`] without issuing requests.
+    pub request_budget: Option<u64>,
+}
+
+/// Crawl every observed liker's profile at virtual time `at` (the cursor
+/// advances through backoff waits). Transient failures are retried under
+/// the policy; profiles of already-terminated accounts come back marked
+/// gone; exhausted retries or budget leave an explicit
+/// [`CrawlOutcome::GaveUp`] record.
 pub fn collect_profiles(
     world: &OsnWorld,
     api: &mut CrawlApi,
     monitor: &PageMonitor,
+    at: &mut SimTime,
+    config: &CollectionConfig,
 ) -> Vec<LikerRecord> {
+    let start_requests = api.requests();
     let mut records = Vec::new();
     for (user, first_seen) in monitor.first_seen() {
-        match api.profile_with_retry(world, *user, 5) {
+        let budget_left = config
+            .request_budget
+            .map(|b| api.requests() - start_requests < b)
+            .unwrap_or(true);
+        let blank = |outcome: CrawlOutcome| LikerRecord {
+            user: *user,
+            first_seen: *first_seen,
+            friends: None,
+            total_friend_count: None,
+            liked_pages: None,
+            gone_at_collection: outcome == CrawlOutcome::Gone,
+            crawl_outcome: outcome,
+        };
+        if !budget_left {
+            records.push(blank(CrawlOutcome::GaveUp));
+            continue;
+        }
+        match api.profile_with_retry(world, *user, at, &config.retry) {
             Ok(p) => records.push(LikerRecord {
                 user: *user,
                 first_seen: *first_seen,
@@ -45,38 +99,45 @@ pub fn collect_profiles(
                 total_friend_count: p.total_friend_count,
                 liked_pages: p.liked_pages,
                 gone_at_collection: false,
+                crawl_outcome: CrawlOutcome::Complete,
             }),
-            Err(CrawlError::Gone) => records.push(LikerRecord {
-                user: *user,
-                first_seen: *first_seen,
-                friends: None,
-                total_friend_count: None,
-                liked_pages: None,
-                gone_at_collection: true,
-            }),
-            Err(CrawlError::Transient) => {
-                // Gave up after retries: keep the liker with no profile data,
-                // exactly what a stubbornly failing crawl leaves you with.
-                records.push(LikerRecord {
-                    user: *user,
-                    first_seen: *first_seen,
-                    friends: None,
-                    total_friend_count: None,
-                    liked_pages: None,
-                    gone_at_collection: false,
-                });
-            }
+            Err(CrawlError::Gone) => records.push(blank(CrawlOutcome::Gone)),
+            Err(_) => records.push(blank(CrawlOutcome::GaveUp)),
         }
     }
     records
 }
 
-/// The month-later pass: how many of `users` are gone now.
-pub fn count_terminated(world: &OsnWorld, api: &mut CrawlApi, users: &[UserId]) -> usize {
-    users
-        .iter()
-        .filter(|u| matches!(api.profile_with_retry(world, **u, 5), Err(CrawlError::Gone)))
-        .count()
+/// The month-later termination re-check, with the unknowns accounted for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TerminationProbe {
+    /// Accounts confirmed gone.
+    pub terminated: usize,
+    /// Accounts whose probe never got an answer (retries exhausted) —
+    /// *not* evidence of survival, and previously miscounted as such.
+    pub unknown: usize,
+}
+
+/// The month-later pass: how many of `users` are gone now, and how many
+/// could not be determined at all. Classifying a retry-exhausted fetch as
+/// "not terminated" would bias the disposability counts downward, so the
+/// unknowns are returned alongside.
+pub fn check_terminations(
+    world: &OsnWorld,
+    api: &mut CrawlApi,
+    users: &[UserId],
+    at: &mut SimTime,
+    retry: &RetryPolicy,
+) -> TerminationProbe {
+    let mut probe = TerminationProbe::default();
+    for u in users {
+        match api.profile_with_retry(world, *u, at, retry) {
+            Err(CrawlError::Gone) => probe.terminated += 1,
+            Ok(_) => {}
+            Err(_) => probe.unknown += 1,
+        }
+    }
+    probe
 }
 
 #[cfg(test)]
@@ -119,49 +180,108 @@ mod tests {
             SimTime::at_day(15),
             CrawlerConfig::default(),
         );
-        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(3));
+        let mut api = CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(3));
         m.poll(&w, &mut api, SimTime::at_day(2));
         (w, m, api)
+    }
+
+    fn collect(world: &OsnWorld, api: &mut CrawlApi, m: &PageMonitor) -> Vec<LikerRecord> {
+        let mut at = SimTime::at_day(22);
+        collect_profiles(world, api, m, &mut at, &CollectionConfig::default())
     }
 
     #[test]
     fn profiles_respect_privacy() {
         let (w, m, mut api) = setup();
-        let records = collect_profiles(&w, &mut api, &m);
+        let records = collect(&w, &mut api, &m);
         assert_eq!(records.len(), 3);
         let r0 = records.iter().find(|r| r.user == UserId(0)).unwrap();
         assert_eq!(r0.friends.as_deref(), Some(&[UserId(1)][..]));
         assert!(r0.liked_pages.is_some());
+        assert_eq!(r0.crawl_outcome, CrawlOutcome::Complete);
         let r1 = records.iter().find(|r| r.user == UserId(1)).unwrap();
         assert!(r1.friends.is_none());
         assert!(r1.liked_pages.is_none());
         assert!(!r1.gone_at_collection);
+        assert_eq!(
+            r1.crawl_outcome,
+            CrawlOutcome::Complete,
+            "private is a complete answer, not a crawl failure"
+        );
     }
 
     #[test]
     fn terminated_likers_are_marked_gone() {
         let (mut w, m, mut api) = setup();
         w.terminate_account(UserId(2), SimTime::at_day(3));
-        let records = collect_profiles(&w, &mut api, &m);
+        let records = collect(&w, &mut api, &m);
         let r2 = records.iter().find(|r| r.user == UserId(2)).unwrap();
         assert!(r2.gone_at_collection);
         assert!(r2.friends.is_none());
+        assert_eq!(r2.crawl_outcome, CrawlOutcome::Gone);
     }
 
     #[test]
     fn first_seen_travels_with_the_record() {
         let (w, m, mut api) = setup();
-        let records = collect_profiles(&w, &mut api, &m);
+        let records = collect(&w, &mut api, &m);
         assert!(records.iter().all(|r| r.first_seen == SimTime::at_day(2)));
     }
 
     #[test]
-    fn count_terminated_matches_status() {
+    fn gave_up_is_distinguished_from_private() {
+        let (w, m, _) = setup();
+        let mut broken = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(8));
+        let records = collect(&w, &mut broken, &m);
+        assert_eq!(records.len(), 3);
+        for r in &records {
+            assert_eq!(r.crawl_outcome, CrawlOutcome::GaveUp);
+            assert!(!r.gone_at_collection, "gave-up is not gone");
+            assert!(r.friends.is_none());
+        }
+    }
+
+    #[test]
+    fn request_budget_caps_the_pass() {
+        let (w, m, mut api) = setup();
+        let config = CollectionConfig {
+            retry: RetryPolicy::default(),
+            request_budget: Some(2),
+        };
+        let mut at = SimTime::at_day(22);
+        let before = api.requests();
+        let records = collect_profiles(&w, &mut api, &m, &mut at, &config);
+        assert_eq!(records.len(), 3, "every liker still gets a record");
+        assert_eq!(api.requests() - before, 2, "budget is respected");
+        let gave_up = records
+            .iter()
+            .filter(|r| r.crawl_outcome == CrawlOutcome::GaveUp)
+            .count();
+        assert_eq!(gave_up, 1, "the unbudgeted liker is explicit");
+    }
+
+    #[test]
+    fn termination_probe_matches_status() {
         let (mut w, m, mut api) = setup();
         let users = m.likers();
-        assert_eq!(count_terminated(&w, &mut api, &users), 0);
+        let mut at = SimTime::at_day(52);
+        let probe = check_terminations(&w, &mut api, &users, &mut at, &RetryPolicy::default());
+        assert_eq!(probe, TerminationProbe::default());
         w.terminate_account(UserId(0), SimTime::at_day(40));
         w.terminate_account(UserId(1), SimTime::at_day(41));
-        assert_eq!(count_terminated(&w, &mut api, &users), 2);
+        let probe = check_terminations(&w, &mut api, &users, &mut at, &RetryPolicy::default());
+        assert_eq!(probe.terminated, 2);
+        assert_eq!(probe.unknown, 0);
+    }
+
+    #[test]
+    fn termination_probe_counts_unknowns_instead_of_hiding_them() {
+        let (w, m, _) = setup();
+        let users = m.likers();
+        let mut broken = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(6));
+        let mut at = SimTime::at_day(52);
+        let probe = check_terminations(&w, &mut broken, &users, &mut at, &RetryPolicy::default());
+        assert_eq!(probe.terminated, 0);
+        assert_eq!(probe.unknown, 3, "no answer is not 'alive'");
     }
 }

@@ -7,12 +7,40 @@
 //! for more than a week." [`PageMonitor`] is that loop, driven by the
 //! simulation clock; it owns the *observed* first-seen time of every liker —
 //! the sampled series behind Figure 2.
+//!
+//! The real crawler was throttled and occasionally down, so the monitor has
+//! to survive fault regimes (see `likelab_osn::crawl_api::FaultProfile`):
+//! the quiet-stop rule only fires on *successful* polls (a week of failed
+//! polls proves nothing about like activity), and a circuit breaker backs
+//! off to a catch-up poll after sustained failure instead of burning
+//! requests against a throttled or downed endpoint.
 
 use likelab_graph::{PageId, UserId};
-use likelab_osn::{CrawlApi, OsnWorld};
+use likelab_osn::{CrawlApi, CrawlError, OsnWorld};
 use likelab_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Circuit breaker for the poll loop: after `trip_after` consecutive failed
+/// polls the monitor stops polling at its normal cadence and schedules a
+/// single catch-up poll `cooldown` later. The breaker closes again on the
+/// first successful poll.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failed polls before the breaker opens.
+    pub trip_after: u32,
+    /// Delay until the catch-up poll once open.
+    pub cooldown: SimDuration,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig {
+            trip_after: 3,
+            cooldown: SimDuration::hours(6),
+        }
+    }
+}
 
 /// Crawler cadence configuration (defaults are the paper's).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -21,8 +49,15 @@ pub struct CrawlerConfig {
     pub active_interval: SimDuration,
     /// Poll interval after the campaign ends.
     pub settled_interval: SimDuration,
-    /// Stop after this long without a new like (post-campaign).
+    /// Stop after this long without a new like (post-campaign), judged only
+    /// from successful polls.
     pub quiet_stop: SimDuration,
+    /// Backoff behavior under sustained poll failure.
+    pub breaker: CircuitBreakerConfig,
+    /// Unconditional stop this long after campaign end — the bound that
+    /// keeps a permanently-downed crawl target from extending monitoring
+    /// forever. Far beyond any quiet-stop under realistic fault profiles.
+    pub hard_stop: SimDuration,
 }
 
 impl Default for CrawlerConfig {
@@ -31,6 +66,8 @@ impl Default for CrawlerConfig {
             active_interval: SimDuration::hours(2),
             settled_interval: SimDuration::DAY,
             quiet_stop: SimDuration::WEEK,
+            breaker: CircuitBreakerConfig::default(),
+            hard_stop: SimDuration::days(60),
         }
     }
 }
@@ -52,6 +89,52 @@ pub struct Observation {
     pub failed: bool,
 }
 
+/// Per-campaign crawl coverage accounting: how much of the intended
+/// measurement actually landed. The poll-side counters are filled by
+/// [`PageMonitor`]; the profile-side counters by the collection pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlCoverage {
+    /// Polls attempted.
+    pub polls: u64,
+    /// Polls that failed (any cause).
+    pub failed_polls: u64,
+    /// Failed polls rejected by the rate limiter.
+    pub rate_limited_polls: u64,
+    /// Failed polls swallowed by an outage window.
+    pub outage_polls: u64,
+    /// Times the circuit breaker opened.
+    pub circuit_trips: u64,
+    /// Liker profiles fetched completely at collection time.
+    pub profiles_complete: u64,
+    /// Liker profiles that returned `Gone` (terminated accounts).
+    pub profiles_gone: u64,
+    /// Liker profiles the collector gave up on (retries or budget
+    /// exhausted) — explicitly *not* the same as private or terminated.
+    pub profiles_gave_up: u64,
+}
+
+impl CrawlCoverage {
+    /// Fraction of polls that succeeded (1.0 when no polls happened).
+    pub fn poll_success_rate(&self) -> f64 {
+        if self.polls == 0 {
+            1.0
+        } else {
+            (self.polls - self.failed_polls) as f64 / self.polls as f64
+        }
+    }
+
+    /// Fraction of liker profiles resolved to a definite answer (complete
+    /// or gone) at collection time; 1.0 when there were no likers.
+    pub fn profile_coverage(&self) -> f64 {
+        let total = self.profiles_complete + self.profiles_gone + self.profiles_gave_up;
+        if total == 0 {
+            1.0
+        } else {
+            (self.profiles_complete + self.profiles_gone) as f64 / total as f64
+        }
+    }
+}
+
 /// The monitor of one honeypot page.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PageMonitor {
@@ -64,6 +147,12 @@ pub struct PageMonitor {
     observations: Vec<Observation>,
     first_seen: BTreeMap<UserId, SimTime>,
     disappeared: BTreeMap<UserId, SimTime>,
+    /// Likers visible at the last successful poll, sorted by id — the
+    /// persistent seen-set the incremental diff runs against.
+    present: Vec<UserId>,
+    /// Consecutive failed polls (resets on success).
+    consecutive_failures: u32,
+    coverage: CrawlCoverage,
     stopped_at: Option<SimTime>,
 }
 
@@ -85,6 +174,9 @@ impl PageMonitor {
             observations: Vec::new(),
             first_seen: BTreeMap::new(),
             disappeared: BTreeMap::new(),
+            present: Vec::new(),
+            consecutive_failures: 0,
+            coverage: CrawlCoverage::default(),
             stopped_at: None,
         }
     }
@@ -95,24 +187,11 @@ impl PageMonitor {
         if self.stopped_at.is_some() {
             return None;
         }
-        match api.page_likers(world, self.page) {
+        self.coverage.polls += 1;
+        let succeeded = match api.page_likers(world, self.page, now) {
             Ok(likers) => {
-                let mut new = 0usize;
-                let current: std::collections::BTreeSet<UserId> = likers.iter().copied().collect();
-                for u in &likers {
-                    if !self.first_seen.contains_key(u) {
-                        self.first_seen.insert(*u, now);
-                        new += 1;
-                    }
-                }
-                // Removed likes: previously seen likers no longer on the
-                // page (terminated accounts, retracted likes). A liker that
-                // later reappears stays recorded with its first vanish time.
-                for u in self.first_seen.keys() {
-                    if !current.contains(u) && !self.disappeared.contains_key(u) {
-                        self.disappeared.insert(*u, now);
-                    }
-                }
+                self.consecutive_failures = 0;
+                let new = self.diff_likers(&likers, now);
                 if new > 0 {
                     self.last_new_like = now;
                 }
@@ -123,8 +202,16 @@ impl PageMonitor {
                     disappeared_total: self.disappeared.len(),
                     failed: false,
                 });
+                true
             }
-            Err(_) => {
+            Err(e) => {
+                self.consecutive_failures += 1;
+                self.coverage.failed_polls += 1;
+                match e {
+                    CrawlError::RateLimited { .. } => self.coverage.rate_limited_polls += 1,
+                    CrawlError::Outage => self.coverage.outage_polls += 1,
+                    _ => {}
+                }
                 self.observations.push(Observation {
                     at: now,
                     total_likes: self
@@ -138,15 +225,37 @@ impl PageMonitor {
                     disappeared_total: self.disappeared.len(),
                     failed: true,
                 });
+                false
             }
-        }
+        };
         // Stop rule: a quiet week after the campaign (or after the last
         // straggler like, whichever is later) ends monitoring. This is what
         // turns the paper's 15-day campaigns into 22-day monitoring windows.
+        // Judged only on successful polls: a week of failed polls proves
+        // nothing about like activity (likes are cumulative, so the first
+        // successful poll after an outage reveals anything that arrived).
         let quiet_since = self.last_new_like.max(self.campaign_end);
-        if now > self.campaign_end && now.saturating_since(quiet_since) >= self.config.quiet_stop {
+        if succeeded
+            && now > self.campaign_end
+            && now.saturating_since(quiet_since) >= self.config.quiet_stop
+        {
             self.stopped_at = Some(now);
             return None;
+        }
+        // Bound: a permanently-unreachable page cannot extend monitoring
+        // forever just because no successful poll ever confirms quiet.
+        if now.saturating_since(self.campaign_end) >= self.config.hard_stop {
+            self.stopped_at = Some(now);
+            return None;
+        }
+        // Sustained failure: open the circuit breaker and schedule a
+        // catch-up poll after the cooldown instead of burning requests.
+        if self.consecutive_failures >= self.config.breaker.trip_after {
+            if self.consecutive_failures == self.config.breaker.trip_after {
+                self.coverage.circuit_trips += 1;
+                likelab_obs::metrics::counter("crawl.circuit_open", 1);
+            }
+            return Some(now + self.config.breaker.cooldown);
         }
         let interval = if now < self.campaign_end {
             self.config.active_interval
@@ -154,6 +263,48 @@ impl PageMonitor {
             self.config.settled_interval
         };
         Some(now + interval)
+    }
+
+    /// Diff the freshly crawled liker list against the persistent seen-set
+    /// from the previous successful poll. Returns the number of likers
+    /// first seen by this poll. O(|current| log |current|) for the sort
+    /// plus a linear merge — the monitor never rescans its full history.
+    fn diff_likers(&mut self, likers: &[UserId], now: SimTime) -> usize {
+        let mut current: Vec<UserId> = likers.to_vec();
+        current.sort_unstable();
+        let mut new = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.present.len() || j < current.len() {
+            match (self.present.get(i), current.get(j)) {
+                (Some(p), Some(c)) if p == c => {
+                    i += 1;
+                    j += 1;
+                }
+                // In the previous snapshot but not this one: vanished. A
+                // liker that later reappears stays recorded with its first
+                // vanish time (entry is never overwritten).
+                (Some(p), Some(c)) if p < c => {
+                    self.disappeared.entry(*p).or_insert(now);
+                    i += 1;
+                }
+                (Some(_), Some(c)) | (None, Some(c)) => {
+                    // In this snapshot but not the previous one: brand-new,
+                    // or a previously-vanished liker resurfacing.
+                    if !self.first_seen.contains_key(c) {
+                        self.first_seen.insert(*c, now);
+                        new += 1;
+                    }
+                    j += 1;
+                }
+                (Some(p), None) => {
+                    self.disappeared.entry(*p).or_insert(now);
+                    i += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.present = current;
+        new
     }
 
     /// The poll log.
@@ -177,6 +328,12 @@ impl PageMonitor {
     /// time at which they were first seen missing.
     pub fn disappearances(&self) -> &BTreeMap<UserId, SimTime> {
         &self.disappeared
+    }
+
+    /// Poll-side coverage accounting so far (profile-side counters are
+    /// filled by the collection pass; see [`CrawlCoverage`]).
+    pub fn coverage(&self) -> CrawlCoverage {
+        self.coverage
     }
 
     /// When monitoring stopped (None while still active).
@@ -223,7 +380,7 @@ mod tests {
     }
 
     fn api() -> CrawlApi {
-        CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(5))
+        CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(5))
     }
 
     /// Drive the monitor poll-by-poll, letting likes land per `like_at`.
@@ -336,21 +493,24 @@ mod tests {
             SimTime::at_day(15),
             CrawlerConfig::default(),
         );
-        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 1.0 }, Rng::seed_from_u64(1));
+        let mut api = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(1));
         m.poll(&w, &mut api, SimTime::EPOCH + SimDuration::hours(2));
         assert!(m.observations()[0].failed);
         assert_eq!(m.observations()[0].total_likes, 0);
         let mut ok_api = api_ok();
         m.poll(&w, &mut ok_api, SimTime::EPOCH + SimDuration::hours(4));
-        let mut bad_api = CrawlApi::new(CrawlConfig { failure_prob: 1.0 }, Rng::seed_from_u64(2));
+        let mut bad_api = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(2));
         m.poll(&w, &mut bad_api, SimTime::EPOCH + SimDuration::hours(6));
         let last = m.observations().last().unwrap();
         assert!(last.failed);
         assert_eq!(last.total_likes, 1, "carries the last good count");
+        let cov = m.coverage();
+        assert_eq!(cov.polls, 3);
+        assert_eq!(cov.failed_polls, 2);
     }
 
     fn api_ok() -> CrawlApi {
-        CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(9))
+        CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(9))
     }
 
     #[test]
@@ -396,6 +556,121 @@ mod tests {
         assert_eq!(last.total_likes, 2);
         // The liker stays in first_seen: the crawler knew them.
         assert!(m.first_seen().contains_key(&UserId(1)));
+    }
+
+    #[test]
+    fn reappearing_liker_keeps_first_vanish_time_and_is_not_new() {
+        let (mut w, p) = world_with_page(2);
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
+        let mut api = api_ok();
+        w.record_like(UserId(0), p, SimTime::at_day(1));
+        w.record_like(UserId(1), p, SimTime::at_day(1));
+        m.poll(&w, &mut api, SimTime::at_day(2));
+        w.terminate_account(UserId(1), SimTime::at_day(3));
+        m.poll(&w, &mut api, SimTime::at_day(4));
+        assert_eq!(m.disappearances()[&UserId(1)], SimTime::at_day(4));
+        // The account comes back (reinstated) — like visible again.
+        w.reinstate_account(UserId(1));
+        m.poll(&w, &mut api, SimTime::at_day(6));
+        let last = m.observations().last().unwrap();
+        assert_eq!(last.new_likers, 0, "reappearance is not a new like");
+        assert_eq!(last.total_likes, 2);
+        assert_eq!(
+            m.disappearances()[&UserId(1)],
+            SimTime::at_day(4),
+            "first vanish time is preserved"
+        );
+        // And a second vanish does not overwrite it either.
+        w.terminate_account(UserId(1), SimTime::at_day(7));
+        m.poll(&w, &mut api, SimTime::at_day(8));
+        assert_eq!(m.disappearances()[&UserId(1)], SimTime::at_day(4));
+    }
+
+    /// Regression for the quiet-stop bug: a week-long outage must not end
+    /// monitoring — likes arriving during (or after) the outage are still
+    /// collected once the crawl surface recovers.
+    #[test]
+    fn outage_week_does_not_stop_monitoring() {
+        let (mut w, p) = world_with_page(3);
+        let mut m = PageMonitor::new(
+            p,
+            SimTime::EPOCH,
+            SimTime::at_day(15),
+            CrawlerConfig::default(),
+        );
+        let mut good = api_ok();
+        let mut bad = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(7));
+        w.record_like(UserId(0), p, SimTime::at_day(1));
+        let mut next = m.poll(&w, &mut good, SimTime::at_day(2)).unwrap();
+        // Days 16..23: every poll fails — a full post-campaign quiet week
+        // of nothing but crawl errors.
+        next = next.max(SimTime::at_day(16));
+        while next < SimTime::at_day(23) {
+            next = m
+                .poll(&w, &mut bad, next)
+                .expect("a failed-poll week must not stop monitoring");
+        }
+        assert!(m.stopped_at().is_none());
+        // Likes arrived while the crawler was blind; the first successful
+        // poll picks them up and monitoring continues.
+        w.record_like(UserId(1), p, SimTime::at_day(20));
+        w.record_like(UserId(2), p, SimTime::at_day(22));
+        let after = m.poll(&w, &mut good, next).expect("still monitoring");
+        assert!(m.stopped_at().is_none());
+        assert_eq!(m.likers().len(), 3, "outage-era likes are recovered");
+        assert!(after > next);
+        assert!(m.coverage().failed_polls > 0);
+    }
+
+    #[test]
+    fn circuit_breaker_trips_to_catchup_cadence_and_recovers() {
+        let (mut w, p) = world_with_page(1);
+        w.record_like(UserId(0), p, SimTime::EPOCH);
+        let config = CrawlerConfig::default();
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), config);
+        let mut bad = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(3));
+        let mut t = SimTime::at_day(1);
+        for i in 0..config.breaker.trip_after {
+            let next = m.poll(&w, &mut bad, t).unwrap();
+            let expect = if i + 1 == config.breaker.trip_after {
+                t + config.breaker.cooldown
+            } else {
+                t + config.active_interval
+            };
+            assert_eq!(next, expect, "poll {i}");
+            t = next;
+        }
+        assert_eq!(m.coverage().circuit_trips, 1);
+        // While open, stays on the cooldown cadence without re-counting.
+        let next = m.poll(&w, &mut bad, t).unwrap();
+        assert_eq!(next, t + config.breaker.cooldown);
+        assert_eq!(m.coverage().circuit_trips, 1, "one trip, not one per poll");
+        // A successful catch-up poll closes the breaker.
+        let mut good = api_ok();
+        let next2 = m.poll(&w, &mut good, next).unwrap();
+        assert_eq!(next2, next + config.active_interval, "normal cadence back");
+    }
+
+    #[test]
+    fn hard_stop_bounds_a_permanent_outage() {
+        let (w, p) = world_with_page(1);
+        let config = CrawlerConfig::default();
+        let mut m = PageMonitor::new(p, SimTime::EPOCH, SimTime::at_day(15), config);
+        let mut bad = CrawlApi::new(CrawlConfig::noise(1.0), Rng::seed_from_u64(4));
+        let mut next = Some(SimTime::EPOCH);
+        let mut polls = 0u32;
+        while let Some(t) = next {
+            next = m.poll(&w, &mut bad, t);
+            polls += 1;
+            assert!(polls < 100_000, "monitor must terminate");
+        }
+        let stop = m.stopped_at().expect("hard stop fired");
+        assert_eq!(stop.day(), 15 + config.hard_stop.as_secs() / 86_400);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::campaign::CampaignSpec;
 use crate::collector::LikerRecord;
-use crate::crawler::Observation;
+use crate::crawler::{CrawlCoverage, Observation};
 use likelab_graph::{PageId, UserId};
 use likelab_osn::AudienceReport;
 use likelab_sim::SimTime;
@@ -30,9 +30,15 @@ pub struct CampaignData {
     pub monitoring_days: Option<u64>,
     /// Liker accounts found terminated a month after the campaigns.
     pub terminated_after_month: usize,
+    /// Liker accounts whose month-later probe never got an answer —
+    /// neither confirmed alive nor terminated.
+    pub termination_unknown: usize,
     /// True when the provider took payment and delivered nothing
     /// (BL-ALL and MS-ALL in the paper).
     pub inactive: bool,
+    /// Crawl coverage accounting for this campaign: polls attempted and
+    /// lost, circuit-breaker trips, profile-collection outcomes.
+    pub coverage: CrawlCoverage,
 }
 
 impl CampaignData {
@@ -119,6 +125,22 @@ impl Dataset {
             .sum()
     }
 
+    /// Aggregate crawl coverage across all campaigns.
+    pub fn total_coverage(&self) -> CrawlCoverage {
+        let mut total = CrawlCoverage::default();
+        for c in &self.campaigns {
+            total.polls += c.coverage.polls;
+            total.failed_polls += c.coverage.failed_polls;
+            total.rate_limited_polls += c.coverage.rate_limited_polls;
+            total.outage_polls += c.coverage.outage_polls;
+            total.circuit_trips += c.coverage.circuit_trips;
+            total.profiles_complete += c.coverage.profiles_complete;
+            total.profiles_gone += c.coverage.profiles_gone;
+            total.profiles_gave_up += c.coverage.profiles_gave_up;
+        }
+        total
+    }
+
     /// Serialize to pretty JSON (the machine-readable export).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string_pretty(self)
@@ -139,6 +161,7 @@ mod tests {
             total_friend_count: public.then_some(n_friends),
             liked_pages: public.then(|| (0..n_pages as u32).map(PageId).collect()),
             gone_at_collection: false,
+            crawl_outcome: crate::collector::CrawlOutcome::Complete,
         }
     }
 
@@ -168,7 +191,9 @@ mod tests {
             report: AudienceReport::default(),
             monitoring_days: Some(22),
             terminated_after_month: 0,
+            termination_unknown: 0,
             inactive: false,
+            coverage: CrawlCoverage::default(),
         }
     }
 

@@ -20,7 +20,10 @@ pub mod page;
 
 pub use anonymize::{anonymize, suppress_small_buckets, Pseudonymizer};
 pub use campaign::{CampaignSpec, Promotion};
-pub use collector::{collect_profiles, count_terminated, LikerRecord};
-pub use crawler::{CrawlerConfig, Observation, PageMonitor};
+pub use collector::{
+    check_terminations, collect_profiles, CollectionConfig, CrawlOutcome, LikerRecord,
+    TerminationProbe,
+};
+pub use crawler::{CircuitBreakerConfig, CrawlCoverage, CrawlerConfig, Observation, PageMonitor};
 pub use dataset::{BaselineRecord, CampaignData, Dataset};
 pub use page::{deploy_honeypot, HONEYPOT_DISCLAIMER, HONEYPOT_NAME};

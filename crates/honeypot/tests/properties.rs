@@ -3,8 +3,8 @@
 use likelab_graph::{PageId, UserId};
 use likelab_honeypot::{CrawlerConfig, PageMonitor};
 use likelab_osn::{
-    ActorClass, Country, CrawlApi, CrawlConfig, Gender, OsnWorld, PageCategory, PrivacySettings,
-    Profile,
+    ActorClass, Country, CrawlApi, CrawlConfig, FaultProfile, Gender, OsnWorld, OutageRegime,
+    PageCategory, PrivacySettings, Profile, RateLimitRegime,
 };
 use likelab_sim::{Rng, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -47,7 +47,7 @@ proptest! {
             SimTime::at_day(15),
             CrawlerConfig::default(),
         );
-        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(1));
+        let mut api = CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(1));
         let mut schedule: Vec<(u32, u64)> = likes.clone();
         schedule.sort_by_key(|(_, t)| *t);
         let mut li = 0usize;
@@ -107,7 +107,7 @@ proptest! {
             SimTime::at_day(15),
             CrawlerConfig::default(),
         );
-        let mut api = CrawlApi::new(CrawlConfig { failure_prob: 0.0 }, Rng::seed_from_u64(2));
+        let mut api = CrawlApi::new(CrawlConfig::clean(), Rng::seed_from_u64(2));
         let mut next = monitor.poll(&world, &mut api, SimTime::EPOCH + SimDuration::hours(2));
         let mut kills = kill.iter().filter(|k| **k < n_likers);
         let mut day = 1u64;
@@ -133,5 +133,79 @@ proptest! {
         for u in monitor.disappearances().keys() {
             prop_assert!(!world.account(*u).is_active());
         }
+    }
+
+    /// Chaos: under *any* fault profile — random noise, rate limits,
+    /// outages — the monitor never stops while the campaign is active, the
+    /// request accounting stays consistent (`requests == successes +
+    /// failures`), and the whole run is a pure function of the profile and
+    /// seed. (The byte-for-byte "faults disabled reproduces the golden
+    /// checklist" half of this invariant lives in tests/golden_checklist.rs
+    /// at the workspace root, which runs the full study with the default
+    /// quiet profile.)
+    #[test]
+    fn chaos_profiles_keep_monitor_invariants(
+        seed in 0u64..1_000,
+        failure_prob in 0.0f64..0.9,
+        // 0 disables the regime; small windows throttle hard.
+        max_per_hour in 0u32..40,
+        (outage_on, mean_up_hours, mean_down_hours) in (0u32..2, 1u64..48, 1u64..24),
+        likes in prop::collection::vec((0u32..20, 0u64..15 * 86_400), 1..30),
+    ) {
+        let config = CrawlConfig {
+            failure_prob,
+            faults: FaultProfile {
+                rate_limit: (max_per_hour > 0).then_some(RateLimitRegime { max_per_hour }),
+                outage: (outage_on == 1).then_some(OutageRegime {
+                    mean_uptime: SimDuration::hours(mean_up_hours),
+                    mean_downtime: SimDuration::hours(mean_down_hours),
+                }),
+            },
+        };
+        let campaign_end = SimTime::at_day(15);
+        let run = || {
+            let (mut world, page) = world_with(20);
+            let mut monitor =
+                PageMonitor::new(page, SimTime::EPOCH, campaign_end, CrawlerConfig::default());
+            let mut api = CrawlApi::new(config, Rng::seed_from_u64(seed));
+            let mut schedule: Vec<(u32, u64)> = likes.clone();
+            schedule.sort_by_key(|(_, t)| *t);
+            let mut li = 0usize;
+            let mut next = Some(SimTime::EPOCH);
+            while let Some(now) = next {
+                while li < schedule.len() && SimTime::from_secs(schedule[li].1) <= now {
+                    let (u, t) = schedule[li];
+                    world.record_like(UserId(u), page, SimTime::from_secs(t));
+                    li += 1;
+                }
+                next = monitor.poll(&world, &mut api, now);
+            }
+            let stats = *api.stats();
+            (monitor, stats)
+        };
+        let (monitor, stats) = run();
+        // The monitor terminated (hard stop bounds even permanent outage)
+        // and never stopped while the campaign was running.
+        let stopped = monitor.stopped_at().expect("monitor must terminate");
+        prop_assert!(stopped > campaign_end, "stopped at {stopped} during campaign");
+        // Coverage identity: every request is either a success or a
+        // failure of exactly one kind.
+        prop_assert_eq!(stats.requests, stats.successes + stats.failures());
+        prop_assert_eq!(
+            stats.failures(),
+            stats.transient + stats.rate_limited + stats.outage
+        );
+        let cov = monitor.coverage();
+        prop_assert_eq!(cov.polls as usize, monitor.observations().len());
+        prop_assert_eq!(
+            cov.failed_polls as usize,
+            monitor.observations().iter().filter(|o| o.failed).count()
+        );
+        prop_assert!(cov.rate_limited_polls + cov.outage_polls <= cov.failed_polls);
+        // Determinism: the same profile and seed reproduce the identical
+        // observation log and stats.
+        let (monitor2, stats2) = run();
+        prop_assert_eq!(monitor.observations(), monitor2.observations());
+        prop_assert_eq!(stats, stats2);
     }
 }

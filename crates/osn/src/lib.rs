@@ -45,7 +45,10 @@ pub mod world;
 pub use account::{Account, AccountStatus, ActorClass, PrivacySettings};
 pub use ads::{AdCampaignSpec, PlannedLike, Targeting};
 pub use auction::AdMarket;
-pub use crawl_api::{CrawlApi, CrawlConfig, CrawlError, PublicProfile};
+pub use crawl_api::{
+    CrawlApi, CrawlConfig, CrawlError, CrawlStats, FaultProfile, OutageRegime, PublicProfile,
+    RateLimitRegime, RetryPolicy,
+};
 pub use demographics::{AgeBracket, Country, Gender, GeoBucket, Profile};
 pub use fraudops::{FraudOps, FraudOpsConfig};
 pub use likes::{LikeLedger, LikeRecord};

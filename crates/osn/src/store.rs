@@ -135,6 +135,18 @@ impl AccountStore {
         }
     }
 
+    /// Reinstate a terminated account (the appeal path: platforms do give
+    /// accounts back, and their likes resurface). Returns true when the
+    /// account was terminated.
+    pub fn reinstate(&mut self, id: UserId) -> bool {
+        if self.status[id.idx()].is_active() {
+            false
+        } else {
+            self.status[id.idx()] = AccountStatus::Active;
+            true
+        }
+    }
+
     /// Number of distinct interned profiles (a compactness metric for the
     /// scale bench and tests).
     pub fn distinct_profiles(&self) -> usize {

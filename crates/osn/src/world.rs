@@ -103,6 +103,12 @@ impl OsnWorld {
         self.accounts.terminate(id, at)
     }
 
+    /// Reinstate a terminated account (the appeal path); its likes become
+    /// visible again. Returns true when the account was terminated.
+    pub fn reinstate_account(&mut self, id: UserId) -> bool {
+        self.accounts.reinstate(id)
+    }
+
     // ----- pages ---------------------------------------------------------
 
     /// Create a page and return its id.

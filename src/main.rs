@@ -12,6 +12,11 @@
 //! `--timing` (print a per-phase timing table), `--metrics-out FILE`, and
 //! `--trace-out FILE` (write the metrics / span-trace JSON documented in
 //! OBSERVABILITY.md).
+//!
+//! The crawl surface can be degraded with `--preset chaos` or
+//! `--fault-profile NAME` (none|default|throttled|flaky|chaos); a faulted
+//! `run` also prints the clean-vs-faulted robustness comparison, and
+//! `--min-coverage F` turns low profile coverage into a nonzero exit.
 
 use likelab::core::paper;
 use likelab::sim::Exec;
@@ -28,6 +33,9 @@ enum Preset {
     /// The million-account world (default scale 1.0 — ~1M accounts,
     /// 50k pages; use `--scale` to trim).
     Scale,
+    /// The paper's world against a heavily faulted crawl surface
+    /// (rate limits, outages, elevated noise).
+    Chaos,
 }
 
 struct Opts {
@@ -41,6 +49,8 @@ struct Opts {
     timing: bool,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    fault_profile: Option<String>,
+    min_coverage: Option<f64>,
     positional: Vec<String>,
 }
 
@@ -54,16 +64,25 @@ impl Opts {
     /// (0.15 for `paper`, full size for `scale`).
     fn effective_scale(&self) -> f64 {
         self.scale.unwrap_or(match self.preset {
-            Preset::Paper => 0.15,
+            Preset::Paper | Preset::Chaos => 0.15,
             Preset::Scale => 1.0,
         })
     }
 
-    /// The study configuration the `run`/`checklist`/`export` commands use.
-    fn study_config(&self) -> StudyConfig {
-        match self.preset {
+    /// The study configuration the `run`/`checklist`/`export` commands use:
+    /// the preset's config, with `--fault-profile` overriding the crawl
+    /// surface when given.
+    fn study_config(&self) -> Result<StudyConfig, String> {
+        let base = match self.preset {
             Preset::Paper => StudyConfig::paper(self.seed, self.effective_scale()),
             Preset::Scale => StudyConfig::scale_world(self.seed, self.effective_scale()),
+            Preset::Chaos => StudyConfig::chaos(self.seed, self.effective_scale()),
+        };
+        match &self.fault_profile {
+            None => Ok(base),
+            Some(name) => base.with_fault_profile(name).ok_or_else(|| {
+                format!("unknown fault profile: {name} (none|default|throttled|flaky|chaos)")
+            }),
         }
     }
 
@@ -72,6 +91,7 @@ impl Opts {
         match self.preset {
             Preset::Paper => "paper",
             Preset::Scale => "scale",
+            Preset::Chaos => "chaos",
         }
     }
 }
@@ -88,6 +108,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timing: false,
         metrics_out: None,
         trace_out: None,
+        fault_profile: None,
+        min_coverage: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -98,7 +120,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.preset = match v.as_str() {
                     "paper" => Preset::Paper,
                     "scale" => Preset::Scale,
-                    other => return Err(format!("unknown preset: {other} (paper|scale)")),
+                    "chaos" => Preset::Chaos,
+                    other => return Err(format!("unknown preset: {other} (paper|scale|chaos)")),
                 };
             }
             "--scale" => {
@@ -148,6 +171,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--trace-out needs a file path")?;
                 opts.trace_out = Some(PathBuf::from(v));
             }
+            "--fault-profile" => {
+                let v = it
+                    .next()
+                    .ok_or("--fault-profile needs a name (none|default|throttled|flaky|chaos)")?;
+                opts.fault_profile = Some(v.clone());
+            }
+            "--min-coverage" => {
+                let v = it.next().ok_or("--min-coverage needs a value in [0, 1]")?;
+                let c: f64 = v.parse().map_err(|_| format!("bad coverage floor: {v}"))?;
+                if !(0.0..=1.0).contains(&c) {
+                    return Err("--min-coverage must be in [0, 1]".into());
+                }
+                opts.min_coverage = Some(c);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag: {other}"));
             }
@@ -170,9 +207,16 @@ fn usage() -> &'static str {
      \x20 --timing             print per-phase wall-time, counters, histograms\n\
      \x20 --metrics-out FILE   write counters/histograms/span aggregates as JSON\n\
      \x20 --trace-out FILE     write the span trace as JSON\n\n\
+     Crawl faults (run, checklist, export — see OBSERVABILITY.md):\n\
+     \x20 --fault-profile NAME override the crawl surface: none, default,\n\
+     \x20                      throttled, flaky, chaos\n\
+     \x20 --min-coverage F     (run) exit 1 if profile coverage ends below F\n\n\
      Presets: paper (default; scale 0.15 unless --scale) runs the paper's\n\
      world; scale (default scale 1.0) runs the million-account world —\n\
-     ~1M accounts / 50k pages, trim with --scale for smoke tests.\n\n\
+     ~1M accounts / 50k pages, trim with --scale for smoke tests; chaos is\n\
+     the paper preset against a heavily faulted crawl surface (rate-limit\n\
+     windows, multi-hour outages, elevated noise) — `run` then also prints\n\
+     the clean-vs-faulted robustness comparison.\n\n\
      Defaults: --preset paper --seed 42; sweep: --seeds 8 --scales 0.1.\n\
      scale 1.0 reproduces paper-sized campaigns. Sweep runs fan out across\n\
      cores (limit with LIKELAB_THREADS=k; --sequential forces one thread);\n\
@@ -217,6 +261,7 @@ fn emit_observability(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
+    let config = opts.study_config()?;
     eprintln!(
         "running study: preset={}, seed={}, scale={}...",
         opts.preset_name(),
@@ -224,9 +269,27 @@ fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
         opts.effective_scale()
     );
     start_observability(opts);
-    let outcome = run_study(&opts.study_config());
+    let outcome = run_study(&config);
     println!("{}", outcome.report.render());
+    // With structured fault regimes active, run the clean twin and print
+    // how far the faulted results drifted.
+    if !config.crawl.faults.is_quiet() {
+        eprintln!("faults active; running clean twin for the robustness comparison...");
+        let clean = run_study(&config.clean_twin());
+        println!(
+            "{}",
+            likelab::analysis::compare_reports(&clean.report, &outcome.report).render()
+        );
+    }
     emit_observability(opts)?;
+    if let Some(floor) = opts.min_coverage {
+        let got = outcome.report.crawl.profile_coverage;
+        if got < floor {
+            eprintln!("error: profile coverage {got:.3} below the --min-coverage floor {floor}");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!("profile coverage {got:.3} >= floor {floor}");
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -238,7 +301,7 @@ fn cmd_checklist(opts: &Opts) -> Result<ExitCode, String> {
         opts.effective_scale()
     );
     start_observability(opts);
-    let outcome = run_study(&opts.study_config());
+    let outcome = run_study(&opts.study_config()?);
     let checks = checklist(&outcome.report);
     println!("{}", render_checklist(&checks));
     let failed = checks.iter().filter(|c| !c.pass).count();
@@ -264,7 +327,7 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
         opts.seed,
         opts.effective_scale()
     );
-    let outcome = run_study(&opts.study_config());
+    let outcome = run_study(&opts.study_config()?);
     let r = &outcome.report;
     let write = |name: &str, content: String| -> Result<(), String> {
         write_file(&dir.join(name), &content)

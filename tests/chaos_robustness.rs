@@ -1,0 +1,102 @@
+//! Chaos-preset integration tests: a study run under the full fault stack
+//! (transient noise, rate-limit windows, bursty outages) completes end to
+//! end, reports per-campaign coverage, stays deterministic across worker
+//! counts, and its drift from the clean twin is measurable through
+//! [`likelab::analysis::compare_reports`].
+
+use likelab::analysis::compare_reports;
+use likelab::sim::Exec;
+use likelab::{run_study, run_study_with, StudyConfig, StudyOutcome};
+use std::sync::OnceLock;
+
+const SCALE: f64 = 0.06;
+
+fn chaos_run() -> &'static StudyOutcome {
+    static SHARED: OnceLock<StudyOutcome> = OnceLock::new();
+    SHARED.get_or_init(|| run_study(&StudyConfig::chaos(7, SCALE)))
+}
+
+/// A chaos study completes end to end: every campaign still collects likes,
+/// and the report carries per-campaign coverage with the fault damage
+/// visible in the counters.
+#[test]
+fn chaos_study_completes_with_coverage() {
+    let outcome = chaos_run();
+    let crawl = &outcome.report.crawl;
+    assert_eq!(crawl.per_campaign.len(), outcome.report.table1.len());
+    assert!(crawl.total.polls > 0, "monitors must have polled");
+    assert!(
+        crawl.total.failed_polls > 0,
+        "a chaos run without failed polls means the fault regimes never fired"
+    );
+    assert!(
+        crawl.total.rate_limited_polls + crawl.total.outage_polls > 0,
+        "structured regimes (not just noise) must surface in coverage"
+    );
+    assert!(crawl.poll_success_rate > 0.0 && crawl.poll_success_rate < 1.0);
+    assert!(
+        crawl.profile_coverage > 0.5,
+        "retry/backoff should still resolve most profiles, got {}",
+        crawl.profile_coverage
+    );
+    // The campaigns still gathered data despite the faults.
+    let likes: usize = outcome
+        .dataset
+        .campaigns
+        .iter()
+        .map(|c| c.like_count())
+        .sum();
+    assert!(likes > 0, "no likes observed under chaos");
+}
+
+/// With a fixed fault profile, the report is byte-identical across worker
+/// counts: the fault regimes live on their own RNG streams, so parallelism
+/// never reorders their draws.
+#[test]
+fn chaos_report_is_worker_invariant() {
+    let config = StudyConfig::chaos(7, SCALE);
+    let json_for = |exec: Exec| {
+        run_study_with(&config, exec)
+            .report
+            .to_json()
+            .expect("report serializes")
+    };
+    let sequential = json_for(Exec::Sequential);
+    assert!(!sequential.is_empty());
+    for workers in [1usize, 2, 8] {
+        let parallel = json_for(Exec::workers(workers));
+        assert!(
+            sequential == parallel,
+            "chaos report differs between sequential and {workers} workers"
+        );
+    }
+}
+
+/// The clean twin of a chaos config differs only in the crawl surface, so
+/// the robustness comparison lines up campaign-by-campaign and quantifies
+/// the drift.
+#[test]
+fn robustness_comparison_quantifies_drift() {
+    let faulted = chaos_run();
+    let clean = run_study(&StudyConfig::chaos(7, SCALE).clean_twin());
+    // The clean twin really is clean.
+    assert_eq!(clean.report.crawl.total.failed_polls, 0);
+    assert_eq!(clean.report.crawl.poll_success_rate, 1.0);
+    let cmp = compare_reports(&clean.report, &faulted.report);
+    assert_eq!(cmp.rows.len(), clean.report.figure2.len());
+    assert!(cmp.faulted_poll_success_rate < 1.0);
+    // Temporal shape survives the fault regimes within tolerance: campaigns
+    // the paper classifies as bursty stay bursty.
+    for row in &cmp.rows {
+        let (c, f) = row.peak_2h_share;
+        assert_eq!(
+            c > 0.25,
+            f > 0.25,
+            "{}: burstiness classification flipped under faults ({c:.2} vs {f:.2})",
+            row.label
+        );
+    }
+    let text = cmp.render();
+    assert!(text.contains("Crawl robustness"));
+    assert!(text.contains("Totals:"));
+}
