@@ -22,11 +22,9 @@ pub struct GeoRow {
 impl GeoRow {
     /// The share of one bucket.
     pub fn share(&self, bucket: GeoBucket) -> f64 {
-        let idx = GeoBucket::ALL
-            .iter()
-            .position(|b| *b == bucket)
-            .expect("bucket in ALL");
-        self.shares[idx]
+        // `GeoBucket::ALL` lists the variants in declaration order, so the
+        // discriminant doubles as the index.
+        self.shares[bucket as usize]
     }
 
     /// The dominant bucket, when any liker exists.
@@ -34,11 +32,10 @@ impl GeoRow {
         if self.likers == 0 {
             return None;
         }
-        GeoBucket::ALL.iter().copied().max_by(|a, b| {
-            self.share(*a)
-                .partial_cmp(&self.share(*b))
-                .expect("finite shares")
-        })
+        GeoBucket::ALL
+            .iter()
+            .copied()
+            .max_by(|a, b| self.share(*a).total_cmp(&self.share(*b)))
     }
 }
 

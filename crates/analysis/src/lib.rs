@@ -23,9 +23,6 @@
 //! simulator's ground truth, so the pipeline is exactly as blind as the
 //! paper's was.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod crawl;
 pub mod demographics;
 pub mod geo;

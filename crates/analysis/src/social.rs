@@ -88,7 +88,7 @@ impl ObservedSocial {
             }
         }
         // 2-hop pairs: both lists visible, sharing any mutual friend.
-        let mut via: HashMap<UserId, Vec<UserId>> = HashMap::new();
+        let mut via: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
         for (u, friends) in &obs.friend_lists {
             for f in friends {
                 via.entry(*f).or_default().push(*u);

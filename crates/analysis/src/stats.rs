@@ -62,7 +62,7 @@ impl Cdf {
             samples.iter().all(|s| s.is_finite()),
             "CDF samples must be finite"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 

@@ -91,7 +91,7 @@ pub fn interarrival_dispersion(offsets: &[SimDuration]) -> (f64, f64) {
     let cv = var.sqrt() / mean;
     // Gini via the sorted-rank formula.
     let mut sorted = gaps.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    sorted.sort_by(f64::total_cmp);
     let weighted: f64 = sorted
         .iter()
         .enumerate()

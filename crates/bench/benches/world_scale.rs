@@ -15,6 +15,11 @@
 //! pass 1.0 for the full ~1M-account world). `LIKELAB_THREADS` governs the
 //! worker count as everywhere else.
 
+// The counting global allocator is the workspace's one sanctioned use of
+// unsafe: a thin wrapper forwarding to `System` (see Cargo.toml's
+// [workspace.lints] note).
+#![allow(unsafe_code)]
+
 use likelab_core::presets::scale_population;
 use likelab_core::{run_study_with, StudyConfig};
 use likelab_osn::population::synthesize_with;

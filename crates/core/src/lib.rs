@@ -23,9 +23,6 @@
 //! println!("{}", outcome.report.render());
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-
 pub mod paper;
 pub mod presets;
 pub mod shape;

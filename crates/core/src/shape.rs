@@ -203,7 +203,13 @@ pub fn checklist(report: &StudyReport) -> Vec<ShapeCheck> {
     ));
 
     // --- Table 3 / Figure 3 ------------------------------------------------
-    let row = |p: Provider| report.table3.iter().find(|r| r.provider == p).unwrap();
+    let row = |p: Provider| {
+        report
+            .table3
+            .iter()
+            .find(|r| r.provider == p)
+            .expect("table3 has a row per provider")
+    };
     out.push(check(
         "Table 3",
         "BoostLikes likers have far more friends than anyone else",

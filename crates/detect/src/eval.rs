@@ -118,7 +118,7 @@ pub fn roc(world: &OsnWorld, scored: &[(UserId, f64)], positive: PositiveClass) 
         .iter()
         .map(|(u, s)| (*s, positive.is_positive(world.account(*u).class)))
         .collect();
-    labeled.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    labeled.sort_by(|a, b| b.0.total_cmp(&a.0));
     let pos = labeled.iter().filter(|(_, t)| *t).count();
     let neg = labeled.len() - pos;
     if pos == 0 || neg == 0 {

@@ -22,9 +22,6 @@
 //!
 //! [`ActorClass`]: likelab_osn::ActorClass
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod audience;
 pub mod burst;
 pub mod eval;

@@ -11,7 +11,7 @@ use likelab_graph::UserId;
 use likelab_osn::OsnWorld;
 use likelab_sim::SimDuration;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Lockstep-detector parameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -58,7 +58,10 @@ impl LockstepReport {
 pub fn detect(world: &OsnWorld, config: &LockstepConfig) -> LockstepReport {
     // Bucket likes by (page, window index).
     let w = config.window.as_secs().max(1);
-    let mut buckets: HashMap<(u32, u64), Vec<UserId>> = HashMap::new();
+    // BTree maps throughout: every aggregation here is commutative, but
+    // deterministic iteration keeps intermediate vectors (and anything a
+    // future change derives from them) reproducible by construction.
+    let mut buckets: BTreeMap<(u32, u64), Vec<UserId>> = BTreeMap::new();
     for r in world.likes().records() {
         buckets
             .entry((r.page.0, r.at.as_secs() / w))
@@ -66,7 +69,7 @@ pub fn detect(world: &OsnWorld, config: &LockstepConfig) -> LockstepReport {
             .push(r.user);
     }
     // Count co-occurrences per user pair.
-    let mut pair_counts: HashMap<(UserId, UserId), u32> = HashMap::new();
+    let mut pair_counts: BTreeMap<(UserId, UserId), u32> = BTreeMap::new();
     for users in buckets.values() {
         if users.len() < config.min_bucket_size {
             continue;
@@ -102,7 +105,7 @@ pub fn detect(world: &OsnWorld, config: &LockstepConfig) -> LockstepReport {
     for (a, b) in &strong {
         uf.union(*a, *b);
     }
-    let mut groups: HashMap<UserId, Vec<UserId>> = HashMap::new();
+    let mut groups: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
     for m in &members {
         groups.entry(uf.find(*m)).or_default().push(*m);
     }

@@ -47,12 +47,7 @@ impl TrustScores {
     /// nodes with at least one edge (isolated nodes carry no graph signal).
     pub fn ranked_suspicious(&self, graph: &FriendGraph) -> Vec<UserId> {
         let mut v: Vec<UserId> = graph.nodes().filter(|u| graph.degree(*u) > 0).collect();
-        v.sort_by(|a, b| {
-            self.trust(*a)
-                .partial_cmp(&self.trust(*b))
-                .expect("finite trust")
-                .then(a.cmp(b))
-        });
+        v.sort_by(|a, b| self.trust(*a).total_cmp(&self.trust(*b)).then(a.cmp(b)));
         v
     }
 }

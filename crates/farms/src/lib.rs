@@ -21,9 +21,6 @@
 //! [`FarmRoster::fulfill`] executes an order against the platform and
 //! returns the timed like plan for the study runner.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod camouflage;
 pub mod pool;
 pub mod region;

@@ -8,7 +8,7 @@
 
 use crate::adjacency::FriendGraph;
 use crate::ids::UserId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Union-find over an arbitrary set of user ids.
 #[derive(Debug)]
@@ -77,7 +77,10 @@ pub fn components(graph: &FriendGraph, members: &[UserId]) -> Vec<Vec<UserId>> {
             }
         }
     }
-    let mut groups: HashMap<UserId, Vec<UserId>> = HashMap::new();
+    // BTreeMap so the grouping iterates deterministically; the final sort
+    // below is a total order either way, but this keeps the intermediate
+    // stages reproducible too.
+    let mut groups: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
     for &u in members {
         groups.entry(uf.find(u)).or_default().push(u);
     }

@@ -24,10 +24,13 @@ pub fn induced_dot(
     drop_isolated: bool,
 ) -> String {
     let member_set: std::collections::HashSet<UserId> = members.iter().copied().collect();
-    // Stable palette assignment: groups sorted by name.
-    let mut groups: Vec<&String> = group_of.values().collect();
-    groups.sort();
-    groups.dedup();
+    // Stable palette assignment: groups sorted by name. Collecting through a
+    // BTreeSet sorts and dedups in one pass, independent of map order.
+    let groups: Vec<&String> = group_of
+        .values()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
     const PALETTE: &[&str] = &[
         "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#9d755d",
     ];
@@ -132,5 +135,36 @@ mod tests {
         let g = FriendGraph::with_nodes(1);
         let dot = induced_dot(&g, &[u(0)], &HashMap::new(), false);
         assert!(dot.contains("#999999"));
+    }
+
+    /// Regression for the nondeterministic-iteration audit: the export must
+    /// not depend on `group_of`'s hash order or on member order. Build the
+    /// same logical inputs with shuffled insertion orders (which perturbs
+    /// `HashMap` iteration order within one process) and demand identical
+    /// bytes.
+    #[test]
+    fn export_is_independent_of_map_and_member_order() {
+        let mut g = FriendGraph::with_nodes(8);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (5, 6), (0, 7)] {
+            g.add_edge(u(a), u(b));
+        }
+        let names = ["BL", "SF", "AL", "MS"];
+        let entries: Vec<(UserId, String)> = (0..8u32)
+            .map(|i| (u(i), names[i as usize % 4].to_string()))
+            .collect();
+        let members: Vec<UserId> = (0..8).map(u).collect();
+
+        let forward: HashMap<UserId, String> = entries.iter().cloned().collect();
+        let backward: HashMap<UserId, String> = entries.iter().rev().cloned().collect();
+        let mut rotated_members = members.clone();
+        rotated_members.rotate_left(3);
+
+        let reference = induced_dot(&g, &members, &forward, true);
+        assert_eq!(reference, induced_dot(&g, &members, &backward, true));
+        assert_eq!(reference, induced_dot(&g, &rotated_members, &forward, true));
+        assert_eq!(
+            reference,
+            induced_dot(&g, &rotated_members, &backward, true)
+        );
     }
 }

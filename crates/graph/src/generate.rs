@@ -254,7 +254,7 @@ pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64],
     }
     let pick = |rng: &mut Rng, cumulative: &[f64]| -> usize {
         let target = rng.f64() * total;
-        match cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("finite")) {
+        match cumulative.binary_search_by(|c| c.total_cmp(&target)) {
             Ok(i) => (i + 1).min(n - 1),
             Err(i) => i.min(n - 1),
         }

@@ -13,9 +13,6 @@
 //! ([`metrics`]), k-core decomposition and assortativity ([`kcore`]), and
 //! DOT export ([`dot`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adjacency;
 pub mod bipartite;
 pub mod components;

@@ -38,7 +38,7 @@ impl SummaryStats {
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {

@@ -8,7 +8,7 @@
 
 use crate::adjacency::FriendGraph;
 use crate::ids::UserId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Number of friendship edges whose endpoints are both in `members`.
 pub fn direct_edges_within(graph: &FriendGraph, members: &[UserId]) -> usize {
@@ -35,14 +35,16 @@ pub fn two_hop_pairs(
 ) -> Vec<(UserId, UserId)> {
     let set: HashSet<UserId> = members.iter().copied().collect();
     // Invert: for every middle node, which members neighbor it. Each middle
-    // node then contributes all pairs of its member-neighbors.
-    let mut via: HashMap<UserId, Vec<UserId>> = HashMap::new();
+    // node then contributes all pairs of its member-neighbors. BTree
+    // containers keep the whole computation order-deterministic without a
+    // final sort.
+    let mut via: BTreeMap<UserId, Vec<UserId>> = BTreeMap::new();
     for &m in members {
         for mid in graph.neighbors(m) {
             via.entry(mid).or_default().push(m);
         }
     }
-    let mut pairs: HashSet<(UserId, UserId)> = HashSet::new();
+    let mut pairs: BTreeSet<(UserId, UserId)> = BTreeSet::new();
     for (mid, ms) in via {
         if ms.len() < 2 {
             continue;
@@ -63,15 +65,15 @@ pub fn two_hop_pairs(
             }
         }
     }
-    let mut out: Vec<(UserId, UserId)> = pairs
+    // BTreeSet iterates in ascending order and `filter` preserves it, so the
+    // result is already sorted.
+    pairs
         .into_iter()
         .filter(|(a, b)| {
             debug_assert!(set.contains(a) && set.contains(b));
             !(exclude_direct && graph.has_edge(*a, *b))
         })
-        .collect();
-    out.sort_unstable();
-    out
+        .collect()
 }
 
 /// Count of [`two_hop_pairs`].

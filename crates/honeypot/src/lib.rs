@@ -8,9 +8,6 @@
 //! the month-later termination recheck ([`collector`]), and the resulting
 //! dataset the analysis pipeline consumes ([`dataset`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod anonymize;
 pub mod campaign;
 pub mod collector;

@@ -1,0 +1,431 @@
+//! The checked-in findings baseline (`lint-baseline.json`).
+//!
+//! Pre-existing findings are recorded here so they do not fail the build,
+//! while anything *new* does. Entries are keyed on
+//! `(rule, file, trimmed snippet)` rather than line numbers, so unrelated
+//! edits that shift a file do not invalidate the baseline; `count` allows
+//! several identical lines in one file. Refresh the file with
+//! `LIKELAB_UPDATE_LINT_BASELINE=1` (or `--update-baseline`), mirroring
+//! the golden-checklist convention (`LIKELAB_UPDATE_GOLDEN=1`).
+
+use crate::diagnostics::{json_escape, Finding};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One baseline entry: a known finding, identified structurally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id the finding belongs to.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// The trimmed offending line as it appeared when baselined.
+    pub snippet: String,
+    /// How many identical `(rule, file, snippet)` findings are accepted.
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// The accepted findings.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Build a baseline that accepts exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        // BTreeMap keys the grouping, so entry order is deterministic
+        // (sorted by file, then rule, then snippet) with no post-sort.
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone(), f.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut entries: Vec<Entry> = counts
+            .into_iter()
+            .map(|((rule, file, snippet), count)| Entry {
+                rule,
+                file,
+                snippet,
+                count,
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
+        Baseline { entries }
+    }
+
+    /// Split findings into `(new, baselined)` and report stale entries.
+    ///
+    /// Each entry's `count` is consumed by matching findings; findings in
+    /// excess of the count are new. Entries with leftover count are stale.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.rule.clone(), e.file.clone(), e.snippet.clone()))
+                .or_insert(0) += e.count;
+        }
+        let mut fresh = Vec::new();
+        let mut matched = Vec::new();
+        for f in findings {
+            let key = (f.rule.to_string(), f.file.clone(), f.snippet.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    matched.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        let mut stale: Vec<String> = budget
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((rule, file, snippet), n)| format!("{file}: [{rule}] x{n} {snippet}"))
+            .collect();
+        stale.sort();
+        (fresh, matched, stale)
+    }
+
+    /// Serialize to the checked-in JSON format (one entry per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                json_escape(&e.rule),
+                json_escape(&e.file),
+                e.count,
+                json_escape(&e.snippet),
+            );
+        }
+        out.push_str(if self.entries.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Parse the JSON format written by [`Baseline::to_json`].
+    ///
+    /// The parser accepts any standard JSON document of that shape
+    /// (hand-edits with different whitespace are fine).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("baseline: expected an object")?;
+        let entries_val = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .map(|(_, v)| v)
+            .ok_or("baseline: missing \"entries\"")?;
+        let arr = entries_val
+            .as_array()
+            .ok_or("baseline: \"entries\" must be an array")?;
+        let mut entries = Vec::with_capacity(arr.len());
+        for item in arr {
+            let e = item
+                .as_object()
+                .ok_or("baseline: entry must be an object")?;
+            let get_str = |key: &str| -> Result<String, String> {
+                e.iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline: entry missing string \"{key}\""))
+            };
+            let count = e
+                .iter()
+                .find(|(k, _)| k == "count")
+                .and_then(|(_, v)| v.as_usize())
+                .unwrap_or(1);
+            entries.push(Entry {
+                rule: get_str("rule")?,
+                file: get_str("file")?,
+                snippet: get_str("snippet")?,
+                count,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// A minimal recursive-descent JSON parser — just enough for the baseline
+/// document, kept private to this module.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool,
+        /// Any number (stored as f64; baseline counts are small integers).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, as ordered key/value pairs.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_usize(&self) -> Option<usize> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("json: trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool),
+            Some(b'f') => literal(b, pos, "false", Value::Bool),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("json: unexpected end of input".into()),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b.len() >= *pos + word.len() && &b[*pos..*pos + word.len()] == word.as_bytes() {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("json: expected `{word}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected `{}` at byte {}", c as char, *pos))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            out.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return Err(format!("json: expected `,` or `}}` at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return Err(format!("json: expected `,` or `]` at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("json: expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = Vec::new();
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|e| format!("json: {e}"));
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push(b'"'),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'/') => out.push(b'/'),
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b'r') => out.push(b'\r'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'b') => out.push(0x08),
+                        Some(b'f') => out.push(0x0c),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("json: truncated \\u escape")?;
+                            let s = std::str::from_utf8(hex).map_err(|e| format!("json: {e}"))?;
+                            let n = u32::from_str_radix(s, 16)
+                                .map_err(|e| format!("json: bad \\u escape: {e}"))?;
+                            let ch = char::from_u32(n).ok_or("json: invalid \\u codepoint")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("json: bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    out.push(c);
+                    *pos += 1;
+                }
+            }
+        }
+        Err("json: unterminated string".into())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| format!("json: {e}"))?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("json: bad number `{s}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            snippet: snippet.into(),
+            hint: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let fs = vec![
+            finding("unwrap-in-library", "a.rs", "x.unwrap();"),
+            finding("unwrap-in-library", "a.rs", "x.unwrap();"),
+            finding("stdout-in-library", "b.rs", "println!(\"hi\");"),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.to_json()).expect("round trip");
+        assert_eq!(parsed.entries, b.entries);
+        let dup = b.entries.iter().find(|e| e.file == "a.rs").expect("a.rs");
+        assert_eq!(dup.count, 2);
+    }
+
+    #[test]
+    fn apply_consumes_counts_and_reports_stale() {
+        let known = vec![
+            finding("unwrap-in-library", "a.rs", "x.unwrap();"),
+            finding("unwrap-in-library", "a.rs", "x.unwrap();"),
+            finding("ambient-time", "gone.rs", "Instant::now();"),
+        ];
+        let b = Baseline::from_findings(&known);
+        // Now: one of the two unwraps is fixed, a brand new finding appears,
+        // and gone.rs was deleted entirely.
+        let now = vec![
+            finding("unwrap-in-library", "a.rs", "x.unwrap();"),
+            finding("unwrap-in-library", "c.rs", "y.unwrap();"),
+        ];
+        let (fresh, matched, stale) = b.apply(now);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].file, "c.rs");
+        assert_eq!(matched.len(), 1);
+        assert_eq!(stale.len(), 2, "{stale:?}"); // leftover count + gone.rs
+    }
+
+    #[test]
+    fn parse_tolerates_hand_edits() {
+        let text = r#"{ "version": 1,
+            "entries": [ { "count": 3, "rule": "r", "snippet": "s \"q\" A", "file": "f.rs" } ] }"#;
+        let b = Baseline::parse(text).expect("parse");
+        assert_eq!(b.entries[0].count, 3);
+        assert_eq!(b.entries[0].snippet, "s \"q\" A");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"entries\": 3}").is_err());
+        assert!(Baseline::parse("{}").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_round_trips() {
+        let b = Baseline::from_findings(&[]);
+        let parsed = Baseline::parse(&b.to_json()).expect("parse empty");
+        assert!(parsed.entries.is_empty());
+    }
+}

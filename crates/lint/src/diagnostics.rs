@@ -1,0 +1,185 @@
+//! Findings and their human / JSON renderings.
+//!
+//! The JSON schema follows the obs exporter conventions (hand-rolled
+//! writer, stable key order, versioned top-level document) so CI tooling
+//! that already consumes `--metrics-out` documents can consume lint
+//! reports the same way.
+
+use std::fmt::Write as _;
+
+/// One rule violation at a concrete source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `unwrap-in-library`).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// One-sentence suggestion for fixing or suppressing the finding.
+    pub hint: String,
+}
+
+/// A full lint report: live findings plus baseline accounting.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Findings matched (and therefore suppressed) by the baseline.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries that matched nothing — candidates for removal
+    /// at the next `LIKELAB_UPDATE_LINT_BASELINE=1` refresh.
+    pub stale_baseline: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no non-baselined finding remains.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering: one block per finding, then a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet);
+            let _ = writeln!(out, "    hint: {}", f.hint);
+        }
+        if !self.stale_baseline.is_empty() {
+            let _ = writeln!(
+                out,
+                "note: {} stale baseline entr{} (matched no finding); refresh with LIKELAB_UPDATE_LINT_BASELINE=1",
+                self.stale_baseline.len(),
+                if self.stale_baseline.len() == 1 { "y" } else { "ies" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} finding{}, {} baselined, {} file{} scanned",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.baselined.len(),
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// JSON rendering (schema version 1):
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "findings": [{"rule": "...", "file": "...", "line": 3,
+    ///                 "snippet": "...", "hint": "..."}],
+    ///   "baselined": 80,
+    ///   "stale_baseline": ["..."],
+    ///   "files_scanned": 96
+    /// }
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"hint\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.snippet),
+                json_escape(&f.hint),
+            );
+        }
+        out.push_str(if self.findings.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(out, "  \"baselined\": {},", self.baselined.len());
+        out.push_str("  \"stale_baseline\": [");
+        for (i, s) in self.stale_baseline.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\"",
+                if i == 0 { "" } else { ", " },
+                json_escape(s)
+            );
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"files_scanned\": {}", self.files_scanned);
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON document (same rules as the
+/// obs exporter: quotes, backslashes, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "unwrap-in-library",
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            snippet: "let v = m.get(\"k\").unwrap();".into(),
+            hint: "propagate the error".into(),
+        }
+    }
+
+    #[test]
+    fn human_names_rule_file_and_line() {
+        let r = Report {
+            findings: vec![finding()],
+            ..Report::default()
+        };
+        let h = r.render_human();
+        assert!(h.contains("crates/x/src/lib.rs:7: [unwrap-in-library]"));
+        assert!(h.contains("hint: propagate the error"));
+        assert!(h.contains("1 finding"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let r = Report {
+            findings: vec![finding()],
+            stale_baseline: vec!["old entry".into()],
+            files_scanned: 3,
+            ..Report::default()
+        };
+        let j = r.render_json();
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\"line\": 7"));
+        assert!(j.contains("\\\"k\\\""), "snippet quotes escaped: {j}");
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -1,0 +1,137 @@
+//! # likelab-lint — determinism & hygiene analysis for the workspace
+//!
+//! Every headline number in the reproduction rests on one invariant: a
+//! study run is **byte-identical** across worker counts, fault toggles,
+//! and machines. That invariant is enforced dynamically by the
+//! worker-invariance and golden-checklist tests — but a stray `HashMap`
+//! iteration or ambient `SystemTime` call can slip into a rarely-executed
+//! report path and break it silently. This crate catches those patterns
+//! at the source level, before a test ever runs.
+//!
+//! It is a deliberately small, zero-external-dependency analyzer: a
+//! hand-rolled tokenizer (strings/comments/attributes aware — no `syn`),
+//! a rule engine with per-line `// lint:allow(rule)` pragmas, and a
+//! checked-in baseline (`lint-baseline.json`) so pre-existing findings do
+//! not block the build while new ones fail it.
+//!
+//! ## Usage
+//!
+//! ```text
+//! likelab lint                         # via the main CLI
+//! cargo run -p likelab-lint --         # standalone, same flags
+//!     [--root DIR] [--format human|json]
+//!     [--baseline lint-baseline.json] [--update-baseline] [--list-rules]
+//! ```
+//!
+//! Exit status is 0 when the workspace is clean (modulo baseline), 1 when
+//! any non-baselined finding remains, 2 on usage/IO errors. Refresh the
+//! baseline with `LIKELAB_UPDATE_LINT_BASELINE=1` (mirroring the golden
+//! checklist's `LIKELAB_UPDATE_GOLDEN=1` convention).
+//!
+//! The rule catalog lives in `LINTS.md` at the workspace root; rule ids
+//! are stable and listed by [`rules::RULES`].
+//!
+//! ## Library example
+//!
+//! ```
+//! use likelab_lint::{rules, walk::FileKind};
+//!
+//! let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+//! let findings = rules::scan_source("crates/x/src/lib.rs", "x", FileKind::Library, src);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "unwrap-in-library");
+//! assert_eq!(findings[0].line, 1);
+//! ```
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod rules;
+pub mod tokenizer;
+pub mod walk;
+
+use baseline::Baseline;
+use diagnostics::Report;
+use std::fs;
+use std::path::Path;
+
+/// Options for a workspace lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Baseline file path (workspace-relative or absolute); `None` runs
+    /// without a baseline.
+    pub baseline: Option<String>,
+    /// Rewrite the baseline to exactly the current findings.
+    pub update_baseline: bool,
+}
+
+/// Lint the workspace rooted at `root`.
+///
+/// When `opts.update_baseline` is set, the baseline file is rewritten to
+/// accept every current finding and the returned report is clean.
+pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
+    let files = walk::discover(root).map_err(|e| format!("scan {}: {e}", root.display()))?;
+    let mut all = Vec::new();
+    for f in &files {
+        let path = root.join(&f.rel_path);
+        let source =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        all.extend(rules::scan_source(
+            &f.rel_path,
+            &f.crate_name,
+            f.kind,
+            &source,
+        ));
+    }
+    let files_scanned = files.len();
+
+    let Some(baseline_rel) = &opts.baseline else {
+        return Ok(Report {
+            findings: all,
+            files_scanned,
+            ..Report::default()
+        });
+    };
+    let baseline_path = root.join(baseline_rel);
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_findings(&all);
+        fs::write(&baseline_path, baseline.to_json())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        return Ok(Report {
+            baselined: all,
+            files_scanned,
+            ..Report::default()
+        });
+    }
+
+    let baseline = if baseline_path.exists() {
+        let text = fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    } else {
+        Baseline::default()
+    };
+    let (findings, baselined, stale_baseline) = baseline.apply(all);
+    Ok(Report {
+        findings,
+        baselined,
+        stale_baseline,
+        files_scanned,
+    })
+}
+
+/// Locate the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,138 @@
+//! `likelab-lint` — standalone analyzer binary for CI.
+//!
+//! ```text
+//! likelab-lint [--root DIR] [--format human|json]
+//!              [--baseline lint-baseline.json] [--update-baseline]
+//!              [--report-out FILE] [--list-rules]
+//! ```
+//!
+//! Exit 0: clean (all findings baselined). Exit 1: non-baselined
+//! findings. Exit 2: usage or IO error. Setting
+//! `LIKELAB_UPDATE_LINT_BASELINE=1` is equivalent to `--update-baseline`.
+
+use likelab_lint::{find_workspace_root, rules, run, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: Option<PathBuf>,
+    format_json: bool,
+    baseline: Option<String>,
+    update_baseline: bool,
+    report_out: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "likelab-lint — determinism & hygiene analyzer (see LINTS.md)\n\n\
+     USAGE:\n\
+     \x20 likelab-lint [--root DIR] [--format human|json]\n\
+     \x20              [--baseline lint-baseline.json] [--update-baseline]\n\
+     \x20              [--report-out FILE] [--list-rules]\n\n\
+     Exit 0 when clean, 1 on non-baselined findings, 2 on errors.\n\
+     LIKELAB_UPDATE_LINT_BASELINE=1 is the same as --update-baseline."
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        format_json: false,
+        baseline: None,
+        update_baseline: std::env::var("LIKELAB_UPDATE_LINT_BASELINE").as_deref() == Ok("1"),
+        report_out: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                cli.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => cli.format_json = false,
+                Some("json") => cli.format_json = true,
+                _ => return Err("--format needs human|json".into()),
+            },
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                cli.baseline = Some(v.clone());
+            }
+            "--update-baseline" => cli.update_baseline = true,
+            "--report-out" => {
+                let v = it.next().ok_or("--report-out needs a file path")?;
+                cli.report_out = Some(PathBuf::from(v));
+            }
+            "--list-rules" => cli.list_rules = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list_rules {
+        for r in rules::RULES {
+            println!("{:28} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match cli.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = Options {
+        baseline: cli.baseline.clone(),
+        update_baseline: cli.update_baseline,
+    };
+    let report = match run(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if cli.format_json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if let Some(path) = &cli.report_out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("error: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("lint report written to {}", path.display());
+    }
+    println!("{rendered}");
+    if cli.update_baseline {
+        eprintln!(
+            "baseline updated with {} finding(s)",
+            report.baselined.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

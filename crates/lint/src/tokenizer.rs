@@ -1,0 +1,431 @@
+//! A small, hand-rolled Rust source tokenizer.
+//!
+//! The rule engine does not need a full parse tree — it needs to know,
+//! for every byte of a source file, whether that byte is *code* or
+//! *non-code* (a string literal body, a character literal, a line or
+//! block comment), and whether the line it sits on belongs to a
+//! `#[cfg(test)]` module. This module produces exactly that: a
+//! [`MaskedFile`] whose `code` lines mirror the original byte-for-byte
+//! except that non-code bytes are replaced with spaces (string and
+//! character literal *delimiters* are kept, so `.expect("msg")` masks to
+//! `.expect("   ")` and pattern matches still line up column-for-column
+//! with the original source).
+//!
+//! Handled syntax: nested block comments (`/* /* */ */`), line and doc
+//! comments, ordinary strings with escapes, raw strings with arbitrary
+//! hash counts (`r##"…"##`, `br#"…"#`), byte and character literals, and
+//! the lifetime-vs-char-literal ambiguity (`'a` in `&'a str` is code;
+//! `'a'` is a literal).
+
+/// One source file with non-code bytes blanked out.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// The original source lines, unmodified (used for snippets and for
+    /// pragma detection — pragmas live in comments, which the mask erases).
+    pub raw: Vec<String>,
+    /// The masked lines: identical geometry to `raw`, but comment bodies
+    /// and string/char contents are spaces.
+    pub code: Vec<String>,
+    /// `in_test[i]` is true when line `i` (0-based) is inside a
+    /// `#[cfg(test)]` module body (the attribute and `mod` header lines
+    /// themselves are also marked).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    /// An ordinary `"…"` (or `b"…"`) string.
+    Str,
+    /// A raw string; the payload is the number of `#` in its delimiter.
+    RawStr(u32),
+}
+
+/// Mask a whole source file. See the module docs for the contract.
+pub fn mask(source: &str) -> MaskedFile {
+    let raw: Vec<String> = source.lines().map(str::to_string).collect();
+    let mut code: Vec<String> = Vec::with_capacity(raw.len());
+    let mut state = State::Code;
+    for line in &raw {
+        let (masked, next) = mask_line(line, state);
+        code.push(masked);
+        state = next;
+    }
+    let in_test = test_regions(&code);
+    MaskedFile { raw, code, in_test }
+}
+
+/// Mask one line, starting in `state`; returns the masked line and the
+/// state the next line starts in.
+fn mask_line(line: &str, mut state: State) -> (String, State) {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match state {
+            State::Code => {
+                let b = bytes[i];
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if let Some(hashes) = raw_string_start(bytes, i) {
+                    // Keep the `r##"` opener visible as code so column
+                    // geometry is obvious, but enter the raw-string state.
+                    let opener_len = raw_opener_len(bytes, i);
+                    out[i..i + opener_len].copy_from_slice(&bytes[i..i + opener_len]);
+                    state = State::RawStr(hashes);
+                    i += opener_len;
+                } else if b == b'"' {
+                    out[i] = b'"';
+                    state = State::Str;
+                    i += 1;
+                } else if b == b'\'' {
+                    // Lifetime or char literal?
+                    if let Some(len) = char_literal_len(bytes, i) {
+                        out[i] = b'\'';
+                        out[i + len - 1] = b'\'';
+                        i += len;
+                    } else {
+                        out[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    out[i] = b;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                // Consumes the rest of the line; reset handled below.
+                i = bytes.len();
+            }
+            State::BlockComment(depth) => {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if bytes[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL; fine)
+                } else if bytes[i] == b'"' {
+                    out[i] = b'"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if bytes[i] == b'"' && closes_raw(bytes, i, hashes) {
+                    let close_len = 1 + hashes as usize;
+                    out[i..i + close_len].copy_from_slice(&bytes[i..i + close_len]);
+                    state = State::Code;
+                    i += close_len;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Line comments never span lines; unterminated ordinary strings do
+    // continue (multi-line string literals are legal Rust).
+    if state == State::LineComment {
+        state = State::Code;
+    }
+    // `out` was built from ASCII positions of a UTF-8 string; non-ASCII
+    // bytes inside code are copied verbatim above (b >= 0x80 falls into the
+    // plain-copy arm), so the buffer is valid UTF-8 whenever the input was.
+    (String::from_utf8_lossy(&out).into_owned(), state)
+}
+
+/// Is a raw string starting at `i`? Returns the `#` count when so.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<u32> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    // An identifier character before `r`/`br` means this is the tail of a
+    // longer identifier (e.g. `var` ends in `r`), not a raw-string opener.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn raw_opener_len(bytes: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // the `r`
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    j + 1 - i // the `"`
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// If position `i` (a `'`) starts a character literal, its total length
+/// (including both quotes); `None` when it is a lifetime.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote (handles '\n', '\'', '\u{1F600}').
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        (j < bytes.len()).then_some(j + 1 - i)
+    } else if next == b'\'' {
+        None // `''` — not a valid literal; treat as stray quotes
+    } else {
+        // `'x'` is a literal; `'x` (no closing quote right after one char,
+        // accounting for multi-byte chars) is a lifetime. Skip one UTF-8
+        // character, then require a quote.
+        let step = utf8_len(next);
+        (bytes.get(i + 1 + step) == Some(&b'\'')).then_some(step + 2)
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b & 0xE0 == 0xC0 => 2,
+        b if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Mark the lines belonging to `#[cfg(test)] mod … { … }` regions.
+///
+/// Strategy: on a masked line containing `#[cfg(test)]`, arm a flag; the
+/// next `mod` keyword opens a region that ends when the brace depth at the
+/// `mod`'s opening brace closes again. Attribute and header lines are
+/// included in the region.
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i32 = 0;
+    // Depth at which the current test module closes, when inside one.
+    let mut close_at: Option<i32> = None;
+    // Armed by `#[cfg(test)]`, consumed by the next item start.
+    let mut armed = false;
+    let mut armed_start = 0usize;
+    for (idx, line) in code.iter().enumerate() {
+        let trimmed = line.trim();
+        if close_at.is_none() && trimmed.contains("#[cfg(test)]") {
+            armed = true;
+            armed_start = idx;
+        }
+        if close_at.is_none() && armed && contains_word(line, "mod") {
+            // The cfg(test)-gated item is a module: everything from the
+            // attribute to the module's closing brace is test code.
+            for t in in_test.iter_mut().take(idx + 1).skip(armed_start) {
+                *t = true;
+            }
+            // `mod tests;` (out-of-line module) has no body here; only an
+            // inline `mod tests { … }` opens a region to track.
+            if !trimmed.contains(';') || trimmed.contains('{') {
+                close_at = Some(depth);
+            }
+            armed = false;
+        } else if armed && !trimmed.is_empty() && !trimmed.starts_with("#[") {
+            // The attribute gated some other item (fn, use, …): it applies
+            // to that single line-run; conservatively mark until the item's
+            // braces balance out if it opens a block on this line.
+            armed = false;
+        }
+        if let Some(close) = close_at {
+            in_test[idx] = true;
+            let (opens, closes) = brace_delta(line);
+            depth += opens - closes;
+            if depth <= close && (opens - closes) < 0 {
+                close_at = None;
+            }
+        } else {
+            let (opens, closes) = brace_delta(line);
+            depth += opens - closes;
+        }
+    }
+    in_test
+}
+
+fn brace_delta(line: &str) -> (i32, i32) {
+    let mut opens = 0;
+    let mut closes = 0;
+    for b in line.bytes() {
+        match b {
+            b'{' => opens += 1,
+            b'}' => closes += 1,
+            _ => {}
+        }
+    }
+    (opens, closes)
+}
+
+/// Whole-word containment: `needle` appears in `hay` with non-identifier
+/// characters (or the line boundary) on both sides.
+pub fn contains_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle, 0).is_some()
+}
+
+/// Position of the first whole-word occurrence of `needle` at or after
+/// `from`, or `None`.
+pub fn find_word(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut start = from;
+    while let Some(rel) = hay.get(start..)?.find(needle) {
+        let pos = start + rel;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let end = pos + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> Vec<String> {
+        mask(src).code
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let m = masked(r#"let x = "has .unwrap() inside";"#);
+        assert_eq!(m[0], r#"let x = "                    ";"#);
+    }
+
+    #[test]
+    fn line_and_doc_comments_are_blanked() {
+        let m = masked("let a = 1; // .unwrap() here\n/// doc .expect(\nlet b = 2;");
+        assert!(!m[0].contains("unwrap"));
+        assert!(m[0].contains("let a = 1;"));
+        assert!(!m[1].contains("expect"));
+        assert_eq!(m[2], "let b = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let m = masked(src);
+        assert!(m[0].starts_with('a'));
+        assert!(m[0].ends_with('b'));
+        assert!(!m[0].contains("outer"));
+        assert!(!m[0].contains("still"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let m = masked("code1 /* span\nmiddle .unwrap()\nend */ code2");
+        assert!(m[0].contains("code1"));
+        assert!(!m[1].contains("unwrap"));
+        assert!(m[2].contains("code2"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"raw "quoted" .unwrap()"##; tail()"####;
+        let m = masked(src);
+        assert!(!m[0].contains("unwrap"));
+        assert!(m[0].contains("tail()"));
+    }
+
+    #[test]
+    fn multiline_raw_string() {
+        let src = "let s = r#\"line one\nstill .expect( raw\n\"# ; after()";
+        let m = masked(src);
+        assert!(!m[1].contains("expect"));
+        assert!(m[2].contains("after()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let m = masked(r#"let var = br_var; call(var, "x")"#);
+        assert!(m[0].contains("br_var"));
+        assert!(m[0].contains("call(var,"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let m = masked("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'z'; }");
+        // Lifetimes survive as code; char contents are blanked.
+        assert!(m[0].contains("<'a>"));
+        assert!(m[0].contains("&'a str"));
+        assert!(!m[0].contains("'z'"));
+        // The quote inside the char literal must not open a string.
+        assert!(m[0].contains('}'));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let m = masked(r#"let s = "a\"b"; live()"#);
+        assert!(m[0].contains("live()"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn after() {}";
+        let f = mask(src);
+        assert_eq!(
+            f.in_test,
+            vec![false, true, true, true, true, false],
+            "{:?}",
+            f.in_test
+        );
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn_does_not_swallow_file() {
+        let src = "#[cfg(test)]\nfn helper() {}\npub fn real() { x.unwrap(); }";
+        let f = mask(src);
+        assert!(!f.in_test[2], "code after a cfg(test) fn is live");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("use std::time::Instant;", "Instant"));
+        assert!(!contains_word("let InstantX = 1;", "Instant"));
+        assert!(!contains_word("let SimInstant = 1;", "Instant"));
+    }
+}

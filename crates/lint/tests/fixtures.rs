@@ -1,0 +1,237 @@
+//! End-to-end fixtures for the analyzer: a synthetic workspace is written
+//! to a temp directory and linted through the public [`likelab_lint::run`]
+//! entry point, covering discovery, rule firing with exact lines, pragma
+//! suppression, and the full baseline lifecycle (accept / fresh / stale).
+
+use likelab_lint::{run, Options};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A scratch workspace that cleans up after itself.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root =
+            std::env::temp_dir().join(format!("likelab-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .expect("write workspace manifest");
+        Fixture { root }
+    }
+
+    fn add_crate(&self, name: &str, lib_source: &str) {
+        let dir = self.root.join("crates").join(name);
+        fs::create_dir_all(dir.join("src")).expect("create crate dirs");
+        fs::write(
+            dir.join("Cargo.toml"),
+            format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\n"),
+        )
+        .expect("write crate manifest");
+        fs::write(dir.join("src/lib.rs"), lib_source).expect("write lib.rs");
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("create parent");
+        fs::write(path, content).expect("write file");
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const BAD_LIB: &str = "\
+use std::collections::HashMap;
+
+pub fn totals(m: &HashMap<String, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_k, v) in m {
+        out.push(*v);
+    }
+    out
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn pick(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+";
+
+#[test]
+fn known_bad_crate_yields_expected_rules_and_lines() {
+    let fx = Fixture::new("known-bad");
+    fx.add_crate("demo", BAD_LIB);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert_eq!(report.files_scanned, 1);
+
+    let got: Vec<(&str, usize)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("nondeterministic-iteration", 5),
+            // Both the signature exposing `Instant` and the `now()` call.
+            ("ambient-time", 11),
+            ("ambient-time", 12),
+            ("unwrap-in-library", 16),
+        ],
+        "unexpected findings: {:?}",
+        report.findings
+    );
+    let first = &report.findings[0];
+    assert_eq!(first.file, "crates/demo/src/lib.rs");
+    assert!(first.snippet.contains("for (_k, v) in m"));
+    assert!(!first.hint.is_empty(), "every finding carries a fix hint");
+}
+
+#[test]
+fn pragmas_suppress_exactly_their_rule() {
+    let fx = Fixture::new("pragmas");
+    let src = "\
+use std::collections::HashMap;
+
+pub fn totals(m: &HashMap<String, u64>) -> u64 {
+    let mut total = 0;
+    // lint:allow(nondeterministic-iteration): summing is commutative.
+    for (_k, v) in m {
+        total += v;
+    }
+    total
+}
+
+pub fn pick(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // lint:allow(unwrap-in-library)
+}
+
+pub fn pick2(xs: &[u64]) -> u64 {
+    // lint:allow(nondeterministic-iteration): wrong rule, must not suppress.
+    *xs.first().unwrap()
+}
+";
+    let fx_crate = "demo";
+    fx.add_crate(fx_crate, src);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let got: Vec<(&str, usize)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![("unwrap-in-library", 18)],
+        "only the mismatched pragma site stays live: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn baseline_lifecycle_accepts_then_catches_fresh_then_reports_stale() {
+    let fx = Fixture::new("baseline");
+    fx.add_crate("demo", BAD_LIB);
+    let opts = Options {
+        baseline: Some("lint-baseline.json".into()),
+        update_baseline: false,
+    };
+
+    // 1. Update: every current finding lands in the baseline, report clean.
+    let update = Options {
+        update_baseline: true,
+        ..opts.clone()
+    };
+    let report = run(fx.path(), &update).expect("baseline update");
+    assert!(report.is_clean());
+    assert_eq!(report.baselined.len(), 4);
+    assert!(fx.path().join("lint-baseline.json").exists());
+
+    // 2. Re-run against the baseline: clean, nothing fresh, nothing stale.
+    let report = run(fx.path(), &opts).expect("baselined run");
+    assert!(report.is_clean());
+    assert_eq!(report.findings.len(), 0);
+    assert_eq!(report.baselined.len(), 4);
+    assert_eq!(report.stale_baseline.len(), 0);
+
+    // 3. Seed a brand-new forbidden pattern: exactly it comes back fresh,
+    //    named by rule, file, and line.
+    let seeded = format!("{BAD_LIB}\npub fn seeded() {{\n    println!(\"boom\");\n}}\n");
+    fx.write("crates/demo/src/lib.rs", &seeded);
+    let report = run(fx.path(), &opts).expect("seeded run");
+    assert!(!report.is_clean());
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "stdout-in-library");
+    assert_eq!(report.findings[0].file, "crates/demo/src/lib.rs");
+    assert_eq!(report.findings[0].line, 20);
+
+    // 4. Fix everything: clean again, and the baseline's dead entries are
+    //    counted as stale so it can be re-tightened.
+    fx.write(
+        "crates/demo/src/lib.rs",
+        "pub fn fine() -> u64 {\n    7\n}\n",
+    );
+    let report = run(fx.path(), &opts).expect("fixed run");
+    assert!(report.is_clean());
+    assert_eq!(report.stale_baseline.len(), 4);
+}
+
+#[test]
+fn tests_benches_and_binaries_get_the_right_scope() {
+    let fx = Fixture::new("scope");
+    // Integration tests and benches are never scanned; a crate binary is
+    // scanned but stdout/unwrap rules do not apply there.
+    fx.add_crate("demo", "pub fn fine() {}\n");
+    fx.write(
+        "crates/demo/tests/it.rs",
+        "fn main() { Vec::<u8>::new().first().unwrap(); }\n",
+    );
+    fx.write(
+        "crates/demo/benches/b.rs",
+        "fn main() { println!(\"bench\"); }\n",
+    );
+    fx.write(
+        "crates/demo/src/main.rs",
+        "fn main() {\n    println!(\"cli output is fine\");\n    let x: Option<u8> = None;\n    x.unwrap();\n}\n",
+    );
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert_eq!(report.files_scanned, 2, "lib.rs and main.rs only");
+    assert!(
+        report.findings.is_empty(),
+        "binaries may print and unwrap: {:?}",
+        report.findings
+    );
+
+    // But determinism rules still apply to binaries.
+    fx.write(
+        "crates/demo/src/main.rs",
+        "use std::collections::HashSet;\nfn main() {\n    let s: HashSet<u8> = HashSet::new();\n    for v in &s {\n        eprintln!(\"{v}\");\n    }\n}\n",
+    );
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let got: Vec<(&str, usize)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![("nondeterministic-iteration", 4)]);
+}
+
+#[test]
+fn corrupt_baseline_is_a_hard_error_not_a_silent_pass() {
+    let fx = Fixture::new("corrupt");
+    fx.add_crate("demo", BAD_LIB);
+    fx.write("lint-baseline.json", "{ not json ");
+    let opts = Options {
+        baseline: Some("lint-baseline.json".into()),
+        update_baseline: false,
+    };
+    let err = run(fx.path(), &opts).expect_err("corrupt baseline must fail");
+    assert!(
+        err.contains("lint-baseline.json"),
+        "error names the file: {err}"
+    );
+}

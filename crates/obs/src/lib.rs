@@ -48,9 +48,6 @@
 //! likelab_obs::disable();
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-
 pub mod export;
 pub mod metrics;
 pub mod shard;

@@ -136,12 +136,18 @@ pub fn merge_all() -> Snapshot {
     let mut dropped_spans = 0;
     for shard in shards.iter() {
         let shard = lock(shard);
+        // lint:allow(nondeterministic-iteration): += into a BTreeMap is
+        // commutative; shard-local maps stay HashMap for the hot path.
         for (name, v) in &shard.counters {
             *counters.entry(name.clone()).or_insert(0) += v;
         }
+        // lint:allow(nondeterministic-iteration): bucket-wise merge is
+        // associative and commutative.
         for (name, h) in &shard.histograms {
             histograms.entry(name.clone()).or_default().merge(h);
         }
+        // lint:allow(nondeterministic-iteration): count/total sums are
+        // commutative.
         for (name, s) in &shard.span_stats {
             let agg = span_stats.entry(name.clone()).or_default();
             agg.count += s.count;

@@ -172,12 +172,10 @@ impl AgeBracket {
         rng.range(lo, hi + 1) as u8
     }
 
-    /// The bracket index into [`AgeBracket::ALL`].
+    /// The bracket index into [`AgeBracket::ALL`], which lists the variants
+    /// in declaration order — the discriminant doubles as the index.
     pub fn index(self) -> usize {
-        AgeBracket::ALL
-            .iter()
-            .position(|b| *b == self)
-            .expect("bracket is in ALL")
+        self as usize
     }
 }
 

@@ -23,9 +23,6 @@
 //!
 //! All of it hangs off one mutable [`OsnWorld`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod account;
 pub mod ads;
 pub mod auction;

@@ -133,10 +133,7 @@ impl Zipf {
         let total = *self.cumulative.last().expect("non-empty");
         let target = rng.f64() * total;
         // First cumulative weight strictly above the target.
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&target)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -179,10 +176,7 @@ impl<T: Clone> Categorical<T> {
     pub fn sample(&self, rng: &mut Rng) -> T {
         let total = *self.cumulative.last().expect("non-empty");
         let target = rng.f64() * total;
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.total_cmp(&target)) {
             Ok(i) => i + 1,
             Err(i) => i,
         };

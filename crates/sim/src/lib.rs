@@ -36,9 +36,6 @@
 //! assert_eq!(polls, 13); // 0h, 2h, ..., 24h
 //! ```
 
-#![forbid(unsafe_code)]
-#![deny(missing_docs)]
-
 pub mod dist;
 pub mod engine;
 pub mod parallel;

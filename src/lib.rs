@@ -31,9 +31,6 @@
 //! - [`core`] — paper constants, campaign presets, the study runner, and
 //!   the reproduction shape checklist.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use likelab_analysis as analysis;
 pub use likelab_core as core;
 pub use likelab_detect as detect;

@@ -210,6 +210,9 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        // Macro-generated plumbing; exempt from the workspace missing_docs
+        // level so benches stay terse.
+        #[allow(missing_docs)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $($target(&mut criterion);)+
