@@ -1,0 +1,139 @@
+//! `world_log` — event-sourced world log benchmark.
+//!
+//! Measures the three numbers the event-sourcing work is judged by:
+//!
+//! 1. **append throughput** — study records encoded through the binary
+//!    framing (length prefix, checksum, payload), in events per second;
+//! 2. **replay time** — a full `replay_study` of the captured log back to
+//!    the rendered report, byte-identical to the original run;
+//! 3. **checkpoint size** — the `checkpoint.json` + pinned `world.log`
+//!    bytes a checkpointed run leaves behind.
+//!
+//! Results go to stdout and to `BENCH_world_log.json` at the repository
+//! root (override with `LIKELAB_BENCH_OUT`). The study is the paper
+//! preset trimmed by `LIKELAB_BENCH_LOG_SCALE` (default 0.05 — CI-sized).
+//! `LIKELAB_THREADS` governs the worker count as everywhere else.
+
+use likelab_core::{replay_study, run_study_opts, ReplayOptions, RunOptions, StudyConfig};
+use likelab_sim::Exec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_f64("LIKELAB_BENCH_LOG_SCALE", 0.05);
+    let seed = 42u64;
+    let exec = Exec::auto();
+    let out_path = std::env::var("LIKELAB_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_world_log.json")
+        },
+        PathBuf::from,
+    );
+    let scratch =
+        std::env::temp_dir().join(format!("likelab-bench-world-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    // --- phase 1: logged run + binary append throughput -------------------
+    let config = StudyConfig::paper(seed, scale);
+    let outcome = run_study_opts(
+        &config,
+        &RunOptions {
+            exec,
+            capture_log: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect("logged run");
+    let log = outcome.log.as_ref().expect("log captured");
+    let events = log.records().len();
+    let t = Instant::now();
+    let bytes = log.to_binary().expect("encode");
+    let append_seconds = t.elapsed().as_secs_f64();
+    let log_bytes = bytes.len();
+    let append_events_per_sec = events as f64 / append_seconds;
+    let log_path = scratch.join("study.log");
+    std::fs::write(&log_path, &bytes).expect("write log");
+
+    // --- phase 2: replay back to the rendered report ----------------------
+    let t = Instant::now();
+    let replayed = replay_study(
+        &log_path,
+        &ReplayOptions {
+            exec,
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("replay");
+    let replay_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(
+        replayed.report.render(),
+        outcome.report.render(),
+        "replay must be byte-identical to the run"
+    );
+
+    // --- phase 3: checkpointed run, measure what it leaves on disk --------
+    let ckpt_dir = scratch.join("ckpt");
+    run_study_opts(
+        &config,
+        &RunOptions {
+            exec,
+            checkpoint_dir: Some(ckpt_dir.clone()),
+            checkpoint_every: 20_000,
+            ..RunOptions::default()
+        },
+    )
+    .expect("checkpointed run");
+    let file_len = |name: &str| {
+        std::fs::metadata(ckpt_dir.join(name))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    };
+    let checkpoint_bytes = file_len("checkpoint.json");
+    let checkpoint_log_bytes = file_len("world.log");
+
+    println!("== world_log: paper preset at scale {scale} ==");
+    println!("workers:            {}", exec.worker_count());
+    println!("log records:        {events}");
+    println!(
+        "log size:           {:.1} MiB",
+        log_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("append:             {append_seconds:.3} s ({append_events_per_sec:.0} events/s)");
+    println!("replay:             {replay_seconds:.3} s (byte-identical)");
+    println!(
+        "checkpoint:         {:.1} KiB json + {:.1} MiB pinned log",
+        checkpoint_bytes as f64 / 1024.0,
+        checkpoint_log_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // Flat JSON by hand: the bench crate has no serde dependency and the
+    // record is a single object.
+    let json = format!(
+        "{{\n  \"bench\": \"world_log\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \
+         \"workers\": {},\n  \"events\": {events},\n  \"log_bytes\": {log_bytes},\n  \
+         \"append_seconds\": {append_seconds:.6},\n  \
+         \"append_events_per_sec\": {append_events_per_sec:.1},\n  \
+         \"replay_seconds\": {replay_seconds:.6},\n  \
+         \"checkpoint_bytes\": {checkpoint_bytes},\n  \
+         \"checkpoint_log_bytes\": {checkpoint_log_bytes}\n}}\n",
+        exec.worker_count(),
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("written: {}", out_path.display()),
+        Err(e) => {
+            eprintln!("error: write {}: {e}", out_path.display());
+            std::process::exit(1);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

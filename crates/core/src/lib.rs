@@ -23,12 +23,17 @@
 //! println!("{}", outcome.report.render());
 //! ```
 
+pub mod checkpoint;
 pub mod paper;
 pub mod presets;
+pub mod record;
+pub mod replay;
 pub mod shape;
 pub mod study;
 pub mod sweep;
 
+pub use record::{read_study_log, StudyError, StudyLog, StudyRecord};
+pub use replay::{replay_study, ReplayOptions, ReplayOutcome};
 pub use shape::{checklist, render_checklist, ShapeCheck};
-pub use study::{run_study, run_study_with, StudyConfig, StudyOutcome};
+pub use study::{run_study, run_study_opts, run_study_with, RunOptions, StudyConfig, StudyOutcome};
 pub use sweep::{run_sweep, MetricAggregate, SweepConfig, SweepReport};

@@ -1,0 +1,330 @@
+//! Replay: rebuild a study's world, dataset, and report from a captured
+//! log — no model code, no randomness, byte-identical output.
+//!
+//! A full replay applies every `World` record to a fresh
+//! [`OsnWorld`] and reassembles the
+//! [`Dataset`] from the measurement records
+//! (observations, collected profiles, termination probes, the baseline
+//! sample). Only the derived layers — per-page audience reports, the
+//! global report, the study report — are recomputed, and those are pure
+//! functions of the replayed world and dataset, so the rendered report and
+//! checklist match the original run byte for byte at any worker count.
+//!
+//! Incremental re-analysis ([`ReplayOptions::from_seq`]) recomputes only
+//! the campaigns touched by records past a sequence number, loading the
+//! untouched campaigns' data from a cache directory populated by an
+//! earlier replay.
+
+use crate::record::{
+    config_from_header, io_err, read_study_log, write_atomic, StudyError, StudyRecord,
+};
+use crate::study::StudyConfig;
+use likelab_analysis::StudyReport;
+use likelab_graph::{PageId, UserId};
+use likelab_honeypot::{
+    BaselineRecord, CampaignData, CrawlCoverage, Dataset, LikerRecord, Observation,
+};
+use likelab_osn::{AudienceReport, OsnWorld, WorldEvent};
+use likelab_sim::event::LogHeader;
+use likelab_sim::{Exec, SimTime};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Knobs for [`replay_study`].
+#[derive(Clone, Debug)]
+pub struct ReplayOptions {
+    /// Execution policy for the recomputed report stages.
+    pub exec: Exec,
+    /// Incremental mode: only recompute campaigns touched by records with
+    /// a sequence number strictly greater than this; load the rest from
+    /// `cache_dir`.
+    pub from_seq: Option<u64>,
+    /// Campaign-data cache directory: written on a full replay, read (and
+    /// refreshed for touched campaigns) in incremental mode.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            exec: Exec::auto(),
+            from_seq: None,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a replay produced.
+pub struct ReplayOutcome {
+    /// The configuration embedded in the log header.
+    pub config: StudyConfig,
+    /// The reassembled dataset — identical to the original run's.
+    pub dataset: Dataset,
+    /// The recomputed report — identical to the original run's.
+    pub report: StudyReport,
+    /// The replayed final world state.
+    pub world: OsnWorld,
+    /// Campaign indices recomputed this replay.
+    pub recomputed: Vec<usize>,
+    /// Campaign indices served from the cache.
+    pub cached: Vec<usize>,
+}
+
+/// Per-campaign accumulators scraped from the record stream.
+#[derive(Clone, Default)]
+struct CampaignSlot {
+    page: Option<PageId>,
+    inactive: bool,
+    observations: Vec<Observation>,
+    likers: Vec<LikerRecord>,
+    monitoring_days: Option<u64>,
+    coverage: CrawlCoverage,
+    terminated: usize,
+    unknown: usize,
+}
+
+/// Replay a study log from disk. See the module docs.
+pub fn replay_study(path: &Path, opts: &ReplayOptions) -> Result<ReplayOutcome, StudyError> {
+    let (header, records) = read_study_log(path)?;
+    replay_records(&header, records, opts)
+}
+
+/// Replay an already-decoded record stream.
+pub fn replay_records(
+    header: &LogHeader,
+    records: Vec<(u64, StudyRecord)>,
+    opts: &ReplayOptions,
+) -> Result<ReplayOutcome, StudyError> {
+    let config = config_from_header(header)?;
+    let n = config.campaigns.len();
+    let mut world = OsnWorld::new();
+    let mut slots: Vec<CampaignSlot> = vec![CampaignSlot::default(); n];
+    let mut baseline: Vec<BaselineRecord> = Vec::new();
+    let mut launch: Option<SimTime> = None;
+
+    // Touched-campaign tracking for incremental mode.
+    let from_seq = opts.from_seq;
+    let mut touched: BTreeSet<usize> = BTreeSet::new();
+    let mut page_to_campaign: BTreeMap<PageId, usize> = BTreeMap::new();
+    let mut late_terminated: BTreeSet<UserId> = BTreeSet::new();
+
+    let record_count = records.len() as u64;
+    let result: Result<(), StudyError> = likelab_obs::metrics::timed("log.replay.ns", || {
+        for (seq, record) in records {
+            let late = from_seq.is_some_and(|s| seq > s);
+            if late {
+                if let Some(c) = record.campaign() {
+                    touched.insert(c);
+                }
+            }
+            match record {
+                StudyRecord::World(ev) => {
+                    if late {
+                        match &ev {
+                            WorldEvent::Like { page, .. } => {
+                                if let Some(c) = page_to_campaign.get(page) {
+                                    touched.insert(*c);
+                                }
+                            }
+                            WorldEvent::LikeBatch { likes } => {
+                                for (_, page, _) in likes {
+                                    if let Some(c) = page_to_campaign.get(page) {
+                                        touched.insert(*c);
+                                    }
+                                }
+                            }
+                            WorldEvent::Terminated { user, .. }
+                            | WorldEvent::Reinstated { user } => {
+                                late_terminated.insert(*user);
+                            }
+                            _ => {}
+                        }
+                    }
+                    world.apply_event(&ev);
+                }
+                StudyRecord::RngFork { .. } => {}
+                StudyRecord::CampaignLaunched { campaign, page, at } => {
+                    let slot = slot(&mut slots, campaign, seq)?;
+                    slot.page = Some(page);
+                    page_to_campaign.insert(page, campaign);
+                    launch.get_or_insert(at);
+                }
+                StudyRecord::CampaignInactive { campaign } => {
+                    slot(&mut slots, campaign, seq)?.inactive = true;
+                }
+                StudyRecord::CrawlObserved {
+                    campaign,
+                    observation,
+                } => {
+                    slot(&mut slots, campaign, seq)?
+                        .observations
+                        .push(observation);
+                }
+                StudyRecord::MonitoringEnded {
+                    campaign,
+                    monitoring_days,
+                    coverage,
+                } => {
+                    let s = slot(&mut slots, campaign, seq)?;
+                    s.monitoring_days = monitoring_days;
+                    s.coverage = coverage;
+                }
+                StudyRecord::ProfileCollected { campaign, record } => {
+                    slot(&mut slots, campaign, seq)?.likers.push(record);
+                }
+                StudyRecord::TerminationsProbed {
+                    campaign,
+                    terminated,
+                    unknown,
+                } => {
+                    let s = slot(&mut slots, campaign, seq)?;
+                    s.terminated = terminated;
+                    s.unknown = unknown;
+                }
+                StudyRecord::BaselineSampled { records } => {
+                    baseline = records;
+                }
+            }
+        }
+        Ok(())
+    });
+    result?;
+    likelab_obs::metrics::counter("log.replay", record_count);
+
+    // A termination/reinstatement past the cutoff touches every campaign
+    // whose collected likers include that account (its audience report and
+    // liker records change).
+    if from_seq.is_some() {
+        for (i, s) in slots.iter().enumerate() {
+            if s.likers.iter().any(|l| late_terminated.contains(&l.user)) {
+                touched.insert(i);
+            }
+        }
+    } else {
+        touched.extend(0..n);
+    }
+
+    let mut recomputed = Vec::new();
+    let mut cached = Vec::new();
+    let mut campaigns_data = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        if touched.contains(&i) {
+            let page = slot.page.ok_or_else(|| {
+                StudyError::Mismatch(format!("campaign #{i} never launched in this log"))
+            })?;
+            let data = CampaignData {
+                spec: config.campaigns[i].clone(),
+                page,
+                observations: slot.observations,
+                likers: slot.likers,
+                report: AudienceReport::for_page(&world, page),
+                monitoring_days: slot.monitoring_days,
+                terminated_after_month: slot.terminated,
+                termination_unknown: slot.unknown,
+                inactive: slot.inactive,
+                coverage: slot.coverage,
+            };
+            if let Some(dir) = &opts.cache_dir {
+                write_cache_entry(dir, i, &data)?;
+            }
+            recomputed.push(i);
+            campaigns_data.push(data);
+        } else {
+            let dir = opts.cache_dir.as_deref().ok_or_else(|| {
+                StudyError::Mismatch("incremental replay needs a cache directory".into())
+            })?;
+            cached.push(i);
+            campaigns_data.push(read_cache_entry(dir, i, &config)?);
+        }
+    }
+    if let Some(dir) = &opts.cache_dir {
+        write_cache_meta(dir, &config)?;
+    }
+
+    let dataset = Dataset {
+        campaigns: campaigns_data,
+        baseline,
+        launch: launch.unwrap_or(SimTime::EPOCH),
+        global_report: AudienceReport::global_with(&world, opts.exec),
+    };
+    let report = StudyReport::compute_with(&dataset, opts.exec);
+    Ok(ReplayOutcome {
+        config,
+        dataset,
+        report,
+        world,
+        recomputed,
+        cached,
+    })
+}
+
+/// Bounds-checked slot access: a campaign index past the config's campaign
+/// list means the log and its header disagree.
+fn slot(
+    slots: &mut [CampaignSlot],
+    campaign: usize,
+    seq: u64,
+) -> Result<&mut CampaignSlot, StudyError> {
+    let n = slots.len();
+    slots
+        .get_mut(campaign)
+        .ok_or_else(|| StudyError::BadRecord {
+            seq,
+            reason: format!("campaign index {campaign} out of range (config has {n})"),
+        })
+}
+
+fn cache_entry_path(dir: &Path, campaign: usize) -> PathBuf {
+    dir.join(format!("campaign_{campaign:02}.json"))
+}
+
+fn write_cache_entry(dir: &Path, campaign: usize, data: &CampaignData) -> Result<(), StudyError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let json = serde_json::to_string(data)
+        .map_err(|e| StudyError::Mismatch(format!("cache serialization: {e}")))?;
+    write_atomic(&cache_entry_path(dir, campaign), &json)
+}
+
+fn read_cache_entry(
+    dir: &Path,
+    campaign: usize,
+    config: &StudyConfig,
+) -> Result<CampaignData, StudyError> {
+    check_cache_meta(dir, config)?;
+    let path = cache_entry_path(dir, campaign);
+    let json = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+    serde_json::from_str(&json)
+        .map_err(|e| StudyError::Mismatch(format!("{}: {e}", path.display())))
+}
+
+fn cache_meta_json(config: &StudyConfig) -> Result<String, StudyError> {
+    let meta = serde::Value::Object(vec![
+        (
+            "kind".into(),
+            serde::Value::Str("likelab-replay-cache".into()),
+        ),
+        ("config".into(), config.to_value()),
+    ]);
+    serde_json::to_string_pretty(&meta)
+        .map_err(|e| StudyError::Mismatch(format!("cache meta serialization: {e}")))
+}
+
+fn write_cache_meta(dir: &Path, config: &StudyConfig) -> Result<(), StudyError> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    write_atomic(&dir.join("meta.json"), &cache_meta_json(config)?)
+}
+
+/// An incremental replay may only reuse cache entries produced under the
+/// identical configuration.
+fn check_cache_meta(dir: &Path, config: &StudyConfig) -> Result<(), StudyError> {
+    let path = dir.join("meta.json");
+    let found = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+    if found != cache_meta_json(config)? {
+        return Err(StudyError::Mismatch(format!(
+            "{} was written under a different study config",
+            path.display()
+        )));
+    }
+    Ok(())
+}

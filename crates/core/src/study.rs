@@ -16,8 +16,15 @@
 //! 7. compute every table and figure.
 //!
 //! Deterministic: a `(seed, scale)` pair reproduces the identical study.
+//!
+//! The run is event-sourced: with logging enabled (see [`RunOptions`]),
+//! every world mutation and measurement artifact is appended to a
+//! [`StudyLog`], and [`replay`](crate::replay) rebuilds the identical
+//! outcome from the log alone. Checkpointing freezes the run mid-loop and
+//! [resumes](crate::checkpoint) byte-identically.
 
 use crate::presets::{paper_campaigns, paper_farms};
+use crate::record::{io_err, StudyError, StudyLog, StudyRecord};
 use likelab_analysis::StudyReport;
 use likelab_farms::{DeliveryStyle, FarmOrder, FarmRoster, FarmSpec, TimedLike};
 use likelab_graph::PageId;
@@ -33,6 +40,7 @@ use likelab_osn::{
 };
 use likelab_sim::{Engine, Exec, Rng, SimDuration, SimTime, Trace};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Everything a study run is parameterized by.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -150,12 +158,139 @@ pub struct StudyOutcome {
     pub honeypots: Vec<PageId>,
     /// Run journal (scam notes, sweep counts, crawl stats).
     pub trace: Trace,
+    /// The captured study log, when the run was logging (see
+    /// [`RunOptions::capture_log`]). For a resumed run this holds only the
+    /// records appended after the resume point; the full stream lives in
+    /// the checkpoint directory's `world.log`.
+    pub log: Option<StudyLog>,
 }
 
-enum Ev {
+/// An event-loop entry. Serializable so checkpointing can freeze the
+/// pending queue mid-run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub(crate) enum Ev {
+    /// A scheduled like lands.
     Like(TimedLike),
+    /// The crawler polls campaign `i`'s page.
     Poll(usize),
+    /// A platform anti-fraud sweep.
     Sweep,
+}
+
+/// Knobs for [`run_study_opts`]: execution policy, log capture, and
+/// checkpoint/resume.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Execution policy for the parallel stages (see [`run_study_with`]).
+    pub exec: Exec,
+    /// Capture a [`StudyLog`] in memory, returned on
+    /// [`StudyOutcome::log`].
+    pub capture_log: bool,
+    /// Stream the log to this file (binary framing). Implies capture.
+    pub log_out: Option<PathBuf>,
+    /// Checkpoint directory. Enables checkpointing: the log streams to
+    /// `<dir>/world.log` and consumer state snapshots to
+    /// `<dir>/checkpoint.json`. Mutually exclusive with `log_out`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence, in fired events (0 disables checkpoint writes).
+    pub checkpoint_every: u64,
+    /// Resume from `checkpoint_dir` instead of starting fresh. The
+    /// checkpointed config wins; the config passed to
+    /// [`run_study_opts`] is ignored.
+    pub resume: bool,
+    /// Test hook: abort with [`StudyError::SimulatedCrash`] after this
+    /// many checkpoints have been written. Lets CI exercise the
+    /// kill-and-resume path deterministically.
+    pub crash_after_checkpoints: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            exec: Exec::auto(),
+            capture_log: false,
+            log_out: None,
+            checkpoint_dir: None,
+            checkpoint_every: 5_000,
+            resume: false,
+            crash_after_checkpoints: None,
+        }
+    }
+}
+
+/// The optional log-capture side channel threaded through a run. All
+/// methods are no-ops when the run is not logging.
+pub(crate) struct Capture {
+    pub(crate) log: Option<StudyLog>,
+}
+
+impl Capture {
+    fn open(config: &StudyConfig, opts: &RunOptions) -> Result<Self, StudyError> {
+        let log = if let Some(dir) = &opts.checkpoint_dir {
+            if opts.log_out.is_some() {
+                return Err(StudyError::Mismatch(
+                    "log-out and checkpoint-dir are mutually exclusive; \
+                     the checkpoint dir already owns <dir>/world.log"
+                        .into(),
+                ));
+            }
+            std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+            Some(StudyLog::to_file(config, &dir.join("world.log"))?)
+        } else if let Some(path) = &opts.log_out {
+            Some(StudyLog::to_file(config, path)?)
+        } else if opts.capture_log {
+            Some(StudyLog::in_memory(config))
+        } else {
+            None
+        };
+        Ok(Capture { log })
+    }
+
+    fn on(&self) -> bool {
+        self.log.is_some()
+    }
+
+    fn rng_fork(&mut self, label: &str) -> Result<(), StudyError> {
+        if let Some(log) = &mut self.log {
+            log.append(StudyRecord::RngFork {
+                label: label.into(),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn world(&mut self, world: &mut OsnWorld) -> Result<(), StudyError> {
+        if let Some(log) = &mut self.log {
+            log.drain_world(world)?;
+        }
+        Ok(())
+    }
+
+    fn record(&mut self, f: impl FnOnce() -> StudyRecord) -> Result<(), StudyError> {
+        if let Some(log) = &mut self.log {
+            log.append(f())?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the event loop carries between steps. Checkpointing
+/// serializes all of it except the world, which is rebuilt from the log.
+pub(crate) struct LoopState {
+    pub(crate) config: StudyConfig,
+    pub(crate) world: OsnWorld,
+    pub(crate) population: Population,
+    pub(crate) engine: Engine<Ev>,
+    pub(crate) monitors: Vec<Option<PageMonitor>>,
+    pub(crate) inactive: Vec<bool>,
+    pub(crate) honeypots: Vec<PageId>,
+    pub(crate) launch: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) api: CrawlApi,
+    pub(crate) fraud: FraudOps,
+    pub(crate) rng: Rng,
+    pub(crate) trace: Trace,
+    pub(crate) sweep_terminations: usize,
 }
 
 /// How long a campaign's paid promotion runs (drives the crawler cadence
@@ -197,14 +332,47 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
 /// randomness from index-split streams and reassembles results in index
 /// order, so the returned outcome is bit-identical for every `exec`.
 pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
+    run_study_opts(
+        config,
+        &RunOptions {
+            exec,
+            ..RunOptions::default()
+        },
+    )
+    .expect("a study without logging or checkpointing cannot fail")
+}
+
+/// Run the study with full control over logging and checkpointing.
+///
+/// This is the event-sourced entry point: with [`RunOptions::capture_log`]
+/// (or `log_out`/`checkpoint_dir`) set, every world mutation and
+/// measurement artifact is appended to a [`StudyLog`] as the run executes,
+/// and [`replay`](crate::replay::replay_study) reproduces the identical
+/// dataset and report from the log alone. With `checkpoint_dir` set the
+/// run can be killed and [resumed](RunOptions::resume) byte-identically.
+pub fn run_study_opts(config: &StudyConfig, opts: &RunOptions) -> Result<StudyOutcome, StudyError> {
     likelab_obs::span!("study.run");
+    if opts.resume {
+        return crate::checkpoint::resume_study(opts);
+    }
+    let mut capture = Capture::open(config, opts)?;
+    let mut state = setup(config, opts.exec, &mut capture)?;
+    event_loop(&mut state, &mut capture, opts)?;
+    collect(state, capture, opts.exec)
+}
+
+/// Phases 1–3: population, honeypots, promotions, organic plan, and the
+/// initial event queue.
+fn setup(config: &StudyConfig, exec: Exec, capture: &mut Capture) -> Result<LoopState, StudyError> {
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut trace = Trace::with_capacity(10_000);
     let mut world = OsnWorld::new();
+    world.set_recording(capture.on());
 
     // --- population -----------------------------------------------------
     let population_span = likelab_obs::span::enter("study.population");
     let pop_config = config.population.clone().scaled(config.scale);
+    capture.rng_fork("population")?;
     let population = synthesize_with(&mut world, &pop_config, &mut rng.fork("population"), exec);
     let launch = population.launch;
     trace.note(
@@ -216,6 +384,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
             world.likes().len()
         ),
     );
+    capture.world(&mut world)?;
 
     drop(population_span);
 
@@ -223,6 +392,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     let promotions_span = likelab_obs::span::enter("study.promotions");
     // Farm camouflage draws from the globally popular head of the
     // catalogue: farm accounts mimic generic users, not locals.
+    capture.rng_fork("farms")?;
     let mut roster = FarmRoster::new(
         config.farms.clone(),
         population.global_pages.clone(),
@@ -239,6 +409,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     // stream is a pure function of (seed, index), so adding draws to one
     // campaign — or planning campaigns out of order, or in parallel — never
     // perturbs another campaign's stream.
+    capture.rng_fork("ads")?;
     let ads_rng = rng.fork("ads");
     for (campaign_index, spec) in config.campaigns.iter().enumerate() {
         let (page, _owner) = deploy_honeypot(&mut world, launch);
@@ -326,6 +497,17 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         inactive.push(is_scam);
         monitors
             .push((!is_scam).then(|| PageMonitor::new(page, launch, campaign_end, config.crawler)));
+        capture.world(&mut world)?;
+        capture.record(|| StudyRecord::CampaignLaunched {
+            campaign: campaign_index,
+            page,
+            at: launch,
+        })?;
+        if is_scam {
+            capture.record(|| StudyRecord::CampaignInactive {
+                campaign: campaign_index,
+            })?;
+        }
     }
 
     let end = max_campaign_end + config.termination_check_after;
@@ -333,6 +515,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     // --- organic background activity --------------------------------------
     if config.organic_activity {
         let window = end.since(launch);
+        capture.rng_fork("organic")?;
         let plan = plan_background_activity(
             &world,
             &population,
@@ -358,7 +541,6 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     }
 
     drop(promotions_span);
-    let event_loop_span = likelab_obs::span::enter("study.event_loop");
 
     // --- crawler polls and fraud sweeps -----------------------------------
     for (i, m) in monitors.iter().enumerate() {
@@ -368,47 +550,96 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     }
     engine.schedule(launch + SimDuration::days(3), Ev::Sweep);
 
-    let mut api = CrawlApi::new(config.crawl, rng.fork("crawl"));
-    let mut fraud = FraudOps::new(config.fraud.clone(), rng.fork("fraud"));
-    let mut sweep_terminations = 0usize;
+    capture.rng_fork("crawl")?;
+    let api = CrawlApi::new(config.crawl, rng.fork("crawl"));
+    capture.rng_fork("fraud")?;
+    let fraud = FraudOps::new(config.fraud.clone(), rng.fork("fraud"));
 
-    while let Some((now, ev)) = engine.step() {
+    Ok(LoopState {
+        config: config.clone(),
+        world,
+        population,
+        engine,
+        monitors,
+        inactive,
+        honeypots,
+        launch,
+        end,
+        api,
+        fraud,
+        rng,
+        trace,
+        sweep_terminations: 0,
+    })
+}
+
+/// Phase 4: drive the event loop to exhaustion, checkpointing on cadence
+/// when a checkpoint directory is configured.
+pub(crate) fn event_loop(
+    state: &mut LoopState,
+    capture: &mut Capture,
+    opts: &RunOptions,
+) -> Result<(), StudyError> {
+    let event_loop_span = likelab_obs::span::enter("study.event_loop");
+    let mut checkpoints = 0u64;
+    while let Some((now, ev)) = state.engine.step() {
         match ev {
             Ev::Like(l) => {
-                world.record_like(l.user, l.page, l.at);
+                state.world.record_like(l.user, l.page, l.at);
             }
             Ev::Poll(i) => {
-                let monitor = monitors[i].as_mut().expect("poll only for active");
-                if let Some(next) = monitor.poll(&world, &mut api, now) {
-                    engine.schedule(next, Ev::Poll(i));
+                let monitor = state.monitors[i].as_mut().expect("poll only for active");
+                if let Some(next) = monitor.poll(&state.world, &mut state.api, now) {
+                    state.engine.schedule(next, Ev::Poll(i));
                 } else {
-                    trace.note(now, format!("stopped monitoring campaign #{i}"));
+                    state
+                        .trace
+                        .note(now, format!("stopped monitoring campaign #{i}"));
                 }
             }
             Ev::Sweep => {
-                let terminated = fraud.sweep(&mut world, now);
-                sweep_terminations += terminated.len();
-                trace.count("fraud.terminated", terminated.len() as u64);
-                if now + config.sweep_interval <= end {
-                    engine.schedule(now + config.sweep_interval, Ev::Sweep);
+                let terminated = state.fraud.sweep(&mut state.world, now);
+                state.sweep_terminations += terminated.len();
+                state
+                    .trace
+                    .count("fraud.terminated", terminated.len() as u64);
+                if now + state.config.sweep_interval <= state.end {
+                    state
+                        .engine
+                        .schedule(now + state.config.sweep_interval, Ev::Sweep);
+                }
+            }
+        }
+        capture.world(&mut state.world)?;
+        if let Some(dir) = &opts.checkpoint_dir {
+            if opts.checkpoint_every > 0
+                && state.engine.fired().is_multiple_of(opts.checkpoint_every)
+            {
+                crate::checkpoint::write_checkpoint(dir, state, capture)?;
+                checkpoints += 1;
+                if opts
+                    .crash_after_checkpoints
+                    .is_some_and(|k| checkpoints >= k)
+                {
+                    return Err(StudyError::SimulatedCrash { checkpoints });
                 }
             }
         }
     }
-    trace.note(
-        end,
+    state.trace.note(
+        state.end,
         format!(
             "event loop drained: {} events, {} sweep terminations, {} crawl requests ({} failed)",
-            engine.fired(),
-            sweep_terminations,
-            api.requests(),
-            api.failures()
+            state.engine.fired(),
+            state.sweep_terminations,
+            state.api.requests(),
+            state.api.failures()
         ),
     );
-    if !config.crawl.faults.is_quiet() {
-        let s = api.stats();
-        trace.note(
-            end,
+    if !state.config.crawl.faults.is_quiet() {
+        let s = state.api.stats();
+        state.trace.note(
+            state.end,
             format!(
                 "crawl faults during monitoring: {} rate-limited, {} outage, {} transient",
                 s.rate_limited, s.outage, s.transient
@@ -417,9 +648,34 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
     }
 
     drop(event_loop_span);
-    likelab_obs::metrics::counter("study.events.fired", engine.fired());
+    likelab_obs::metrics::counter("study.events.fired", state.engine.fired());
+    Ok(())
+}
 
-    // --- collection -------------------------------------------------------
+/// Phases 5–7: profile collection, the termination recheck, the baseline
+/// sample, and report computation.
+pub(crate) fn collect(
+    state: LoopState,
+    mut capture: Capture,
+    exec: Exec,
+) -> Result<StudyOutcome, StudyError> {
+    let LoopState {
+        config,
+        world,
+        population,
+        engine: _,
+        monitors,
+        inactive,
+        honeypots,
+        launch,
+        end,
+        mut api,
+        fraud: _,
+        mut rng,
+        trace,
+        sweep_terminations: _,
+    } = state;
+
     let collection_span = likelab_obs::span::enter("study.collection");
     let mut campaigns_data = Vec::with_capacity(config.campaigns.len());
     // The collection passes run on a virtual crawl clock starting at the
@@ -457,6 +713,28 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
             &mut crawl_at,
             &config.collection.retry,
         );
+        for o in &observations {
+            capture.record(|| StudyRecord::CrawlObserved {
+                campaign: i,
+                observation: *o,
+            })?;
+        }
+        for l in &likers {
+            capture.record(|| StudyRecord::ProfileCollected {
+                campaign: i,
+                record: l.clone(),
+            })?;
+        }
+        capture.record(|| StudyRecord::TerminationsProbed {
+            campaign: i,
+            terminated: probe.terminated,
+            unknown: probe.unknown,
+        })?;
+        capture.record(|| StudyRecord::MonitoringEnded {
+            campaign: i,
+            monitoring_days,
+            coverage,
+        })?;
         campaigns_data.push(CampaignData {
             spec: spec.clone(),
             page,
@@ -471,6 +749,7 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         });
     }
 
+    capture.rng_fork("baseline")?;
     let n_baseline = ((config.baseline_sample as f64 * config.scale).round() as usize).max(50);
     let baseline: Vec<BaselineRecord> =
         likelab_osn::directory::random_sample(&world, n_baseline, &mut rng.fork("baseline"))
@@ -480,6 +759,9 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
                 like_count: world.likes().user_like_count(user),
             })
             .collect();
+    capture.record(|| StudyRecord::BaselineSampled {
+        records: baseline.clone(),
+    })?;
 
     let dataset = Dataset {
         campaigns: campaigns_data,
@@ -493,7 +775,11 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         StudyReport::compute_with(&dataset, exec)
     };
 
-    StudyOutcome {
+    if let Some(log) = &mut capture.log {
+        log.flush()?;
+    }
+
+    Ok(StudyOutcome {
         dataset,
         report,
         world,
@@ -501,7 +787,8 @@ pub fn run_study_with(config: &StudyConfig, exec: Exec) -> StudyOutcome {
         launch,
         honeypots,
         trace,
-    }
+        log: capture.log,
+    })
 }
 
 #[cfg(test)]
@@ -705,6 +992,27 @@ mod tests {
         );
         let c = run_study(&StudyConfig::paper(8, 0.03));
         assert_ne!(a.report.to_json().unwrap(), c.report.to_json().unwrap());
+    }
+
+    #[test]
+    fn logged_run_matches_unlogged_run() {
+        let config = StudyConfig::paper(11, 0.03);
+        let plain = run_study(&config);
+        let logged = run_study_opts(
+            &config,
+            &RunOptions {
+                capture_log: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            plain.report.to_json().unwrap(),
+            logged.report.to_json().unwrap(),
+            "capturing the log must not perturb the run"
+        );
+        let log = logged.log.expect("log captured");
+        assert!(log.records().len() > 1_000, "log is non-trivial");
     }
 
     #[test]

@@ -217,13 +217,9 @@ impl FarmRoster {
                 triplet_fraction,
                 isolate_fraction,
             } => {
-                generate::pairs_and_triplets(
-                    world.friends_mut(),
-                    &fresh,
-                    triplet_fraction,
-                    isolate_fraction,
-                    rng,
-                );
+                world.generate_friendships(|g| {
+                    generate::pairs_and_triplets(g, &fresh, triplet_fraction, isolate_fraction, rng)
+                });
             }
         }
         for &a in &fresh {

@@ -228,10 +228,18 @@ pub fn planted_partition(
 /// duplicates are skipped, so realized degrees compress slightly at the top
 /// of the tail. Edge count is `sum(targets) / 2`.
 ///
+/// Returns the newly added edges in insertion order, so callers can journal
+/// the wiring into a world log and replay it without re-running the model.
+///
 /// # Panics
 /// Panics when `members` and `target_degrees` differ in length or a target
 /// is negative/non-finite.
-pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64], rng: &mut Rng) {
+pub fn chung_lu(
+    g: &mut FriendGraph,
+    members: &[UserId],
+    target_degrees: &[f64],
+    rng: &mut Rng,
+) -> Vec<(UserId, UserId)> {
     assert_eq!(
         members.len(),
         target_degrees.len(),
@@ -239,7 +247,7 @@ pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64],
     );
     let n = members.len();
     if n < 2 {
-        return;
+        return Vec::new();
     }
     // Cumulative weights for O(log n) endpoint sampling.
     let mut cumulative = Vec::with_capacity(n);
@@ -250,7 +258,7 @@ pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64],
         cumulative.push(total);
     }
     if total <= 0.0 {
-        return;
+        return Vec::new();
     }
     let pick = |rng: &mut Rng, cumulative: &[f64]| -> usize {
         let target = rng.f64() * total;
@@ -262,43 +270,54 @@ pub fn chung_lu(g: &mut FriendGraph, members: &[UserId], target_degrees: &[f64],
     let m = (total / 2.0).round() as usize;
     let max_possible = n * (n - 1) / 2;
     let m = m.min(max_possible);
-    let mut added = 0usize;
+    let mut edges = Vec::with_capacity(m);
     let mut attempts = 0usize;
     let budget = m.saturating_mul(20).max(1000);
-    while added < m && attempts < budget {
+    while edges.len() < m && attempts < budget {
         attempts += 1;
         let a = pick(rng, &cumulative);
         let b = pick(rng, &cumulative);
         if a != b && g.add_edge(members[a], members[b]) {
-            added += 1;
+            edges.push((members[a], members[b]));
         }
     }
+    edges
 }
 
 /// Partition `members` into isolated pairs and triplets — the bot-burst
 /// farm's compartmentalized topology. `triplet_fraction` of the groups are
 /// triplets; `isolate_fraction` of members stay completely disconnected.
+///
+/// Returns the newly added edges in insertion order (see [`chung_lu`]).
 pub fn pairs_and_triplets(
     g: &mut FriendGraph,
     members: &[UserId],
     triplet_fraction: f64,
     isolate_fraction: f64,
     rng: &mut Rng,
-) {
+) -> Vec<(UserId, UserId)> {
     let mut pool: Vec<UserId> = members.to_vec();
     rng.shuffle(&mut pool);
     let keep_isolated = (pool.len() as f64 * isolate_fraction).round() as usize;
+    let mut edges = Vec::new();
     let mut it = pool.into_iter().skip(keep_isolated).peekable();
     while let Some(a) = it.next() {
         let Some(b) = it.next() else { break };
-        g.add_edge(a, b);
+        if g.add_edge(a, b) {
+            edges.push((a, b));
+        }
         if rng.chance(triplet_fraction) {
             if let Some(c) = it.next() {
-                g.add_edge(b, c);
-                g.add_edge(a, c);
+                if g.add_edge(b, c) {
+                    edges.push((b, c));
+                }
+                if g.add_edge(a, c) {
+                    edges.push((a, c));
+                }
             }
         }
     }
+    edges
 }
 
 #[cfg(test)]

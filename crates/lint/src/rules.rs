@@ -16,6 +16,10 @@
 //! - `unwrap-in-library` — `.unwrap()`/`.expect(…)`/`panic!` in library
 //!   code.
 //! - `stdout-in-library` — `println!`/`print!`/`dbg!` in library code.
+//! - `log-bypass` — direct ledger/graph mutation (`.ingest_batch(…)`,
+//!   `.friends_mut(…)`) outside the world's recording hooks; bypassed
+//!   mutations never reach the study log, so a captured log stops being
+//!   replayable.
 //!
 //! Suppression: a `// lint:allow(rule-id): reason` pragma on the same
 //! line or on immediately preceding comment lines; pre-existing findings
@@ -61,6 +65,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "stdout-in-library",
         summary: "println!/print!/dbg! in library code (stdout belongs to the CLI)",
     },
+    RuleInfo {
+        id: "log-bypass",
+        summary: "ledger/graph mutated directly instead of through the world's logged hooks",
+    },
 ];
 
 /// True when `id` names a known rule.
@@ -88,6 +96,7 @@ pub fn scan_source(rel_path: &str, crate_name: &str, kind: FileKind, source: &st
     rng_shared_across_parallel(&ctx, &mut findings);
     unwrap_in_library(&ctx, &mut findings);
     stdout_in_library(&ctx, &mut findings);
+    log_bypass(&ctx, &mut findings);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings
 }
@@ -646,6 +655,41 @@ fn stdout_in_library(ctx: &Ctx, out: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// log-bypass
+// ---------------------------------------------------------------------------
+
+/// Mutating entry points that bypass `OsnWorld`'s event-recording hooks.
+/// A mutation that skips the world never reaches the study log, so a
+/// captured log stops being a sufficient statistic for replay.
+const LOG_BYPASS_METHODS: &[&str] = &[".ingest_batch(", ".friends_mut("];
+
+fn log_bypass(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Library {
+        return;
+    }
+    const RULE: &str = "log-bypass";
+    for idx in 0..ctx.file.code.len() {
+        if !ctx.live(idx, RULE) {
+            continue;
+        }
+        let line = &ctx.file.code[idx];
+        // The leading dot scopes this to call sites; `fn ingest_batch(` and
+        // `pub fn friends_mut(` definitions don't match.
+        if LOG_BYPASS_METHODS.iter().any(|m| line.contains(m)) {
+            ctx.emit(
+                out,
+                RULE,
+                idx,
+                "mutate through OsnWorld (like/befriend/apply_event) so the world \
+                 log records the change; sanctioned appender internals belong in \
+                 the baseline"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,9 +851,38 @@ mod tests {
     }
 
     #[test]
+    fn direct_ledger_mutation_is_flagged() {
+        let src = "fn f(ledger: &mut LikeLedger, items: &[(UserId, PageId, SimTime)]) {\n\
+                   ledger.ingest_batch(items, Exec::Sequential);\n}\n\
+                   fn g(world: &mut OsnWorld) { world.friends_mut().add_edge(a, b); }\n";
+        let f = lib_scan(src);
+        assert_eq!(rules_of(&f), vec!["log-bypass"; 2], "{f:?}");
+        assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn log_bypass_skips_definitions_tests_and_binaries() {
+        let def = "impl LikeLedger {\n\
+                   pub fn ingest_batch(&mut self, items: &[Item], exec: Exec) -> usize { 0 }\n\
+                   pub fn friends_mut(&mut self) -> &mut FriendGraph { &mut self.g }\n}\n";
+        assert!(lib_scan(def).is_empty(), "{:?}", lib_scan(def));
+        let in_test = "#[cfg(test)]\nmod tests {\n\
+                       #[test]\nfn t() { ledger.ingest_batch(&items, exec); }\n}\n";
+        assert!(lib_scan(in_test).is_empty());
+        let as_bin = scan_source(
+            "src/main.rs",
+            "likelab",
+            FileKind::Binary,
+            "fn f() { ledger.ingest_batch(&items, exec); }\n",
+        );
+        assert!(as_bin.is_empty());
+    }
+
+    #[test]
     fn list_rules_is_consistent() {
         assert!(is_known_rule("unwrap-in-library"));
+        assert!(is_known_rule("log-bypass"));
         assert!(!is_known_rule("made-up-rule"));
-        assert_eq!(RULES.len(), 6);
+        assert_eq!(RULES.len(), 7);
     }
 }

@@ -28,6 +28,24 @@ pub fn record_ns(name: &str, value: u64) {
     with_shard(|s| s.observe(name, value));
 }
 
+/// Run `f`, recording its wall-clock duration in nanoseconds into the
+/// named histogram (see [`record_ns`]). The clock is only read while
+/// observability is enabled, so disabled runs pay nothing and stay free
+/// of wall-time dependence.
+#[inline]
+pub fn timed<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    if !crate::enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    record_ns(
+        name,
+        start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+    out
+}
+
 /// Number of power-of-two buckets: bucket `i` holds values in
 /// `[2^(i-1), 2^i)`, bucket 0 holds exactly zero, bucket 64 tops out at
 /// `u64::MAX`.

@@ -262,7 +262,7 @@ impl CrawlStats {
 /// The deterministic on/off outage process. Queries are expected with
 /// non-decreasing `now` (the event loop is monotone); the schedule only
 /// ever advances.
-#[derive(Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 struct OutageSchedule {
     regime: OutageRegime,
     rng: Rng,
@@ -310,7 +310,11 @@ impl OutageSchedule {
 ///
 /// Every request method takes the current simulation time; the rate-limit
 /// and outage regimes are functions of the clock.
-#[derive(Debug)]
+///
+/// Serializable so checkpoint/resume can freeze a client mid-run — the RNG
+/// streams, outage schedule position, rate-limit window, and stats all
+/// travel with it, keeping the resumed fault stream byte-identical.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CrawlApi {
     config: CrawlConfig,
     rng: Rng,

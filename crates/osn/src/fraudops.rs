@@ -94,7 +94,10 @@ pub fn like_stream_burstiness(
 }
 
 /// The anti-fraud operation.
-#[derive(Debug)]
+///
+/// Serializable so checkpoint/resume can freeze the sweep engine mid-run
+/// (its RNG stream position is the only hidden state).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FraudOps {
     config: FraudOpsConfig,
     rng: Rng,

@@ -31,6 +31,7 @@ pub mod demographics;
 pub mod directory;
 pub mod fraudops;
 pub mod likes;
+pub mod log;
 pub mod organic;
 pub mod page;
 pub mod population;
@@ -49,6 +50,7 @@ pub use crawl_api::{
 pub use demographics::{AgeBracket, Country, Gender, GeoBucket, Profile};
 pub use fraudops::{FraudOps, FraudOpsConfig};
 pub use likes::{LikeLedger, LikeRecord};
+pub use log::WorldEvent;
 pub use page::{Page, PageCategory};
 pub use population::{Population, PopulationConfig};
 pub use posts::{simulate_engagement, EngagementModel, EngagementReport};

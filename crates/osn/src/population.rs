@@ -183,7 +183,9 @@ impl PopulationConfig {
 
 /// Handles into the synthesized population, used by the ad engine and the
 /// public-directory sampler.
-#[derive(Clone, Debug, Default)]
+///
+/// Serializable so checkpoint/resume can carry it across a process restart.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Population {
     /// All organic account ids.
     pub organic: Vec<UserId>,
@@ -383,7 +385,7 @@ pub fn synthesize_with(
             .iter()
             .map(|u| target_of[u] * in_world * (1.0 - config.cross_country_edge_fraction))
             .collect();
-        generate::chung_lu(world.friends_mut(), &organics, &targets, &mut graph_rng);
+        world.generate_friendships(|g| generate::chung_lu(g, &organics, &targets, &mut graph_rng));
         // Click-prone attachment: a handful of edges into the organic
         // community, never to other clickers.
         if organics.is_empty() {
@@ -407,12 +409,9 @@ pub fn synthesize_with(
         .iter()
         .map(|u| target_of[u] * in_world * config.cross_country_edge_fraction)
         .collect();
-    generate::chung_lu(
-        world.friends_mut(),
-        &all_organics,
-        &cross_targets,
-        &mut graph_rng,
-    );
+    world.generate_friendships(|g| {
+        generate::chung_lu(g, &all_organics, &cross_targets, &mut graph_rng)
+    });
     for (u, total) in &degree_target {
         let realized = world.friends().degree(*u) as f64;
         let off = (total - realized).max(0.0).round() as u32;

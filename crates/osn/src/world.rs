@@ -13,6 +13,7 @@
 use crate::account::{Account, ActorClass, PrivacySettings};
 use crate::demographics::Profile;
 use crate::likes::LikeLedger;
+use crate::log::{Recorder, WorldEvent};
 use crate::page::{Page, PageCategory};
 use crate::store::AccountStore;
 use likelab_graph::{FriendGraph, PageId, UserId};
@@ -26,12 +27,89 @@ pub struct OsnWorld {
     pages: Vec<Page>,
     friends: FriendGraph,
     ledger: LikeLedger,
+    recorder: Recorder,
 }
 
 impl OsnWorld {
     /// An empty world.
     pub fn new() -> Self {
         OsnWorld::default()
+    }
+
+    // ----- event recording ----------------------------------------------
+
+    /// Turn mutation recording on or off. While on, every accepted
+    /// mutation buffers one [`WorldEvent`]; drain the buffer with
+    /// [`drain_events`][Self::drain_events]. Off by default.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+    }
+
+    /// Whether mutation recording is currently on.
+    pub fn recording(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Number of buffered (not yet drained) events.
+    pub fn pending_events(&self) -> usize {
+        self.recorder.len()
+    }
+
+    /// Take the buffered events, leaving the buffer empty.
+    pub fn drain_events(&mut self) -> Vec<WorldEvent> {
+        self.recorder.drain()
+    }
+
+    /// Apply a replayed event to this world. Applies the same validation
+    /// the original mutation did (so rejected duplicates stay rejected) and
+    /// never records, even when recording is on — replaying a log must not
+    /// re-log it.
+    pub fn apply_event(&mut self, ev: &WorldEvent) {
+        let was_recording = self.recorder.enabled();
+        self.recorder.set_enabled(false);
+        match ev {
+            WorldEvent::AccountCreated {
+                profile,
+                class,
+                privacy,
+                at,
+            } => {
+                self.create_account(*profile, *class, *privacy, *at);
+            }
+            WorldEvent::PageCreated {
+                name,
+                description,
+                owner,
+                category,
+                at,
+            } => {
+                self.create_page(name.clone(), description.clone(), *owner, *category, *at);
+            }
+            WorldEvent::Friendship { a, b } => {
+                self.add_friendship(*a, *b);
+            }
+            WorldEvent::FriendshipBatch { edges } => {
+                for &(a, b) in edges {
+                    self.friends.add_edge(a, b);
+                }
+            }
+            WorldEvent::OffNetworkFriends { user, n } => {
+                self.set_off_network_friends(*user, *n);
+            }
+            WorldEvent::Like { user, page, at } => {
+                self.record_like(*user, *page, *at);
+            }
+            WorldEvent::LikeBatch { likes } => {
+                self.ingest_likes(likes, Exec::Sequential);
+            }
+            WorldEvent::Terminated { user, at } => {
+                self.terminate_account(*user, *at);
+            }
+            WorldEvent::Reinstated { user } => {
+                self.reinstate_account(*user);
+            }
+        }
+        self.recorder.set_enabled(was_recording);
     }
 
     // ----- accounts -----------------------------------------------------
@@ -47,6 +125,12 @@ impl OsnWorld {
         let id = self.accounts.push(profile, class, privacy, created_at);
         self.friends.ensure_nodes(self.accounts.len());
         self.ledger.ensure_users(self.accounts.len());
+        self.recorder.push_with(|| WorldEvent::AccountCreated {
+            profile,
+            class,
+            privacy,
+            at: created_at,
+        });
         id
     }
 
@@ -89,6 +173,8 @@ impl OsnWorld {
     /// [`Account::off_network_friends`]).
     pub fn set_off_network_friends(&mut self, id: UserId, n: u32) {
         self.accounts.set_off_network_friends(id, n);
+        self.recorder
+            .push_with(|| WorldEvent::OffNetworkFriends { user: id, n });
     }
 
     /// Total friend count as the profile reports it: in-world degree plus
@@ -100,13 +186,23 @@ impl OsnWorld {
     /// Terminate an account (idempotent; the first termination time wins).
     /// Returns true when the account was active.
     pub fn terminate_account(&mut self, id: UserId, at: SimTime) -> bool {
-        self.accounts.terminate(id, at)
+        let accepted = self.accounts.terminate(id, at);
+        if accepted {
+            self.recorder
+                .push_with(|| WorldEvent::Terminated { user: id, at });
+        }
+        accepted
     }
 
     /// Reinstate a terminated account (the appeal path); its likes become
     /// visible again. Returns true when the account was terminated.
     pub fn reinstate_account(&mut self, id: UserId) -> bool {
-        self.accounts.reinstate(id)
+        let accepted = self.accounts.reinstate(id);
+        if accepted {
+            self.recorder
+                .push_with(|| WorldEvent::Reinstated { user: id });
+        }
+        accepted
     }
 
     // ----- pages ---------------------------------------------------------
@@ -121,10 +217,19 @@ impl OsnWorld {
         created_at: SimTime,
     ) -> PageId {
         let id = PageId(self.pages.len() as u32);
+        let name = name.into();
+        let description = description.into();
+        self.recorder.push_with(|| WorldEvent::PageCreated {
+            name: name.clone(),
+            description: description.clone(),
+            owner,
+            category,
+            at: created_at,
+        });
         self.pages.push(Page {
             id,
-            name: name.into(),
-            description: description.into(),
+            name,
+            description,
             owner,
             created_at,
             category,
@@ -152,7 +257,32 @@ impl OsnWorld {
 
     /// Befriend two accounts. Returns true when the edge was new.
     pub fn add_friendship(&mut self, a: UserId, b: UserId) -> bool {
-        self.friends.add_edge(a, b)
+        let added = self.friends.add_edge(a, b);
+        if added {
+            self.recorder.push_with(|| WorldEvent::Friendship { a, b });
+        }
+        added
+    }
+
+    /// Run a bulk friendship generator against the graph and journal the
+    /// edges it reports as one [`WorldEvent::FriendshipBatch`]. The closure
+    /// must return exactly the edges it added, in insertion order — the
+    /// graph generators (`chung_lu`, `pairs_and_triplets`) do.
+    ///
+    /// This is the sanctioned path for bulk wiring; mutating the graph
+    /// behind the world's back would leave holes in the event log (the
+    /// `log-bypass` lint flags that).
+    pub fn generate_friendships<F>(&mut self, f: F) -> Vec<(UserId, UserId)>
+    where
+        F: FnOnce(&mut FriendGraph) -> Vec<(UserId, UserId)>,
+    {
+        let edges = f(&mut self.friends);
+        if !edges.is_empty() {
+            self.recorder.push_with(|| WorldEvent::FriendshipBatch {
+                edges: edges.clone(),
+            });
+        }
+        edges
     }
 
     /// The friendship graph (read-only).
@@ -161,6 +291,9 @@ impl OsnWorld {
     }
 
     /// Mutable friendship graph, for bulk generators.
+    ///
+    /// Prefer [`generate_friendships`][Self::generate_friendships]: edges
+    /// added through this escape hatch are invisible to the event log.
     pub fn friends_mut(&mut self) -> &mut FriendGraph {
         &mut self.friends
     }
@@ -173,7 +306,12 @@ impl OsnWorld {
         if !self.accounts.is_active(user) {
             return false;
         }
-        self.ledger.record(user, page, at)
+        let accepted = self.ledger.record(user, page, at);
+        if accepted {
+            self.recorder
+                .push_with(|| WorldEvent::Like { user, page, at });
+        }
+        accepted
     }
 
     /// Bulk-record likes through the ledger's sharded batch path (see
@@ -182,6 +320,13 @@ impl OsnWorld {
     /// Byte-identical outcome for every `exec`, and identical to calling
     /// [`record_like`][Self::record_like] per item in order.
     pub fn ingest_likes(&mut self, items: &[(UserId, PageId, SimTime)], exec: Exec) -> usize {
+        // The *input* batch is journaled verbatim; replay re-applies the
+        // same active-account filter against identical state.
+        if !items.is_empty() {
+            self.recorder.push_with(|| WorldEvent::LikeBatch {
+                likes: items.to_vec(),
+            });
+        }
         if items.iter().all(|&(u, _, _)| self.accounts.is_active(u)) {
             // Synthesis-time fast path: nobody is terminated yet, ingest the
             // batch without copying it.

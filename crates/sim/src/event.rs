@@ -1,0 +1,532 @@
+//! The event-log substrate: framed, seekable, corruption-detecting codecs.
+//!
+//! A *log* is a header plus a sequence of records. The header carries a
+//! format version and a caller-defined metadata document (the study config
+//! and RNG provenance live there); each record is a monotone sequence
+//! number plus a payload lowered to the serde data model ([`Value`]).
+//! Payload *semantics* belong to higher layers (`likelab_osn::log` defines
+//! the world-mutation vocabulary, `likelab_core` the study records) — this
+//! module only guarantees framing, ordering, and integrity.
+//!
+//! Two codecs share the same logical model:
+//!
+//! - **binary** — a compact framed stream (`LLOG` magic, version, FNV-1a
+//!   checksums per record) meant for capture files and checkpoints. It is
+//!   appendable: [`FrameWriter`] streams records to any [`io::Write`] and
+//!   reports byte offsets, so a checkpoint can pin "the log up to byte N".
+//! - **JSON lines** — one JSON object per line, for grepping and diffing.
+//!
+//! Decoding is strict: a truncated tail, a failed checksum, a version skew,
+//! or a sequence number that does not strictly increase is a hard
+//! [`LogError`] — never a silent partial replay.
+
+use serde::Value;
+use std::fmt;
+use std::io;
+
+/// The binary codec's magic bytes.
+pub const MAGIC: [u8; 4] = *b"LLOG";
+
+/// Current format version (bump on any framing or vocabulary change; see
+/// DESIGN.md for the versioning policy).
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The JSONL codec's magic string (first line, `"magic"` field).
+pub const JSONL_MAGIC: &str = "likelab-log";
+
+/// Log header: format version plus caller metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHeader {
+    /// Format version of the stream (readers reject mismatches).
+    pub version: u16,
+    /// Caller-defined metadata (config, seed, RNG stream provenance).
+    pub meta: Value,
+}
+
+impl LogHeader {
+    /// A current-version header around `meta`.
+    pub fn new(meta: Value) -> Self {
+        LogHeader {
+            version: FORMAT_VERSION,
+            meta,
+        }
+    }
+}
+
+/// One log record: a monotone sequence number and a payload value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogRecord {
+    /// Strictly increasing within a stream (gaps allowed, repeats not).
+    pub seq: u64,
+    /// The payload, lowered to the serde data model.
+    pub payload: Value,
+}
+
+/// Why a log could not be decoded (or written). Every variant is a hard
+/// error: decoders never return a partial record set alongside one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogError {
+    /// The stream ends mid-header or mid-record.
+    Truncated {
+        /// Byte (binary) or line (JSONL) offset where the data ran out.
+        offset: u64,
+    },
+    /// The stream does not start with the expected magic.
+    BadMagic,
+    /// The stream was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the stream.
+        found: u16,
+        /// Version this reader implements.
+        expected: u16,
+    },
+    /// A frame or payload failed validation (checksum, JSON, schema).
+    Corrupt {
+        /// Byte (binary) or line (JSONL) offset of the offending record.
+        offset: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A sequence number failed to strictly increase.
+    NonMonotoneSeq {
+        /// The previous record's sequence number.
+        prev: u64,
+        /// The offending record's sequence number.
+        next: u64,
+    },
+    /// An I/O failure while reading or writing a sink.
+    Io(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Truncated { offset } => {
+                write!(f, "log truncated at offset {offset}")
+            }
+            LogError::BadMagic => write!(f, "not a likelab event log (bad magic)"),
+            LogError::VersionMismatch { found, expected } => {
+                write!(f, "log format version {found}, reader expects {expected}")
+            }
+            LogError::Corrupt { offset, reason } => {
+                write!(f, "log corrupt at offset {offset}: {reason}")
+            }
+            LogError::NonMonotoneSeq { prev, next } => {
+                write!(f, "non-monotone sequence: {next} after {prev}")
+            }
+            LogError::Io(e) => write!(f, "log i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<io::Error> for LogError {
+    fn from(e: io::Error) -> Self {
+        LogError::Io(e.to_string())
+    }
+}
+
+/// FNV-1a over a byte slice — the per-record integrity checksum. Not
+/// cryptographic; it catches the bit rot and partial writes a capture file
+/// meets in practice.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn payload_bytes(payload: &Value) -> Result<Vec<u8>, LogError> {
+    serde_json::to_string(payload)
+        .map(String::into_bytes)
+        .map_err(|e| LogError::Io(e.to_string()))
+}
+
+fn header_bytes(header: &LogHeader) -> Result<Vec<u8>, LogError> {
+    let meta = payload_bytes(&header.meta)?;
+    let mut out = Vec::with_capacity(meta.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&header.version.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]); // reserved
+    out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    out.extend_from_slice(&meta);
+    Ok(out)
+}
+
+/// Frame one record: `[len: u32][seq: u64][fnv1a: u64][payload bytes]`.
+fn frame_bytes(seq: u64, payload: &Value) -> Result<Vec<u8>, LogError> {
+    let body = payload_bytes(payload)?;
+    let mut out = Vec::with_capacity(body.len() + 20);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&fnv1a_bytes(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Encode a whole log to the binary format.
+pub fn encode_binary(header: &LogHeader, records: &[LogRecord]) -> Result<Vec<u8>, LogError> {
+    let mut out = header_bytes(header)?;
+    for r in records {
+        out.extend_from_slice(&frame_bytes(r.seq, &r.payload)?);
+    }
+    Ok(out)
+}
+
+/// Decode a binary log. Strict: any framing, checksum, or ordering defect
+/// is an error, and no records are returned alongside one.
+pub fn decode_binary(bytes: &[u8]) -> Result<(LogHeader, Vec<LogRecord>), LogError> {
+    let take = |pos: usize, n: usize| -> Result<&[u8], LogError> {
+        bytes
+            .get(pos..pos + n)
+            .ok_or(LogError::Truncated { offset: pos as u64 })
+    };
+    if bytes.len() < 4 {
+        return Err(LogError::Truncated { offset: 0 });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(LogError::BadMagic);
+    }
+    let version = u16::from_le_bytes(take(4, 2)?.try_into().expect("2 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(LogError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let meta_len = u32::from_le_bytes(take(8, 4)?.try_into().expect("4 bytes")) as usize;
+    let meta_bytes = take(12, meta_len)?;
+    let meta_text = std::str::from_utf8(meta_bytes).map_err(|e| LogError::Corrupt {
+        offset: 12,
+        reason: format!("header not utf-8: {e}"),
+    })?;
+    let meta: Value = serde_json::from_str(meta_text).map_err(|e| LogError::Corrupt {
+        offset: 12,
+        reason: format!("header not json: {e}"),
+    })?;
+    let header = LogHeader { version, meta };
+
+    let mut records = Vec::new();
+    let mut pos = 12 + meta_len;
+    let mut prev_seq: Option<u64> = None;
+    while pos < bytes.len() {
+        let len = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let seq = u64::from_le_bytes(take(pos + 4, 8)?.try_into().expect("8 bytes"));
+        let sum = u64::from_le_bytes(take(pos + 12, 8)?.try_into().expect("8 bytes"));
+        let body = take(pos + 20, len)?;
+        if fnv1a_bytes(body) != sum {
+            return Err(LogError::Corrupt {
+                offset: pos as u64,
+                reason: format!("checksum mismatch on record seq {seq}"),
+            });
+        }
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err(LogError::NonMonotoneSeq { prev, next: seq });
+            }
+        }
+        let text = std::str::from_utf8(body).map_err(|e| LogError::Corrupt {
+            offset: pos as u64,
+            reason: format!("payload not utf-8: {e}"),
+        })?;
+        let payload: Value = serde_json::from_str(text).map_err(|e| LogError::Corrupt {
+            offset: pos as u64,
+            reason: format!("payload not json: {e}"),
+        })?;
+        records.push(LogRecord { seq, payload });
+        prev_seq = Some(seq);
+        pos += 20 + len;
+    }
+    Ok((header, records))
+}
+
+/// Encode a whole log to the JSONL format (header line, then one record
+/// per line).
+pub fn encode_jsonl(header: &LogHeader, records: &[LogRecord]) -> Result<String, LogError> {
+    let mut out = String::new();
+    let head = Value::Object(vec![
+        ("magic".into(), Value::Str(JSONL_MAGIC.into())),
+        ("version".into(), Value::UInt(u64::from(header.version))),
+        ("meta".into(), header.meta.clone()),
+    ]);
+    out.push_str(&serde_json::to_string(&head).map_err(|e| LogError::Io(e.to_string()))?);
+    out.push('\n');
+    for r in records {
+        let line = Value::Object(vec![
+            ("seq".into(), Value::UInt(r.seq)),
+            ("event".into(), r.payload.clone()),
+        ]);
+        out.push_str(&serde_json::to_string(&line).map_err(|e| LogError::Io(e.to_string()))?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Decode a JSONL log. Offsets in errors are 1-based line numbers.
+pub fn decode_jsonl(text: &str) -> Result<(LogHeader, Vec<LogRecord>), LogError> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err(LogError::Truncated { offset: 0 });
+    };
+    let head: Value = serde_json::from_str(first).map_err(|_| LogError::BadMagic)?;
+    if head.get("magic").and_then(Value::as_str) != Some(JSONL_MAGIC) {
+        return Err(LogError::BadMagic);
+    }
+    let version = match head.get("version") {
+        Some(Value::UInt(v)) => *v as u16,
+        _ => return Err(LogError::BadMagic),
+    };
+    if version != FORMAT_VERSION {
+        return Err(LogError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let meta = head.get("meta").cloned().unwrap_or(Value::Null);
+    let mut records = Vec::new();
+    let mut prev_seq: Option<u64> = None;
+    for (i, line) in lines {
+        let offset = i as u64 + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line).map_err(|e| LogError::Corrupt {
+            offset,
+            reason: format!("line not json: {e}"),
+        })?;
+        let seq = match v.get("seq") {
+            Some(Value::UInt(s)) => *s,
+            _ => {
+                return Err(LogError::Corrupt {
+                    offset,
+                    reason: "record missing `seq`".into(),
+                })
+            }
+        };
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                return Err(LogError::NonMonotoneSeq { prev, next: seq });
+            }
+        }
+        let payload = v.get("event").cloned().ok_or_else(|| LogError::Corrupt {
+            offset,
+            reason: "record missing `event`".into(),
+        })?;
+        records.push(LogRecord { seq, payload });
+        prev_seq = Some(seq);
+    }
+    Ok((LogHeader { version, meta }, records))
+}
+
+/// Streaming binary-log writer over any [`io::Write`] sink.
+///
+/// Tracks bytes written and the last sequence number, so callers can pin
+/// resumable offsets (checkpoints store `bytes_written` and truncate the
+/// file back to it before continuing).
+pub struct FrameWriter<W: io::Write> {
+    sink: W,
+    bytes: u64,
+    last_seq: Option<u64>,
+}
+
+impl<W: io::Write> FrameWriter<W> {
+    /// Start a fresh stream: writes the header immediately.
+    pub fn new(mut sink: W, header: &LogHeader) -> Result<Self, LogError> {
+        let head = header_bytes(header)?;
+        sink.write_all(&head)?;
+        Ok(FrameWriter {
+            sink,
+            bytes: head.len() as u64,
+            last_seq: None,
+        })
+    }
+
+    /// Continue an existing stream (header already on disk): the sink must
+    /// be positioned at `bytes` — usually a file truncated to a checkpoint
+    /// offset and seeked to its end.
+    pub fn resume(sink: W, bytes: u64, last_seq: Option<u64>) -> Self {
+        FrameWriter {
+            sink,
+            bytes,
+            last_seq,
+        }
+    }
+
+    /// Append one record. `seq` must strictly increase.
+    pub fn append(&mut self, seq: u64, payload: &Value) -> Result<(), LogError> {
+        if let Some(prev) = self.last_seq {
+            if seq <= prev {
+                return Err(LogError::NonMonotoneSeq { prev, next: seq });
+            }
+        }
+        let frame = frame_bytes(seq, payload)?;
+        self.sink.write_all(&frame)?;
+        self.bytes += frame.len() as u64;
+        self.last_seq = Some(seq);
+        Ok(())
+    }
+
+    /// Flush the sink (call before pinning a checkpoint offset).
+    pub fn flush(&mut self) -> Result<(), LogError> {
+        self.sink.flush()?;
+        Ok(())
+    }
+
+    /// Total bytes written, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The last appended sequence number, if any.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> LogHeader {
+        LogHeader::new(Value::Object(vec![
+            ("seed".into(), Value::UInt(42)),
+            ("preset".into(), Value::Str("paper".into())),
+        ]))
+    }
+
+    fn sample_records() -> Vec<LogRecord> {
+        (0..5)
+            .map(|i| LogRecord {
+                seq: i,
+                payload: Value::Object(vec![
+                    ("kind".into(), Value::Str("like".into())),
+                    ("user".into(), Value::UInt(i * 7)),
+                ]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_roundtrips() {
+        let bytes = encode_binary(&sample_header(), &sample_records()).unwrap();
+        let (h, r) = decode_binary(&bytes).unwrap();
+        assert_eq!(h, sample_header());
+        assert_eq!(r, sample_records());
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let text = encode_jsonl(&sample_header(), &sample_records()).unwrap();
+        let (h, r) = decode_jsonl(&text).unwrap();
+        assert_eq!(h, sample_header());
+        assert_eq!(r, sample_records());
+        assert_eq!(text.lines().count(), 6, "header + 5 records");
+    }
+
+    #[test]
+    fn empty_log_is_valid_both_ways() {
+        let bytes = encode_binary(&sample_header(), &[]).unwrap();
+        assert!(decode_binary(&bytes).unwrap().1.is_empty());
+        let text = encode_jsonl(&sample_header(), &[]).unwrap();
+        assert!(decode_jsonl(&text).unwrap().1.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_a_hard_error() {
+        let bytes = encode_binary(&sample_header(), &sample_records()).unwrap();
+        // Every proper prefix that cuts into a record must fail loudly.
+        let cut = bytes.len() - 3;
+        match decode_binary(&bytes[..cut]) {
+            Err(LogError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let mut bytes = encode_binary(&sample_header(), &sample_records()).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match decode_binary(&bytes) {
+            Err(LogError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = encode_binary(&sample_header(), &[]).unwrap();
+        bytes[0] = b'X';
+        assert_eq!(decode_binary(&bytes), Err(LogError::BadMagic));
+        let mut versioned = encode_binary(&sample_header(), &[]).unwrap();
+        versioned[4] = 99;
+        assert!(matches!(
+            decode_binary(&versioned),
+            Err(LogError::VersionMismatch { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn non_monotone_seq_is_rejected() {
+        let records = vec![
+            LogRecord {
+                seq: 5,
+                payload: Value::Null,
+            },
+            LogRecord {
+                seq: 5,
+                payload: Value::Null,
+            },
+        ];
+        let bytes = encode_binary(&sample_header(), &records).unwrap();
+        assert_eq!(
+            decode_binary(&bytes),
+            Err(LogError::NonMonotoneSeq { prev: 5, next: 5 })
+        );
+        let text = encode_jsonl(&sample_header(), &records).unwrap();
+        assert_eq!(
+            decode_jsonl(&text),
+            Err(LogError::NonMonotoneSeq { prev: 5, next: 5 })
+        );
+    }
+
+    #[test]
+    fn frame_writer_matches_batch_encoder() {
+        let header = sample_header();
+        let records = sample_records();
+        let batch = encode_binary(&header, &records).unwrap();
+        let mut sink = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut sink, &header).unwrap();
+            for r in &records {
+                w.append(r.seq, &r.payload).unwrap();
+            }
+            assert_eq!(w.bytes_written(), batch.len() as u64);
+            assert_eq!(w.last_seq(), Some(4));
+        }
+        assert_eq!(sink, batch, "streamed and batch encodings must agree");
+    }
+
+    #[test]
+    fn frame_writer_rejects_seq_reuse() {
+        let mut w = FrameWriter::new(Vec::new(), &sample_header()).unwrap();
+        w.append(1, &Value::Null).unwrap();
+        assert!(matches!(
+            w.append(1, &Value::Null),
+            Err(LogError::NonMonotoneSeq { prev: 1, next: 1 })
+        ));
+    }
+
+    #[test]
+    fn jsonl_corrupt_line_is_reported_with_offset() {
+        let mut text = encode_jsonl(&sample_header(), &sample_records()).unwrap();
+        text.push_str("{not json\n");
+        match decode_jsonl(&text) {
+            Err(LogError::Corrupt { offset, .. }) => assert_eq!(offset, 7, "1-based line"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod dist;
 pub mod engine;
+pub mod event;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
@@ -45,6 +46,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::Engine;
+pub use event::{LogError, LogHeader, LogRecord};
 pub use parallel::{parallel_jobs, parallel_map, Exec};
 pub use queue::EventQueue;
 pub use rng::{derive_stream_seed, Rng};

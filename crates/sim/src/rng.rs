@@ -48,7 +48,9 @@ pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
 /// A deterministic xoshiro256** generator.
 ///
 /// Streams are stable across releases of this crate (golden tests pin them).
-#[derive(Clone, Debug)]
+/// Serializable so checkpoint/resume can freeze a stream mid-run and
+/// continue it bit-exactly.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Rng {
     s: [u64; 4],
 }

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A timestamped journal entry.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Note {
     /// When the note was recorded (simulation clock).
     pub at: SimTime,
@@ -19,7 +19,10 @@ pub struct Note {
 }
 
 /// Counters plus a bounded journal.
-#[derive(Debug, Default)]
+///
+/// Serializable so checkpoint/resume can carry the journal across a
+/// process restart without losing or reordering entries.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Trace {
     counters: BTreeMap<String, u64>,
     notes: Vec<Note>,

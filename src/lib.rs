@@ -41,6 +41,8 @@ pub use likelab_osn as osn;
 pub use likelab_sim as sim;
 
 pub use likelab_core::{
-    checklist, render_checklist, run_study, run_study_with, run_sweep, MetricAggregate, ShapeCheck,
-    StudyConfig, StudyOutcome, SweepConfig, SweepReport,
+    checklist, read_study_log, render_checklist, replay_study, run_study, run_study_opts,
+    run_study_with, run_sweep, MetricAggregate, ReplayOptions, ReplayOutcome, RunOptions,
+    ShapeCheck, StudyConfig, StudyError, StudyLog, StudyOutcome, StudyRecord, SweepConfig,
+    SweepReport,
 };

@@ -3,11 +3,18 @@
 //! ```text
 //! likelab run        [--preset P] [--scale S] [--seed N]   run the study, print the report
 //! likelab checklist  [--preset P] [--scale S] [--seed N]   reproduction criteria (exit 1 on failure)
+//! likelab replay LOG [--checklist] [--from-seq N --cache DIR]   rebuild report from a study log
 //! likelab export DIR [--preset P] [--scale S] [--seed N]   write JSON, DOT, and SVG artifacts
 //! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
 //! likelab lint       [--format human|json] [--update-baseline]   determinism & hygiene analyzer
 //! ```
+//!
+//! `run` and `checklist` are event-sourced: `--log-out FILE` captures the
+//! world log, `--checkpoint-every N` + `--checkpoint-dir DIR` freeze the
+//! run periodically, and `--resume DIR` picks a killed run back up
+//! byte-identically. `replay` reproduces the identical stdout from the log
+//! alone.
 //!
 //! `run`, `checklist`, and `sweep` accept the observability flags
 //! `--timing` (print a per-phase timing table), `--metrics-out FILE`, and
@@ -21,7 +28,10 @@
 
 use likelab::core::paper;
 use likelab::sim::Exec;
-use likelab::{checklist, render_checklist, run_study, run_sweep, StudyConfig, SweepConfig};
+use likelab::{
+    checklist, render_checklist, replay_study, run_study, run_study_opts, run_sweep, ReplayOptions,
+    RunOptions, StudyConfig, StudyError, StudyOutcome, SweepConfig,
+};
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -52,6 +62,14 @@ struct Opts {
     trace_out: Option<PathBuf>,
     fault_profile: Option<String>,
     min_coverage: Option<f64>,
+    log_out: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+    resume: bool,
+    crash_after: Option<u64>,
+    from_seq: Option<u64>,
+    cache: Option<PathBuf>,
+    checklist: bool,
     positional: Vec<String>,
 }
 
@@ -111,6 +129,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace_out: None,
         fault_profile: None,
         min_coverage: None,
+        log_out: None,
+        checkpoint_dir: None,
+        checkpoint_every: None,
+        resume: false,
+        crash_after: None,
+        from_seq: None,
+        cache: None,
+        checklist: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -178,6 +204,50 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--fault-profile needs a name (none|default|throttled|flaky|chaos)")?;
                 opts.fault_profile = Some(v.clone());
             }
+            "--log-out" => {
+                let v = it.next().ok_or("--log-out needs a file path")?;
+                opts.log_out = Some(PathBuf::from(v));
+            }
+            "--checkpoint-dir" => {
+                let v = it.next().ok_or("--checkpoint-dir needs a directory path")?;
+                opts.checkpoint_dir = Some(PathBuf::from(v));
+            }
+            "--checkpoint-every" => {
+                let v = it.next().ok_or("--checkpoint-every needs an event count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint cadence: {v}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a checkpoint directory")?;
+                opts.resume = true;
+                opts.checkpoint_dir = Some(PathBuf::from(v));
+            }
+            "--crash-after-checkpoints" => {
+                let v = it
+                    .next()
+                    .ok_or("--crash-after-checkpoints needs a checkpoint count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad checkpoint count: {v}"))?;
+                if n == 0 {
+                    return Err("--crash-after-checkpoints must be at least 1".into());
+                }
+                opts.crash_after = Some(n);
+            }
+            "--from-seq" => {
+                let v = it.next().ok_or("--from-seq needs a sequence number")?;
+                opts.from_seq = Some(v.parse().map_err(|_| format!("bad sequence number: {v}"))?);
+            }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a directory path")?;
+                opts.cache = Some(PathBuf::from(v));
+            }
+            "--checklist" => opts.checklist = true,
             "--min-coverage" => {
                 let v = it.next().ok_or("--min-coverage needs a value in [0, 1]")?;
                 let c: f64 = v.parse().map_err(|_| format!("bad coverage floor: {v}"))?;
@@ -200,6 +270,10 @@ fn usage() -> &'static str {
      USAGE:\n\
      \x20 likelab run        [--preset P] [--scale S] [--seed N]   run the study, print every table/figure\n\
      \x20 likelab checklist  [--preset P] [--scale S] [--seed N]   run + evaluate the 23 reproduction criteria\n\
+     \x20 likelab replay LOG [--checklist] [--from-seq N --cache DIR]\n\
+     \x20               rebuild the world + report from a captured study log\n\
+     \x20               (byte-identical stdout; --from-seq recomputes only\n\
+     \x20               campaigns touched past that sequence number)\n\
      \x20 likelab export DIR [--preset P] [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
      \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
      \x20               [--seed M] [--out FILE] [--sequential]\n\
@@ -212,6 +286,15 @@ fn usage() -> &'static str {
      \x20 --timing             print per-phase wall-time, counters, histograms\n\
      \x20 --metrics-out FILE   write counters/histograms/span aggregates as JSON\n\
      \x20 --trace-out FILE     write the span trace as JSON\n\n\
+     Event sourcing (run, checklist — see DESIGN.md):\n\
+     \x20 --log-out FILE       stream every world mutation + measurement to\n\
+     \x20                      a binary study log (replayable with `replay`)\n\
+     \x20 --checkpoint-dir DIR log to DIR/world.log and snapshot consumer\n\
+     \x20                      state to DIR/checkpoint.json\n\
+     \x20 --checkpoint-every N checkpoint cadence in fired events (default 5000)\n\
+     \x20 --resume DIR         resume a killed checkpointed run; the finished\n\
+     \x20                      run is byte-identical to an uninterrupted one\n\
+     \x20 --crash-after-checkpoints K  test hook: exit 86 after K checkpoints\n\n\
      Crawl faults (run, checklist, export — see OBSERVABILITY.md):\n\
      \x20 --fault-profile NAME override the crawl surface: none, default,\n\
      \x20                      throttled, flaky, chaos\n\
@@ -265,6 +348,47 @@ fn emit_observability(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The exit code the `--crash-after-checkpoints` test hook produces —
+/// distinct from ordinary failure so CI can assert the crash actually
+/// happened before resuming.
+const CRASH_EXIT: u8 = 86;
+
+/// Map the CLI flags onto the study runner's event-sourcing options.
+fn run_options(opts: &Opts) -> RunOptions {
+    RunOptions {
+        log_out: opts.log_out.clone(),
+        checkpoint_dir: opts.checkpoint_dir.clone(),
+        checkpoint_every: opts.checkpoint_every.unwrap_or(5_000),
+        resume: opts.resume,
+        crash_after_checkpoints: opts.crash_after,
+        ..RunOptions::default()
+    }
+}
+
+/// Run the study honoring the logging/checkpoint flags. A simulated crash
+/// maps to exit code [`CRASH_EXIT`]; other study errors become messages.
+fn run_study_cli(
+    config: &StudyConfig,
+    opts: &Opts,
+) -> Result<Result<StudyOutcome, ExitCode>, String> {
+    match run_study_opts(config, &run_options(opts)) {
+        Ok(outcome) => {
+            if let Some(path) = &opts.log_out {
+                eprintln!("study log written to {}", path.display());
+            }
+            Ok(Ok(outcome))
+        }
+        Err(StudyError::SimulatedCrash { checkpoints }) => {
+            eprintln!(
+                "simulated crash after {checkpoints} checkpoint(s); \
+                 pick the run back up with --resume <checkpoint-dir>"
+            );
+            Ok(Err(ExitCode::from(CRASH_EXIT)))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
     let config = opts.study_config()?;
     eprintln!(
@@ -274,7 +398,10 @@ fn cmd_run(opts: &Opts) -> Result<ExitCode, String> {
         opts.effective_scale()
     );
     start_observability(opts);
-    let outcome = run_study(&config);
+    let outcome = match run_study_cli(&config, opts)? {
+        Ok(o) => o,
+        Err(code) => return Ok(code),
+    };
     println!("{}", outcome.report.render());
     // With structured fault regimes active, run the clean twin and print
     // how far the faulted results drifted.
@@ -306,7 +433,10 @@ fn cmd_checklist(opts: &Opts) -> Result<ExitCode, String> {
         opts.effective_scale()
     );
     start_observability(opts);
-    let outcome = run_study(&opts.study_config()?);
+    let outcome = match run_study_cli(&opts.study_config()?, opts)? {
+        Ok(o) => o,
+        Err(code) => return Ok(code),
+    };
     let checks = checklist(&outcome.report);
     println!("{}", render_checklist(&checks));
     let failed = checks.iter().filter(|c| !c.pass).count();
@@ -365,6 +495,44 @@ fn cmd_export(opts: &Opts) -> Result<ExitCode, String> {
         svg::figure5_svg(&r.figure5_users, "Figure 5(b): liker set similarity"),
     )?;
     println!("artifacts written to {}", dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `likelab replay LOG` — rebuild the world, dataset, and report from a
+/// captured study log; no model code runs and no randomness is consumed.
+/// Prints the same report (or, with `--checklist`, the same checklist and
+/// exit code) the original `run`/`checklist` invocation printed, byte for
+/// byte.
+fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
+    let path = PathBuf::from(opts.positional.first().ok_or("replay needs a log file")?);
+    eprintln!("replaying {}...", path.display());
+    start_observability(opts);
+    let ropts = ReplayOptions {
+        exec: Exec::auto(),
+        from_seq: opts.from_seq,
+        cache_dir: opts.cache.clone(),
+    };
+    let outcome = replay_study(&path, &ropts).map_err(|e| e.to_string())?;
+    if opts.from_seq.is_some() {
+        eprintln!(
+            "incremental replay: recomputed campaigns {:?}, served {:?} from cache",
+            outcome.recomputed, outcome.cached
+        );
+    }
+    if opts.checklist {
+        let checks = checklist(&outcome.report);
+        println!("{}", render_checklist(&checks));
+        let failed = checks.iter().filter(|c| !c.pass).count();
+        println!("{}/{} criteria hold", checks.len() - failed, checks.len());
+        emit_observability(opts)?;
+        return Ok(if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+    println!("{}", outcome.report.render());
+    emit_observability(opts)?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -536,6 +704,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&opts),
         "checklist" => cmd_checklist(&opts),
+        "replay" => cmd_replay(&opts),
         "export" => cmd_export(&opts),
         "sweep" => cmd_sweep(&opts),
         "paper" => Ok(cmd_paper()),

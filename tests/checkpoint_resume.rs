@@ -1,0 +1,133 @@
+//! Checkpoint/resume: a run killed mid-event-loop and resumed from its
+//! checkpoint directory finishes byte-identical to an uninterrupted run.
+
+use likelab::{run_study, run_study_opts, RunOptions, StudyConfig, StudyError};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "likelab-checkpoint-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn crash_and_resume_is_byte_identical() {
+    let dir = scratch("resume");
+    let config = StudyConfig::paper(9, 0.02);
+    let uninterrupted = run_study(&config);
+
+    // Run with checkpointing and the crash hook: dies after 1 checkpoint.
+    let crashed = run_study_opts(
+        &config,
+        &RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 5_000,
+            crash_after_checkpoints: Some(1),
+            ..RunOptions::default()
+        },
+    );
+    match crashed {
+        Err(StudyError::SimulatedCrash { checkpoints }) => assert_eq!(checkpoints, 1),
+        Ok(_) => panic!("the crash hook must fire"),
+        Err(other) => panic!("expected SimulatedCrash, got {other}"),
+    }
+    assert!(dir.join("checkpoint.json").exists());
+    assert!(dir.join("world.log").exists());
+
+    // Resume and compare: dataset, report, and trace all byte-identical.
+    let resumed = run_study_opts(
+        &config,
+        &RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect("resume");
+    assert_eq!(
+        uninterrupted.report.to_json().unwrap(),
+        resumed.report.to_json().unwrap(),
+        "resumed report must match the uninterrupted run"
+    );
+    assert_eq!(uninterrupted.report.render(), resumed.report.render());
+    assert_eq!(
+        uninterrupted.dataset.to_json().unwrap(),
+        resumed.dataset.to_json().unwrap(),
+        "resumed dataset must match the uninterrupted run"
+    );
+    assert_eq!(
+        format!("{:?}", uninterrupted.trace),
+        format!("{:?}", resumed.trace),
+        "the run journal survives the crash"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resuming_twice_from_the_same_checkpoint_is_deterministic() {
+    let dir = scratch("twice");
+    let config = StudyConfig::paper(5, 0.02);
+    let crashed = run_study_opts(
+        &config,
+        &RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 5_000,
+            crash_after_checkpoints: Some(1),
+            ..RunOptions::default()
+        },
+    );
+    assert!(matches!(crashed, Err(StudyError::SimulatedCrash { .. })));
+
+    // Snapshot the checkpoint so the second resume starts from the same
+    // frozen state (a resume truncates and appends to world.log).
+    let copy = scratch("twice-copy");
+    std::fs::create_dir_all(&copy).unwrap();
+    for f in ["checkpoint.json", "world.log"] {
+        std::fs::copy(dir.join(f), copy.join(f)).unwrap();
+    }
+
+    let resume = |d: &PathBuf| {
+        run_study_opts(
+            &config,
+            &RunOptions {
+                checkpoint_dir: Some(d.clone()),
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("resume")
+    };
+    let a = resume(&dir);
+    let b = resume(&copy);
+    assert_eq!(
+        a.report.to_json().unwrap(),
+        b.report.to_json().unwrap(),
+        "resume is a pure function of the checkpoint"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&copy).ok();
+}
+
+#[test]
+fn resume_without_a_checkpoint_is_a_hard_error() {
+    let dir = scratch("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = run_study_opts(
+        &StudyConfig::paper(1, 0.02),
+        &RunOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(StudyError::Io { .. })),
+        "missing checkpoint.json must surface as a structured I/O error"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

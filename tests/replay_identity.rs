@@ -1,0 +1,231 @@
+//! Replay-identity guarantees: a captured study log reproduces the run's
+//! report and checklist byte-for-byte at any worker count, through either
+//! codec, and incrementally; a damaged log is a hard structured error.
+
+use likelab::core::record::read_study_log;
+use likelab::core::replay::{replay_records, replay_study, ReplayOptions};
+use likelab::sim::event::{encode_binary, LogError, LogHeader, LogRecord};
+use likelab::sim::Exec;
+use likelab::{
+    checklist, render_checklist, run_study_opts, RunOptions, StudyConfig, StudyError, StudyRecord,
+};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// One small logged study, shared across tests (runs once).
+struct Captured {
+    report_json: String,
+    render: String,
+    checklist: String,
+    header: LogHeader,
+    records: Vec<(u64, StudyRecord)>,
+}
+
+fn captured() -> &'static Captured {
+    static SHARED: OnceLock<Captured> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let config = StudyConfig::paper(21, 0.02);
+        let outcome = run_study_opts(
+            &config,
+            &RunOptions {
+                capture_log: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("logged run");
+        let log = outcome.log.as_ref().expect("log captured");
+        Captured {
+            report_json: outcome.report.to_json().expect("report json"),
+            render: outcome.report.render(),
+            checklist: render_checklist(&checklist(&outcome.report)),
+            header: log.header().clone(),
+            records: log.records().to_vec(),
+        }
+    })
+}
+
+/// A scratch directory unique to this test binary + tag.
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("likelab-replay-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn binary_log_bytes() -> Vec<u8> {
+    let c = captured();
+    let records: Vec<LogRecord> = c
+        .records
+        .iter()
+        .map(|(seq, r)| LogRecord {
+            seq: *seq,
+            payload: r.to_value(),
+        })
+        .collect();
+    encode_binary(&c.header, &records).expect("encode")
+}
+
+#[test]
+fn replay_is_byte_identical_at_any_worker_count() {
+    let c = captured();
+    for exec in [
+        Exec::Sequential,
+        Exec::Parallel { workers: 2 },
+        Exec::Parallel { workers: 8 },
+    ] {
+        let outcome = replay_records(
+            &c.header,
+            c.records.clone(),
+            &ReplayOptions {
+                exec,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay");
+        assert_eq!(
+            outcome.report.to_json().unwrap(),
+            c.report_json,
+            "report JSON must match the original run under {exec:?}"
+        );
+        assert_eq!(outcome.report.render(), c.render);
+        assert_eq!(render_checklist(&checklist(&outcome.report)), c.checklist);
+    }
+}
+
+#[test]
+fn replay_round_trips_through_both_codecs_on_disk() {
+    let c = captured();
+    let dir = scratch("codecs");
+
+    let bin_path = dir.join("study.log");
+    std::fs::write(&bin_path, binary_log_bytes()).unwrap();
+    let from_bin = replay_study(&bin_path, &ReplayOptions::default()).expect("binary replay");
+    assert_eq!(from_bin.report.render(), c.render);
+
+    // The JSONL codec carries the identical stream; replay output matches.
+    let jsonl_path = dir.join("study.jsonl");
+    let jsonl = {
+        let records: Vec<LogRecord> = c
+            .records
+            .iter()
+            .map(|(seq, r)| LogRecord {
+                seq: *seq,
+                payload: r.to_value(),
+            })
+            .collect();
+        likelab::sim::event::encode_jsonl(&c.header, &records).expect("encode jsonl")
+    };
+    std::fs::write(&jsonl_path, jsonl).unwrap();
+    let from_jsonl = replay_study(&jsonl_path, &ReplayOptions::default()).expect("jsonl replay");
+    assert_eq!(from_jsonl.report.render(), c.render);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_log_is_a_hard_structured_error() {
+    let dir = scratch("truncated");
+    let bytes = binary_log_bytes();
+    let path = dir.join("truncated.log");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    match read_study_log(&path) {
+        Err(StudyError::Log(LogError::Truncated { offset })) => {
+            assert!(offset > 0, "offset names the bad frame");
+        }
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_log_is_a_hard_structured_error() {
+    let dir = scratch("corrupt");
+    let mut bytes = binary_log_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // flip a payload byte inside the final frame
+    let path = dir.join("corrupt.log");
+    std::fs::write(&path, &bytes).unwrap();
+    match read_study_log(&path) {
+        Err(StudyError::Log(LogError::Corrupt { .. })) => {}
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incremental_replay_equals_full_replay() {
+    let c = captured();
+    let dir = scratch("incremental");
+
+    // Full replay populates the campaign cache.
+    let full = replay_records(
+        &c.header,
+        c.records.clone(),
+        &ReplayOptions {
+            cache_dir: Some(dir.clone()),
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("full replay");
+    assert_eq!(full.recomputed.len(), 13);
+    assert!(full.cached.is_empty());
+
+    let last_seq = c.records.last().expect("records").0;
+    // Cutoff past the end: nothing touched, everything served from cache.
+    let all_cached = replay_records(
+        &c.header,
+        c.records.clone(),
+        &ReplayOptions {
+            from_seq: Some(last_seq),
+            cache_dir: Some(dir.clone()),
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("cached replay");
+    assert!(all_cached.recomputed.is_empty());
+    assert_eq!(all_cached.cached.len(), 13);
+    assert_eq!(all_cached.report.render(), c.render);
+    assert_eq!(all_cached.report.to_json().unwrap(), c.report_json);
+
+    // A mid-stream cutoff recomputes only touched campaigns, same output.
+    let partial = replay_records(
+        &c.header,
+        c.records.clone(),
+        &ReplayOptions {
+            from_seq: Some(last_seq / 2),
+            cache_dir: Some(dir.clone()),
+            ..ReplayOptions::default()
+        },
+    )
+    .expect("partial replay");
+    assert_eq!(
+        partial.recomputed.len() + partial.cached.len(),
+        13,
+        "every campaign accounted for"
+    );
+    assert_eq!(partial.report.render(), c.render);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn incremental_replay_without_cache_is_an_error() {
+    let c = captured();
+    let last_seq = c.records.last().expect("records").0;
+    let err = replay_records(
+        &c.header,
+        c.records.clone(),
+        &ReplayOptions {
+            from_seq: Some(last_seq),
+            cache_dir: None,
+            ..ReplayOptions::default()
+        },
+    );
+    assert!(
+        matches!(err, Err(StudyError::Mismatch(_))),
+        "cacheless incremental replay must refuse, got {:?}",
+        err.map(|_| ())
+    );
+}
