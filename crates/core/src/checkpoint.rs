@@ -164,7 +164,10 @@ pub(crate) fn resume_study(opts: &RunOptions) -> Result<StudyOutcome, StudyError
     world.set_recording(true);
 
     let log = StudyLog::resume_file(&cp.config, &log_path, cp.log_bytes, cp.next_seq)?;
-    let mut capture = Capture { log: Some(log) };
+    let mut capture = Capture {
+        log: Some(log),
+        jsonl_out: None,
+    };
     let engine = Engine::from_parts(
         cp.now,
         cp.fired,

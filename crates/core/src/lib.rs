@@ -28,12 +28,18 @@ pub mod paper;
 pub mod presets;
 pub mod record;
 pub mod replay;
+pub mod serve;
 pub mod shape;
 pub mod study;
 pub mod sweep;
 
 pub use record::{read_study_log, StudyError, StudyLog, StudyRecord};
 pub use replay::{replay_study, ReplayOptions, ReplayOutcome};
+pub use serve::{
+    serve, ServeConfig, ServeEngine, ServeOptions, ServeSession, ServeSummary, ServeTransport,
+};
 pub use shape::{checklist, render_checklist, ShapeCheck};
-pub use study::{run_study, run_study_opts, run_study_with, RunOptions, StudyConfig, StudyOutcome};
+pub use study::{
+    run_study, run_study_opts, run_study_with, LogFormat, RunOptions, StudyConfig, StudyOutcome,
+};
 pub use sweep::{run_sweep, MetricAggregate, SweepConfig, SweepReport};

@@ -1,0 +1,1035 @@
+//! `likelab serve` — the long-running scoring service over a live study
+//! log.
+//!
+//! Replay ([`crate::replay`]) answers "what happened" after a run is over;
+//! serve answers "what is happening" while the log is still being written.
+//! The engine tails a `world.log` stream (file-follow via
+//! [`FollowReader`], or any already-decoded record feed), folds every
+//! record into a live world replica through the acceptance-preserving
+//! [`EventFanout`], routes the resulting
+//! [`DetectorUpdate`](likelab_osn::DetectorUpdate)s into the
+//! [`OnlineDetectors`] suite, and answers queries over a line-delimited
+//! JSON protocol (stdin/stdout or TCP) with bounded latency: ingest
+//! happens in chunks of [`ServeConfig::chunk`] records, and all pending
+//! queries are answered between chunks, so a query never waits for the
+//! whole backlog.
+//!
+//! The full architecture, the versioned protocol schema, windowing
+//! semantics, and the online-vs-batch equivalence contract live in
+//! `SERVING.md` at the repository root.
+
+use crate::record::{io_err, StudyError, StudyRecord};
+use crate::study::StudyConfig;
+use likelab_detect::online::{organic_seeds, score_online, OnlineDetectors};
+use likelab_detect::{BurstConfig, LockstepConfig, ScorerWeights, SybilRankConfig};
+use likelab_graph::{PageId, UserId};
+use likelab_honeypot::CrawlCoverage;
+use likelab_obs::Histogram;
+use likelab_osn::EventFanout;
+use likelab_sim::event::{LogHeader, LogRecord};
+use likelab_sim::{FollowReader, SimTime};
+use serde::{Deserialize, Value};
+use std::collections::VecDeque;
+use std::io::{BufRead, Write as _};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The protocol version this build speaks. Requests carrying any other
+/// `v` are rejected; see `SERVING.md` for the compatibility policy.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Detector and service knobs for [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Burst-detector parameters (window, share threshold, min events).
+    pub burst: BurstConfig,
+    /// Lockstep-detector parameters.
+    pub lockstep: LockstepConfig,
+    /// SybilRank parameters.
+    pub sybil: SybilRankConfig,
+    /// Scorer weights for `score`/`eval` queries.
+    pub weights: ScorerWeights,
+    /// Trust-seed stride: every `seed_stride`-th ground-truth organic
+    /// account seeds SybilRank (the batch evaluation convention).
+    pub seed_stride: usize,
+    /// Ingest chunk size: at most this many records are folded between
+    /// query-service turns, which bounds query latency under backlog.
+    pub chunk: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            burst: BurstConfig::default(),
+            lockstep: LockstepConfig::default(),
+            sybil: SybilRankConfig::default(),
+            weights: ScorerWeights::default(),
+            seed_stride: 500,
+            chunk: 4_096,
+        }
+    }
+}
+
+/// Per-campaign accumulators scraped from the measurement records —
+/// the streaming counterpart of replay's campaign slots.
+#[derive(Clone, Default)]
+struct ServeSlot {
+    page: Option<PageId>,
+    launched_at: Option<SimTime>,
+    inactive: bool,
+    observations: usize,
+    likers: usize,
+    monitoring_days: Option<u64>,
+    coverage: CrawlCoverage,
+    monitoring_ended: bool,
+    terminated: usize,
+    unknown: usize,
+}
+
+/// The incremental fold behind `likelab serve`: a live world replica, the
+/// online detector suite, and per-campaign measurement accumulators, all
+/// advanced one [`StudyRecord`] at a time.
+///
+/// ```
+/// use likelab_core::serve::{ServeConfig, ServeEngine};
+/// use likelab_core::{run_study_opts, RunOptions, StudyConfig};
+///
+/// let outcome = run_study_opts(
+///     &StudyConfig::paper(42, 0.02),
+///     &RunOptions { capture_log: true, ..RunOptions::default() },
+/// )
+/// .unwrap();
+/// let log = outcome.log.unwrap();
+/// let mut engine = ServeEngine::new(log.header(), ServeConfig::default()).unwrap();
+/// for (seq, record) in log.records() {
+///     engine.ingest(*seq, record.clone()).unwrap();
+/// }
+/// assert_eq!(engine.records_ingested(), log.records().len() as u64);
+/// assert!(engine.world().likes().len() > 0);
+/// ```
+pub struct ServeEngine {
+    config: StudyConfig,
+    serve: ServeConfig,
+    fanout: EventFanout,
+    detectors: OnlineDetectors,
+    slots: Vec<ServeSlot>,
+    baseline_records: usize,
+    launch: Option<SimTime>,
+    records: u64,
+    last_seq: Option<u64>,
+}
+
+impl ServeEngine {
+    /// An engine for the study described by `header` (the log's embedded
+    /// [`StudyConfig`] sizes the campaign table).
+    pub fn new(header: &LogHeader, serve: ServeConfig) -> Result<Self, StudyError> {
+        let config = crate::record::config_from_header(header)?;
+        let n = config.campaigns.len();
+        Ok(ServeEngine {
+            config,
+            detectors: OnlineDetectors::new(serve.burst, serve.lockstep, serve.sybil),
+            serve,
+            fanout: EventFanout::new(),
+            slots: vec![ServeSlot::default(); n],
+            baseline_records: 0,
+            launch: None,
+            records: 0,
+            last_seq: None,
+        })
+    }
+
+    /// Fold one study record into the live state.
+    pub fn ingest(&mut self, seq: u64, record: StudyRecord) -> Result<(), StudyError> {
+        match record {
+            StudyRecord::World(ev) => {
+                let detectors = &mut self.detectors;
+                self.fanout.apply(&ev, |update| detectors.apply(update));
+            }
+            StudyRecord::RngFork { .. } => {}
+            StudyRecord::CampaignLaunched { campaign, page, at } => {
+                let slot = self.slot(campaign, seq)?;
+                slot.page = Some(page);
+                slot.launched_at = Some(at);
+                self.launch.get_or_insert(at);
+            }
+            StudyRecord::CampaignInactive { campaign } => {
+                self.slot(campaign, seq)?.inactive = true;
+            }
+            StudyRecord::CrawlObserved { campaign, .. } => {
+                self.slot(campaign, seq)?.observations += 1;
+            }
+            StudyRecord::MonitoringEnded {
+                campaign,
+                monitoring_days,
+                coverage,
+            } => {
+                let slot = self.slot(campaign, seq)?;
+                slot.monitoring_days = monitoring_days;
+                slot.coverage = coverage;
+                slot.monitoring_ended = true;
+            }
+            StudyRecord::ProfileCollected { campaign, .. } => {
+                self.slot(campaign, seq)?.likers += 1;
+            }
+            StudyRecord::TerminationsProbed {
+                campaign,
+                terminated,
+                unknown,
+            } => {
+                let slot = self.slot(campaign, seq)?;
+                slot.terminated = terminated;
+                slot.unknown = unknown;
+            }
+            StudyRecord::BaselineSampled { records } => {
+                self.baseline_records = records.len();
+            }
+        }
+        self.records += 1;
+        self.last_seq = Some(seq);
+        likelab_obs::metrics::counter("serve.ingest.records", 1);
+        Ok(())
+    }
+
+    /// Parse a decoded log frame and fold it in.
+    pub fn ingest_frame(&mut self, frame: &LogRecord) -> Result<(), StudyError> {
+        let record: StudyRecord =
+            Deserialize::from_value(&frame.payload).map_err(|e| StudyError::BadRecord {
+                seq: frame.seq,
+                reason: e.to_string(),
+            })?;
+        self.ingest(frame.seq, record)
+    }
+
+    fn slot(&mut self, campaign: usize, seq: u64) -> Result<&mut ServeSlot, StudyError> {
+        let n = self.slots.len();
+        self.slots
+            .get_mut(campaign)
+            .ok_or_else(|| StudyError::BadRecord {
+                seq,
+                reason: format!("campaign index {campaign} out of range (config has {n})"),
+            })
+    }
+
+    /// The study configuration embedded in the log header.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// The live world replica.
+    pub fn world(&self) -> &likelab_osn::OsnWorld {
+        self.fanout.world()
+    }
+
+    /// The online detector suite (for direct, non-protocol access).
+    pub fn detectors_mut(&mut self) -> &mut OnlineDetectors {
+        &mut self.detectors
+    }
+
+    /// Records folded so far.
+    pub fn records_ingested(&self) -> u64 {
+        self.records
+    }
+
+    /// The highest sequence number folded so far.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// The stream watermark: the maximum event timestamp seen. Online
+    /// feature extraction evaluates account age against this clock; at
+    /// end-of-stream it equals the batch pipeline's study-end clock.
+    pub fn watermark(&self) -> SimTime {
+        self.fanout.watermark()
+    }
+
+    /// The online fraud score of one account at the current watermark,
+    /// with this engine's configured weights. Splits the world/detector
+    /// borrows internally so callers don't have to.
+    pub fn online_score(&mut self, user: UserId) -> f64 {
+        let now = self.fanout.watermark();
+        score_online(
+            self.fanout.world(),
+            self.detectors.burst_mut(),
+            user,
+            now,
+            &self.serve.weights,
+        )
+    }
+
+    // --- query handlers ----------------------------------------------------
+
+    /// Answer one parsed query. `pending` is the ingest backlog (records
+    /// decoded but not yet folded) at the time the query is served; it is
+    /// echoed in `status` responses as the instantaneous ingest lag.
+    pub fn query(&mut self, op: &str, params: &Value, pending: usize) -> Result<Value, String> {
+        match op {
+            "status" => Ok(self.q_status(pending)),
+            "score" => self.q_score(params),
+            "page" => self.q_page(params),
+            "campaign" => self.q_campaign(params),
+            "lockstep" => Ok(self.q_lockstep()),
+            "sybil" => self.q_sybil(params),
+            "eval" => self.q_eval(params),
+            other => Err(format!(
+                "unknown op `{other}` (status|score|page|campaign|lockstep|sybil|eval|shutdown)"
+            )),
+        }
+    }
+
+    fn q_status(&self, pending: usize) -> Value {
+        let world = self.fanout.world();
+        let launched = self.slots.iter().filter(|s| s.page.is_some()).count();
+        let ended = self.slots.iter().filter(|s| s.monitoring_ended).count();
+        obj(vec![
+            ("records", Value::UInt(self.records)),
+            ("last_seq", opt_uint(self.last_seq)),
+            ("pending", Value::UInt(pending as u64)),
+            ("watermark_secs", Value::UInt(self.watermark().as_secs())),
+            ("accounts", Value::UInt(world.account_count() as u64)),
+            ("pages", Value::UInt(world.page_count() as u64)),
+            ("likes", Value::UInt(world.likes().len() as u64)),
+            ("edges", Value::UInt(world.friends().edge_count() as u64)),
+            ("campaigns", Value::UInt(self.slots.len() as u64)),
+            ("campaigns_launched", Value::UInt(launched as u64)),
+            ("campaigns_ended", Value::UInt(ended as u64)),
+            (
+                "baseline_records",
+                Value::UInt(self.baseline_records as u64),
+            ),
+        ])
+    }
+
+    fn q_score(&mut self, params: &Value) -> Result<Value, String> {
+        let user = param_u64(params, "user")?;
+        let world = self.fanout.world();
+        if user >= world.account_count() as u64 {
+            return Err(format!("unknown user {user}"));
+        }
+        let u = UserId(user as u32);
+        let now = self.fanout.watermark();
+        let score = score_online(
+            self.fanout.world(),
+            self.detectors.burst_mut(),
+            u,
+            now,
+            &self.serve.weights,
+        );
+        let verdict = self.detectors.burst_mut().user_verdict(u);
+        let world = self.fanout.world();
+        Ok(obj(vec![
+            ("user", Value::UInt(user)),
+            ("score", Value::Float(score)),
+            ("burst_share", Value::Float(verdict.peak_share)),
+            ("burst_events", Value::UInt(verdict.events as u64)),
+            ("burst_flagged", Value::Bool(verdict.flagged)),
+            (
+                "likes",
+                Value::UInt(world.likes().user_like_count(u) as u64),
+            ),
+            ("friends", Value::UInt(world.total_friend_count(u) as u64)),
+            ("active", Value::Bool(world.is_active(u))),
+        ]))
+    }
+
+    fn q_page(&mut self, params: &Value) -> Result<Value, String> {
+        let page = param_u64(params, "page")?;
+        if page >= self.fanout.world().page_count() as u64 {
+            return Err(format!("unknown page {page}"));
+        }
+        let p = PageId(page as u32);
+        let verdict = self.detectors.burst_mut().page_verdict(p);
+        Ok(obj(vec![
+            ("page", Value::UInt(page)),
+            (
+                "likes",
+                Value::UInt(self.fanout.world().likes().page_like_count(p) as u64),
+            ),
+            ("burst_share", Value::Float(verdict.peak_share)),
+            ("burst_events", Value::UInt(verdict.events as u64)),
+            ("burst_flagged", Value::Bool(verdict.flagged)),
+        ]))
+    }
+
+    fn q_campaign(&mut self, params: &Value) -> Result<Value, String> {
+        let i = param_u64(params, "campaign")? as usize;
+        let label = self
+            .config
+            .campaigns
+            .get(i)
+            .map(|c| c.label.clone())
+            .ok_or_else(|| format!("unknown campaign {i}"))?;
+        let slot = self.slots[i].clone();
+        let page_likes = slot
+            .page
+            .map(|p| self.fanout.world().likes().page_like_count(p))
+            .unwrap_or(0);
+        Ok(obj(vec![
+            ("campaign", Value::UInt(i as u64)),
+            ("label", Value::Str(label)),
+            (
+                "page",
+                slot.page
+                    .map(|p| Value::UInt(u64::from(p.0)))
+                    .unwrap_or(Value::Null),
+            ),
+            ("launched", Value::Bool(slot.page.is_some())),
+            ("inactive", Value::Bool(slot.inactive)),
+            ("likes", Value::UInt(page_likes as u64)),
+            ("observations", Value::UInt(slot.observations as u64)),
+            ("likers_collected", Value::UInt(slot.likers as u64)),
+            ("monitoring_ended", Value::Bool(slot.monitoring_ended)),
+            ("monitoring_days", opt_uint(slot.monitoring_days)),
+            (
+                "poll_success_rate",
+                Value::Float(slot.coverage.poll_success_rate()),
+            ),
+            (
+                "profile_coverage",
+                Value::Float(slot.coverage.profile_coverage()),
+            ),
+            ("terminated", Value::UInt(slot.terminated as u64)),
+            ("termination_unknown", Value::UInt(slot.unknown as u64)),
+        ]))
+    }
+
+    fn q_lockstep(&mut self) -> Value {
+        let report = self.detectors.lockstep().report();
+        let flagged = report.flagged().len();
+        let largest = report.clusters.first().map_or(0, Vec::len);
+        obj(vec![
+            ("clusters", Value::UInt(report.clusters.len() as u64)),
+            ("flagged", Value::UInt(flagged as u64)),
+            ("largest", Value::UInt(largest as u64)),
+        ])
+    }
+
+    fn q_sybil(&mut self, params: &Value) -> Result<Value, String> {
+        let user = param_u64(params, "user")?;
+        let world = self.fanout.world();
+        if user >= world.account_count() as u64 {
+            return Err(format!("unknown user {user}"));
+        }
+        let seeds = organic_seeds(world, self.serve.seed_stride);
+        let sybil = self.detectors.sybilrank_mut();
+        let was_dirty = sybil.is_dirty();
+        let trust = sybil
+            .refresh(world.friends(), &seeds)
+            .trust(UserId(user as u32));
+        Ok(obj(vec![
+            ("user", Value::UInt(user)),
+            ("trust", Value::Float(trust)),
+            ("seeds", Value::UInt(seeds.len() as u64)),
+            ("recomputed", Value::Bool(was_dirty)),
+        ]))
+    }
+
+    /// Ground-truth precision/recall of the online scorer at a threshold.
+    /// The one query allowed to peek at actor-class labels — the serve-side
+    /// counterpart of the batch `eval` module.
+    fn q_eval(&mut self, params: &Value) -> Result<Value, String> {
+        let threshold = match params.get("threshold") {
+            None | Some(Value::Null) => 0.5,
+            Some(Value::Float(f)) => *f,
+            Some(Value::UInt(n)) => *n as f64,
+            Some(other) => return Err(format!("bad threshold: {}", other.kind())),
+        };
+        let now = self.fanout.watermark();
+        let n = self.fanout.world().account_count() as u32;
+        let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..n {
+            let u = UserId(i);
+            let s = score_online(
+                self.fanout.world(),
+                self.detectors.burst_mut(),
+                u,
+                now,
+                &self.serve.weights,
+            );
+            let predicted = s >= threshold;
+            let actual = self.fanout.world().account(u).class.is_farm();
+            match (predicted, actual) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Ok(obj(vec![
+            ("threshold", Value::Float(threshold)),
+            ("accounts", Value::UInt(u64::from(n))),
+            ("tp", Value::UInt(tp)),
+            ("fp", Value::UInt(fp)),
+            ("fn", Value::UInt(fn_)),
+            ("tn", Value::UInt(tn)),
+            ("precision", Value::Float(precision)),
+            ("recall", Value::Float(recall)),
+            ("f1", Value::Float(f1)),
+        ]))
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn opt_uint(v: Option<u64>) -> Value {
+    v.map(Value::UInt).unwrap_or(Value::Null)
+}
+
+fn param_u64(params: &Value, name: &str) -> Result<u64, String> {
+    match params.get(name) {
+        Some(Value::UInt(n)) => Ok(*n),
+        Some(other) => Err(format!("`{name}` must be an integer, got {}", other.kind())),
+        None => Err(format!("missing required param `{name}`")),
+    }
+}
+
+/// The protocol layer: one JSON request line in, one JSON response line
+/// out. See `SERVING.md` § protocol for the schema.
+pub struct ServeSession {
+    engine: ServeEngine,
+    stats: ServeStats,
+}
+
+/// Service-side accounting, reported by [`serve`] and the bench.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Queries answered (including errors).
+    pub queries: u64,
+    /// Query-service latency histogram, nanoseconds.
+    pub query_ns: Histogram,
+    /// Largest ingest backlog observed at query time, in records.
+    pub max_lag_records: u64,
+}
+
+impl ServeStats {
+    /// Upper-bound p99 query latency in nanoseconds.
+    pub fn p99_query_ns(&self) -> u64 {
+        self.query_ns.quantile(0.99)
+    }
+}
+
+impl ServeSession {
+    /// Wrap an engine in the protocol layer.
+    pub fn new(engine: ServeEngine) -> Self {
+        ServeSession {
+            engine,
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The engine, for direct ingest.
+    pub fn engine_mut(&mut self) -> &mut ServeEngine {
+        &mut self.engine
+    }
+
+    /// Accumulated service stats.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Handle one request line; always returns a well-formed response
+    /// line (errors are `ok:false` responses, never panics). `pending` is
+    /// the current ingest backlog in records. Returns the response plus
+    /// whether the request asked the server to shut down.
+    pub fn handle_line(&mut self, line: &str, pending: usize) -> (String, bool) {
+        // lint:allow(ambient-time): wall-clock query latency feeds the
+        // observability histograms only, never a simulation result
+        let started = std::time::Instant::now();
+        self.stats.queries += 1;
+        self.stats.max_lag_records = self.stats.max_lag_records.max(pending as u64);
+        likelab_obs::metrics::record_ns("serve.query.lag.records", pending as u64);
+        let (response, shutdown) = self.handle_inner(line, pending);
+        let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.stats.query_ns.record(elapsed);
+        likelab_obs::metrics::record_ns("serve.query.ns", elapsed);
+        (response, shutdown)
+    }
+
+    fn handle_inner(&mut self, line: &str, pending: usize) -> (String, bool) {
+        let request: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return (
+                    error_line(&Value::Null, &format!("bad request JSON: {e}")),
+                    false,
+                )
+            }
+        };
+        let id = request.get("id").cloned().unwrap_or(Value::Null);
+        match request.get("v") {
+            Some(Value::UInt(PROTOCOL_VERSION)) => {}
+            Some(other) => {
+                let msg = format!(
+                    "unsupported protocol version {other:?} (this server speaks v{PROTOCOL_VERSION})"
+                );
+                return (error_line(&id, &msg), false);
+            }
+            None => {
+                return (
+                    error_line(&id, "missing `v` (protocol version) field"),
+                    false,
+                )
+            }
+        }
+        let Some(op) = request.get("op").and_then(Value::as_str) else {
+            return (error_line(&id, "missing `op` field"), false);
+        };
+        if op == "shutdown" {
+            let data = obj(vec![("stopping", Value::Bool(true))]);
+            return (ok_line(&id, data), true);
+        }
+        let line = match self.engine.query(op, &request, pending) {
+            Ok(data) => ok_line(&id, data),
+            Err(e) => error_line(&id, &e),
+        };
+        (line, false)
+    }
+}
+
+fn ok_line(id: &Value, data: Value) -> String {
+    let response = Value::Object(vec![
+        ("v".into(), Value::UInt(PROTOCOL_VERSION)),
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(true)),
+        ("data".into(), data),
+    ]);
+    serde_json::to_string(&response).unwrap_or_else(|e| {
+        format!("{{\"v\":1,\"ok\":false,\"error\":\"response serialization: {e}\"}}")
+    })
+}
+
+fn error_line(id: &Value, message: &str) -> String {
+    let response = Value::Object(vec![
+        ("v".into(), Value::UInt(PROTOCOL_VERSION)),
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(message.into())),
+    ]);
+    serde_json::to_string(&response).unwrap_or_else(|e| {
+        format!("{{\"v\":1,\"ok\":false,\"error\":\"response serialization: {e}\"}}")
+    })
+}
+
+/// Where [`serve`] listens for queries.
+#[derive(Clone, Debug)]
+pub enum ServeTransport {
+    /// Line-delimited JSON on stdin/stdout (the default). The server
+    /// exits when stdin closes and the log backlog is drained.
+    Stdio,
+    /// Line-delimited JSON over TCP on the given `host:port`. One client
+    /// at a time; the server exits on a `shutdown` request.
+    Tcp(String),
+}
+
+/// Knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// The study log to tail (binary framing, as written by `--log-out`
+    /// or a checkpoint directory's `world.log`).
+    pub log: PathBuf,
+    /// Detector and service configuration.
+    pub config: ServeConfig,
+    /// Keep tailing after end-of-file (a run still writing the log).
+    /// Without it the server still answers queries until the transport
+    /// closes, but stops polling the file once fully ingested.
+    pub follow: bool,
+    /// Query transport.
+    pub transport: ServeTransport,
+    /// File poll interval while idle.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            log: PathBuf::from("world.log"),
+            config: ServeConfig::default(),
+            follow: false,
+            transport: ServeTransport::Stdio,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a serve session did, reported when the loop exits.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Records ingested.
+    pub records: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Upper-bound p99 query latency, nanoseconds.
+    pub p99_query_ns: u64,
+    /// Largest ingest backlog observed at query time.
+    pub max_lag_records: u64,
+}
+
+/// One query delivered by a transport pump: the raw line and a channel
+/// the response line must be sent back on.
+struct Request {
+    line: String,
+    reply: mpsc::Sender<String>,
+}
+
+fn spawn_stdio_pump(tx: mpsc::Sender<Request>) {
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx
+                .send(Request {
+                    line,
+                    reply: reply_tx.clone(),
+                })
+                .is_err()
+            {
+                break;
+            }
+            let Ok(response) = reply_rx.recv() else { break };
+            let mut out = std::io::stdout().lock();
+            if writeln!(out, "{response}")
+                .and_then(|()| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+}
+
+fn spawn_tcp_pump(listener: std::net::TcpListener, tx: mpsc::Sender<Request>) {
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let Ok(read_half) = stream.try_clone() else {
+                continue;
+            };
+            let mut write_half = stream;
+            let (reply_tx, reply_rx) = mpsc::channel::<String>();
+            let reader = std::io::BufReader::new(read_half);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if tx
+                    .send(Request {
+                        line,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                let Ok(response) = reply_rx.recv() else { break };
+                if writeln!(write_half, "{response}").is_err() {
+                    break;
+                }
+            }
+        }
+    });
+}
+
+/// Run the serve loop: tail the log, fold records in bounded chunks, and
+/// answer queries between chunks. Returns when the transport closes (or a
+/// `shutdown` request arrives) and the backlog is drained.
+pub fn serve(opts: &ServeOptions) -> Result<ServeSummary, StudyError> {
+    likelab_obs::span!("serve.run");
+    // Without --follow the log will never appear later: a missing file is
+    // a hard error, not an empty stream served successfully.
+    if !opts.follow && !opts.log.exists() {
+        return Err(io_err(
+            &opts.log,
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no such log file (pass --follow to wait for a producer to create it)",
+            ),
+        ));
+    }
+    let (tx, rx) = mpsc::channel::<Request>();
+    match &opts.transport {
+        ServeTransport::Stdio => spawn_stdio_pump(tx),
+        ServeTransport::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| io_err(std::path::Path::new(addr), e))?;
+            eprintln!(
+                "serving on {}",
+                listener
+                    .local_addr()
+                    .map_err(|e| io_err(std::path::Path::new(addr), e))?
+            );
+            spawn_tcp_pump(listener, tx);
+        }
+    }
+
+    let mut follow = FollowReader::open(&opts.log);
+    let mut session: Option<ServeSession> = None;
+    let mut backlog: VecDeque<LogRecord> = VecDeque::new();
+    let mut transport_closed = false;
+    let mut shutdown = false;
+    let mut eof_after_drain = false;
+
+    loop {
+        // Pull whatever the file has and decode it into the backlog.
+        if opts.follow || !eof_after_drain {
+            let polled = likelab_obs::metrics::timed("serve.poll.ns", || follow.poll())?;
+            if polled.is_empty() && !opts.follow {
+                // A static file is fully decoded once a poll comes back
+                // empty with no partial frame pending.
+                eof_after_drain = follow.tail().pending_bytes() == 0;
+            }
+            backlog.extend(polled);
+        }
+        // The header arrives with the first frame batch; the engine can
+        // only be sized once the embedded config is readable.
+        if session.is_none() {
+            if let Some(header) = follow.tail().header() {
+                let engine = ServeEngine::new(header, opts.config.clone())?;
+                session = Some(ServeSession::new(engine));
+            }
+        }
+        // Fold a bounded chunk so queries never wait on the full backlog.
+        if let Some(s) = &mut session {
+            let take = opts.config.chunk.min(backlog.len());
+            if take > 0 {
+                likelab_obs::metrics::timed("serve.ingest.chunk.ns", || {
+                    for frame in backlog.drain(..take) {
+                        s.engine_mut().ingest_frame(&frame)?;
+                    }
+                    Ok::<(), StudyError>(())
+                })?;
+            }
+        }
+        // Answer everything queued while we were ingesting.
+        loop {
+            match rx.try_recv() {
+                Ok(request) => {
+                    let pending = backlog.len();
+                    let response = match &mut session {
+                        Some(s) => {
+                            let (response, stop) = s.handle_line(&request.line, pending);
+                            shutdown |= stop;
+                            response
+                        }
+                        None => error_line(
+                            &Value::Null,
+                            "log header not yet available; retry once the producer has written it",
+                        ),
+                    };
+                    let _ = request.reply.send(response);
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    transport_closed = true;
+                    break;
+                }
+            }
+        }
+        if shutdown || (transport_closed && (backlog.is_empty() || session.is_none())) {
+            break;
+        }
+        if backlog.is_empty() {
+            std::thread::sleep(opts.poll_interval);
+        }
+    }
+
+    let (records, stats) = match session {
+        Some(s) => (s.engine.records, s.stats),
+        None => (0, ServeStats::default()),
+    };
+    Ok(ServeSummary {
+        records,
+        queries: stats.queries,
+        p99_query_ns: stats.p99_query_ns(),
+        max_lag_records: stats.max_lag_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_study_opts, RunOptions};
+    use crate::StudyLog;
+
+    fn logged_outcome() -> &'static (crate::StudyOutcome, StudyLog) {
+        static SHARED: std::sync::OnceLock<(crate::StudyOutcome, StudyLog)> =
+            std::sync::OnceLock::new();
+        SHARED.get_or_init(|| {
+            let mut outcome = run_study_opts(
+                &StudyConfig::paper(42, 0.03),
+                &RunOptions {
+                    capture_log: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+            let log = outcome.log.take().unwrap();
+            (outcome, log)
+        })
+    }
+
+    fn full_engine() -> ServeEngine {
+        let (_, log) = logged_outcome();
+        let mut engine = ServeEngine::new(log.header(), ServeConfig::default()).unwrap();
+        for (seq, record) in log.records() {
+            engine.ingest(*seq, record.clone()).unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn replica_matches_the_original_run() {
+        let (outcome, _) = logged_outcome();
+        let engine = full_engine();
+        let world = engine.world();
+        assert_eq!(world.account_count(), outcome.world.account_count());
+        assert_eq!(world.page_count(), outcome.world.page_count());
+        assert_eq!(world.likes().len(), outcome.world.likes().len());
+        assert_eq!(
+            world.friends().edge_count(),
+            outcome.world.friends().edge_count()
+        );
+    }
+
+    #[test]
+    fn status_query_reports_live_state() {
+        let mut session = ServeSession::new(full_engine());
+        let (line, stop) = session.handle_line(r#"{"v":1,"id":1,"op":"status"}"#, 7);
+        assert!(!stop);
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        let data = v.get("data").unwrap();
+        assert_eq!(data.get("pending"), Some(&Value::UInt(7)));
+        assert_eq!(data.get("campaigns"), Some(&Value::UInt(13)));
+        assert_eq!(data.get("campaigns_launched"), Some(&Value::UInt(13)));
+        let Some(Value::UInt(likes)) = data.get("likes") else {
+            panic!("likes missing")
+        };
+        assert!(*likes > 0);
+    }
+
+    #[test]
+    fn score_and_eval_match_batch_detectors() {
+        let (outcome, _) = logged_outcome();
+        let mut engine = full_engine();
+        // End-of-stream online burst verdict is bitwise-equal to the batch
+        // judge on the original world, for every honeypot page.
+        for &page in &outcome.honeypots {
+            let batch =
+                likelab_detect::judge_page(&outcome.world, page, None, &BurstConfig::default());
+            let online = engine.detectors_mut().burst_mut().page_verdict(page);
+            assert_eq!(online, batch, "page {page:?}");
+        }
+        // The eval query's confusion counts must partition the population,
+        // and at threshold 0 everything is predicted positive so recall
+        // is exactly 1 — properties that hold at any study scale.
+        let resp = engine
+            .query("eval", &obj(vec![("threshold", Value::Float(0.0))]), 0)
+            .unwrap();
+        let count = |k: &str| match resp.get(k) {
+            Some(Value::UInt(n)) => *n,
+            other => panic!("{k} missing or wrong type: {other:?}"),
+        };
+        let (tp, fp, fn_, tn) = (count("tp"), count("fp"), count("fn"), count("tn"));
+        assert_eq!(
+            tp + fp + fn_ + tn,
+            outcome.world.account_count() as u64,
+            "confusion counts must partition the account population"
+        );
+        assert_eq!((fn_, tn), (0, 0), "threshold 0 predicts everyone positive");
+        assert!(tp > 0, "ground truth includes farm accounts");
+        assert_eq!(resp.get("recall"), Some(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn protocol_rejects_bad_requests_without_dying() {
+        let mut session = ServeSession::new(full_engine());
+        for (line, needle) in [
+            ("not json", "bad request JSON"),
+            (r#"{"op":"status"}"#, "missing `v`"),
+            (r#"{"v":2,"op":"status"}"#, "unsupported protocol version"),
+            (r#"{"v":1}"#, "missing `op`"),
+            (r#"{"v":1,"op":"frobnicate"}"#, "unknown op"),
+            (r#"{"v":1,"op":"score"}"#, "missing required param `user`"),
+            (r#"{"v":1,"op":"score","user":99999999}"#, "unknown user"),
+        ] {
+            let (resp, stop) = session.handle_line(line, 0);
+            assert!(!stop, "{line}");
+            let v: Value = serde_json::from_str(&resp).unwrap();
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{line}");
+            let err = v.get("error").and_then(Value::as_str).unwrap();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // The session still works after all that abuse.
+        let (resp, _) = session.handle_line(r#"{"v":1,"id":9,"op":"lockstep"}"#, 0);
+        let v: Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("id"), Some(&Value::UInt(9)));
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_session() {
+        let mut session = ServeSession::new(full_engine());
+        let (resp, stop) = session.handle_line(r#"{"v":1,"id":3,"op":"shutdown"}"#, 0);
+        assert!(stop);
+        let v: Value = serde_json::from_str(&resp).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn campaign_query_tracks_measurement_records() {
+        let (outcome, _) = logged_outcome();
+        let mut engine = full_engine();
+        let resp = engine
+            .query("campaign", &obj(vec![("campaign", Value::UInt(0))]), 0)
+            .unwrap();
+        assert_eq!(resp.get("launched"), Some(&Value::Bool(true)));
+        let Some(Value::UInt(likers)) = resp.get("likers_collected") else {
+            panic!("likers_collected missing")
+        };
+        assert_eq!(
+            *likers as usize,
+            outcome.dataset.campaigns[0].likers.len(),
+            "collected-liker count must match the original dataset"
+        );
+        assert_eq!(resp.get("monitoring_ended"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn sybil_query_gates_recomputation() {
+        let mut engine = full_engine();
+        let first = engine
+            .query("sybil", &obj(vec![("user", Value::UInt(0))]), 0)
+            .unwrap();
+        assert_eq!(first.get("recomputed"), Some(&Value::Bool(true)));
+        let second = engine
+            .query("sybil", &obj(vec![("user", Value::UInt(1))]), 0)
+            .unwrap();
+        assert_eq!(
+            second.get("recomputed"),
+            Some(&Value::Bool(false)),
+            "no graph delta between the two queries"
+        );
+    }
+}

@@ -177,6 +177,31 @@ pub(crate) enum Ev {
     Sweep,
 }
 
+/// On-disk framing for `--log-out` (see [`RunOptions::log_format`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Checksummed binary frames (`LLOG` magic) — streamed to disk as the
+    /// run progresses, resumable, the format checkpoints and `serve` tail.
+    #[default]
+    Binary,
+    /// Line-delimited JSON — human-greppable. Buffered in memory and
+    /// written atomically at the end of the run, so a crash mid-run leaves
+    /// no partial file. [`read_study_log`](crate::read_study_log) sniffs
+    /// and accepts both formats.
+    Jsonl,
+}
+
+impl LogFormat {
+    /// Parse a CLI argument (`binary` | `jsonl`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "binary" => Ok(LogFormat::Binary),
+            "jsonl" => Ok(LogFormat::Jsonl),
+            other => Err(format!("unknown log format `{other}` (binary|jsonl)")),
+        }
+    }
+}
+
 /// Knobs for [`run_study_opts`]: execution policy, log capture, and
 /// checkpoint/resume.
 #[derive(Clone, Debug)]
@@ -186,8 +211,12 @@ pub struct RunOptions {
     /// Capture a [`StudyLog`] in memory, returned on
     /// [`StudyOutcome::log`].
     pub capture_log: bool,
-    /// Stream the log to this file (binary framing). Implies capture.
+    /// Stream the log to this file (framing per `log_format`). Implies
+    /// capture.
     pub log_out: Option<PathBuf>,
+    /// On-disk framing for `log_out`. JSONL is buffered and written once
+    /// at the end of the run; binary streams as it goes.
+    pub log_format: LogFormat,
     /// Checkpoint directory. Enables checkpointing: the log streams to
     /// `<dir>/world.log` and consumer state snapshots to
     /// `<dir>/checkpoint.json`. Mutually exclusive with `log_out`.
@@ -210,6 +239,7 @@ impl Default for RunOptions {
             exec: Exec::auto(),
             capture_log: false,
             log_out: None,
+            log_format: LogFormat::default(),
             checkpoint_dir: None,
             checkpoint_every: 5_000,
             resume: false,
@@ -222,10 +252,14 @@ impl Default for RunOptions {
 /// methods are no-ops when the run is not logging.
 pub(crate) struct Capture {
     pub(crate) log: Option<StudyLog>,
+    /// Set when `log_out` asked for JSONL framing: the log is buffered in
+    /// memory and rendered to this path atomically at the end of the run.
+    pub(crate) jsonl_out: Option<PathBuf>,
 }
 
 impl Capture {
     fn open(config: &StudyConfig, opts: &RunOptions) -> Result<Self, StudyError> {
+        let mut jsonl_out = None;
         let log = if let Some(dir) = &opts.checkpoint_dir {
             if opts.log_out.is_some() {
                 return Err(StudyError::Mismatch(
@@ -234,16 +268,29 @@ impl Capture {
                         .into(),
                 ));
             }
+            if opts.log_format != LogFormat::Binary {
+                return Err(StudyError::Mismatch(
+                    "checkpointing requires the binary log format; \
+                     <dir>/world.log must stay resumable and tailable"
+                        .into(),
+                ));
+            }
             std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
             Some(StudyLog::to_file(config, &dir.join("world.log"))?)
         } else if let Some(path) = &opts.log_out {
-            Some(StudyLog::to_file(config, path)?)
+            match opts.log_format {
+                LogFormat::Binary => Some(StudyLog::to_file(config, path)?),
+                LogFormat::Jsonl => {
+                    jsonl_out = Some(path.clone());
+                    Some(StudyLog::in_memory(config))
+                }
+            }
         } else if opts.capture_log {
             Some(StudyLog::in_memory(config))
         } else {
             None
         };
-        Ok(Capture { log })
+        Ok(Capture { log, jsonl_out })
     }
 
     fn on(&self) -> bool {
@@ -777,6 +824,9 @@ pub(crate) fn collect(
 
     if let Some(log) = &mut capture.log {
         log.flush()?;
+        if let Some(path) = &capture.jsonl_out {
+            crate::record::write_atomic(path, &log.to_jsonl()?)?;
+        }
     }
 
     Ok(StudyOutcome {
@@ -1013,6 +1063,62 @@ mod tests {
         );
         let log = logged.log.expect("log captured");
         assert!(log.records().len() > 1_000, "log is non-trivial");
+    }
+
+    #[test]
+    fn jsonl_log_out_round_trips() {
+        let dir = std::env::temp_dir().join(format!("likelab-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("world.jsonl");
+        let config = StudyConfig::paper(11, 0.03);
+        let outcome = run_study_opts(
+            &config,
+            &RunOptions {
+                log_out: Some(path.clone()),
+                log_format: LogFormat::Jsonl,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().next().unwrap().contains("likelab"),
+            "first line is the JSON header"
+        );
+        // The sniffing reader accepts the JSONL file, and replay rebuilds
+        // the same study from it.
+        let (header, records) = crate::read_study_log(&path).unwrap();
+        assert_eq!(
+            crate::record::config_from_header(&header).unwrap().seed,
+            config.seed
+        );
+        assert!(records.len() > 1_000);
+        let replayed =
+            crate::replay::replay_study(&path, &crate::ReplayOptions::default()).unwrap();
+        assert_eq!(
+            replayed.report.to_json().unwrap(),
+            outcome.report.to_json().unwrap(),
+            "JSONL framing must replay to the identical report"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_format_rejected_with_checkpointing() {
+        let dir = std::env::temp_dir().join(format!("likelab-jsonl-ckpt-{}", std::process::id()));
+        let result = run_study_opts(
+            &StudyConfig::paper(11, 0.02),
+            &RunOptions {
+                checkpoint_dir: Some(dir.clone()),
+                log_format: LogFormat::Jsonl,
+                ..RunOptions::default()
+            },
+        );
+        let Err(err) = result else {
+            panic!("jsonl + checkpointing must be rejected")
+        };
+        assert!(err.to_string().contains("binary log format"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -44,6 +44,25 @@ pub struct BurstVerdict {
 }
 
 /// The densest-window share of a sorted-or-not time stream.
+///
+/// Sorts `times` in place, then slides a two-pointer window. This is the
+/// single statistic both the batch judges and the online detector
+/// ([`crate::online::OnlineBurst`]) are defined in terms of, which is what
+/// makes their parity contract bitwise rather than approximate.
+///
+/// ```
+/// use likelab_detect::burst::peak_share;
+/// use likelab_sim::{SimDuration, SimTime};
+///
+/// let mut times = vec![
+///     SimTime::at_day(9),
+///     SimTime::at_day(1),
+///     SimTime::at_day(1) + SimDuration::minutes(30),
+/// ];
+/// // 2 of 3 events fall inside one 2-hour window.
+/// let share = peak_share(&mut times, SimDuration::hours(2));
+/// assert!((share - 2.0 / 3.0).abs() < 1e-12);
+/// ```
 pub fn peak_share(times: &mut [SimTime], window: SimDuration) -> f64 {
     if times.is_empty() {
         return 0.0;
@@ -61,6 +80,24 @@ pub fn peak_share(times: &mut [SimTime], window: SimDuration) -> f64 {
 }
 
 /// Judge a time stream.
+///
+/// Streams shorter than [`BurstConfig::min_events`] are never flagged and
+/// report `peak_share` 0.0.
+///
+/// ```
+/// use likelab_detect::burst::{judge, BurstConfig};
+/// use likelab_sim::{SimDuration, SimTime};
+///
+/// let config = BurstConfig { min_events: 4, ..BurstConfig::default() };
+/// // 4 likes within minutes of each other: a full-share burst.
+/// let times: Vec<SimTime> = (0..4)
+///     .map(|i| SimTime::at_day(2) + SimDuration::minutes(i))
+///     .collect();
+/// let v = judge(times, &config);
+/// assert!(v.flagged);
+/// assert_eq!(v.peak_share, 1.0);
+/// assert_eq!(v.events, 4);
+/// ```
 pub fn judge(mut times: Vec<SimTime>, config: &BurstConfig) -> BurstVerdict {
     let events = times.len();
     if events < config.min_events {

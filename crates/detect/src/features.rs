@@ -26,6 +26,28 @@ pub struct AccountFeatures {
 }
 
 /// Extract features for one account at time `now`.
+///
+/// ```
+/// use likelab_detect::features::extract;
+/// use likelab_detect::BurstConfig;
+/// use likelab_osn::{
+///     ActorClass, Country, Gender, OsnWorld, PrivacySettings, Profile,
+/// };
+/// use likelab_sim::SimTime;
+///
+/// let mut world = OsnWorld::new();
+/// let u = world.create_account(
+///     Profile { gender: Gender::Male, age: 30, country: Country::Usa, home_region: 0 },
+///     ActorClass::Organic,
+///     PrivacySettings { friend_list_public: true, likes_public: true, searchable: true },
+///     SimTime::EPOCH,
+/// );
+/// world.set_off_network_friends(u, 40);
+/// let f = extract(&world, u, SimTime::at_day(10), &BurstConfig::default());
+/// assert_eq!(f.age_days, 10.0);
+/// assert_eq!(f.friend_count, 40.0);
+/// assert_eq!(f.like_count, 0.0);
+/// ```
 pub fn extract(
     world: &OsnWorld,
     user: UserId,

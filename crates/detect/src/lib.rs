@@ -15,7 +15,10 @@
 //! - [`sybilrank`] — SybilRank-style trust propagation, the graph-defense
 //!   baseline family the paper's related work discusses;
 //! - [`eval`] — precision/recall/F1 and ROC/AUC against [`ActorClass`]
-//!   ground truth (the one module allowed to peek at labels).
+//!   ground truth (the one module allowed to peek at labels);
+//! - [`online`] — streaming variants of burst/lockstep/SybilRank/features
+//!   for the `likelab serve` engine, each carrying a bitwise
+//!   online-vs-batch equivalence contract (see `SERVING.md`).
 //!
 //! The expected (and reproduced) punchline: bot-burst farm accounts are
 //! easy; BoostLikes-style stealth accounts score near-organic.
@@ -27,6 +30,7 @@ pub mod burst;
 pub mod eval;
 pub mod features;
 pub mod lockstep;
+pub mod online;
 pub mod scorer;
 pub mod sybilrank;
 pub mod train;
@@ -35,7 +39,8 @@ pub use audience::{judge_audience, AudienceConfig, AudienceVerdict};
 pub use burst::{judge_account, judge_page, BurstConfig, BurstVerdict};
 pub use eval::{confusion_at, roc, Confusion, PositiveClass, Roc};
 pub use features::{extract, AccountFeatures};
-pub use lockstep::{detect, LockstepConfig, LockstepReport};
+pub use lockstep::{detect, detect_from_buckets, LockstepConfig, LockstepReport};
+pub use online::{OnlineBurst, OnlineDetectors, OnlineLockstep, OnlineSybilRank};
 pub use scorer::{score, ScorerWeights};
 pub use sybilrank::{sybil_rank, SybilRankConfig, TrustScores};
 pub use train::{fit, TrainConfig};

@@ -54,20 +54,50 @@ impl LockstepReport {
     }
 }
 
+/// The `(page, window index)` key a like at time `at` buckets under.
+pub(crate) fn bucket_key(page: u32, at_secs: u64, config: &LockstepConfig) -> (u32, u64) {
+    (page, at_secs / config.window.as_secs().max(1))
+}
+
 /// Run lockstep detection over the whole like ledger.
+///
+/// ```
+/// use likelab_detect::lockstep::{detect, LockstepConfig};
+/// use likelab_osn::OsnWorld;
+///
+/// // An empty world has no co-liking evidence.
+/// let world = OsnWorld::new();
+/// let report = detect(&world, &LockstepConfig::default());
+/// assert!(report.clusters.is_empty());
+/// ```
 pub fn detect(world: &OsnWorld, config: &LockstepConfig) -> LockstepReport {
     // Bucket likes by (page, window index).
-    let w = config.window.as_secs().max(1);
     // BTree maps throughout: every aggregation here is commutative, but
     // deterministic iteration keeps intermediate vectors (and anything a
     // future change derives from them) reproducible by construction.
     let mut buckets: BTreeMap<(u32, u64), Vec<UserId>> = BTreeMap::new();
     for r in world.likes().records() {
         buckets
-            .entry((r.page.0, r.at.as_secs() / w))
+            .entry(bucket_key(r.page.0, r.at.as_secs(), config))
             .or_default()
             .push(r.user);
     }
+    detect_from_buckets(&buckets, config)
+}
+
+/// The pair-counting / clustering kernel behind [`detect`], over
+/// already-bucketed likes.
+///
+/// This is the shared tail of the batch and online paths: the online
+/// detector ([`crate::online::OnlineLockstep`]) maintains the bucket map
+/// incrementally and calls this exact kernel on demand, which is what makes
+/// its end-of-stream report **bitwise identical** to [`detect`]'s. The
+/// kernel sorts and dedups each bucket before counting, so the insertion
+/// order of a bucket's members is irrelevant to the output.
+pub fn detect_from_buckets(
+    buckets: &BTreeMap<(u32, u64), Vec<UserId>>,
+    config: &LockstepConfig,
+) -> LockstepReport {
     // Count co-occurrences per user pair.
     let mut pair_counts: BTreeMap<(UserId, UserId), u32> = BTreeMap::new();
     for users in buckets.values() {

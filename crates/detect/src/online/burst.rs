@@ -1,0 +1,266 @@
+//! Online burst detection: per-entity like streams maintained
+//! incrementally, with verdicts on demand.
+//!
+//! ## Parity contract
+//!
+//! [`judge`](crate::burst::judge) is a pure function of the *sorted
+//! multiset* of timestamps: it sorts its input and takes the densest-window
+//! share. So an online variant is bitwise-equal to the batch one iff, at
+//! query time, it evaluates the same statistic over the same multiset. This
+//! implementation keeps the full per-entity timestamp vector (windows never
+//! expire — neither do the batch detector's) and keeps it sorted:
+//!
+//! - an in-order arrival (`at >=` the current maximum — the overwhelmingly
+//!   common case for a page's live stream) appends and advances the
+//!   two-pointer densest-window scan in amortized O(1);
+//! - an out-of-order arrival (farm accounts backfill camouflage histories
+//!   with past timestamps) marks the stream dirty; the next verdict
+//!   re-sorts and re-scans, exactly as the batch path would.
+//!
+//! Either way the verdict is computed from the same sorted timestamps with
+//! the same float expression, so equality is exact, not approximate.
+
+use crate::burst::{peak_share, BurstConfig, BurstVerdict};
+use likelab_graph::{PageId, UserId};
+use likelab_sim::SimTime;
+
+/// One entity's timestamp stream plus incremental scan state.
+#[derive(Clone, Debug, Default)]
+struct Stream {
+    /// Timestamps, kept sorted while `dirty` is false.
+    times: Vec<SimTime>,
+    /// Two-pointer window start (valid while clean).
+    lo: usize,
+    /// Densest-window event count seen so far (valid while clean).
+    best: usize,
+    /// An out-of-order arrival invalidates the incremental state.
+    dirty: bool,
+}
+
+impl Stream {
+    fn push(&mut self, at: SimTime, window: likelab_sim::SimDuration) {
+        if self.dirty {
+            self.times.push(at);
+            return;
+        }
+        if let Some(&last) = self.times.last() {
+            if at < last {
+                // Backfill: fall back to batch behaviour at next query.
+                self.times.push(at);
+                self.dirty = true;
+                return;
+            }
+        }
+        self.times.push(at);
+        let hi = self.times.len() - 1;
+        while self.times[hi].since(self.times[self.lo]) > window {
+            self.lo += 1;
+        }
+        self.best = self.best.max(hi - self.lo + 1);
+    }
+
+    fn verdict(&mut self, config: &BurstConfig) -> BurstVerdict {
+        let events = self.times.len();
+        if events < config.min_events || events == 0 {
+            // The batch judge reports an empty stream (reachable only with
+            // `min_events == 0`) as share 0.0; `flagged` mirrors its
+            // threshold comparison on that same value.
+            return BurstVerdict {
+                peak_share: 0.0,
+                events,
+                flagged: events == 0 && config.min_events == 0 && 0.0 >= config.share_threshold,
+            };
+        }
+        let share = if self.dirty {
+            // Same code path as the batch judge: sort + full scan.
+            let share = peak_share(&mut self.times, config.window);
+            // The vector is sorted again; rebuild the incremental state.
+            self.dirty = false;
+            self.lo = 0;
+            self.best = 0;
+            let mut lo = 0usize;
+            let mut best = 1usize;
+            for hi in 0..self.times.len() {
+                while self.times[hi].since(self.times[lo]) > config.window {
+                    lo += 1;
+                }
+                best = best.max(hi - lo + 1);
+            }
+            self.lo = lo;
+            self.best = best;
+            share
+        } else {
+            self.best.max(1) as f64 / events as f64
+        };
+        BurstVerdict {
+            peak_share: share,
+            events,
+            flagged: share >= config.share_threshold,
+        }
+    }
+}
+
+/// Incremental burst detector over page and account like streams. See the
+/// module docs for the parity contract.
+///
+/// ```
+/// use likelab_detect::online::OnlineBurst;
+/// use likelab_detect::BurstConfig;
+/// use likelab_graph::{PageId, UserId};
+/// use likelab_sim::{SimDuration, SimTime};
+///
+/// let config = BurstConfig { min_events: 4, ..BurstConfig::default() };
+/// let mut online = OnlineBurst::new(config);
+/// // 4 likes inside one 2-hour window: a full-share burst.
+/// for i in 0..4 {
+///     let at = SimTime::at_day(3) + SimDuration::minutes(i);
+///     online.record_like(UserId(i as u32), PageId(0), at);
+/// }
+/// let v = online.page_verdict(PageId(0));
+/// assert!(v.flagged && v.peak_share == 1.0);
+/// ```
+#[derive(Debug)]
+pub struct OnlineBurst {
+    config: BurstConfig,
+    pages: Vec<Stream>,
+    users: Vec<Stream>,
+}
+
+impl OnlineBurst {
+    /// An empty detector.
+    pub fn new(config: BurstConfig) -> Self {
+        OnlineBurst {
+            config,
+            pages: Vec::new(),
+            users: Vec::new(),
+        }
+    }
+
+    /// The configuration verdicts are judged under.
+    pub fn config(&self) -> &BurstConfig {
+        &self.config
+    }
+
+    fn stream(streams: &mut Vec<Stream>, idx: usize) -> &mut Stream {
+        if idx >= streams.len() {
+            streams.resize_with(idx + 1, Stream::default);
+        }
+        &mut streams[idx]
+    }
+
+    /// Feed one **accepted** like (feed rejected likes nowhere — the batch
+    /// detector never sees them either).
+    pub fn record_like(&mut self, user: UserId, page: PageId, at: SimTime) {
+        let window = self.config.window;
+        Self::stream(&mut self.pages, page.idx()).push(at, window);
+        Self::stream(&mut self.users, user.idx()).push(at, window);
+    }
+
+    /// The page's burst verdict over everything recorded so far — equal to
+    /// [`crate::burst::judge_page`] with `since = None` on a world holding
+    /// the same accepted likes.
+    pub fn page_verdict(&mut self, page: PageId) -> BurstVerdict {
+        Self::stream(&mut self.pages, page.idx()).verdict(&self.config)
+    }
+
+    /// The account's burst verdict — equal to
+    /// [`crate::burst::judge_account`] on a world holding the same accepted
+    /// likes.
+    pub fn user_verdict(&mut self, user: UserId) -> BurstVerdict {
+        Self::stream(&mut self.users, user.idx()).verdict(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::judge;
+    use likelab_sim::Rng;
+
+    /// Compare every intermediate verdict (not just end-of-stream) against
+    /// the batch judge on the same prefix.
+    fn assert_prefix_parity(times: &[SimTime], config: &BurstConfig) {
+        let mut online = OnlineBurst::new(*config);
+        for (i, &at) in times.iter().enumerate() {
+            online.record_like(UserId(0), PageId(0), at);
+            let batch_page = judge(times[..=i].to_vec(), config);
+            let batch_user = judge(times[..=i].to_vec(), config);
+            assert_eq!(online.page_verdict(PageId(0)), batch_page, "prefix {i}");
+            assert_eq!(online.user_verdict(UserId(0)), batch_user, "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn in_order_stream_matches_batch_at_every_prefix() {
+        let times: Vec<SimTime> = (0..50).map(|i| SimTime::from_secs(i * 1800)).collect();
+        assert_prefix_parity(
+            &times,
+            &BurstConfig {
+                min_events: 5,
+                ..BurstConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn out_of_order_backfill_matches_batch_at_every_prefix() {
+        let mut rng = Rng::seed_from_u64(11);
+        let times: Vec<SimTime> = (0..60)
+            .map(|_| SimTime::from_secs(rng.below(20 * 86_400)))
+            .collect();
+        assert_prefix_parity(
+            &times,
+            &BurstConfig {
+                min_events: 3,
+                ..BurstConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn verdicts_are_bitwise_equal_not_just_close() {
+        let mut rng = Rng::seed_from_u64(5);
+        let times: Vec<SimTime> = (0..200)
+            .map(|_| SimTime::from_secs(rng.below(5 * 86_400)))
+            .collect();
+        let config = BurstConfig::default();
+        let mut online = OnlineBurst::new(config);
+        for &at in &times {
+            online.record_like(UserId(3), PageId(7), at);
+        }
+        let batch = judge(times, &config);
+        let v = online.page_verdict(PageId(7));
+        assert_eq!(v.peak_share.to_bits(), batch.peak_share.to_bits());
+        assert_eq!(online.user_verdict(UserId(3)), batch);
+    }
+
+    #[test]
+    fn unseen_entities_judge_as_empty_streams() {
+        let mut online = OnlineBurst::new(BurstConfig::default());
+        let v = online.page_verdict(PageId(40));
+        assert_eq!(v.events, 0);
+        assert!(!v.flagged);
+        assert_eq!(v.peak_share, 0.0);
+    }
+
+    #[test]
+    fn repeated_queries_are_stable_after_resort() {
+        let config = BurstConfig {
+            min_events: 2,
+            ..BurstConfig::default()
+        };
+        let mut online = OnlineBurst::new(config);
+        online.record_like(UserId(0), PageId(0), SimTime::at_day(5));
+        online.record_like(UserId(0), PageId(0), SimTime::at_day(1)); // backfill
+        let first = online.page_verdict(PageId(0));
+        let second = online.page_verdict(PageId(0));
+        assert_eq!(first, second);
+        // And further in-order appends extend the rebuilt state correctly.
+        online.record_like(UserId(0), PageId(0), SimTime::at_day(5));
+        let batch = judge(
+            vec![SimTime::at_day(5), SimTime::at_day(1), SimTime::at_day(5)],
+            &config,
+        );
+        assert_eq!(online.page_verdict(PageId(0)), batch);
+    }
+}

@@ -33,6 +33,29 @@ impl Default for ScorerWeights {
 }
 
 /// Score an account: 0 (clean) to 1 (farm-like).
+///
+/// ```
+/// use likelab_detect::features::AccountFeatures;
+/// use likelab_detect::scorer::{score, ScorerWeights};
+///
+/// let w = ScorerWeights::default();
+/// let bot = AccountFeatures {
+///     burstiness: 0.9,
+///     friend_count: 8.0,
+///     like_count: 1_400.0,
+///     age_days: 20.0,
+///     clustering: 0.0,
+/// };
+/// let organic = AccountFeatures {
+///     burstiness: 0.05,
+///     friend_count: 250.0,
+///     like_count: 34.0,
+///     age_days: 900.0,
+///     clustering: 0.2,
+/// };
+/// assert!(score(&bot, &w) > 0.6);
+/// assert!(score(&organic, &w) < 0.3);
+/// ```
 pub fn score(f: &AccountFeatures, w: &ScorerWeights) -> f64 {
     let z = w.burstiness * f.burstiness
         + w.log_friends * (1.0 + f.friend_count).log10()

@@ -54,8 +54,27 @@ impl TrustScores {
 
 /// Run trust propagation from `seeds` over the friendship graph.
 ///
+/// ```
+/// use likelab_detect::sybilrank::{sybil_rank, SybilRankConfig};
+/// use likelab_graph::{FriendGraph, UserId};
+///
+/// // A triangle seeded at one corner: trust reaches the other two.
+/// let mut g = FriendGraph::with_nodes(4);
+/// g.add_edge(UserId(0), UserId(1));
+/// g.add_edge(UserId(1), UserId(2));
+/// g.add_edge(UserId(0), UserId(2));
+/// let scores = sybil_rank(&g, &[UserId(0)], &SybilRankConfig::default());
+/// assert!(scores.trust(UserId(1)) > 0.0);
+/// // The isolated node gets nothing — and ranks most suspicious of none,
+/// // since zero-degree nodes carry no graph signal.
+/// assert_eq!(scores.trust(UserId(3)), 0.0);
+/// assert!(!scores.ranked_suspicious(&g).contains(&UserId(3)));
+/// ```
+///
 /// # Panics
-/// Panics when `seeds` is empty.
+/// Panics when `seeds` is empty. The online wrapper
+/// ([`crate::online::OnlineSybilRank`]) guards this case by returning
+/// all-zero scores instead.
 pub fn sybil_rank(graph: &FriendGraph, seeds: &[UserId], config: &SybilRankConfig) -> TrustScores {
     assert!(!seeds.is_empty(), "trust needs at least one seed");
     let n = graph.node_count();

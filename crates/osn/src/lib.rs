@@ -29,6 +29,7 @@ pub mod auction;
 pub mod crawl_api;
 pub mod demographics;
 pub mod directory;
+pub mod fanout;
 pub mod fraudops;
 pub mod likes;
 pub mod log;
@@ -48,6 +49,7 @@ pub use crawl_api::{
     RateLimitRegime, RetryPolicy,
 };
 pub use demographics::{AgeBracket, Country, Gender, GeoBucket, Profile};
+pub use fanout::{DetectorUpdate, EventFanout};
 pub use fraudops::{FraudOps, FraudOpsConfig};
 pub use likes::{LikeLedger, LikeRecord};
 pub use log::WorldEvent;

@@ -129,8 +129,8 @@ impl From<io::Error> for LogError {
 
 /// FNV-1a over a byte slice — the per-record integrity checksum. Not
 /// cryptographic; it catches the bit rot and partial writes a capture file
-/// meets in practice.
-fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+/// meets in practice. Shared with the incremental [`crate::tail`] decoder.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for b in bytes {
         h ^= u64::from(*b);

@@ -42,6 +42,7 @@ pub mod event;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
+pub mod tail;
 pub mod time;
 pub mod trace;
 
@@ -50,5 +51,6 @@ pub use event::{LogError, LogHeader, LogRecord};
 pub use parallel::{parallel_jobs, parallel_map, Exec};
 pub use queue::EventQueue;
 pub use rng::{derive_stream_seed, Rng};
+pub use tail::{FollowReader, TailReader};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Note, Trace};

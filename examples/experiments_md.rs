@@ -444,6 +444,44 @@ fn main() {
          \x20    --metrics-out metrics.json --trace-out trace.json\n\n\
          # Instrumentation overhead budget (<5% enabled, ~0 disabled):\n\
          cargo bench -p likelab-bench --bench obs\n\
+         ```\n\n\
+         Event sourcing — capture a run, replay it, survive a crash (see\n\
+         DESIGN.md §4c):\n\n\
+         ```bash\n\
+         # Stream every accepted mutation to a checksummed binary log:\n\
+         likelab run --seed {seed} --scale {scale} --log-out study.log\n\n\
+         # Greppable JSONL instead (buffered, written atomically at the end):\n\
+         likelab run --seed {seed} --scale {scale} \\\n\
+         \x20    --log-out study.jsonl --log-format jsonl\n\n\
+         # Rebuild the full report from the log alone - byte-identical to\n\
+         # the original run at any LIKELAB_THREADS:\n\
+         likelab replay study.log\n\n\
+         # Same bytes + exit code as `likelab checklist`:\n\
+         likelab replay study.log --checklist\n\n\
+         # Incremental replay: recompute only campaigns touched past the cutoff:\n\
+         likelab replay study.log --from-seq 80000 --cache cache/\n\n\
+         # Periodic atomic checkpoints, then resume a killed run; the output\n\
+         # is byte-identical to a run that never crashed:\n\
+         likelab run --seed {seed} --scale {scale} \\\n\
+         \x20    --checkpoint-dir ckpt/ --checkpoint-every 20000\n\
+         likelab run --resume ckpt/\n\
+         ```\n\n\
+         Live scoring - tail the log and answer fraud queries while the\n\
+         producer is still writing (protocol and semantics in SERVING.md):\n\n\
+         ```bash\n\
+         # Producer in one terminal:\n\
+         likelab run --seed {seed} --scale {scale} --log-out live/world.log\n\n\
+         # Consumer in another - line-delimited JSON over stdin/stdout:\n\
+         printf '%s\\n' \\\n\
+         \x20    '{{\"v\":1,\"id\":1,\"op\":\"status\"}}' \\\n\
+         \x20    '{{\"v\":1,\"id\":2,\"op\":\"score\",\"user\":7}}' \\\n\
+         \x20    '{{\"v\":1,\"id\":3,\"op\":\"shutdown\"}}' \\\n\
+         \x20  | likelab serve live/world.log --follow\n\n\
+         # Or over TCP, for many concurrent clients:\n\
+         likelab serve study.log --tcp 127.0.0.1:7070\n\n\
+         # Ingest throughput, ingest lag, and p99 query latency, with the\n\
+         # online-vs-batch bitwise parity assertion at the end:\n\
+         cargo bench -p likelab-bench --bench world_serve\n\
          ```\n"
     );
 

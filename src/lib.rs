@@ -42,7 +42,7 @@ pub use likelab_sim as sim;
 
 pub use likelab_core::{
     checklist, read_study_log, render_checklist, replay_study, run_study, run_study_opts,
-    run_study_with, run_sweep, MetricAggregate, ReplayOptions, ReplayOutcome, RunOptions,
-    ShapeCheck, StudyConfig, StudyError, StudyLog, StudyOutcome, StudyRecord, SweepConfig,
-    SweepReport,
+    run_study_with, run_sweep, serve, LogFormat, MetricAggregate, ReplayOptions, ReplayOutcome,
+    RunOptions, ServeConfig, ServeOptions, ServeSummary, ServeTransport, ShapeCheck, StudyConfig,
+    StudyError, StudyLog, StudyOutcome, StudyRecord, SweepConfig, SweepReport,
 };

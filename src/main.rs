@@ -4,6 +4,7 @@
 //! likelab run        [--preset P] [--scale S] [--seed N]   run the study, print the report
 //! likelab checklist  [--preset P] [--scale S] [--seed N]   reproduction criteria (exit 1 on failure)
 //! likelab replay LOG [--checklist] [--from-seq N --cache DIR]   rebuild report from a study log
+//! likelab serve LOG  [--follow] [--tcp ADDR]       live scoring service over a study log
 //! likelab export DIR [--preset P] [--scale S] [--seed N]   write JSON, DOT, and SVG artifacts
 //! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
@@ -11,10 +12,12 @@
 //! ```
 //!
 //! `run` and `checklist` are event-sourced: `--log-out FILE` captures the
-//! world log, `--checkpoint-every N` + `--checkpoint-dir DIR` freeze the
-//! run periodically, and `--resume DIR` picks a killed run back up
+//! world log (`--log-format binary|jsonl` picks the framing),
+//! `--checkpoint-every N` + `--checkpoint-dir DIR` freeze the run
+//! periodically, and `--resume DIR` picks a killed run back up
 //! byte-identically. `replay` reproduces the identical stdout from the log
-//! alone.
+//! alone; `serve` tails the log (even mid-run with `--follow`) and answers
+//! line-delimited JSON fraud-score queries — protocol in SERVING.md.
 //!
 //! `run`, `checklist`, and `sweep` accept the observability flags
 //! `--timing` (print a per-phase timing table), `--metrics-out FILE`, and
@@ -29,8 +32,9 @@
 use likelab::core::paper;
 use likelab::sim::Exec;
 use likelab::{
-    checklist, render_checklist, replay_study, run_study, run_study_opts, run_sweep, ReplayOptions,
-    RunOptions, StudyConfig, StudyError, StudyOutcome, SweepConfig,
+    checklist, render_checklist, replay_study, run_study, run_study_opts, run_sweep, serve,
+    LogFormat, ReplayOptions, RunOptions, ServeConfig, ServeOptions, ServeTransport, StudyConfig,
+    StudyError, StudyOutcome, SweepConfig,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -63,6 +67,10 @@ struct Opts {
     fault_profile: Option<String>,
     min_coverage: Option<f64>,
     log_out: Option<PathBuf>,
+    log_format: LogFormat,
+    follow: bool,
+    tcp: Option<String>,
+    chunk: Option<usize>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: Option<u64>,
     resume: bool,
@@ -130,6 +138,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         fault_profile: None,
         min_coverage: None,
         log_out: None,
+        log_format: LogFormat::default(),
+        follow: false,
+        tcp: None,
+        chunk: None,
         checkpoint_dir: None,
         checkpoint_every: None,
         resume: false,
@@ -208,6 +220,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--log-out needs a file path")?;
                 opts.log_out = Some(PathBuf::from(v));
             }
+            "--log-format" => {
+                let v = it
+                    .next()
+                    .ok_or("--log-format needs a value (binary|jsonl)")?;
+                opts.log_format = LogFormat::parse(v)?;
+            }
+            "--follow" => opts.follow = true,
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs a host:port address")?;
+                opts.tcp = Some(v.clone());
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a record count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad chunk size: {v}"))?;
+                if n == 0 {
+                    return Err("--chunk must be at least 1".into());
+                }
+                opts.chunk = Some(n);
+            }
             "--checkpoint-dir" => {
                 let v = it.next().ok_or("--checkpoint-dir needs a directory path")?;
                 opts.checkpoint_dir = Some(PathBuf::from(v));
@@ -274,6 +305,11 @@ fn usage() -> &'static str {
      \x20               rebuild the world + report from a captured study log\n\
      \x20               (byte-identical stdout; --from-seq recomputes only\n\
      \x20               campaigns touched past that sequence number)\n\
+     \x20 likelab serve LOG [--follow] [--tcp HOST:PORT] [--chunk N]\n\
+     \x20               live fraud-scoring service: tail the study log and\n\
+     \x20               answer line-delimited JSON queries on stdin/stdout\n\
+     \x20               (or --tcp); --follow keeps tailing a log still being\n\
+     \x20               written; protocol + walkthrough in SERVING.md\n\
      \x20 likelab export DIR [--preset P] [--scale S] [--seed N]   run + write report.json, dataset.json, DOT, SVGs\n\
      \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
      \x20               [--seed M] [--out FILE] [--sequential]\n\
@@ -288,7 +324,10 @@ fn usage() -> &'static str {
      \x20 --trace-out FILE     write the span trace as JSON\n\n\
      Event sourcing (run, checklist — see DESIGN.md):\n\
      \x20 --log-out FILE       stream every world mutation + measurement to\n\
-     \x20                      a binary study log (replayable with `replay`)\n\
+     \x20                      a study log (replayable with `replay`)\n\
+     \x20 --log-format F       log framing: binary (default; streamed,\n\
+     \x20                      checksummed, tailable) or jsonl (greppable,\n\
+     \x20                      written atomically at the end of the run)\n\
      \x20 --checkpoint-dir DIR log to DIR/world.log and snapshot consumer\n\
      \x20                      state to DIR/checkpoint.json\n\
      \x20 --checkpoint-every N checkpoint cadence in fired events (default 5000)\n\
@@ -357,6 +396,7 @@ const CRASH_EXIT: u8 = 86;
 fn run_options(opts: &Opts) -> RunOptions {
     RunOptions {
         log_out: opts.log_out.clone(),
+        log_format: opts.log_format,
         checkpoint_dir: opts.checkpoint_dir.clone(),
         checkpoint_every: opts.checkpoint_every.unwrap_or(5_000),
         resume: opts.resume,
@@ -536,6 +576,49 @@ fn cmd_replay(opts: &Opts) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `likelab serve LOG` — the live scoring service: tail a study log
+/// (optionally while it is still being written) and answer fraud-score
+/// queries over line-delimited JSON. See SERVING.md for the protocol,
+/// the online-vs-batch equivalence contract, and a load-test walkthrough.
+fn cmd_serve(opts: &Opts) -> Result<ExitCode, String> {
+    let path = PathBuf::from(opts.positional.first().ok_or("serve needs a log file")?);
+    let mut config = ServeConfig::default();
+    if let Some(chunk) = opts.chunk {
+        config.chunk = chunk;
+    }
+    let transport = match &opts.tcp {
+        Some(addr) => ServeTransport::Tcp(addr.clone()),
+        None => ServeTransport::Stdio,
+    };
+    eprintln!(
+        "serving {} ({}, chunk {})...",
+        path.display(),
+        match transport {
+            ServeTransport::Stdio => "stdin/stdout".to_string(),
+            ServeTransport::Tcp(ref a) => format!("tcp {a}"),
+        },
+        config.chunk,
+    );
+    start_observability(opts);
+    let summary = serve(&ServeOptions {
+        log: path,
+        config,
+        follow: opts.follow,
+        transport,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "served {} queries over {} records; p99 query latency {:.3} ms, max ingest lag {} records",
+        summary.queries,
+        summary.records,
+        summary.p99_query_ns as f64 / 1e6,
+        summary.max_lag_records,
+    );
+    emit_observability(opts)?;
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
     let config = SweepConfig {
         master_seed: opts.seed,
@@ -705,6 +788,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&opts),
         "checklist" => cmd_checklist(&opts),
         "replay" => cmd_replay(&opts),
+        "serve" => cmd_serve(&opts),
         "export" => cmd_export(&opts),
         "sweep" => cmd_sweep(&opts),
         "paper" => Ok(cmd_paper()),
