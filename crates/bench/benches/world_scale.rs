@@ -90,6 +90,31 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Worker counts for the matrix sweep: `LIKELAB_BENCH_WORKER_MATRIX` as a
+/// comma-separated list (empty string disables the sweep, default `1,8`).
+fn matrix_workers() -> Vec<usize> {
+    let raw = std::env::var("LIKELAB_BENCH_WORKER_MATRIX").unwrap_or_else(|_| "1,8".into());
+    raw.split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .collect()
+}
+
+/// Phase-1 world build at a given worker count; returns (seconds, likes).
+/// The like count doubles as a worker-invariance check: synthesis is
+/// deterministic, so every worker count must land on the same world.
+fn timed_build(scale: f64, seed: u64, exec: Exec) -> (f64, usize) {
+    let config = scale_population().scaled(scale);
+    let mut world = OsnWorld::new();
+    let mut rng = Rng::seed_from_u64(seed);
+    let t = Instant::now();
+    let population = synthesize_with(&mut world, &config, &mut rng, exec);
+    let secs = t.elapsed().as_secs_f64();
+    drop(population);
+    let likes = world.likes().len();
+    (secs, likes)
+}
+
 fn main() {
     let scale = env_f64("LIKELAB_BENCH_WORLD_SCALE", 0.05);
     let seed = 42u64;
@@ -146,15 +171,35 @@ fn main() {
         build_peak as f64 / (1024.0 * 1024.0),
     );
 
+    // --- phase 3: build-time worker matrix --------------------------------
+    // Re-run phase 1 at fixed worker counts so one JSON carries the scaling
+    // story. Runs after the peak snapshot above, so the matrix never
+    // perturbs the gated allocation numbers.
+    let mut matrix_rows = Vec::new();
+    for w in matrix_workers() {
+        let (secs, matrix_likes) = timed_build(scale, seed, Exec::workers(w));
+        assert_eq!(
+            matrix_likes, likes,
+            "worker count {w} changed the world: {matrix_likes} likes vs {likes}"
+        );
+        println!("build @ {w} worker(s): {secs:.3} s");
+        matrix_rows.push(format!(
+            "{{ \"workers\": {w}, \"build_seconds\": {secs:.6}, \"likes\": {matrix_likes} }}"
+        ));
+    }
+    let worker_matrix = matrix_rows.join(",\n    ");
+
     // Flat JSON by hand: the bench crate has no serde dependency and the
-    // record is a single object.
+    // record is a single object. Field order and names are stable — the CI
+    // scale-smoke gate and older baselines parse this by key.
     let json = format!(
         "{{\n  \"bench\": \"world_scale\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \
          \"workers\": {},\n  \"accounts\": {accounts},\n  \"organic\": {organic},\n  \
          \"pages\": {pages},\n  \"likes\": {likes},\n  \"friend_edges\": {edges},\n  \
          \"ledger_shards\": {shards},\n  \"distinct_profiles\": {distinct_profiles},\n  \
          \"build_seconds\": {build_seconds:.6},\n  \"report_seconds\": {report_seconds:.6},\n  \
-         \"build_peak_alloc_bytes\": {build_peak},\n  \"peak_alloc_bytes\": {peak}\n}}\n",
+         \"build_peak_alloc_bytes\": {build_peak},\n  \"peak_alloc_bytes\": {peak},\n  \
+         \"worker_matrix\": [\n    {worker_matrix}\n  ]\n}}\n",
         exec.worker_count(),
     );
     match std::fs::write(&out_path, &json) {

@@ -471,6 +471,7 @@ fn setup(config: &StudyConfig, exec: Exec, capture: &mut Capture) -> Result<Loop
                 daily_budget_cents,
                 duration_days,
             } => {
+                let _ads_span = likelab_obs::span::enter("promotions.ads");
                 let plan = plan_campaign(
                     &world,
                     &population,
@@ -506,6 +507,7 @@ fn setup(config: &StudyConfig, exec: Exec, capture: &mut Capture) -> Result<Loop
                 likes,
                 ..
             } => {
+                let _farm_span = likelab_obs::span::enter("promotions.farm");
                 let delivery = roster.fulfill(
                     &mut world,
                     &FarmOrder {
@@ -635,6 +637,7 @@ pub(crate) fn event_loop(
                 state.world.record_like(l.user, l.page, l.at);
             }
             Ev::Poll(i) => {
+                let _poll_span = likelab_obs::span::enter("study.poll");
                 let monitor = state.monitors[i].as_mut().expect("poll only for active");
                 if let Some(next) = monitor.poll(&state.world, &mut state.api, now) {
                     state.engine.schedule(next, Ev::Poll(i));
@@ -645,6 +648,7 @@ pub(crate) fn event_loop(
                 }
             }
             Ev::Sweep => {
+                let _sweep_span = likelab_obs::span::enter("study.sweep");
                 let terminated = state.fraud.sweep(&mut state.world, now);
                 state.sweep_terminations += terminated.len();
                 state

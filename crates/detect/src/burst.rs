@@ -126,8 +126,7 @@ pub fn judge_page(
 ) -> BurstVerdict {
     let times: Vec<SimTime> = world
         .likes()
-        .of_page(page)
-        .map(|r| r.at)
+        .page_times(page)
         .filter(|t| since.is_none_or(|s| *t >= s))
         .collect();
     judge(times, config)
@@ -135,7 +134,7 @@ pub fn judge_page(
 
 /// Judge an account's outgoing like stream.
 pub fn judge_account(world: &OsnWorld, user: UserId, config: &BurstConfig) -> BurstVerdict {
-    let times: Vec<SimTime> = world.likes().of_user(user).map(|r| r.at).collect();
+    let times: Vec<SimTime> = world.likes().user_times(user).collect();
     judge(times, config)
 }
 

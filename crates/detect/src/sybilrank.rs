@@ -16,7 +16,7 @@
 //! trust — graph defenses are only as good as the attack-edge scarcity
 //! assumption. The ablation bench exercises exactly that knob.
 
-use likelab_graph::{FriendGraph, UserId};
+use likelab_graph::{FriendGraph, RenumberedCsr, UserId};
 use serde::{Deserialize, Serialize};
 
 /// SybilRank parameters.
@@ -85,39 +85,63 @@ pub fn sybil_rank(graph: &FriendGraph, seeds: &[UserId], config: &SybilRankConfi
         .iterations
         .unwrap_or_else(|| (n as f64).log2().ceil().max(1.0) as usize);
 
-    let mut trust = vec![0.0f64; n];
+    // Power iteration runs over a degree-ordered CSR snapshot: hubs own most
+    // edge endpoints, so renumbering them to the low ids keeps the hot
+    // accumulator slots cache-resident. The pull form below is bit-identical
+    // to the historical push loop ("for u ascending: next[neighbor] +=
+    // trust[u]/deg(u)") because:
+    //
+    // - each CSR row lists neighbors in ascending *old*-id order, so the
+    //   additions into a node's accumulator happen in exactly the sequence
+    //   the push loop produced;
+    // - the push loop skipped zero-trust sources entirely; here they
+    //   contribute `share == +0.0`, and `x + 0.0 == x` bitwise for the
+    //   non-negative finite values trust can take;
+    // - a zero-degree node kept its trust (`next[u] += t` onto 0.0), which
+    //   equals the pull form's `next[v] = trust[v]` exactly.
+    let csr = RenumberedCsr::degree_ordered(graph);
+    let map = csr.map();
+
+    let mut trust = vec![0.0f64; n]; // indexed by new id
     let seed_share = 1.0 / seeds.len() as f64;
     for s in seeds {
-        trust[s.idx()] += seed_share;
+        trust[map.new_of(*s).idx()] += seed_share;
     }
+    let mut share = vec![0.0f64; n];
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
-        next.iter_mut().for_each(|v| *v = 0.0);
-        for u in graph.nodes() {
-            let t = trust[u.idx()];
-            if t == 0.0 {
+        for (v, s) in share.iter_mut().enumerate() {
+            let t = trust[v];
+            let d = csr.degree(v);
+            *s = if t != 0.0 && d > 0 { t / d as f64 } else { 0.0 };
+        }
+        for (v, out) in next.iter_mut().enumerate() {
+            let row = csr.row(v);
+            if row.is_empty() {
+                *out = trust[v]; // isolated trust stays put
                 continue;
             }
-            let d = graph.degree(u);
-            if d == 0 {
-                next[u.idx()] += t; // isolated trust stays put
-                continue;
+            let mut acc = 0.0f64;
+            for &w in row {
+                acc += share[w as usize];
             }
-            let share = t / d as f64;
-            for v in graph.neighbors(u) {
-                next[v.idx()] += share;
-            }
+            *out = acc;
         }
         std::mem::swap(&mut trust, &mut next);
     }
     // Degree normalization: high-degree honest hubs shouldn't dominate.
-    for u in graph.nodes() {
-        let d = graph.degree(u);
-        if d > 0 {
-            trust[u.idx()] /= d as f64;
-        }
+    // Permute back to old-id space in the same pass.
+    let mut scores = vec![0.0f64; n];
+    for (old, out) in scores.iter_mut().enumerate() {
+        let new = map.new_of(UserId(old as u32)).idx();
+        let d = csr.degree(new);
+        *out = if d > 0 {
+            trust[new] / d as f64
+        } else {
+            trust[new]
+        };
     }
-    TrustScores { scores: trust }
+    TrustScores { scores }
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ pub mod generate;
 pub mod ids;
 pub mod kcore;
 pub mod metrics;
+pub mod renumber;
 pub mod twohop;
 
 pub use adjacency::{FriendGraph, Neighbors};
@@ -28,3 +29,4 @@ pub use bipartite::LikeGraph;
 pub use components::{components, ComponentCensus, UnionFind};
 pub use ids::{PageId, UserId};
 pub use metrics::SummaryStats;
+pub use renumber::{RenumberedCsr, Renumbering};

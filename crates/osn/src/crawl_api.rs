@@ -443,7 +443,7 @@ impl CrawlApi {
             (None, None)
         };
         let liked_pages = if acct.privacy.likes_public {
-            Some(world.likes().graph().pages_of(user).to_vec())
+            Some(world.likes().user_pages(user).collect())
         } else {
             None
         };

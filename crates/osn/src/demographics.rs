@@ -96,6 +96,11 @@ impl GeoBucket {
         GeoBucket::France,
         GeoBucket::Other,
     ];
+
+    /// Position in [`ALL`][Self::ALL] (dense array aggregation key).
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for GeoBucket {

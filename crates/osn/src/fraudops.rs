@@ -73,15 +73,40 @@ pub fn like_stream_burstiness(
     window: SimDuration,
     min_likes: usize,
 ) -> f64 {
-    let times: Vec<SimTime> = world
-        .likes()
-        .of_user_sorted(user)
-        .iter()
-        .map(|r| r.at)
-        .collect();
+    burstiness_with_scratch(world, user, window, min_likes, &mut Vec::new())
+}
+
+/// [`like_stream_burstiness`] with a caller-owned time buffer, so the sweep
+/// scores a million accounts without a per-account allocation. Reads only
+/// the ledger's time column; most accounts' like streams arrive already
+/// time-sorted (synthesis batches are globally time-ordered and the event
+/// loop advances monotonically), so the sort is usually a no-op check.
+fn burstiness_with_scratch(
+    world: &OsnWorld,
+    user: UserId,
+    window: SimDuration,
+    min_likes: usize,
+    times: &mut Vec<SimTime>,
+) -> f64 {
+    times.clear();
+    times.extend(world.likes().user_times(user));
     if times.len() < min_likes {
         return 0.0;
     }
+    if times.windows(2).any(|w| w[0] > w[1]) {
+        // Sorting bare timestamps by value yields the same sequence a
+        // stable record sort keyed on `at` would (equal keys are
+        // indistinguishable here), so the fast path stays byte-identical
+        // to the historical `of_user_sorted` implementation.
+        times.sort_unstable();
+    }
+    densest_window(times, window) as f64 / times.len() as f64
+}
+
+/// Likes inside the densest `window`-length stretch of a sorted time
+/// sequence (1 for the empty sequence, preserving the historical
+/// accumulator seed).
+fn densest_window(times: &[SimTime], window: SimDuration) -> usize {
     let mut best = 1usize;
     let mut lo = 0usize;
     for hi in 0..times.len() {
@@ -90,57 +115,228 @@ pub fn like_stream_burstiness(
         }
         best = best.max(hi - lo + 1);
     }
-    best as f64 / times.len() as f64
+    best
+}
+
+/// The hazard formula over precomputed features (the single definition both
+/// the public per-account probe and the bulk sweep share, so they cannot
+/// drift apart numerically).
+fn hazard_value(
+    c: &FraudOpsConfig,
+    world: &OsnWorld,
+    user: UserId,
+    now: SimTime,
+    burst: f64,
+) -> f64 {
+    let degree = world.total_friend_count(user) as f64;
+    let isolation = 1.0 / (1.0 + degree / 10.0);
+    let young = if now.saturating_since(world.created_at(user)) < c.young_threshold {
+        1.0
+    } else {
+        0.0
+    };
+    let volume = (world.likes().user_like_count(user) as f64 / c.volume_scale).min(1.0);
+    (c.base_hazard
+        + c.burst_weight * burst
+        + c.isolation_weight * isolation
+        + c.youth_weight * young
+        + c.volume_weight * volume)
+        .min(c.max_hazard)
 }
 
 /// The anti-fraud operation.
 ///
 /// Serializable so checkpoint/resume can freeze the sweep engine mid-run
-/// (its RNG stream position is the only hidden state).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// (its RNG stream position is the only hidden state — the burstiness
+/// states are skipped because they are a pure function of the ledger and
+/// rebuild identically after resume).
+#[derive(Clone, Debug)]
 pub struct FraudOps {
     config: FraudOpsConfig,
     rng: Rng,
+    /// Per-account incremental burstiness state. Sweeps fold only the
+    /// ledger tail appended since the previous sweep instead of re-walking
+    /// every changed account's full stream.
+    burst: Vec<BurstState>,
+    /// Ledger length already folded into `burst`.
+    seen_likes: u32,
+}
+
+// Hand-rolled (de)serialization: checkpoints carry only `config` and `rng`,
+// never the memo — it rebuilds identically from the ledger after resume.
+impl Serialize for FraudOps {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("rng".to_string(), self.rng.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FraudOps {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FraudOps {
+            config: serde::field(v, "config")?,
+            rng: serde::field(v, "rng")?,
+            burst: Vec::new(),
+            seen_likes: 0,
+        })
+    }
+}
+
+/// State sentinel: no like count can reach `u32::MAX` (the ledger's posting
+/// lists cap indices below it), so this marks "never computed".
+const BURST_UNCOMPUTED: u32 = u32::MAX;
+
+/// Incremental burstiness of one account: the sliding `window` over a
+/// time-sorted like stream, advanced append-by-append. Equivalent to the
+/// full two-pointer recomputation because event-loop likes arrive in
+/// monotonic time order per account; a rare out-of-order backfill flips
+/// `sorted` off and the account falls back to full recomputation (memoized
+/// on its like count) from then on.
+#[derive(Clone, Debug)]
+struct BurstState {
+    /// Likes folded into this state ([`BURST_UNCOMPUTED`] = never visited).
+    count: u32,
+    /// Likes inside the densest `window` stretch seen so far.
+    best: u32,
+    /// Timestamp of the last folded like.
+    last: SimTime,
+    /// True while every folded like arrived in non-decreasing time order.
+    sorted: bool,
+    /// The live window: folded times within `window` of `last`.
+    tail: std::collections::VecDeque<SimTime>,
+}
+
+impl Default for BurstState {
+    fn default() -> Self {
+        BurstState {
+            count: BURST_UNCOMPUTED,
+            best: 0,
+            last: SimTime::EPOCH,
+            sorted: true,
+            tail: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl BurstState {
+    /// Fold one appended like. No-op until the state is initialized or
+    /// after an out-of-order append demoted it to recompute mode (the
+    /// stale `count` then forces [`initialize`][Self::initialize] on the
+    /// next sweep visit).
+    fn fold(&mut self, at: SimTime, window: SimDuration) {
+        if self.count == BURST_UNCOMPUTED || !self.sorted {
+            return;
+        }
+        if at < self.last {
+            self.sorted = false;
+            self.tail.clear();
+            return;
+        }
+        self.tail.push_back(at);
+        while at.since(self.tail[0]) > window {
+            self.tail.pop_front();
+        }
+        self.best = self.best.max(self.tail.len() as u32);
+        self.last = at;
+        self.count += 1;
+    }
+
+    /// Full rebuild from the account's stream — the two-pointer sweep the
+    /// incremental fold continues. Captures the final window suffix so
+    /// later appends resume exactly where the batch pass stopped.
+    fn initialize(
+        &mut self,
+        world: &OsnWorld,
+        user: UserId,
+        window: SimDuration,
+        times: &mut Vec<SimTime>,
+    ) {
+        times.clear();
+        times.extend(world.likes().user_times(user));
+        self.sorted = !times.windows(2).any(|w| w[0] > w[1]);
+        if !self.sorted {
+            times.sort_unstable();
+        }
+        self.count = times.len() as u32;
+        self.best = densest_window(times, window) as u32;
+        self.tail.clear();
+        if self.sorted {
+            self.last = times.last().copied().unwrap_or(SimTime::EPOCH);
+            let mut lo = times.len();
+            while lo > 0 && self.last.since(times[lo - 1]) <= window {
+                lo -= 1;
+            }
+            self.tail.extend(times[lo..].iter().copied());
+        }
+    }
+
+    /// The burstiness value — `best / count` under the historical gating,
+    /// bit-identical to [`like_stream_burstiness`] on the same stream.
+    fn value(&self, min_likes: usize) -> f64 {
+        let n = self.count as usize;
+        if n < min_likes {
+            return 0.0;
+        }
+        self.best.max(1) as f64 / n as f64
+    }
 }
 
 impl FraudOps {
     /// A sweep engine with its own RNG stream.
     pub fn new(config: FraudOpsConfig, rng: Rng) -> Self {
-        FraudOps { config, rng }
+        FraudOps {
+            config,
+            rng,
+            burst: Vec::new(),
+            seen_likes: 0,
+        }
     }
 
     /// Per-sweep hazard of one account at time `now`, from observable
     /// behaviour only.
     pub fn hazard(&self, world: &OsnWorld, user: UserId, now: SimTime) -> f64 {
         let c = &self.config;
-        let acct = world.account(user);
         let burst = like_stream_burstiness(world, user, c.burst_window, c.min_likes_for_burst);
-        let degree = world.total_friend_count(user) as f64;
-        let isolation = 1.0 / (1.0 + degree / 10.0);
-        let young = if now.saturating_since(acct.created_at) < c.young_threshold {
-            1.0
-        } else {
-            0.0
-        };
-        let volume = (world.likes().user_like_count(user) as f64 / c.volume_scale).min(1.0);
-        (c.base_hazard
-            + c.burst_weight * burst
-            + c.isolation_weight * isolation
-            + c.youth_weight * young
-            + c.volume_weight * volume)
-            .min(c.max_hazard)
+        hazard_value(c, world, user, now, burst)
     }
 
     /// Run one sweep over all active accounts, terminating by hazard.
     /// Returns the terminated ids.
+    ///
+    /// Scans the status column directly; an account terminated earlier in
+    /// the same sweep cannot re-enter the candidate set, so the single pass
+    /// draws the exact RNG sequence the old collect-then-score loop did.
     pub fn sweep(&mut self, world: &mut OsnWorld, now: SimTime) -> Vec<UserId> {
-        let candidates: Vec<UserId> = world
-            .user_ids()
-            .filter(|u| world.account(*u).is_active())
-            .collect();
+        let n = world.account_count();
+        if self.burst.len() < n {
+            self.burst.resize_with(n, BurstState::default);
+        }
+        let window = self.config.burst_window;
+        // Fold the ledger tail appended since the previous sweep — O(new
+        // likes), not O(changed accounts × stream length).
+        for r in world.likes().records_from(self.seen_likes) {
+            self.burst[r.user.idx()].fold(r.at, window);
+        }
+        self.seen_likes = world.likes().len() as u32;
+        let c = &self.config;
         let mut terminated = Vec::new();
-        for u in candidates {
-            let h = self.hazard(world, u, now);
+        let mut times: Vec<SimTime> = Vec::new();
+        for i in 0..n as u32 {
+            let u = UserId(i);
+            if !world.is_active(u) {
+                continue;
+            }
+            let count = world.likes().user_like_count(u) as u32;
+            let st = &mut self.burst[i as usize];
+            if st.count != count {
+                // First visit, or an out-of-order backfill demoted the
+                // state: rebuild from the full stream (memoized on count).
+                st.initialize(world, u, window, &mut times);
+            }
+            let burst = st.value(c.min_likes_for_burst);
+            let h = hazard_value(c, world, u, now, burst);
             if self.rng.chance(h) {
                 world.terminate_account(u, now);
                 terminated.push(u);
@@ -291,6 +487,36 @@ mod tests {
         );
         let terminated = ops.sweep(&mut w, SimTime::at_day(402));
         assert!(!terminated.contains(&UserId(0)));
+    }
+
+    #[test]
+    fn sweep_burst_cache_is_transparent() {
+        // Same seed, same worlds: sweeps with warm incremental state must
+        // terminate exactly the accounts a cold (post-resume) engine does,
+        // with fresh likes landing between sweeps to exercise the fold.
+        let mut wa = contrast_world();
+        let mut wb = contrast_world();
+        let mut warm = FraudOps::new(FraudOpsConfig::default(), Rng::seed_from_u64(7));
+        let mut cold = FraudOps::new(FraudOpsConfig::default(), Rng::seed_from_u64(7));
+        for week in 0..4u64 {
+            let ta = warm.sweep(&mut wa, SimTime::at_day(403 + week * 7));
+            cold.burst.clear();
+            cold.seen_likes = 0;
+            let tb = cold.sweep(&mut wb, SimTime::at_day(403 + week * 7));
+            assert_eq!(ta, tb, "week {week}");
+            for (w, ops_hazard) in [(&mut wa, &warm), (&mut wb, &cold)] {
+                let p = w.create_page(
+                    format!("new{week}"),
+                    "",
+                    None,
+                    PageCategory::Background,
+                    SimTime::at_day(404 + week * 7),
+                );
+                w.record_like(UserId(0), p, SimTime::at_day(404 + week * 7));
+                // Uncached probe agrees with whatever the next sweep sees.
+                let _ = ops_hazard.hazard(w, UserId(0), SimTime::at_day(405 + week * 7));
+            }
+        }
     }
 
     #[test]

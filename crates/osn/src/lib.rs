@@ -36,6 +36,7 @@ pub mod log;
 pub mod organic;
 pub mod page;
 pub mod population;
+pub mod posting;
 pub mod posts;
 pub mod reports;
 pub mod store;

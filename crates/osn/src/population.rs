@@ -262,6 +262,14 @@ fn click_prone_blueprint(country: Country) -> Blueprint {
     }
 }
 
+thread_local! {
+    /// Epoch-stamped page-membership scratch for like-history dedup:
+    /// `stamps[page] == epoch` means "this user already drew that page".
+    /// Bumping the epoch clears the set in O(1) between users.
+    static SEEN_STAMPS: std::cell::RefCell<(Vec<u32>, u32)> =
+        const { std::cell::RefCell::new((Vec::new(), 0)) };
+}
+
 /// Synthesize the population into `world`, returning the handles.
 ///
 /// Uses [`Exec::auto`] for the parallel like-history stage; see
@@ -473,25 +481,45 @@ pub fn synthesize_with(
                 config.click_prone_like_sigma,
             )
         }))
-        .map(|(id, median, sigma)| (id, world.account(id).profile.country, median, sigma))
+        .map(|(id, median, sigma)| (id, world.profile(id).country, median, sigma))
         .collect();
+    let n_total_pages = world.page_count();
     let shards = parallel_map(exec, &jobs, |j, &(id, country, median, sigma)| {
         let mut user_rng = likes_rng.split(j as u64);
         let n_likes = log_normal_median(&mut user_rng, median, sigma).round() as usize;
         let n_likes = n_likes.min(config.n_background_pages / 2).min(10_000);
         // Distinct pages: Zipf concentrates mass on the head, so rejection
-        // on a per-user seen-set keeps realized like counts on target.
+        // on a per-user seen-set keeps realized like counts on target. The
+        // set is an epoch-stamped array indexed by page id — thread-local
+        // scratch reused across users, so dedup costs one word probe
+        // instead of a hash per draw and allocates nothing per user.
+        // Membership answers are exactly a `HashSet`'s, so the RNG stream
+        // is unchanged.
         let mut likes = Vec::with_capacity(n_likes);
-        let mut seen = std::collections::HashSet::with_capacity(n_likes * 2);
+        let mut accepted = 0usize;
         let mut attempts = 0usize;
-        while seen.len() < n_likes && attempts < n_likes * 8 + 16 {
-            attempts += 1;
-            let page = sampler.sample(&pop, country, &mut user_rng);
-            if seen.insert(page) {
-                let at = SimTime::from_secs(user_rng.below(history_secs));
-                likes.push((id, page, at));
+        SEEN_STAMPS.with(|cell| {
+            let (stamps, epoch) = &mut *cell.borrow_mut();
+            if stamps.len() < n_total_pages {
+                stamps.resize(n_total_pages, 0);
             }
-        }
+            *epoch += 1;
+            if *epoch == 0 {
+                stamps.fill(0);
+                *epoch = 1;
+            }
+            while accepted < n_likes && attempts < n_likes * 8 + 16 {
+                attempts += 1;
+                let page = sampler.sample(&pop, country, &mut user_rng);
+                let slot = &mut stamps[page.idx()];
+                if *slot != *epoch {
+                    *slot = *epoch;
+                    accepted += 1;
+                    let at = SimTime::from_secs(user_rng.below(history_secs));
+                    likes.push((id, page, at));
+                }
+            }
+        });
         likes
     });
     let mut pending: Vec<(UserId, PageId, SimTime)> = shards.into_iter().flatten().collect();
@@ -500,8 +528,14 @@ pub fn synthesize_with(
     // then bulk-ingest through the sharded batch path (per-shard page
     // indexing runs through `exec`; the outcome is identical to recording
     // each like in order).
-    pending.sort_by_key(|(u, p, at)| (*at, *u, *p));
+    // Unstable is safe: the key `(at, u, p)` determines the whole element,
+    // so equal keys mean equal elements and order among them is moot.
+    let sort_span = likelab_obs::span::enter("population.likes.sort");
+    pending.sort_unstable_by_key(|(u, p, at)| (*at, *u, *p));
+    drop(sort_span);
+    let ingest_span = likelab_obs::span::enter("population.likes.ingest");
     world.ingest_likes(&pending, exec);
+    drop(ingest_span);
 
     pop
 }
@@ -511,7 +545,7 @@ pub fn synthesize_with(
 pub fn age_distribution(world: &OsnWorld, users: &[UserId]) -> [f64; 6] {
     let mut counts = [0usize; 6];
     for u in users {
-        counts[world.account(*u).profile.age_bracket().index()] += 1;
+        counts[world.profile(*u).age_bracket().index()] += 1;
     }
     let total = users.len().max(1) as f64;
     let mut out = [0.0; 6];
@@ -528,7 +562,7 @@ pub fn female_fraction(world: &OsnWorld, users: &[UserId]) -> f64 {
     }
     users
         .iter()
-        .filter(|u| world.account(**u).profile.gender == Gender::Female)
+        .filter(|u| world.profile(**u).gender == Gender::Female)
         .count() as f64
         / users.len() as f64
 }

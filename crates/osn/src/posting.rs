@@ -1,0 +1,328 @@
+//! Bit-packed, delta-encoded posting lists.
+//!
+//! The like ledger stores, for every page and every user, the list of global
+//! record indices of their likes. Those indices are strictly increasing by
+//! construction (records only append), which makes the lists ideal for
+//! delta encoding: a posting list of `n` entries over a ledger of `N`
+//! records costs about `n * log2(N / n) / 8` bytes instead of `4 * n`.
+//!
+//! ## Block format (version 1)
+//!
+//! A list is a sequence of full **blocks** of [`BLOCK`] values in a byte
+//! buffer, followed by an uncompressed `tail` of fewer than [`BLOCK`] raw
+//! values. Each block is
+//!
+//! ```text
+//! [ width: u8 ][ ceil(BLOCK * width / 8) bytes, LSB-first bit stream ]
+//! ```
+//!
+//! where each packed field is `v[i] - v[i-1] - 1` (the gap minus one, with
+//! an implicit `v[-1] = -1`), so a run of *consecutive* indices — a page
+//! that received every like in a stretch of the ledger — packs at width 0:
+//! sixty-four values in one header byte. `width` is the bit width of the
+//! largest gap in the block, at most 32.
+//!
+//! The format is versioned alongside the event-log schema (see DESIGN.md):
+//! checkpoints embed these buffers, so any layout change must bump
+//! [`FORMAT_VERSION`] and keep a decoder for the old layout.
+//!
+//! Decoding is allocation-free: [`PostingList::iter`] walks blocks through a
+//! fixed 64-slot buffer, so consumers (report aggregation, fanout, the
+//! sweep's burstiness feature) never materialize an index `Vec`.
+
+use serde::{Deserialize, Serialize};
+
+/// Values per packed block.
+pub const BLOCK: usize = 64;
+
+/// On-disk/in-checkpoint format version of the block layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A compressed list of strictly increasing `u32` values.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingList {
+    /// Encoded full blocks (see module docs for the layout).
+    packed: Vec<u8>,
+    /// Most recent `len % BLOCK` values, raw.
+    tail: Vec<u32>,
+    /// Total number of values.
+    len: u32,
+    /// Last value of the packed section plus one (0 when no packed block
+    /// exists yet); the base the next flushed block's first gap is encoded
+    /// against.
+    packed_base: u32,
+    /// Last value overall plus one (0 when empty); enforces monotonicity.
+    last_plus: u32,
+}
+
+impl PostingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        PostingList::default()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no value was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<u32> {
+        self.last_plus.checked_sub(1)
+    }
+
+    /// Append `v`, which must be strictly greater than every value pushed
+    /// so far (and below `u32::MAX`, so gaps stay representable).
+    ///
+    /// # Panics
+    /// Panics when monotonicity is violated.
+    #[inline]
+    pub fn push(&mut self, v: u32) {
+        assert!(
+            v >= self.last_plus && v < u32::MAX,
+            "posting values must be strictly increasing: {v} after {:?}",
+            self.last()
+        );
+        self.tail.push(v);
+        self.last_plus = v + 1;
+        self.len += 1;
+        if self.tail.len() == BLOCK {
+            self.flush_tail();
+        }
+    }
+
+    /// Append every value of an increasing slice (each must exceed
+    /// [`last`][Self::last]).
+    pub fn extend_from_increasing(&mut self, values: &[u32]) {
+        for &v in values {
+            self.push(v);
+        }
+    }
+
+    /// Encode the (full) tail as one block.
+    fn flush_tail(&mut self) {
+        debug_assert_eq!(self.tail.len(), BLOCK);
+        let mut gaps = [0u32; BLOCK];
+        let mut base = self.packed_base;
+        let mut all = 0u32;
+        for (gap, &v) in gaps.iter_mut().zip(self.tail.iter()) {
+            *gap = v - base;
+            all |= *gap;
+            base = v + 1;
+        }
+        let width = (32 - all.leading_zeros()) as u8;
+        self.packed
+            .reserve(1 + (BLOCK * width as usize).div_ceil(8));
+        self.packed.push(width);
+        let mut acc = 0u64;
+        let mut bits = 0u32;
+        for &gap in &gaps {
+            acc |= u64::from(gap) << bits;
+            bits += u32::from(width);
+            while bits >= 8 {
+                self.packed.push(acc as u8);
+                acc >>= 8;
+                bits -= 8;
+            }
+        }
+        if bits > 0 {
+            self.packed.push(acc as u8);
+        }
+        self.packed_base = base;
+        self.tail.clear();
+    }
+
+    /// Iterate the values in increasing order, without allocating.
+    pub fn iter(&self) -> PostingIter<'_> {
+        PostingIter {
+            packed: &self.packed,
+            tail: &self.tail,
+            tail_pos: 0,
+            buf: [0; BLOCK],
+            buf_len: 0,
+            buf_pos: 0,
+            base: 0,
+            remaining: self.len,
+        }
+    }
+
+    /// Bytes of heap storage currently held (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.packed.capacity() + self.tail.capacity() * 4
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingList {
+    type Item = u32;
+    type IntoIter = PostingIter<'a>;
+
+    fn into_iter(self) -> PostingIter<'a> {
+        self.iter()
+    }
+}
+
+/// Allocation-free iterator over a [`PostingList`], one decoded block at a
+/// time.
+#[derive(Clone, Debug)]
+pub struct PostingIter<'a> {
+    packed: &'a [u8],
+    tail: &'a [u32],
+    tail_pos: usize,
+    buf: [u32; BLOCK],
+    buf_len: u8,
+    buf_pos: u8,
+    /// Last decoded value plus one.
+    base: u32,
+    remaining: u32,
+}
+
+impl PostingIter<'_> {
+    /// Decode the next packed block into the buffer.
+    fn refill(&mut self) {
+        let width = u32::from(self.packed[0]);
+        let payload = (BLOCK * width as usize).div_ceil(8);
+        let bytes = &self.packed[1..1 + payload];
+        let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+        let mut acc = 0u64;
+        let mut bits = 0u32;
+        let mut byte_i = 0usize;
+        let mut base = self.base;
+        for slot in self.buf.iter_mut() {
+            while bits < width {
+                acc |= u64::from(bytes[byte_i]) << bits;
+                byte_i += 1;
+                bits += 8;
+            }
+            let v = base + (acc & mask) as u32;
+            acc >>= width;
+            bits -= width;
+            *slot = v;
+            base = v + 1;
+        }
+        self.base = base;
+        self.packed = &self.packed[1 + payload..];
+        self.buf_len = BLOCK as u8;
+        self.buf_pos = 0;
+    }
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.buf_pos < self.buf_len {
+            let v = self.buf[self.buf_pos as usize];
+            self.buf_pos += 1;
+            self.remaining -= 1;
+            return Some(v);
+        }
+        if !self.packed.is_empty() {
+            self.refill();
+            return self.next();
+        }
+        if self.tail_pos < self.tail.len() {
+            let v = self.tail[self.tail_pos];
+            self.tail_pos += 1;
+            self.remaining -= 1;
+            return Some(v);
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for PostingIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u32]) {
+        let mut list = PostingList::new();
+        for &v in values {
+            list.push(v);
+        }
+        assert_eq!(list.len(), values.len());
+        assert_eq!(list.last(), values.last().copied());
+        let decoded: Vec<u32> = list.iter().collect();
+        assert_eq!(decoded, values, "round-trip mismatch");
+        assert_eq!(list.iter().len(), values.len());
+    }
+
+    #[test]
+    fn empty_list() {
+        let list = PostingList::new();
+        assert!(list.is_empty());
+        assert_eq!(list.last(), None);
+        assert_eq!(list.iter().count(), 0);
+    }
+
+    #[test]
+    fn consecutive_values_pack_at_width_zero() {
+        let values: Vec<u32> = (0..256).collect();
+        let mut list = PostingList::new();
+        list.extend_from_increasing(&values);
+        // Four full blocks, one header byte each, no payload.
+        assert_eq!(list.packed.len(), 4);
+        assert_eq!(list.iter().collect::<Vec<u32>>(), values);
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        for n in [63usize, 64, 65, 127, 128, 129, 640] {
+            let values: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
+            roundtrip(&values);
+        }
+    }
+
+    #[test]
+    fn wide_gaps_roundtrip() {
+        roundtrip(&[0, 1, u32::MAX / 2, u32::MAX - 2]);
+        let mut wide: Vec<u32> = (0..200).map(|i| i * 21_000_000).collect();
+        wide.dedup();
+        roundtrip(&wide);
+    }
+
+    #[test]
+    fn mixed_density_blocks() {
+        // Alternating dense runs and jumps across many blocks.
+        let mut values = Vec::new();
+        let mut v = 5u32;
+        for chunk in 0..40 {
+            for _ in 0..50 {
+                values.push(v);
+                v += 1 + (chunk % 3);
+            }
+            v += 1 << (chunk % 20);
+        }
+        roundtrip(&values);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_push_panics() {
+        let mut list = PostingList::new();
+        list.push(5);
+        list.push(5);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_values() {
+        let values: Vec<u32> = (0..300).map(|i| i * 7 + 2).collect();
+        let mut list = PostingList::new();
+        list.extend_from_increasing(&values);
+        let json = serde_json::to_string(&list).expect("serialize");
+        let back: PostingList = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, list);
+        assert_eq!(back.iter().collect::<Vec<u32>>(), values);
+    }
+}

@@ -43,8 +43,15 @@ impl AudienceReport {
 
     /// Accumulate one report over a stream of ids (reads only the profile
     /// column of the account store).
+    ///
+    /// Geo counts accumulate in a dense [`GeoBucket`]-indexed array — the
+    /// per-user `String` key allocation and tree probe of the naive
+    /// `BTreeMap::entry` loop dominated the whole report at scale. The map
+    /// is materialized once at the end, inserting only buckets that were
+    /// actually seen, exactly the key set the entry-per-user loop produced.
     fn tally(world: &OsnWorld, users: impl Iterator<Item = UserId>) -> Self {
         let mut r = AudienceReport::default();
+        let mut geo = [0usize; 6];
         for u in users {
             let p = world.profile(u);
             r.total += 1;
@@ -53,9 +60,12 @@ impl AudienceReport {
                 Gender::Male => r.male += 1,
             }
             r.age_counts[p.age_bracket().index()] += 1;
-            *r.country_counts
-                .entry(p.country.geo_bucket().to_string())
-                .or_insert(0) += 1;
+            geo[p.country.geo_bucket().index()] += 1;
+        }
+        for (b, &count) in GeoBucket::ALL.iter().zip(geo.iter()) {
+            if count > 0 {
+                r.country_counts.insert(b.to_string(), count);
+            }
         }
         r
     }
@@ -99,8 +109,8 @@ impl AudienceReport {
     /// liked the page (the platform aggregates what it knows, not what is
     /// public).
     pub fn for_page(world: &OsnWorld, page: PageId) -> Self {
-        let users: Vec<UserId> = world.all_likers(page).into_iter().map(|(u, _)| u).collect();
-        Self::over_users(world, &users)
+        // Stream straight off the packed posting list — no liker Vec.
+        Self::tally(world, world.likes().of_page(page).map(|r| r.user))
     }
 
     /// The platform-wide report (Table 2's "Facebook" row equivalent).

@@ -153,6 +153,11 @@ impl OsnWorld {
         self.accounts.is_active(id)
     }
 
+    /// Creation time alone (columnar; skips assembling the full account).
+    pub fn created_at(&self, id: UserId) -> SimTime {
+        self.accounts.created_at(id)
+    }
+
     /// The columnar account store (read-only), for aggregations that want
     /// direct column access.
     pub fn account_store(&self) -> &AccountStore {

@@ -56,7 +56,9 @@ proptest! {
         let page_total: usize = (0..15).map(|p| ledger.page_like_count(PageId(p))).sum();
         prop_assert_eq!(user_total, ledger.len());
         prop_assert_eq!(page_total, ledger.len());
-        prop_assert_eq!(ledger.graph().like_count(), ledger.len());
+        let membership_total: usize =
+            (0..15).map(|u| ledger.user_pages(UserId(u)).count()).sum();
+        prop_assert_eq!(membership_total, ledger.len());
         // Sorted accessors really sort.
         for p in 0..15 {
             let sorted = ledger.of_page_sorted(PageId(p));

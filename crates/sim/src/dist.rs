@@ -96,10 +96,31 @@ pub fn poisson(rng: &mut Rng, lambda: f64) -> u64 {
 ///
 /// Page popularity in the background catalogue follows this law: a few pages
 /// are liked by everyone, most are liked by almost no one.
+///
+/// Large samplers carry an equi-spaced bucket index over the cumulative
+/// range, narrowing each draw's binary search from the full array to a
+/// handful of elements — the background-page sampler is hit once per
+/// synthesized like, so this is a hot path at scale. The index only engages
+/// when the cumulative array is strictly increasing (every bucket bound is
+/// runtime-checked against the actual target before use), so the returned
+/// rank is always exactly the one the plain full-range search yields.
 #[derive(Clone, Debug)]
 pub struct Zipf {
     cumulative: Vec<f64>,
+    /// `buckets[k]` = first index whose cumulative weight reaches
+    /// `total * k / ZIPF_BUCKETS`; empty when the index is disabled.
+    buckets: Vec<u32>,
+    /// Cumulative weights are strictly increasing (no denormal-flat runs),
+    /// which licenses the `partition_point` formulation.
+    strict: bool,
 }
+
+/// Ranks below this search the full array directly — the index only pays
+/// for itself once the array outgrows a few cache lines.
+const ZIPF_INDEX_MIN_RANKS: usize = 256;
+
+/// Bucket count of the sampler's acceleration index.
+const ZIPF_BUCKETS: usize = 2048;
 
 impl Zipf {
     /// Build a sampler over `n` ranks with exponent `s`.
@@ -115,7 +136,21 @@ impl Zipf {
             total += 1.0 / (rank as f64).powf(s);
             cumulative.push(total);
         }
-        Zipf { cumulative }
+        let strict = cumulative.windows(2).all(|w| w[0] < w[1]);
+        let mut buckets = Vec::new();
+        if strict && n >= ZIPF_INDEX_MIN_RANKS {
+            buckets = (0..=ZIPF_BUCKETS)
+                .map(|k| {
+                    let thr = total * (k as f64 / ZIPF_BUCKETS as f64);
+                    cumulative.partition_point(|c| *c < thr) as u32
+                })
+                .collect();
+        }
+        Zipf {
+            cumulative,
+            buckets,
+            strict,
+        }
     }
 
     /// Number of ranks.
@@ -132,10 +167,39 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let target = rng.f64() * total;
+        self.rank_for(target)
+    }
+
+    /// The rank for an inverse-CDF target in `[0, total)`.
+    fn rank_for(&self, target: f64) -> usize {
+        let n = self.cumulative.len();
+        let total = *self.cumulative.last().expect("non-empty");
+        // With strictly increasing weights, the historical
+        // `binary_search_by(total_cmp)` + Ok/Err mapping reduces to
+        // "number of weights <= target" (clamped): an exact hit at `i`
+        // mapped to `i + 1`, a miss to its insertion point — both equal
+        // that count.
+        if !self.buckets.is_empty() {
+            let k = (((target / total) * ZIPF_BUCKETS as f64) as usize).min(ZIPF_BUCKETS - 1);
+            let (lo, hi) = (self.buckets[k] as usize, self.buckets[k + 1] as usize);
+            // Guard the narrowed range against float slop at bucket
+            // boundaries: everything before `lo` must be <= target and
+            // everything from `hi` on must be > target, otherwise fall
+            // through to the full search.
+            if (lo == 0 || self.cumulative[lo - 1] <= target)
+                && (hi == n || self.cumulative[hi] > target)
+            {
+                let p = lo + self.cumulative[lo..hi].partition_point(|c| *c <= target);
+                return p.min(n - 1);
+            }
+        }
+        if self.strict {
+            return self.cumulative.partition_point(|c| *c <= target).min(n - 1);
+        }
         // First cumulative weight strictly above the target.
         match self.cumulative.binary_search_by(|c| c.total_cmp(&target)) {
-            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
-            Err(i) => i.min(self.cumulative.len() - 1),
+            Ok(i) => (i + 1).min(n - 1),
+            Err(i) => i.min(n - 1),
         }
     }
 }
@@ -190,6 +254,7 @@ impl<T: Clone> Categorical<T> {
 
     /// The probability of outcome `i`.
     pub fn probability(&self, i: usize) -> f64 {
+        // lint:allow(unwrap-in-library): constructor rejects empty outcome sets
         let total = *self.cumulative.last().expect("non-empty");
         let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
         (self.cumulative[i] - prev) / total
@@ -301,6 +366,32 @@ mod tests {
         }
         for c in counts {
             assert!((f64::from(c) / 50_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn zipf_index_matches_plain_binary_search() {
+        // The bucket index must return exactly the rank the historical
+        // full-array search picked, target for target — including exact
+        // cumulative values and bucket-boundary neighborhoods.
+        for (n, s) in [(300usize, 1.0), (1_000, 0.8), (50_000, 1.0), (255, 1.2)] {
+            let z = Zipf::new(n, s);
+            let total = *z.cumulative.last().unwrap();
+            let mut r = rng();
+            let mut targets: Vec<f64> = (0..20_000).map(|_| r.f64() * total).collect();
+            for k in 0..=64 {
+                let thr = total * (k as f64 / 64.0);
+                targets.extend([thr, thr.next_down(), thr.next_up()]);
+            }
+            targets.extend(z.cumulative.iter().step_by(7).copied());
+            for target in targets {
+                let target = target.clamp(0.0, total);
+                let reference = match z.cumulative.binary_search_by(|c| c.total_cmp(&target)) {
+                    Ok(i) => (i + 1).min(n - 1),
+                    Err(i) => i.min(n - 1),
+                };
+                assert_eq!(z.rank_for(target), reference, "n={n} s={s} t={target}");
+            }
         }
     }
 

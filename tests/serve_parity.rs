@@ -204,6 +204,49 @@ fn mid_stream_seq_regression_is_rejected() {
     );
 }
 
+/// Packed-ledger parity: the batch world builds its bit-packed posting lists
+/// through bulk parallel `ingest_batch`, while the serve engine folds the
+/// same likes one `record` at a time from the log. Those are maximally
+/// different construction orders for the packed encoding — every observable
+/// ledger query must still agree exactly, including iteration order.
+#[test]
+fn packed_ledger_folds_identically_online_and_batch() {
+    let (outcome, log) = logged_run(8);
+    let engine = engine_from_bytes(&log, 1 << 16);
+    let batch = outcome.world.likes();
+    let online = engine.world().likes();
+
+    assert_eq!(online.len(), batch.len());
+    assert_eq!(online.shard_count(), batch.shard_count());
+
+    // Global record stream: same likes in the same order.
+    let a: Vec<_> = online.records().map(|r| (r.user, r.page, r.at)).collect();
+    let b: Vec<_> = batch.records().map(|r| (r.user, r.page, r.at)).collect();
+    assert_eq!(a, b);
+
+    // Per-page posting lists, across every page (honeypots included): the
+    // packed per-shard indexes must decode to identical streams.
+    for p in 0..outcome.world.page_count() as u32 {
+        let page = likelab::graph::PageId(p);
+        assert_eq!(online.page_like_count(page), batch.page_like_count(page));
+        let a: Vec<_> = online.of_page(page).map(|r| (r.user, r.at)).collect();
+        let b: Vec<_> = batch.of_page(page).map(|r| (r.user, r.at)).collect();
+        assert_eq!(a, b, "page {p} posting list");
+    }
+
+    // Per-user packed indexes.
+    for u in 0..outcome.world.account_count() as u32 {
+        let user = UserId(u);
+        assert_eq!(online.user_like_count(user), batch.user_like_count(user));
+        let a: Vec<_> = online.user_pages(user).collect();
+        let b: Vec<_> = batch.user_pages(user).collect();
+        assert_eq!(a, b, "user {u} pages");
+        let a: Vec<_> = online.user_times(user).collect();
+        let b: Vec<_> = batch.user_times(user).collect();
+        assert_eq!(a, b, "user {u} times");
+    }
+}
+
 /// Chunking invariance: however the byte stream is sliced on the way in,
 /// the engine converges on the same live state. Chunk sizes are drawn from
 /// a seeded RNG (plus fixed pathological sizes), so the sweep is random
