@@ -205,37 +205,50 @@ impl ObservedSocial {
         ComponentCensus::compute(&graph, &group)
     }
 
-    /// The observed liker–liker graph as a [`FriendGraph`] (for DOT export
-    /// and component analysis). Nodes are original user ids.
-    pub fn as_friend_graph(&self) -> FriendGraph {
-        let max = self
-            .likers
+    /// One past the highest liker id — the node span of the liker graphs.
+    fn node_span(&self) -> usize {
+        self.likers
             .iter()
             .map(|u| u.0)
             .max()
             .map(|m| m as usize + 1)
-            .unwrap_or(0);
-        let mut g = FriendGraph::with_nodes(max);
-        for (a, b) in &self.direct_pairs {
-            g.add_edge(*a, *b);
-        }
-        g
+            .unwrap_or(0)
+    }
+
+    /// The observed liker–liker graph as a [`FriendGraph`] (for DOT export
+    /// and component analysis). Nodes are original user ids. Built in one
+    /// bulk pass: liker ids sit anywhere in the account id space, so the
+    /// incremental `add_edge` path would pay `O(accounts)` compaction sweeps
+    /// for a few thousand edges.
+    pub fn as_friend_graph(&self) -> FriendGraph {
+        FriendGraph::from_pairs(self.node_span(), self.direct_pairs.iter().copied())
     }
 
     /// Figure 3 as Graphviz DOT (`two_hop` adds the mutual-friend pairs as
     /// edges, Figure 3(b)).
     pub fn figure3_dot(&self, two_hop: bool) -> String {
         let members: Vec<UserId> = self.likers.iter().copied().collect();
-        let groups: HashMap<UserId, String> = members
-            .iter()
-            .filter_map(|u| self.group_of(*u).map(|p| (*u, p.to_string())))
-            .collect();
-        let mut graph = self.as_friend_graph();
-        if two_hop {
-            for (a, b) in &self.two_hop_pairs {
-                graph.add_edge(*a, *b);
+        let groups: HashMap<UserId, String> = {
+            let _s = likelab_obs::span::enter("social.figure3.groups");
+            members
+                .iter()
+                .filter_map(|u| self.group_of(*u).map(|p| (*u, p.to_string())))
+                .collect()
+        };
+        let graph = {
+            let _s = likelab_obs::span::enter("social.figure3.graph");
+            let direct = self.direct_pairs.iter().copied();
+            if two_hop {
+                // 2-hop pairs exclude direct ones, so chaining stays a set.
+                FriendGraph::from_pairs(
+                    self.node_span(),
+                    direct.chain(self.two_hop_pairs.iter().copied()),
+                )
+            } else {
+                self.as_friend_graph()
             }
-        }
+        };
+        let _s = likelab_obs::span::enter("social.figure3.dot");
         likelab_graph::dot::induced_dot(&graph, &members, &groups, true)
     }
 }

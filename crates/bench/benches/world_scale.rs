@@ -148,12 +148,27 @@ fn main() {
     drop(world);
 
     // --- phase 2: end-to-end study (build + campaigns + report) ----------
+    // Span collection is on for this phase only, so the end-to-end wall
+    // clock splits into the three stages the scale campaign optimizes
+    // independently: population build, event loop, report.
+    likelab_obs::reset();
+    likelab_obs::enable();
     let t = Instant::now();
     let outcome = run_study_with(&StudyConfig::scale_world(seed, scale), exec);
     let rendered = outcome.report.render();
     let report_seconds = t.elapsed().as_secs_f64();
+    likelab_obs::disable();
     let peak = PEAK.load(Ordering::Relaxed);
     assert!(rendered.contains("Table 1"), "report did not render");
+    let snap = likelab_obs::snapshot();
+    let phase_secs = |name: &str| {
+        snap.span_stats
+            .get(name)
+            .map_or(0.0, |s| s.total_ns as f64 / 1e9)
+    };
+    let phase_build_seconds = phase_secs("study.population");
+    let phase_event_loop_seconds = phase_secs("study.event_loop");
+    let phase_report_seconds = phase_secs("study.report");
 
     println!("== world_scale: scale preset at scale {scale} ==");
     println!("workers:            {}", exec.worker_count());
@@ -165,6 +180,10 @@ fn main() {
     println!("distinct profiles:  {distinct_profiles}");
     println!("build:              {build_seconds:.3} s");
     println!("end-to-end report:  {report_seconds:.3} s");
+    println!(
+        "  phase split:      build {phase_build_seconds:.3} s / event loop \
+         {phase_event_loop_seconds:.3} s / report {phase_report_seconds:.3} s"
+    );
     println!(
         "peak allocated:     {:.1} MiB (build phase {:.1} MiB)",
         peak as f64 / (1024.0 * 1024.0),
@@ -198,6 +217,9 @@ fn main() {
          \"pages\": {pages},\n  \"likes\": {likes},\n  \"friend_edges\": {edges},\n  \
          \"ledger_shards\": {shards},\n  \"distinct_profiles\": {distinct_profiles},\n  \
          \"build_seconds\": {build_seconds:.6},\n  \"report_seconds\": {report_seconds:.6},\n  \
+         \"phase_build_seconds\": {phase_build_seconds:.6},\n  \
+         \"phase_event_loop_seconds\": {phase_event_loop_seconds:.6},\n  \
+         \"phase_report_seconds\": {phase_report_seconds:.6},\n  \
          \"build_peak_alloc_bytes\": {build_peak},\n  \"peak_alloc_bytes\": {peak},\n  \
          \"worker_matrix\": [\n    {worker_matrix}\n  ]\n}}\n",
         exec.worker_count(),

@@ -471,9 +471,14 @@ impl CrawlApi {
         let jitter = policy.jitter.clamp(0.0, 1.0);
         let factor = 1.0 - jitter / 2.0 + jitter * self.backoff_rng.f64();
         let wait = SimDuration::secs(((capped as f64 * factor).round() as u64).max(1));
+        // A rate-limit hint is a *floor*, never subject to `max_backoff`:
+        // the cap bounds only the self-imposed exponential wait. When the
+        // limiter reports more of its window left than the capped backoff,
+        // sleeping just the backoff would re-hit the limiter and burn
+        // another attempt from the budget for a guaranteed failure.
         match hint {
-            Some(h) if h > wait => h,
-            _ => wait,
+            Some(h) => wait.max(h),
+            None => wait,
         }
     }
 
@@ -730,6 +735,51 @@ mod tests {
             at >= before + SimDuration::hours(1),
             "waited out the window"
         );
+    }
+
+    #[test]
+    fn long_retry_after_hint_overrides_backoff_cap() {
+        // Regression: a `retry_after` hint far above `max_backoff` must be
+        // honored in full. With the hint clamped to the 60 s cap, every
+        // retry would land inside the same rate-limit window and the whole
+        // attempt budget would burn on guaranteed failures.
+        let w = world();
+        let config = CrawlConfig {
+            failure_prob: 0.0,
+            faults: FaultProfile {
+                rate_limit: Some(RateLimitRegime { max_per_hour: 1 }),
+                outage: None,
+            },
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            base_backoff: SimDuration::secs(10),
+            max_backoff: SimDuration::secs(60),
+            jitter: 0.0,
+        };
+        let mut api = CrawlApi::new(config, Rng::seed_from_u64(1));
+        let mut at = SimTime::EPOCH;
+        assert!(api
+            .profile_with_retry(&w, UserId(0), &mut at, &policy)
+            .is_ok());
+        // Window exhausted; the hint is ~the full hour, dwarfing the cap.
+        let before = at;
+        let requests_before = api.stats().requests;
+        assert!(
+            api.profile_with_retry(&w, UserId(0), &mut at, &policy)
+                .is_ok(),
+            "one hint-sized wait must clear the window within 2 attempts"
+        );
+        assert!(
+            at >= before + SimDuration::hours(1),
+            "clock must advance by the full retry_after, not the 60 s cap"
+        );
+        assert_eq!(
+            api.stats().requests - requests_before,
+            2,
+            "exactly one rate-limited probe plus one successful retry"
+        );
+        assert_eq!(api.stats().rate_limited, 1);
     }
 
     #[test]

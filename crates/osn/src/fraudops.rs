@@ -184,8 +184,11 @@ impl Deserialize for FraudOps {
     }
 }
 
-/// State sentinel: no like count can reach `u32::MAX` (the ledger's posting
-/// lists cap indices below it), so this marks "never computed".
+/// State sentinel: no like count can reach `u32::MAX` — a ledger would need
+/// 2^32 records before any single account could, and its global `u32`
+/// indices overflow first — so this marks "never computed". (The posting
+/// codec itself now covers the full u32 domain; the bound comes from the
+/// ledger's record count, not the codec.)
 const BURST_UNCOMPUTED: u32 = u32::MAX;
 
 /// Incremental burstiness of one account: the sliding `window` over a
@@ -315,9 +318,12 @@ impl FraudOps {
         }
         let window = self.config.burst_window;
         // Fold the ledger tail appended since the previous sweep — O(new
-        // likes), not O(changed accounts × stream length).
-        for r in world.likes().records_from(self.seen_likes) {
-            self.burst[r.user.idx()].fold(r.at, window);
+        // likes), not O(changed accounts × stream length). Zips the user
+        // and time columns directly; the page column is never touched.
+        let tail_users = world.likes().users_from(self.seen_likes);
+        let tail_times = world.likes().times_from(self.seen_likes);
+        for (&user, &at) in tail_users.iter().zip(tail_times) {
+            self.burst[user.idx()].fold(at, window);
         }
         self.seen_likes = world.likes().len() as u32;
         let c = &self.config;

@@ -52,7 +52,7 @@ pub use crawl_api::{
 pub use demographics::{AgeBracket, Country, Gender, GeoBucket, Profile};
 pub use fanout::{DetectorUpdate, EventFanout};
 pub use fraudops::{FraudOps, FraudOpsConfig};
-pub use likes::{LikeLedger, LikeRecord};
+pub use likes::{LikeColumns, LikeLedger, LikeRecord};
 pub use log::WorldEvent;
 pub use page::{Page, PageCategory};
 pub use population::{Population, PopulationConfig};

@@ -14,10 +14,15 @@
 //! of a raw `Vec<u32>` and decode through allocation-free iterators. The
 //! per-page index is **sharded by page-id range**: each shard owns
 //! [`SHARD_PAGES`] consecutive pages and its own local posting lists. Bulk
-//! ingestion ([`LikeLedger::ingest_batch`]) groups accepted records per
-//! shard through [`likelab_sim::parallel`], and report aggregation can walk
-//! shards independently — nothing materializes a global intermediate `Vec`
-//! per page.
+//! ingestion ([`LikeLedger::ingest_columns`]) takes the batch as
+//! [`LikeColumns`] — the SoA twin of a row-tuple slice — dedups per user,
+//! memcpys the accepted column regions onto the ledger, and groups accepted
+//! records per shard through [`likelab_sim::parallel`]; report aggregation
+//! can walk shards independently. Nothing materializes a global
+//! intermediate `Vec` per page, and single-column accessors
+//! ([`page_users`](LikeLedger::page_users),
+//! [`users_from`](LikeLedger::users_from), …) let scan-heavy consumers read
+//! just the fields they fold.
 //!
 //! Membership (has `user` already liked `page`?) is answered by a per-user
 //! sorted page list with a small insertion overlay, merged amortized-O(1)
@@ -43,6 +48,73 @@ pub struct LikeRecord {
     pub page: PageId,
     /// When.
     pub at: SimTime,
+}
+
+/// A column batch of likes: the struct-of-arrays twin of
+/// `&[(UserId, PageId, SimTime)]`, one entry per batch position.
+///
+/// Synthesis and the coalesced event loop build these directly so batches
+/// flow into the ledger's columns without a row-tuple detour — the accepted
+/// region of each column memcpys straight onto the ledger. The three
+/// columns always have equal lengths.
+#[derive(Clone, Debug, Default)]
+pub struct LikeColumns {
+    /// Who liked, per batch position.
+    pub users: Vec<UserId>,
+    /// What they liked, per batch position.
+    pub pages: Vec<PageId>,
+    /// When, per batch position.
+    pub times: Vec<SimTime>,
+}
+
+impl LikeColumns {
+    /// Empty columns with room for `n` likes each.
+    pub fn with_capacity(n: usize) -> Self {
+        LikeColumns {
+            users: Vec::with_capacity(n),
+            pages: Vec::with_capacity(n),
+            times: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build columns from row tuples (tests and the AoS compatibility
+    /// wrapper).
+    pub fn from_rows(rows: &[(UserId, PageId, SimTime)]) -> Self {
+        let mut cols = LikeColumns::with_capacity(rows.len());
+        for &(user, page, at) in rows {
+            cols.push(user, page, at);
+        }
+        cols
+    }
+
+    /// Number of likes in the batch.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the batch holds no likes.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Drop all likes, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.users.clear();
+        self.pages.clear();
+        self.times.clear();
+    }
+
+    /// Append one like.
+    pub fn push(&mut self, user: UserId, page: PageId, at: SimTime) {
+        self.users.push(user);
+        self.pages.push(page);
+        self.times.push(at);
+    }
+
+    /// Zip the columns back into row tuples (journaling and tests).
+    pub fn rows(&self) -> impl Iterator<Item = (UserId, PageId, SimTime)> + '_ {
+        (0..self.len()).map(move |i| (self.users[i], self.pages[i], self.times[i]))
+    }
 }
 
 /// Pages per index shard. Small enough that a study's background-page count
@@ -119,6 +191,24 @@ impl UserPages {
     /// anything was accepted the set is rebuilt as a flat sorted base with
     /// an empty overlay (`merged` is reusable scratch).
     fn absorb_sorted(&mut self, cand: &[(u32, u32)], accept: &mut [bool], merged: &mut Vec<u32>) {
+        if self.base.is_empty() && self.overlay.is_empty() {
+            // Fresh set — the synthesis common case (every user's first
+            // batch). There is no history to merge against, so skip the
+            // two-pointer scaffolding: accept the first occurrence of each
+            // page run and install the deduped pages as the base directly.
+            merged.clear();
+            let mut k = 0usize;
+            while k < cand.len() {
+                let page = cand[k].0;
+                accept[cand[k].1 as usize] = true;
+                merged.push(page);
+                while k < cand.len() && cand[k].0 == page {
+                    k += 1;
+                }
+            }
+            self.base.extend_from_slice(merged);
+            return;
+        }
         merged.clear();
         let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
         let mut accepted_any = false;
@@ -289,6 +379,16 @@ impl LikeLedger {
     /// posting list's content is fully determined by the global order. This
     /// is the synthesis ingestion path at scale.
     pub fn ingest_batch(&mut self, items: &[(UserId, PageId, SimTime)], exec: Exec) -> usize {
+        self.ingest_columns(&LikeColumns::from_rows(items), exec)
+    }
+
+    /// Columnar bulk-record: the core behind
+    /// [`ingest_batch`][Self::ingest_batch], taking the batch as
+    /// [`LikeColumns`] so synthesis output lands here without assembling
+    /// row tuples. Semantics are identical to a positional
+    /// [`record`][Self::record] loop over the zipped columns, and the
+    /// resulting ledger bytes do not depend on `exec`.
+    pub fn ingest_columns(&mut self, batch: &LikeColumns, exec: Exec) -> usize {
         // A positional `record` loop pays several random-memory touches per
         // item (membership probe, overlay memmove, posting push into a cold
         // list) — the dominant cost of synthesis at scale. Instead, group
@@ -303,25 +403,40 @@ impl LikeLedger {
         // earliest position first, which is exactly the occurrence the
         // positional loop would have accepted. Global record order is
         // decided by the final positional pass, so it is byte-identical.
+        let (b_users, b_pages, b_times) = (&batch.users, &batch.pages, &batch.times);
+        assert_eq!(b_users.len(), b_pages.len(), "ragged like columns");
+        assert_eq!(b_users.len(), b_times.len(), "ragged like columns");
+        let n = b_users.len();
+        if n == 0 {
+            return 0;
+        }
         let n_users = self.by_user.len();
+        if n < n_users / 8 {
+            // Batches far smaller than the account table (the event loop's
+            // coalesced runs) pay for the dense kernel's O(accounts)
+            // counting arrays and full shard walk; route them through the
+            // sparse twin, whose work scales with the batch.
+            return self.ingest_columns_sparse(batch);
+        }
         let mut counts = vec![0u32; n_users + 1];
-        for &(user, _, _) in items {
+        for &user in b_users {
             counts[user.idx() + 1] += 1;
         }
         for i in 1..counts.len() {
             counts[i] += counts[i - 1];
         }
         // Stable scatter: positions of each user's items, in batch order.
-        let mut by_user_pos = vec![0u32; items.len()];
+        // Only the 4-byte user column streams through this pass.
+        let mut by_user_pos = vec![0u32; n];
         let mut cursor = counts.clone();
-        for (i, &(user, _, _)) in items.iter().enumerate() {
+        for (i, &user) in b_users.iter().enumerate() {
             let c = &mut cursor[user.idx()];
             by_user_pos[*c as usize] = i as u32;
             *c += 1;
         }
         drop(cursor);
         // Per-user dedup against history + within the batch.
-        let mut accept = vec![false; items.len()];
+        let mut accept = vec![false; n];
         let mut cand: Vec<(u32, u32)> = Vec::new();
         let mut merged: Vec<u32> = Vec::new();
         for u in 0..n_users {
@@ -333,28 +448,41 @@ impl LikeLedger {
             cand.extend(
                 by_user_pos[lo..hi]
                     .iter()
-                    .map(|&pos| (items[pos as usize].1 .0, pos)),
+                    .map(|&pos| (b_pages[pos as usize].0, pos)),
             );
             cand.sort_unstable();
             self.user_pages[u].absorb_sorted(&cand, &mut accept, &mut merged);
         }
         // Positional pass: append accepted records to the columns in batch
-        // order and note each one's global index.
-        let mut per_shard: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.shards.len()];
-        let mut global_idx = vec![u32::MAX; items.len()];
-        let mut accepted = 0usize;
-        for (i, &(user, page, at)) in items.iter().enumerate() {
-            if !accept[i] {
-                continue;
+        // order. When nothing was rejected — the overwhelming synthesis
+        // case, since draws dedup pages per user up front — each column is
+        // one memcpy and every global index is just `start + position`.
+        let start = self.users.len() as u32;
+        let all_accepted = accept.iter().all(|&a| a);
+        let mut global_idx: Vec<u32> = Vec::new();
+        let accepted = if all_accepted {
+            self.users.extend_from_slice(b_users);
+            self.pages.extend_from_slice(b_pages);
+            self.times.extend_from_slice(b_times);
+            n
+        } else {
+            global_idx = vec![u32::MAX; n];
+            let mut next = start;
+            self.users.reserve(n);
+            self.pages.reserve(n);
+            self.times.reserve(n);
+            for i in 0..n {
+                if !accept[i] {
+                    continue;
+                }
+                self.users.push(b_users[i]);
+                self.pages.push(b_pages[i]);
+                self.times.push(b_times[i]);
+                global_idx[i] = next;
+                next += 1;
             }
-            let idx = self.users.len() as u32;
-            self.users.push(user);
-            self.pages.push(page);
-            self.times.push(at);
-            global_idx[i] = idx;
-            per_shard[page.idx() / SHARD_PAGES].push(((page.idx() % SHARD_PAGES) as u32, idx));
-            accepted += 1;
-        }
+            (next - start) as usize
+        };
         // Per-user posting extends: batch order within a user means the
         // accepted global indices come out strictly increasing.
         let mut idxs: Vec<u32> = Vec::new();
@@ -364,10 +492,14 @@ impl LikeLedger {
                 continue;
             }
             idxs.clear();
-            idxs.extend(by_user_pos[lo..hi].iter().filter_map(|&pos| {
-                let g = global_idx[pos as usize];
-                (g != u32::MAX).then_some(g)
-            }));
+            if all_accepted {
+                idxs.extend(by_user_pos[lo..hi].iter().map(|&pos| start + pos));
+            } else {
+                idxs.extend(by_user_pos[lo..hi].iter().filter_map(|&pos| {
+                    let g = global_idx[pos as usize];
+                    (g != u32::MAX).then_some(g)
+                }));
+            }
             if !idxs.is_empty() {
                 self.by_user[u].extend_from_increasing(&idxs);
             }
@@ -375,6 +507,29 @@ impl LikeLedger {
         drop(by_user_pos);
         drop(global_idx);
         drop(accept);
+        // Group the appended records per shard with one flat counting sort
+        // over the fresh page-column tail (stable, so each shard's pairs
+        // keep global order) — no per-shard Vec growth.
+        let n_shards = self.shards.len();
+        let mut shard_counts = vec![0u32; n_shards + 1];
+        let new_pages = &self.pages[start as usize..];
+        for &page in new_pages {
+            shard_counts[page.idx() / SHARD_PAGES + 1] += 1;
+        }
+        for i in 1..shard_counts.len() {
+            shard_counts[i] += shard_counts[i - 1];
+        }
+        let mut flat_pairs: Vec<(u32, u32)> = vec![(0, 0); accepted];
+        let mut cursor = shard_counts.clone();
+        for (k, &page) in new_pages.iter().enumerate() {
+            let c = &mut cursor[page.idx() / SHARD_PAGES];
+            flat_pairs[*c as usize] = ((page.idx() % SHARD_PAGES) as u32, start + k as u32);
+            *c += 1;
+        }
+        drop(cursor);
+        let per_shard: Vec<&[(u32, u32)]> = (0..n_shards)
+            .map(|s| &flat_pairs[shard_counts[s] as usize..shard_counts[s + 1] as usize])
+            .collect();
         // Parallel per-shard grouping: counting-sort the (local page, index)
         // pairs into a flat value array plus per-page offsets. Stable, so
         // each page's slice keeps global order.
@@ -382,7 +537,7 @@ impl LikeLedger {
         let grouped = parallel_map(exec, &per_shard, |s, pairs| {
             let width = widths[s];
             let mut counts = vec![0u32; width + 1];
-            for &(local, _) in pairs {
+            for &(local, _) in pairs.iter() {
                 counts[local as usize + 1] += 1;
             }
             for i in 1..counts.len() {
@@ -390,7 +545,7 @@ impl LikeLedger {
             }
             let mut flat = vec![0u32; pairs.len()];
             let mut cursor = counts.clone();
-            for &(local, idx) in pairs {
+            for &(local, idx) in pairs.iter() {
                 flat[cursor[local as usize] as usize] = idx;
                 cursor[local as usize] += 1;
             }
@@ -404,6 +559,94 @@ impl LikeLedger {
                     list.extend_from_increasing(&flat[lo..hi]);
                 }
             }
+        }
+        accepted
+    }
+
+    /// Sparse twin of the dense columnar kernel, for batches far smaller
+    /// than the user table: identical accept decisions, global order, and
+    /// posting-list bytes, but every pass touches only the users, pages,
+    /// and shards the batch mentions — no O(accounts) arrays, no walk over
+    /// every posting list. Fully sequential (the dense kernel's parallel
+    /// shard stage would be pure overhead at this size).
+    fn ingest_columns_sparse(&mut self, batch: &LikeColumns) -> usize {
+        let (b_users, b_pages, b_times) = (&batch.users, &batch.pages, &batch.times);
+        let n = b_users.len();
+        // (user, page, pos): user groups come out adjacent, and within a
+        // user the (page, pos) order is exactly the candidate ordering
+        // `absorb_sorted` expects.
+        let mut triples: Vec<(u32, u32, u32)> = (0..n)
+            .map(|i| (b_users[i].0, b_pages[i].0, i as u32))
+            .collect();
+        triples.sort_unstable();
+        let mut accept = vec![false; n];
+        let mut cand: Vec<(u32, u32)> = Vec::new();
+        let mut merged: Vec<u32> = Vec::new();
+        let mut k = 0usize;
+        while k < triples.len() {
+            let user = triples[k].0;
+            let lo = k;
+            while k < triples.len() && triples[k].0 == user {
+                k += 1;
+            }
+            cand.clear();
+            cand.extend(triples[lo..k].iter().map(|&(_, page, pos)| (page, pos)));
+            self.user_pages[user as usize].absorb_sorted(&cand, &mut accept, &mut merged);
+        }
+        // Positional pass: append accepted records in batch order.
+        let start = self.users.len() as u32;
+        let mut global_idx = vec![u32::MAX; n];
+        let mut next = start;
+        for i in 0..n {
+            if accept[i] {
+                self.users.push(b_users[i]);
+                self.pages.push(b_pages[i]);
+                self.times.push(b_times[i]);
+                global_idx[i] = next;
+                next += 1;
+            }
+        }
+        let accepted = (next - start) as usize;
+        // Per-user posting extends over the same user runs. The gathered
+        // indices arrive page-sorted, so re-sort into the strictly
+        // increasing (= batch position) order the posting list needs.
+        let mut idxs: Vec<u32> = Vec::new();
+        let mut k = 0usize;
+        while k < triples.len() {
+            let user = triples[k].0;
+            let lo = k;
+            while k < triples.len() && triples[k].0 == user {
+                k += 1;
+            }
+            idxs.clear();
+            idxs.extend(triples[lo..k].iter().filter_map(|&(_, _, pos)| {
+                let g = global_idx[pos as usize];
+                (g != u32::MAX).then_some(g)
+            }));
+            idxs.sort_unstable();
+            if !idxs.is_empty() {
+                self.by_user[user as usize].extend_from_increasing(&idxs);
+            }
+        }
+        // Per-page posting extends: sorting (page, index) pairs makes page
+        // runs adjacent with indices ascending (the sort's tie-break *is*
+        // global order), so each run extends its list directly — only the
+        // pages actually present in the batch are touched.
+        let mut by_page: Vec<(u32, u32)> = (start..next)
+            .map(|g| (self.pages[g as usize].0, g))
+            .collect();
+        by_page.sort_unstable();
+        let mut k = 0usize;
+        while k < by_page.len() {
+            let page = by_page[k].0 as usize;
+            let lo = k;
+            while k < by_page.len() && by_page[k].0 as usize == page {
+                k += 1;
+            }
+            idxs.clear();
+            idxs.extend(by_page[lo..k].iter().map(|&(_, g)| g));
+            self.shards[page / SHARD_PAGES].by_page[page % SHARD_PAGES]
+                .extend_from_increasing(&idxs);
         }
         accepted
     }
@@ -499,6 +742,33 @@ impl LikeLedger {
         self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES]
             .iter()
             .map(move |i| self.times[i as usize])
+    }
+
+    /// The users liking a page, in arrival order (user column only — the
+    /// poll snapshot and the audience report need no other field).
+    pub fn page_users(&self, page: PageId) -> impl Iterator<Item = UserId> + '_ {
+        self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES]
+            .iter()
+            .map(move |i| self.users[i as usize])
+    }
+
+    /// `(user, timestamp)` pairs of a page's likes, in arrival order (two
+    /// column reads, no record assembly).
+    pub fn page_user_times(&self, page: PageId) -> impl Iterator<Item = (UserId, SimTime)> + '_ {
+        self.shards[page.idx() / SHARD_PAGES].by_page[page.idx() % SHARD_PAGES]
+            .iter()
+            .map(move |i| (self.users[i as usize], self.times[i as usize]))
+    }
+
+    /// The user column from global index `start` on — the contiguous tail
+    /// appended since an incremental consumer's last look.
+    pub fn users_from(&self, start: u32) -> &[UserId] {
+        &self.users[start as usize..]
+    }
+
+    /// The time column from global index `start` on.
+    pub fn times_from(&self, start: u32) -> &[SimTime] {
+        &self.times[start as usize..]
     }
 
     /// How many pages `user` likes.
@@ -640,6 +910,45 @@ mod tests {
         }
         let pages: Vec<u32> = l.user_pages(u(0)).map(|p| p.0).collect();
         assert_eq!(pages, (0..n).collect::<Vec<_>>(), "sorted and complete");
+    }
+
+    #[test]
+    fn sparse_small_batch_matches_sequential_record() {
+        // Enough accounts that a small batch routes through the sparse
+        // kernel (n < n_users / 8), with in-batch and historical dups.
+        let n_users = 5_000;
+        let n_pages = SHARD_PAGES + 50;
+        let mut batch: Vec<(UserId, PageId, SimTime)> = Vec::new();
+        for i in 0..200u32 {
+            let page = (i * 91) % n_pages as u32;
+            batch.push((u(i % 40), p(page), t(u64::from(i % 23))));
+        }
+        batch.push(batch[5]); // in-batch duplicate
+        let mut by_record = LikeLedger::new(n_users, n_pages);
+        by_record.record(u(3), p(17), t(1)); // pre-existing history
+        let mut expected_new = 0usize;
+        for &(user, page, at) in &batch {
+            if by_record.record(user, page, at) {
+                expected_new += 1;
+            }
+        }
+        let mut by_batch = LikeLedger::new(n_users, n_pages);
+        by_batch.record(u(3), p(17), t(1));
+        let accepted = by_batch.ingest_batch(&batch, Exec::Sequential);
+        assert_eq!(accepted, expected_new);
+        let a: Vec<LikeRecord> = by_batch.records().collect();
+        let b: Vec<LikeRecord> = by_record.records().collect();
+        assert_eq!(a, b, "global order differs");
+        for page in 0..n_pages as u32 {
+            let x: Vec<LikeRecord> = by_batch.of_page(p(page)).collect();
+            let y: Vec<LikeRecord> = by_record.of_page(p(page)).collect();
+            assert_eq!(x, y, "page {page} postings differ");
+        }
+        for user in 0..40 {
+            let x: Vec<LikeRecord> = by_batch.of_user(u(user)).collect();
+            let y: Vec<LikeRecord> = by_record.of_user(u(user)).collect();
+            assert_eq!(x, y, "user {user} postings differ");
+        }
     }
 
     #[test]

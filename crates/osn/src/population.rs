@@ -22,6 +22,7 @@
 
 use crate::account::{ActorClass, PrivacySettings};
 use crate::demographics::{AgeBracket, Blueprint, Country, Gender, GLOBAL_AGE_DIST};
+use crate::likes::LikeColumns;
 use crate::page::PageCategory;
 use crate::world::OsnWorld;
 use likelab_graph::{generate, PageId, UserId};
@@ -516,26 +517,40 @@ pub fn synthesize_with(
                     *slot = *epoch;
                     accepted += 1;
                     let at = SimTime::from_secs(user_rng.below(history_secs));
-                    likes.push((id, page, at));
+                    likes.push((at, id, page));
                 }
             }
         });
         likes
     });
-    let mut pending: Vec<(UserId, PageId, SimTime)> = shards.into_iter().flatten().collect();
+    // Draw rows carry the sort key up front: `(at, user, page)` *is* the
+    // global ordering key, so the flattened batch sorts by plain value.
+    let mut pending: Vec<(SimTime, UserId, PageId)> = shards.into_iter().flatten().collect();
     likelab_obs::metrics::counter("likes.synthesized", pending.len() as u64);
     // The ledger requires chronological per-page streams: sort globally,
-    // then bulk-ingest through the sharded batch path (per-shard page
-    // indexing runs through `exec`; the outcome is identical to recording
-    // each like in order).
+    // split into columns, then bulk-ingest through the sharded columnar
+    // path (per-shard page indexing runs through `exec`; the outcome is
+    // identical to recording each like in order).
     // Unstable is safe: the key `(at, u, p)` determines the whole element,
-    // so equal keys mean equal elements and order among them is moot.
+    // so equal keys mean equal elements and order among them is moot — any
+    // comparison sort yields the same permutation.
     let sort_span = likelab_obs::span::enter("population.likes.sort");
-    pending.sort_unstable_by_key(|(u, p, at)| (*at, *u, *p));
+    pending.sort_unstable();
     drop(sort_span);
+    // Transpose the sorted rows into the SoA column batch the ledger
+    // ingests directly (one linear pass; the rows are freed before ingest
+    // so the transient batch does not stack on top of them).
+    let split_span = likelab_obs::span::enter("population.likes.split");
+    let mut cols = LikeColumns::with_capacity(pending.len());
+    for &(at, user, page) in &pending {
+        cols.push(user, page, at);
+    }
+    drop(pending);
+    drop(split_span);
     let ingest_span = likelab_obs::span::enter("population.likes.ingest");
-    world.ingest_likes(&pending, exec);
+    world.ingest_like_columns(&cols, exec);
     drop(ingest_span);
+    drop(cols);
 
     pop
 }

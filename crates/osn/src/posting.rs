@@ -49,10 +49,13 @@ pub struct PostingList {
     len: u32,
     /// Last value of the packed section plus one (0 when no packed block
     /// exists yet); the base the next flushed block's first gap is encoded
-    /// against.
-    packed_base: u32,
+    /// against. Held as `u64` so a packed block ending at `u32::MAX` keeps a
+    /// representable base (`2^32`) — the codec covers the full u32 domain.
+    packed_base: u64,
     /// Last value overall plus one (0 when empty); enforces monotonicity.
-    last_plus: u32,
+    /// `u64` for the same reason as `packed_base`: `last_plus` reaches
+    /// `2^32` once `u32::MAX` itself is pushed.
+    last_plus: u64,
 }
 
 impl PostingList {
@@ -73,23 +76,25 @@ impl PostingList {
 
     /// The most recent value, if any.
     pub fn last(&self) -> Option<u32> {
-        self.last_plus.checked_sub(1)
+        // lint:allow(cast): last_plus - 1 fits u32 whenever the list is
+        // non-empty (values are u32).
+        self.last_plus.checked_sub(1).map(|v| v as u32)
     }
 
     /// Append `v`, which must be strictly greater than every value pushed
-    /// so far (and below `u32::MAX`, so gaps stay representable).
+    /// so far. The full u32 domain is representable, `u32::MAX` included.
     ///
     /// # Panics
     /// Panics when monotonicity is violated.
     #[inline]
     pub fn push(&mut self, v: u32) {
         assert!(
-            v >= self.last_plus && v < u32::MAX,
+            u64::from(v) >= self.last_plus,
             "posting values must be strictly increasing: {v} after {:?}",
             self.last()
         );
         self.tail.push(v);
-        self.last_plus = v + 1;
+        self.last_plus = u64::from(v) + 1;
         self.len += 1;
         if self.tail.len() == BLOCK {
             self.flush_tail();
@@ -98,8 +103,38 @@ impl PostingList {
 
     /// Append every value of an increasing slice (each must exceed
     /// [`last`][Self::last]).
+    ///
+    /// Bulk path for the batch-ingest kernels: the head of `values` tops up
+    /// the raw tail, full [`BLOCK`]s are then encoded straight from the
+    /// slice (no per-value dispatch through [`push`][Self::push]), and the
+    /// remainder lands in the tail. The encoded bytes are identical to a
+    /// push-per-value loop — the block format only depends on the value
+    /// sequence.
     pub fn extend_from_increasing(&mut self, values: &[u32]) {
-        for &v in values {
+        let mut rest = values;
+        // Top up a partially filled tail to a block boundary first.
+        if !self.tail.is_empty() {
+            let take = rest.len().min(BLOCK - self.tail.len());
+            for &v in &rest[..take] {
+                self.push(v);
+            }
+            rest = &rest[take..];
+        }
+        debug_assert!(rest.is_empty() || self.tail.is_empty());
+        while rest.len() >= BLOCK {
+            let (block, tail) = rest.split_at(BLOCK);
+            assert!(
+                u64::from(block[0]) >= self.last_plus,
+                "posting values must be strictly increasing: {v} after {last:?}",
+                v = block[0],
+                last = self.last()
+            );
+            self.encode_block(block);
+            self.len += BLOCK as u32;
+            self.last_plus = self.packed_base;
+            rest = tail;
+        }
+        for &v in rest {
             self.push(v);
         }
     }
@@ -107,13 +142,26 @@ impl PostingList {
     /// Encode the (full) tail as one block.
     fn flush_tail(&mut self) {
         debug_assert_eq!(self.tail.len(), BLOCK);
+        let tail = std::mem::take(&mut self.tail);
+        self.encode_block(&tail);
+        self.tail = tail;
+        self.tail.clear();
+    }
+
+    /// Append one full block of increasing values (already validated
+    /// against `last_plus`) to the packed section.
+    fn encode_block(&mut self, values: &[u32]) {
+        debug_assert_eq!(values.len(), BLOCK);
         let mut gaps = [0u32; BLOCK];
         let mut base = self.packed_base;
         let mut all = 0u32;
-        for (gap, &v) in gaps.iter_mut().zip(self.tail.iter()) {
-            *gap = v - base;
+        for (gap, &v) in gaps.iter_mut().zip(values.iter()) {
+            debug_assert!(u64::from(v) >= base, "non-monotone block");
+            // Gaps fit u32 even at the domain edge: v - base <= u32::MAX
+            // because base >= 0 and v <= u32::MAX.
+            *gap = (u64::from(v) - base) as u32;
             all |= *gap;
-            base = v + 1;
+            base = u64::from(v) + 1;
         }
         let width = (32 - all.leading_zeros()) as u8;
         self.packed
@@ -134,7 +182,6 @@ impl PostingList {
             self.packed.push(acc as u8);
         }
         self.packed_base = base;
-        self.tail.clear();
     }
 
     /// Iterate the values in increasing order, without allocating.
@@ -176,8 +223,9 @@ pub struct PostingIter<'a> {
     buf: [u32; BLOCK],
     buf_len: u8,
     buf_pos: u8,
-    /// Last decoded value plus one.
-    base: u32,
+    /// Last decoded value plus one (`u64`: reaches `2^32` after decoding
+    /// `u32::MAX`).
+    base: u64,
     remaining: u32,
 }
 
@@ -198,11 +246,12 @@ impl PostingIter<'_> {
                 byte_i += 1;
                 bits += 8;
             }
-            let v = base + (acc & mask) as u32;
+            // lint:allow(cast): base + gap reproduces a pushed u32 exactly.
+            let v = (base + (acc & mask)) as u32;
             acc >>= width;
             bits -= width;
             *slot = v;
-            base = v + 1;
+            base = u64::from(v) + 1;
         }
         self.base = base;
         self.packed = &self.packed[1 + payload..];
@@ -313,6 +362,62 @@ mod tests {
         let mut list = PostingList::new();
         list.push(5);
         list.push(5);
+    }
+
+    #[test]
+    fn u32_max_in_tail_roundtrips() {
+        // Regression: the codec once excluded u32::MAX so the running
+        // "last plus one" base stayed representable in u32. The full domain
+        // must round-trip — here MAX sits in the raw tail.
+        roundtrip(&[7, u32::MAX - 1, u32::MAX]);
+        let mut list = PostingList::new();
+        list.push(u32::MAX);
+        assert_eq!(list.last(), Some(u32::MAX));
+        assert_eq!(list.iter().collect::<Vec<u32>>(), vec![u32::MAX]);
+    }
+
+    #[test]
+    fn u32_max_inside_packed_block_roundtrips() {
+        // MAX as the final value of a *flushed* block: the post-block base
+        // is 2^32, which only fits the widened u64 bases. Also exercises a
+        // follow-up serde round-trip of the boundary state.
+        let values: Vec<u32> = (0..BLOCK as u32).map(|i| u32::MAX - 63 + i).collect();
+        assert_eq!(*values.last().unwrap(), u32::MAX);
+        roundtrip(&values);
+        let mut list = PostingList::new();
+        list.extend_from_increasing(&values);
+        assert!(list.tail.is_empty(), "block must have flushed");
+        let json = serde_json::to_string(&list).expect("serialize");
+        let back: PostingList = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.iter().collect::<Vec<u32>>(), values);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn push_after_u32_max_panics() {
+        let mut list = PostingList::new();
+        list.push(u32::MAX);
+        list.push(u32::MAX); // nothing can follow the domain maximum
+    }
+
+    #[test]
+    fn bulk_extend_bytes_match_per_value_pushes() {
+        // The block-at-a-time encoder must emit the exact bytes a per-value
+        // push loop would, for every tail/block phase alignment.
+        let values: Vec<u32> = (0..500u32)
+            .map(|i| i * 17 + (i % 5))
+            .chain([u32::MAX - 1, u32::MAX])
+            .collect();
+        for split in [0usize, 1, 37, 63, 64, 65, 200, values.len()] {
+            let mut bulk = PostingList::new();
+            bulk.extend_from_increasing(&values[..split]);
+            bulk.extend_from_increasing(&values[split..]);
+            let mut pushed = PostingList::new();
+            for &v in &values {
+                pushed.push(v);
+            }
+            assert_eq!(bulk, pushed, "split={split}");
+        }
     }
 
     #[test]

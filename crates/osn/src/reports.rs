@@ -109,8 +109,9 @@ impl AudienceReport {
     /// liked the page (the platform aggregates what it knows, not what is
     /// public).
     pub fn for_page(world: &OsnWorld, page: PageId) -> Self {
-        // Stream straight off the packed posting list — no liker Vec.
-        Self::tally(world, world.likes().of_page(page).map(|r| r.user))
+        // Stream straight off the packed posting list, reading only the
+        // ledger's user column — no liker Vec, no record assembly.
+        Self::tally(world, world.likes().page_users(page))
     }
 
     /// The platform-wide report (Table 2's "Facebook" row equivalent).

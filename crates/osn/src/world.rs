@@ -12,7 +12,7 @@
 
 use crate::account::{Account, ActorClass, PrivacySettings};
 use crate::demographics::Profile;
-use crate::likes::LikeLedger;
+use crate::likes::{LikeColumns, LikeLedger};
 use crate::log::{Recorder, WorldEvent};
 use crate::page::{Page, PageCategory};
 use crate::store::AccountStore;
@@ -325,24 +325,35 @@ impl OsnWorld {
     /// Byte-identical outcome for every `exec`, and identical to calling
     /// [`record_like`][Self::record_like] per item in order.
     pub fn ingest_likes(&mut self, items: &[(UserId, PageId, SimTime)], exec: Exec) -> usize {
+        self.ingest_like_columns(&LikeColumns::from_rows(items), exec)
+    }
+
+    /// Columnar twin of [`ingest_likes`][Self::ingest_likes]: the batch
+    /// arrives as [`LikeColumns`] and flows into the ledger's SoA storage
+    /// without assembling row tuples (synthesis and the coalesced event
+    /// loop call this directly). Journals the identical
+    /// [`WorldEvent::LikeBatch`] row form, so logs do not depend on which
+    /// entry point produced them.
+    pub fn ingest_like_columns(&mut self, batch: &LikeColumns, exec: Exec) -> usize {
         // The *input* batch is journaled verbatim; replay re-applies the
         // same active-account filter against identical state.
-        if !items.is_empty() {
+        if !batch.is_empty() {
             self.recorder.push_with(|| WorldEvent::LikeBatch {
-                likes: items.to_vec(),
+                likes: batch.rows().collect(),
             });
         }
-        if items.iter().all(|&(u, _, _)| self.accounts.is_active(u)) {
+        if batch.users.iter().all(|&u| self.accounts.is_active(u)) {
             // Synthesis-time fast path: nobody is terminated yet, ingest the
             // batch without copying it.
-            self.ledger.ingest_batch(items, exec)
+            self.ledger.ingest_columns(batch, exec)
         } else {
-            let alive: Vec<(UserId, PageId, SimTime)> = items
-                .iter()
-                .filter(|&&(u, _, _)| self.accounts.is_active(u))
-                .copied()
-                .collect();
-            self.ledger.ingest_batch(&alive, exec)
+            let mut alive = LikeColumns::with_capacity(batch.len());
+            for (user, page, at) in batch.rows() {
+                if self.accounts.is_active(user) {
+                    alive.push(user, page, at);
+                }
+            }
+            self.ledger.ingest_columns(&alive, exec)
         }
     }
 
@@ -355,9 +366,9 @@ impl OsnWorld {
     /// order. Terminated accounts' likes disappear from public view, which
     /// is how the paper could count terminated likers a month later.
     pub fn visible_likers(&self, page: PageId) -> Vec<UserId> {
+        // User column only — the poll path runs this per snapshot.
         self.ledger
-            .of_page(page)
-            .map(|r| r.user)
+            .page_users(page)
             .filter(|&u| self.accounts.is_active(u))
             .collect()
     }
@@ -366,7 +377,7 @@ impl OsnWorld {
     /// current status. This is the *platform-side* record (admin reports are
     /// computed from it).
     pub fn all_likers(&self, page: PageId) -> Vec<(UserId, SimTime)> {
-        self.ledger.of_page(page).map(|r| (r.user, r.at)).collect()
+        self.ledger.page_user_times(page).collect()
     }
 }
 

@@ -78,7 +78,19 @@ impl<E> Engine<E> {
 
     /// Pop the next event, advancing the clock to its firing time.
     pub fn step(&mut self) -> Option<(SimTime, E)> {
-        let (at, ev) = self.queue.pop()?;
+        self.step_if(|_, _| true)
+    }
+
+    /// Pop the next event only when `pred` approves it, advancing the clock
+    /// and the fired counter exactly as [`step`][Self::step] would. When the
+    /// front event fails the predicate (or the queue is empty), nothing is
+    /// consumed and `None` is returned.
+    ///
+    /// The event loop uses this to drain coalesced runs of same-kind events
+    /// (see [`EventQueue::pop_if`]): interleaving `step_if` with `step`
+    /// dispatches the exact event sequence `step` alone would.
+    pub fn step_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
+        let (at, ev) = self.queue.pop_if(pred)?;
         debug_assert!(at >= self.now, "queue yielded an event in the past");
         self.now = at;
         self.fired += 1;

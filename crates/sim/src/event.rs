@@ -94,6 +94,19 @@ pub enum LogError {
         /// The offending record's sequence number.
         next: u64,
     },
+    /// A followed file shrank below the follower's committed offset — the
+    /// producer truncated or rotated it. Distinct from [`Truncated`]
+    /// (which means the stream *ended* mid-frame): already-consumed bytes
+    /// are gone, so the follower cannot continue and the caller must
+    /// re-open the source from scratch. Reported by
+    /// [`FollowReader::poll`](crate::tail::FollowReader::poll), and sticky
+    /// while the file stays short.
+    ShrunkSource {
+        /// Bytes the follower had already consumed.
+        read_bytes: u64,
+        /// The file's current (smaller) length.
+        len: u64,
+    },
     /// An I/O failure while reading or writing a sink.
     Io(String),
 }
@@ -113,6 +126,13 @@ impl fmt::Display for LogError {
             }
             LogError::NonMonotoneSeq { prev, next } => {
                 write!(f, "non-monotone sequence: {next} after {prev}")
+            }
+            LogError::ShrunkSource { read_bytes, len } => {
+                write!(
+                    f,
+                    "followed log shrank to {len} bytes below the {read_bytes} already \
+                     consumed (truncated or rotated under the follower)"
+                )
             }
             LogError::Io(e) => write!(f, "log i/o: {e}"),
         }

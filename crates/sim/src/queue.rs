@@ -117,6 +117,18 @@ impl<E> EventQueue<E> {
 
     /// Remove and return the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_if(|_, _| true)
+    }
+
+    /// Remove and return the earliest event only when `pred` approves it;
+    /// leave the queue untouched (and return `None`) otherwise.
+    ///
+    /// This is the coalescing primitive: the event loop peeks at the front
+    /// through `pred` and keeps draining while consecutive events belong to
+    /// the same batchable run, stopping — without consuming — at the first
+    /// event of a different kind. Pop order is identical to calling
+    /// [`pop`][Self::pop] under the same schedule.
+    pub fn pop_if(&mut self, pred: impl FnOnce(SimTime, &E) -> bool) -> Option<(SimTime, E)> {
         self.flush_bulk();
         self.draining = true;
         let run_key = self.run.last().map(|e| (e.at, e.seq));
@@ -132,9 +144,17 @@ impl<E> EventQueue<E> {
         };
         let e = if from_run {
             // lint:allow(unwrap-in-library): run_key was Some, so the run is non-empty
+            let front = self.run.last().expect("checked non-empty");
+            if !pred(front.at, &front.event) {
+                return None;
+            }
             self.run.pop().expect("checked non-empty")
         } else {
             // lint:allow(unwrap-in-library): heap_key was Some, so the heap is non-empty
+            let front = self.heap.peek().expect("checked non-empty");
+            if !pred(front.at, &front.event) {
+                return None;
+            }
             self.heap.pop().expect("checked non-empty")
         };
         Some((e.at, e.event))
@@ -317,6 +337,22 @@ mod tests {
     #[should_panic(expected = "restored entry seq")]
     fn restore_rejects_seq_collisions() {
         let _ = EventQueue::from_entries(vec![(SimTime::EPOCH, 3u64, ())], 2);
+    }
+
+    #[test]
+    fn pop_if_rejects_without_consuming() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::at_day(1), "a");
+        q.push(SimTime::at_day(2), "b");
+        assert!(q.pop_if(|_, &e| e == "b").is_none());
+        assert_eq!(q.len(), 2, "rejected pop_if must not consume");
+        assert_eq!(q.pop_if(|at, _| at == SimTime::at_day(1)).unwrap().1, "a");
+        // Post-drain pushes land in the heap; pop_if must gate that front too.
+        q.push(SimTime::at_day(1) + SimDuration::hours(1), "late");
+        assert!(q.pop_if(|_, &e| e == "b").is_none());
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop_if(|_, _| true).is_none());
     }
 
     #[test]

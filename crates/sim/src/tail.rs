@@ -309,12 +309,28 @@ impl FollowReader {
 
     /// Read any newly appended bytes and return the records they complete.
     /// A missing file is "nothing yet", not an error.
+    ///
+    /// # Errors
+    /// Besides decode failures, returns [`LogError::ShrunkSource`] when the
+    /// file is smaller than the bytes already consumed — the producer
+    /// truncated or rotated it, consumed history is gone, and silently
+    /// seeking past EOF would stall the follower forever at a stale offset.
+    /// The error repeats on every poll until the file grows back past the
+    /// committed offset (i.e. it is not masked by a later, unrelated
+    /// append); recovery means re-opening the source from scratch.
     pub fn poll(&mut self) -> Result<Vec<LogRecord>, LogError> {
         let mut file = match std::fs::File::open(&self.path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(LogError::Io(e.to_string())),
         };
+        let len = file.metadata()?.len();
+        if len < self.read_bytes {
+            return Err(LogError::ShrunkSource {
+                read_bytes: self.read_bytes,
+                len,
+            });
+        }
         file.seek(SeekFrom::Start(self.read_bytes))?;
         let mut fresh = Vec::new();
         file.read_to_end(&mut fresh)?;
@@ -538,6 +554,41 @@ mod tests {
         assert_eq!(all, records);
         follow.finish().unwrap();
         assert_eq!(follow.read_bytes(), bytes.len() as u64);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn follow_reader_detects_mid_follow_truncation() {
+        // Regression: a followed file shrinking below the committed offset
+        // used to seek past EOF, read zero bytes, and stall silently at the
+        // stale offset forever. It must surface ShrunkSource instead.
+        let dir = std::env::temp_dir().join(format!("likelab-shrink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow.log");
+        let _ = std::fs::remove_file(&path);
+
+        let (header, records) = sample();
+        let bytes = encode_binary(&header, &records).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        let mut follow = FollowReader::open(&path);
+        assert_eq!(follow.poll().unwrap(), records);
+        let consumed = follow.read_bytes();
+
+        // Producer rotates: the file is truncated under the follower.
+        let short = bytes.len() / 2;
+        std::fs::write(&path, &bytes[..short]).unwrap();
+        assert_eq!(
+            follow.poll(),
+            Err(LogError::ShrunkSource {
+                read_bytes: consumed,
+                len: short as u64,
+            })
+        );
+        // Sticky while the file stays short — no silent stall, no records.
+        assert!(matches!(follow.poll(), Err(LogError::ShrunkSource { .. })));
+        assert_eq!(follow.read_bytes(), consumed, "offset never rewinds");
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
