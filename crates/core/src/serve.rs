@@ -359,7 +359,14 @@ impl ServeEngine {
             .get(i)
             .map(|c| c.label.clone())
             .ok_or_else(|| format!("unknown campaign {i}"))?;
-        let slot = self.slots[i].clone();
+        // The campaigns check above implies a slot exists, but `i` came off
+        // the wire: a malformed request must answer with an error, never
+        // panic the service.
+        let slot = self
+            .slots
+            .get(i)
+            .cloned()
+            .ok_or_else(|| format!("unknown campaign {i}"))?;
         let page_likes = slot
             .page
             .map(|p| self.fanout.world().likes().page_like_count(p))

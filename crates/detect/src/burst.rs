@@ -71,6 +71,7 @@ pub fn peak_share(times: &mut [SimTime], window: SimDuration) -> f64 {
     let mut best = 1usize;
     let mut lo = 0usize;
     for hi in 0..times.len() {
+        // lint:allow(panic-reachable-from-serve): lo <= hi < times.len() throughout the sweep
         while times[hi].since(times[lo]) > window {
             lo += 1;
         }

@@ -111,6 +111,7 @@ pub fn detect_from_buckets(
         let sampled: Vec<UserId> = if users.len() > config.max_bucket_size {
             let stride = users.len() as f64 / config.max_bucket_size as f64;
             (0..config.max_bucket_size)
+                // lint:allow(panic-reachable-from-serve): i * stride < len since stride = len / max and i < max
                 .map(|i| users[(i as f64 * stride) as usize])
                 .collect()
         } else {
@@ -118,6 +119,7 @@ pub fn detect_from_buckets(
         };
         for i in 0..sampled.len() {
             for j in (i + 1)..sampled.len() {
+                // lint:allow(panic-reachable-from-serve): i, j < sampled.len() by the loop bounds
                 *pair_counts.entry((sampled[i], sampled[j])).or_insert(0) += 1;
             }
         }
@@ -143,6 +145,7 @@ pub fn detect_from_buckets(
     for c in &mut clusters {
         c.sort_unstable();
     }
+    // lint:allow(panic-reachable-from-serve): every cluster holds >= 1 member by construction
     clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
     LockstepReport { clusters }
 }

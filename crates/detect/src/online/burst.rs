@@ -81,6 +81,7 @@ impl Stream {
             let mut lo = 0usize;
             let mut best = 1usize;
             for hi in 0..self.times.len() {
+                // lint:allow(panic-reachable-from-serve): lo <= hi < times.len() throughout the sweep
                 while self.times[hi].since(self.times[lo]) > config.window {
                     lo += 1;
                 }
@@ -145,6 +146,7 @@ impl OnlineBurst {
         if idx >= streams.len() {
             streams.resize_with(idx + 1, Stream::default);
         }
+        // lint:allow(panic-reachable-from-serve): resize_with above guarantees idx is in bounds
         &mut streams[idx]
     }
 

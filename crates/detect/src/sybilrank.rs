@@ -105,12 +105,14 @@ pub fn sybil_rank(graph: &FriendGraph, seeds: &[UserId], config: &SybilRankConfi
     let mut trust = vec![0.0f64; n]; // indexed by new id
     let seed_share = 1.0 / seeds.len() as f64;
     for s in seeds {
+        // lint:allow(panic-reachable-from-serve): renumbering maps every old id below n
         trust[map.new_of(*s).idx()] += seed_share;
     }
     let mut share = vec![0.0f64; n];
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
         for (v, s) in share.iter_mut().enumerate() {
+            // lint:allow(panic-reachable-from-serve): trust, share, next all have length n
             let t = trust[v];
             let d = csr.degree(v);
             *s = if t != 0.0 && d > 0 { t / d as f64 } else { 0.0 };
@@ -118,11 +120,13 @@ pub fn sybil_rank(graph: &FriendGraph, seeds: &[UserId], config: &SybilRankConfi
         for (v, out) in next.iter_mut().enumerate() {
             let row = csr.row(v);
             if row.is_empty() {
+                // lint:allow(panic-reachable-from-serve): v < n from enumerate over a length-n vec
                 *out = trust[v]; // isolated trust stays put
                 continue;
             }
             let mut acc = 0.0f64;
             for &w in row {
+                // lint:allow(panic-reachable-from-serve): CSR targets are renumbered ids below n
                 acc += share[w as usize];
             }
             *out = acc;
@@ -135,10 +139,11 @@ pub fn sybil_rank(graph: &FriendGraph, seeds: &[UserId], config: &SybilRankConfi
     for (old, out) in scores.iter_mut().enumerate() {
         let new = map.new_of(UserId(old as u32)).idx();
         let d = csr.degree(new);
+        // `new < n`: renumbering is a permutation of 0..n.
         *out = if d > 0 {
-            trust[new] / d as f64
+            trust[new] / d as f64 // lint:allow(panic-reachable-from-serve): new < n, see above
         } else {
-            trust[new]
+            trust[new] // lint:allow(panic-reachable-from-serve): new < n, see above
         };
     }
     TrustScores { scores }

@@ -192,6 +192,7 @@ impl FriendGraph {
 
     /// The CSR slice of `u` (overlay entries excluded).
     fn csr_range(&self, u: UserId) -> &[UserId] {
+        // lint:allow(panic-reachable-from-serve): offsets has n+1 monotone entries bounded by csr.len()
         &self.csr[self.offsets[u.idx()] as usize..self.offsets[u.idx() + 1] as usize]
     }
 
@@ -284,6 +285,7 @@ impl FriendGraph {
     /// [compact][Self::is_compact]; otherwise merges the node's overlay.
     pub fn neighbors(&self, u: UserId) -> Neighbors<'_> {
         let base = self.csr_range(u);
+        // lint:allow(panic-reachable-from-serve): extra is kept at length n by ensure_node
         let over = &self.extra[u.idx()];
         if over.is_empty() {
             return Neighbors::Slice(base);
@@ -291,15 +293,18 @@ impl FriendGraph {
         let mut merged = Vec::with_capacity(base.len() + over.len());
         let (mut i, mut j) = (0, 0);
         while i < base.len() && j < over.len() {
+            // lint:allow(panic-reachable-from-serve): loop condition bounds i and j
             if base[i] < over[j] {
-                merged.push(base[i]);
+                merged.push(base[i]); // lint:allow(panic-reachable-from-serve): i < base.len() here
                 i += 1;
             } else {
-                merged.push(over[j]);
+                merged.push(over[j]); // lint:allow(panic-reachable-from-serve): j < over.len() here
                 j += 1;
             }
         }
+        // lint:allow(panic-reachable-from-serve): i <= base.len() after the merge loop
         merged.extend_from_slice(&base[i..]);
+        // lint:allow(panic-reachable-from-serve): j <= over.len() after the merge loop
         merged.extend_from_slice(&over[j..]);
         Neighbors::Owned(merged)
     }

@@ -26,18 +26,16 @@ impl UnionFind {
         }
     }
 
-    /// Representative of `u`'s set (path-halving).
-    ///
-    /// # Panics
-    /// Panics when `u` is not a member.
+    /// Representative of `u`'s set (path-halving). An id never seen
+    /// before joins as its own singleton — no panic path.
     pub fn find(&mut self, u: UserId) -> UserId {
         let mut x = u;
         loop {
-            let p = *self.parent.get(&x).expect("find() on a non-member");
+            let p = *self.parent.entry(x).or_insert(x);
             if p == x {
                 return x;
             }
-            let gp = self.parent[&p];
+            let gp = *self.parent.entry(p).or_insert(p);
             self.parent.insert(x, gp);
             x = gp;
         }
@@ -49,11 +47,12 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (ka, kb) = (self.rank[&ra], self.rank[&rb]);
+        let ka = *self.rank.entry(ra).or_insert(0);
+        let kb = *self.rank.entry(rb).or_insert(0);
         let (hi, lo) = if ka >= kb { (ra, rb) } else { (rb, ra) };
         self.parent.insert(lo, hi);
         if ka == kb {
-            *self.rank.get_mut(&hi).expect("member") += 1;
+            *self.rank.entry(hi).or_insert(0) += 1;
         }
         true
     }
@@ -173,6 +172,16 @@ mod tests {
         uf.union(u(2), u(3));
         uf.union(u(0), u(3));
         assert!(uf.connected(u(1), u(2)));
+    }
+
+    #[test]
+    fn union_find_admits_unseen_ids_as_singletons() {
+        let mut uf = UnionFind::new(&[u(0), u(1)]);
+        // 99 was never a member: it joins lazily as its own set.
+        assert_eq!(uf.find(u(99)), u(99));
+        assert!(!uf.connected(u(99), u(0)));
+        assert!(uf.union(u(99), u(0)));
+        assert!(uf.connected(u(99), u(0)));
     }
 
     #[test]

@@ -71,7 +71,7 @@ impl Renumbering {
         for (new, &old) in old_of_new.iter().enumerate() {
             let slot = new_of_old
                 .get_mut(old as usize)
-                // lint:allow(unwrap-in-library): documented panic — the table must be a permutation
+                // lint:allow(unwrap-in-library, panic-reachable-from-serve): documented panic — the table must be a permutation
                 .expect("renumbering entry out of range");
             assert!(*slot == u32::MAX, "duplicate old id {old} in renumbering");
             *slot = new as u32;
@@ -94,11 +94,13 @@ impl Renumbering {
 
     /// The new id of an old id.
     pub fn new_of(&self, old: UserId) -> UserId {
+        // lint:allow(panic-reachable-from-serve): callers renumber ids drawn from the same graph
         UserId(self.new_of_old[old.idx()])
     }
 
     /// The old id of a new id.
     pub fn old_of(&self, new: UserId) -> UserId {
+        // lint:allow(panic-reachable-from-serve): callers renumber ids drawn from the same graph
         UserId(self.old_of_new[new.idx()])
     }
 
@@ -183,6 +185,7 @@ impl RenumberedCsr {
 
     /// Neighbor row of a new-id vertex (new ids, ascending-old-id order).
     pub fn row(&self, new: usize) -> &[u32] {
+        // lint:allow(panic-reachable-from-serve): offsets has n+1 monotone entries bounded by targets.len()
         &self.targets[self.offsets[new] as usize..self.offsets[new + 1] as usize]
     }
 

@@ -23,6 +23,10 @@ pub struct Entry {
     pub snippet: String,
     /// How many identical `(rule, file, snippet)` findings are accepted.
     pub count: usize,
+    /// The call chain recorded when the entry was baselined (for
+    /// interprocedural rules). Informational only: matching ignores it so
+    /// entries survive refactors that reroute the chain.
+    pub path: Vec<String>,
 }
 
 /// A parsed baseline file.
@@ -37,19 +41,24 @@ impl Baseline {
     pub fn from_findings(findings: &[Finding]) -> Baseline {
         // BTreeMap keys the grouping, so entry order is deterministic
         // (sorted by file, then rule, then snippet) with no post-sort.
-        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut counts: BTreeMap<(String, String, String), (usize, Vec<String>)> = BTreeMap::new();
         for f in findings {
-            *counts
+            let slot = counts
                 .entry((f.rule.to_string(), f.file.clone(), f.snippet.clone()))
-                .or_insert(0) += 1;
+                .or_insert((0, Vec::new()));
+            slot.0 += 1;
+            if slot.1.is_empty() {
+                slot.1 = f.path.clone();
+            }
         }
         let mut entries: Vec<Entry> = counts
             .into_iter()
-            .map(|((rule, file, snippet), count)| Entry {
+            .map(|((rule, file, snippet), (count, path))| Entry {
                 rule,
                 file,
                 snippet,
                 count,
+                path,
             })
             .collect();
         entries.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
@@ -92,14 +101,27 @@ impl Baseline {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
         for (i, e) in self.entries.iter().enumerate() {
+            let path = if e.path.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", \"path\": [{}]",
+                    e.path
+                        .iter()
+                        .map(|p| format!("\"{}\"", json_escape(p)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"}}",
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}, \"snippet\": \"{}\"{}}}",
                 if i == 0 { "" } else { "," },
                 json_escape(&e.rule),
                 json_escape(&e.file),
                 e.count,
                 json_escape(&e.snippet),
+                path,
             );
         }
         out.push_str(if self.entries.is_empty() {
@@ -142,11 +164,22 @@ impl Baseline {
                 .find(|(k, _)| k == "count")
                 .and_then(|(_, v)| v.as_usize())
                 .unwrap_or(1);
+            let path = e
+                .iter()
+                .find(|(k, _)| k == "path")
+                .and_then(|(_, v)| v.as_array())
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
             entries.push(Entry {
                 rule: get_str("rule")?,
                 file: get_str("file")?,
                 snippet: get_str("snippet")?,
                 count,
+                path,
             });
         }
         Ok(Baseline { entries })
@@ -368,6 +401,7 @@ mod tests {
             line: 1,
             snippet: snippet.into(),
             hint: String::new(),
+            path: Vec::new(),
         }
     }
 
@@ -420,6 +454,23 @@ mod tests {
         assert!(Baseline::parse("not json").is_err());
         assert!(Baseline::parse("{\"entries\": 3}").is_err());
         assert!(Baseline::parse("{}").is_err());
+    }
+
+    #[test]
+    fn path_is_recorded_but_not_matched_on() {
+        let mut with_path = finding("panic-reachable-from-serve", "a.rs", "xs[i];");
+        with_path.path = vec!["ServeEngine::ingest".into(), "leaf".into()];
+        let b = Baseline::from_findings(std::slice::from_ref(&with_path));
+        assert_eq!(b.entries[0].path, with_path.path);
+        let parsed = Baseline::parse(&b.to_json()).expect("round trip");
+        assert_eq!(parsed.entries, b.entries);
+        // A refactor reroutes the chain: the entry still matches.
+        let mut rerouted = with_path.clone();
+        rerouted.path = vec!["ServeEngine::query".into(), "other".into(), "leaf".into()];
+        let (fresh, matched, stale) = parsed.apply(vec![rerouted]);
+        assert!(fresh.is_empty());
+        assert_eq!(matched.len(), 1);
+        assert!(stale.is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub struct Finding {
     pub snippet: String,
     /// One-sentence suggestion for fixing or suppressing the finding.
     pub hint: String,
+    /// For interprocedural rules: the call chain that reaches the site,
+    /// entry-first (qualified fn names). Empty for per-file rules.
+    pub path: Vec<String>,
 }
 
 /// A full lint report: live findings plus baseline accounting.
@@ -47,6 +50,9 @@ impl Report {
         let mut out = String::new();
         for f in &self.findings {
             let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.snippet);
+            if f.path.len() > 1 {
+                let _ = writeln!(out, "    reachable via {}", f.path.join(" → "));
+            }
             let _ = writeln!(out, "    hint: {}", f.hint);
         }
         if !self.stale_baseline.is_empty() {
@@ -75,8 +81,9 @@ impl Report {
     /// {
     ///   "version": 1,
     ///   "findings": [{"rule": "...", "file": "...", "line": 3,
-    ///                 "snippet": "...", "hint": "..."}],
+    ///                 "snippet": "...", "hint": "...", "path": ["a", "b"]}],
     ///   "baselined": 80,
+    ///   "baselined_by_rule": {"unwrap-in-library": 80},
     ///   "stale_baseline": ["..."],
     ///   "files_scanned": 96
     /// }
@@ -86,13 +93,18 @@ impl Report {
         for (i, f) in self.findings.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"hint\": \"{}\"}}",
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"hint\": \"{}\", \"path\": [{}]}}",
                 if i == 0 { "" } else { "," },
                 json_escape(f.rule),
                 json_escape(&f.file),
                 f.line,
                 json_escape(&f.snippet),
                 json_escape(&f.hint),
+                f.path
+                    .iter()
+                    .map(|p| format!("\"{}\"", json_escape(p)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
         }
         out.push_str(if self.findings.is_empty() {
@@ -101,6 +113,23 @@ impl Report {
             "\n  ],\n"
         });
         let _ = writeln!(out, "  \"baselined\": {},", self.baselined.len());
+        // Per-rule counts so CI can render a summary table without
+        // shipping every baselined finding in full.
+        let mut by_rule: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        for f in &self.baselined {
+            *by_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        out.push_str("  \"baselined_by_rule\": {");
+        for (i, (rule, n)) in by_rule.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {n}",
+                if i == 0 { "" } else { ", " },
+                json_escape(rule)
+            );
+        }
+        out.push_str("},\n");
         out.push_str("  \"stale_baseline\": [");
         for (i, s) in self.stale_baseline.iter().enumerate() {
             let _ = write!(
@@ -113,6 +142,49 @@ impl Report {
         out.push_str("],\n");
         let _ = writeln!(out, "  \"files_scanned\": {}", self.files_scanned);
         out.push('}');
+        out
+    }
+
+    /// SARIF 2.1.0 rendering — the minimal document GitHub's code-scanning
+    /// upload and PR annotations accept: one run, the rule catalog in the
+    /// driver, one `result` per finding. Call chains are folded into the
+    /// message text (SARIF code flows need column-level regions the line
+    /// scanner does not have).
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"likelab-lint\",\n          \"informationUri\": \"LINTS.md\",\n          \"rules\": [",
+        );
+        for (i, r) in crate::rules::RULES.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+                if i == 0 { "" } else { "," },
+                json_escape(r.id),
+                json_escape(r.summary),
+            );
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let message = if f.path.len() > 1 {
+                format!("{} (reachable via {})", f.hint, f.path.join(" → "))
+            } else {
+                f.hint.clone()
+            };
+            let _ = write!(
+                out,
+                "{}\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                if i == 0 { "" } else { "," },
+                json_escape(f.rule),
+                json_escape(&message),
+                json_escape(&f.file),
+                f.line,
+            );
+        }
+        out.push_str(if self.findings.is_empty() {
+            "]\n    }\n  ]\n}\n"
+        } else {
+            "\n      ]\n    }\n  ]\n}\n"
+        });
         out
     }
 }
@@ -148,6 +220,18 @@ mod tests {
             line: 7,
             snippet: "let v = m.get(\"k\").unwrap();".into(),
             hint: "propagate the error".into(),
+            path: Vec::new(),
+        }
+    }
+
+    fn pathed_finding() -> Finding {
+        Finding {
+            rule: "panic-reachable-from-serve",
+            file: "crates/y/src/inner.rs".into(),
+            line: 3,
+            snippet: "let v = xs[i];".into(),
+            hint: "use a non-panicking accessor".into(),
+            path: vec!["ServeEngine::ingest".into(), "helper".into(), "leaf".into()],
         }
     }
 
@@ -181,5 +265,70 @@ mod tests {
     #[test]
     fn escape_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn human_renders_call_path() {
+        let r = Report {
+            findings: vec![pathed_finding()],
+            ..Report::default()
+        };
+        let h = r.render_human();
+        assert!(
+            h.contains("reachable via ServeEngine::ingest → helper → leaf"),
+            "{h}"
+        );
+    }
+
+    #[test]
+    fn json_includes_path_array() {
+        let r = Report {
+            findings: vec![pathed_finding()],
+            ..Report::default()
+        };
+        let j = r.render_json();
+        assert!(
+            j.contains("\"path\": [\"ServeEngine::ingest\", \"helper\", \"leaf\"]"),
+            "{j}"
+        );
+        let plain = Report {
+            findings: vec![finding()],
+            ..Report::default()
+        };
+        assert!(plain.render_json().contains("\"path\": []"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let r = Report {
+            findings: vec![finding(), pathed_finding()],
+            files_scanned: 2,
+            ..Report::default()
+        };
+        let s = r.render_sarif();
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("sarif-2.1.0.json"));
+        assert!(s.contains("\"name\": \"likelab-lint\""));
+        // Every known rule is declared in the driver catalog.
+        for rule in crate::rules::RULES {
+            assert!(
+                s.contains(&format!("\"id\": \"{}\"", rule.id)),
+                "{}",
+                rule.id
+            );
+        }
+        assert!(s.contains("\"ruleId\": \"unwrap-in-library\""));
+        assert!(s.contains("\"uri\": \"crates/y/src/inner.rs\""));
+        assert!(s.contains("\"startLine\": 3"));
+        assert!(
+            s.contains("(reachable via ServeEngine::ingest → helper → leaf)"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn sarif_empty_report_is_well_formed() {
+        let s = Report::default().render_sarif();
+        assert!(s.contains("\"results\": []"));
     }
 }

@@ -10,17 +10,22 @@
 //!
 //! It is a deliberately small, zero-external-dependency analyzer: a
 //! hand-rolled tokenizer (strings/comments/attributes aware — no `syn`),
-//! a rule engine with per-line `// lint:allow(rule)` pragmas, and a
-//! checked-in baseline (`lint-baseline.json`) so pre-existing findings do
-//! not block the build while new ones fail it.
+//! a syntactic layer on top of it — an item/function parser
+//! ([`parse`]), a workspace call graph ([`callgraph`]), and per-function
+//! dataflow summaries ([`dataflow`]) powering interprocedural rules with
+//! `reachable via a → b → c` diagnostics — plus a rule engine with
+//! per-line `// lint:allow(rule)` pragmas and a checked-in baseline
+//! (`lint-baseline.json`) so pre-existing findings do not block the
+//! build while new ones fail it.
 //!
 //! ## Usage
 //!
 //! ```text
 //! likelab lint                         # via the main CLI
 //! cargo run -p likelab-lint --         # standalone, same flags
-//!     [--root DIR] [--format human|json]
-//!     [--baseline lint-baseline.json] [--update-baseline] [--list-rules]
+//!     [--root DIR] [--format human|json|sarif]
+//!     [--baseline lint-baseline.json] [--update-baseline]
+//!     [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit status is 0 when the workspace is clean (modulo baseline), 1 when
@@ -44,7 +49,10 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
+pub mod dataflow;
 pub mod diagnostics;
+pub mod parse;
 pub mod rules;
 pub mod tokenizer;
 pub mod walk;
@@ -70,18 +78,36 @@ pub struct Options {
 /// accept every current finding and the returned report is clean.
 pub fn run(root: &Path, opts: &Options) -> Result<Report, String> {
     let files = walk::discover(root).map_err(|e| format!("scan {}: {e}", root.display()))?;
-    let mut all = Vec::new();
+    // Phase 1: read, mask, and parse every file once. The parsed set is
+    // shared by the per-file rules and the interprocedural passes.
+    let mut parsed = Vec::with_capacity(files.len());
     for f in &files {
         let path = root.join(&f.rel_path);
         let source =
             fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        all.extend(rules::scan_source(
-            &f.rel_path,
-            &f.crate_name,
-            f.kind,
-            &source,
+        let masked = tokenizer::mask(&source);
+        let items = parse::parse(&masked);
+        parsed.push(parse::ParsedFile {
+            rel_path: f.rel_path.clone(),
+            crate_name: f.crate_name.clone(),
+            kind: f.kind,
+            masked,
+            items,
+        });
+    }
+    // Phase 2: per-file rules, then the workspace rules over the call graph.
+    let mut all = Vec::new();
+    for pf in &parsed {
+        all.extend(rules::scan_masked(
+            &pf.rel_path,
+            &pf.crate_name,
+            pf.kind,
+            &pf.masked,
         ));
     }
+    let graph = callgraph::CallGraph::build(&parsed);
+    all.extend(rules::scan_workspace(&parsed, &graph));
+    all.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     let files_scanned = files.len();
 
     let Some(baseline_rel) = &opts.baseline else {

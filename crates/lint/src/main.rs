@@ -1,9 +1,9 @@
 //! `likelab-lint` — standalone analyzer binary for CI.
 //!
 //! ```text
-//! likelab-lint [--root DIR] [--format human|json]
+//! likelab-lint [--root DIR] [--format human|json|sarif]
 //!              [--baseline lint-baseline.json] [--update-baseline]
-//!              [--report-out FILE] [--list-rules]
+//!              [--report-out FILE] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit 0: clean (all findings baselined). Exit 1: non-baselined
@@ -14,33 +14,56 @@ use likelab_lint::{find_workspace_root, rules, run, Options};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Cli {
     root: Option<PathBuf>,
-    format_json: bool,
+    format: Format,
     baseline: Option<String>,
     update_baseline: bool,
     report_out: Option<PathBuf>,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn usage() -> &'static str {
     "likelab-lint — determinism & hygiene analyzer (see LINTS.md)\n\n\
      USAGE:\n\
-     \x20 likelab-lint [--root DIR] [--format human|json]\n\
+     \x20 likelab-lint [--root DIR] [--format human|json|sarif]\n\
      \x20              [--baseline lint-baseline.json] [--update-baseline]\n\
-     \x20              [--report-out FILE] [--list-rules]\n\n\
+     \x20              [--report-out FILE] [--list-rules] [--explain RULE]\n\n\
      Exit 0 when clean, 1 on non-baselined findings, 2 on errors.\n\
      LIKELAB_UPDATE_LINT_BASELINE=1 is the same as --update-baseline."
+}
+
+/// Print the long-form description of one rule; error on unknown ids.
+fn explain(id: &str) -> Result<String, String> {
+    for r in rules::RULES {
+        if r.id == id {
+            return Ok(format!("{}\n  {}\n\n{}", r.id, r.summary, r.explain));
+        }
+    }
+    let known: Vec<&str> = rules::RULES.iter().map(|r| r.id).collect();
+    Err(format!(
+        "unknown rule `{id}`; known rules: {}",
+        known.join(", ")
+    ))
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         root: None,
-        format_json: false,
+        format: Format::Human,
         baseline: None,
         update_baseline: std::env::var("LIKELAB_UPDATE_LINT_BASELINE").as_deref() == Ok("1"),
         report_out: None,
         list_rules: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,9 +73,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.root = Some(PathBuf::from(v));
             }
             "--format" => match it.next().map(String::as_str) {
-                Some("human") => cli.format_json = false,
-                Some("json") => cli.format_json = true,
-                _ => return Err("--format needs human|json".into()),
+                Some("human") => cli.format = Format::Human,
+                Some("json") => cli.format = Format::Json,
+                Some("sarif") => cli.format = Format::Sarif,
+                _ => return Err("--format needs human|json|sarif".into()),
             },
             "--baseline" => {
                 let v = it.next().ok_or("--baseline needs a file path")?;
@@ -64,6 +88,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.report_out = Some(PathBuf::from(v));
             }
             "--list-rules" => cli.list_rules = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain needs a rule id")?;
+                cli.explain = Some(v.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -89,6 +117,18 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if let Some(id) = &cli.explain {
+        match explain(id) {
+            Ok(text) => {
+                println!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let root = match cli.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
@@ -111,10 +151,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let rendered = if cli.format_json {
-        report.render_json()
-    } else {
-        report.render_human()
+    let rendered = match cli.format {
+        Format::Human => report.render_human(),
+        Format::Json => report.render_json(),
+        Format::Sarif => report.render_sarif(),
     };
     if let Some(path) = &cli.report_out {
         if let Err(e) = std::fs::write(path, &rendered) {

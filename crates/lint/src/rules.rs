@@ -30,13 +30,17 @@ use crate::tokenizer::{self, find_word, MaskedFile};
 use crate::walk::FileKind;
 use std::collections::BTreeSet;
 
-/// Static description of one rule, for `--list-rules` and docs.
+/// Static description of one rule, for `--list-rules`, `--explain`, and
+/// docs.
 #[derive(Clone, Copy, Debug)]
 pub struct RuleInfo {
     /// Stable identifier used in pragmas, baselines, and reports.
     pub id: &'static str,
     /// One-line summary.
     pub summary: &'static str,
+    /// Multi-paragraph explanation for `--explain RULE`: why the rule
+    /// exists, what it matches, and how to fix or suppress a finding.
+    pub explain: &'static str,
 }
 
 /// Every rule the engine knows, in reporting order.
@@ -44,30 +48,125 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "nondeterministic-iteration",
         summary: "HashMap/HashSet iteration in library code (hash order is not deterministic)",
+        explain: "Iterating a HashMap/HashSet visits entries in hash order, which differs\n\
+                  across runs, platforms, and std versions. Any iteration whose order can\n\
+                  reach output (report lines, log records, Vec construction) silently breaks\n\
+                  the workspace's byte-identical replay contract.\n\
+                  Fix: iterate a sorted Vec or a BTreeMap/BTreeSet, or collect-and-sort.\n\
+                  Order-independent sinks (.count(), .sum(), .min()/.max(), collect into a\n\
+                  keyed map) are recognized and allowed.\n\
+                  Suppress: // lint:allow(nondeterministic-iteration): <why order cannot escape>",
     },
     RuleInfo {
         id: "ambient-time",
         summary: "std::time::{SystemTime, Instant} outside the obs/bench crates",
+        explain: "Simulated code must take time from likelab_sim::SimTime so replays are\n\
+                  reproducible; wall-clock reads make behavior depend on the host. Only the\n\
+                  observability layer (likelab-obs) and the bench harness may read real time.\n\
+                  Fix: thread SimTime through, or move the measurement into an obs span.\n\
+                  Suppress: // lint:allow(ambient-time): <why wall time is required here>",
     },
     RuleInfo {
         id: "ambient-randomness",
         summary: "RNG source not derived from likelab_sim::Rng streams",
+        explain: "thread_rng/OsRng/from_entropy/getrandom/RandomState inject host entropy,\n\
+                  so two runs of the same seed diverge. All randomness must derive from the\n\
+                  seeded likelab_sim::Rng family (seed_from_u64, split, derive_stream_seed).\n\
+                  Fix: accept an Rng (or a seed) from the caller and derive from it.\n\
+                  Suppress: // lint:allow(ambient-randomness): <why entropy is acceptable>",
     },
     RuleInfo {
         id: "rng-shared-across-parallel",
         summary: "Rng reused inside parallel_map/parallel_jobs instead of a split stream",
+        explain: "A single Rng captured by a parallel closure is consumed in scheduling\n\
+                  order, so results depend on worker count — the exact hazard the\n\
+                  worker-invariance tests guard. Each parallel item must draw from its own\n\
+                  stream. This rule matches rng-named captures inside a\n\
+                  parallel_map/parallel_jobs span with no .split(…)/derive_stream_seed.\n\
+                  Fix: let mut r = rng.split(item_index) inside the closure (DESIGN.md §4b).\n\
+                  Suppress: // lint:allow(rng-shared-across-parallel): <why sharing is sound>",
     },
     RuleInfo {
         id: "unwrap-in-library",
         summary: ".unwrap()/.expect(...)/panic! in non-test library code",
+        explain: "Library code that panics takes down the whole process — including the\n\
+                  long-running serve loop — instead of surfacing a typed error the caller\n\
+                  can handle. Binaries may exit; libraries must return Result/Option.\n\
+                  Fix: propagate the error. Where the invariant is real and local, use\n\
+                  .expect(\"<invariant>\") plus an allow pragma stating the invariant.\n\
+                  Suppress: // lint:allow(unwrap-in-library): <the invariant>",
     },
     RuleInfo {
         id: "stdout-in-library",
         summary: "println!/print!/dbg! in library code (stdout belongs to the CLI)",
+        explain: "Report bytes on stdout are part of the byte-identity contract; a stray\n\
+                  println! in a library corrupts golden outputs. Libraries return\n\
+                  strings/values and the CLI decides what to print; progress goes to stderr.\n\
+                  Fix: return the text, or use eprintln! for diagnostics.\n\
+                  Suppress: // lint:allow(stdout-in-library): <why stdout is the contract>",
     },
     RuleInfo {
         id: "log-bypass",
         summary: "ledger/graph mutated directly instead of through the world's logged hooks",
+        explain: "OsnWorld records every mutation into the world log; the log is replayed\n\
+                  byte-for-byte by `likelab replay` and the CI replay gate. Mutating the\n\
+                  ledger or friend graph directly (.ingest_batch, .friends_mut) skips the\n\
+                  log, so a captured log stops reproducing the run.\n\
+                  Fix: mutate through OsnWorld (like/befriend/apply_event).\n\
+                  Suppress: // lint:allow(log-bypass): <why this mutation is pre-log>",
+    },
+    RuleInfo {
+        id: "rng-escapes-parallel",
+        summary: "a typed Rng value reaches a parallel boundary through a call chain, un-split",
+        explain: "Interprocedural companion to rng-shared-across-parallel: tracks values\n\
+                  whose declared TYPE mentions Rng (or that are bound from Rng::…,\n\
+                  .split(…), derive_stream_seed) through the call graph. If such a value —\n\
+                  whatever its name — is captured by a parallel_map/parallel_jobs closure\n\
+                  with no .split(…)/derive_stream_seed inside the span, every chain from the\n\
+                  value's construction site to that boundary is a worker-count hazard. The\n\
+                  diagnostic shows the chain: reachable via a → b → c.\n\
+                  Fix: split a per-item stream inside the closure, or pass per-item seeds.\n\
+                  Suppress: // lint:allow(rng-escapes-parallel): <why sharing is sound>",
+    },
+    RuleInfo {
+        id: "panic-reachable-from-serve",
+        summary: "panic/unwrap/expect/indexing reachable from the serve/tail entry points",
+        explain: "The scoring service (ServeEngine::{ingest, ingest_frame, query,\n\
+                  online_score}, ServeSession::handle_line, serve) and the log followers\n\
+                  (TailReader::{next_record, drain}, FollowReader::poll) are long-running:\n\
+                  one panic anywhere in their call graph kills the session and loses tail\n\
+                  state. This rule walks the workspace call graph from those entry points\n\
+                  and reports every .unwrap()/.expect(…)/panic!/unreachable!/indexing site\n\
+                  it can reach, with the chain: reachable via a → b → c.\n\
+                  Fix: return the error to the serve loop (it already degrades per-line),\n\
+                  use .get(…) for lookups, or prove the invariant and add a pragma.\n\
+                  Suppress: // lint:allow(panic-reachable-from-serve): <the invariant>",
+    },
+    RuleInfo {
+        id: "float-order-sensitivity",
+        summary: "float accumulation folded in hash or parallel-merge order",
+        explain: "Float addition is not associative: summing the same set in a different\n\
+                  order changes low bits, which the online/batch parity gate compares\n\
+                  exactly. Two shapes are flagged: (1) a float fold (.sum::<f64>(),\n\
+                  .product::<f64>(), .fold(0.0, …)) chained onto HashMap/HashSet iteration —\n\
+                  note .sum() over *integers* is order-free and stays allowed under\n\
+                  nondeterministic-iteration; (2) a captured float accumulator mutated\n\
+                  (+=) inside a parallel_map/parallel_jobs closure.\n\
+                  Fix: collect into a sorted Vec (or BTreeMap) before folding, or sum into\n\
+                  per-item slots and combine in index order.\n\
+                  Suppress: // lint:allow(float-order-sensitivity): <why order is fixed>",
+    },
+    RuleInfo {
+        id: "alloc-in-hot-loop",
+        summary: "per-iteration allocation inside loops of hot-path functions",
+        explain: "The ≥10x scale campaign budgets the posting-list, like-ledger, event-queue\n\
+                  and columnar kernels by allocations per event; a Vec::new/collect/format!\n\
+                  /to_vec inside a loop there turns O(1) scratch into O(n) allocator\n\
+                  traffic. Hot scope = functions in posting.rs/likes.rs/queue.rs/columns.rs\n\
+                  plus any function annotated `// lint:hot`.\n\
+                  Fix: hoist the allocation out of the loop, reuse a scratch buffer\n\
+                  (clear() instead of new), or extend_from_slice into a preallocated Vec.\n\
+                  Suppress: // lint:allow(alloc-in-hot-loop): <why per-iteration is intrinsic>",
     },
 ];
 
@@ -80,13 +179,23 @@ pub fn is_known_rule(id: &str) -> bool {
 /// (pragma-suppressed sites are dropped here, baseline handling is the
 /// caller's job).
 pub fn scan_source(rel_path: &str, crate_name: &str, kind: FileKind, source: &str) -> Vec<Finding> {
-    let masked = tokenizer::mask(source);
+    scan_masked(rel_path, crate_name, kind, &tokenizer::mask(source))
+}
+
+/// Scan an already-masked file (the workspace driver masks once and
+/// shares the result with the parser and the interprocedural passes).
+pub fn scan_masked(
+    rel_path: &str,
+    crate_name: &str,
+    kind: FileKind,
+    masked: &MaskedFile,
+) -> Vec<Finding> {
     let allowed = pragmas(&masked.raw);
     let ctx = Ctx {
         rel_path,
         crate_name,
         kind,
-        file: &masked,
+        file: masked,
         allowed: &allowed,
     };
     let mut findings = Vec::new();
@@ -123,6 +232,7 @@ impl Ctx<'_> {
             line: idx + 1,
             snippet: self.file.raw[idx].trim().to_string(),
             hint,
+            path: Vec::new(),
         });
     }
 }
@@ -130,7 +240,7 @@ impl Ctx<'_> {
 /// Collect `lint:allow(...)` pragmas: a pragma applies to its own line
 /// and — when it sits on a comment-only line — to the lines that follow,
 /// up to and including the next code line.
-fn pragmas(raw: &[String]) -> Vec<BTreeSet<String>> {
+pub(crate) fn pragmas(raw: &[String]) -> Vec<BTreeSet<String>> {
     let mut out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); raw.len()];
     let mut carried: BTreeSet<String> = BTreeSet::new();
     for (idx, line) in raw.iter().enumerate() {
@@ -175,7 +285,7 @@ fn parse_pragma(line: &str) -> BTreeSet<String> {
 // ---------------------------------------------------------------------------
 
 /// Iteration methods whose order reflects hash order.
-const ITER_METHODS: &[&str] = &[
+pub(crate) const ITER_METHODS: &[&str] = &[
     ".iter()",
     ".iter_mut()",
     ".into_iter()",
@@ -268,7 +378,7 @@ fn nondeterministic_iteration(ctx: &Ctx, out: &mut Vec<Finding>) {
 /// Identifiers in this file declared with a `HashMap`/`HashSet` type:
 /// `name: HashMap<…>` (let/param/field) or `name = HashMap::new()`-style
 /// constructors. Collected from non-test lines only.
-fn hash_typed_idents(file: &MaskedFile) -> BTreeSet<String> {
+pub(crate) fn hash_typed_idents(file: &MaskedFile) -> BTreeSet<String> {
     let mut idents = BTreeSet::new();
     for (idx, line) in file.code.iter().enumerate() {
         if file.in_test[idx] {
@@ -310,7 +420,7 @@ fn hash_typed_idents(file: &MaskedFile) -> BTreeSet<String> {
 }
 
 /// The trailing identifier of a string slice, if it ends with one.
-fn trailing_ident(s: &str) -> Option<&str> {
+pub(crate) fn trailing_ident(s: &str) -> Option<&str> {
     let bytes = s.as_bytes();
     let mut start = bytes.len();
     while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
@@ -361,13 +471,13 @@ fn base_ident(expr: &str) -> Option<&str> {
 
 /// The receiver identifier of a method occurrence at byte `at`
 /// (the position of the `.` starting e.g. `.iter()`).
-fn receiver_ident(line: &str, at: usize) -> Option<&str> {
+pub(crate) fn receiver_ident(line: &str, at: usize) -> Option<&str> {
     trailing_ident(&line[..at])
 }
 
 /// Join the statement starting at line `idx` (up to 8 lines or the first
 /// `;`) and test it for order-independent sinks.
-fn statement_is_order_safe(code: &[String], idx: usize) -> bool {
+pub(crate) fn statement_is_order_safe(code: &[String], idx: usize) -> bool {
     let mut joined = String::new();
     for line in code.iter().skip(idx).take(8) {
         joined.push_str(line.trim());
@@ -485,7 +595,7 @@ fn rng_shared_across_parallel(ctx: &Ctx, out: &mut Vec<Finding>) {
 
 /// The text of a parenthesized call spanning from `(line idx, byte at)`
 /// to the matching close (bounded at 80 lines).
-fn balanced_span(code: &[String], idx: usize, at: usize) -> String {
+pub(crate) fn balanced_span(code: &[String], idx: usize, at: usize) -> String {
     let mut depth = 0i32;
     let mut out = String::new();
     for (k, line) in code.iter().enumerate().skip(idx).take(80) {
@@ -566,7 +676,7 @@ fn ident_at(span: &str, pos: usize) -> &str {
 
 /// The parameter identifiers of the first closure in the span
 /// (`|a, (b, c)| …` → `["a", "b", "c"]`).
-fn closure_params(span: &str) -> Vec<String> {
+pub(crate) fn closure_params(span: &str) -> Vec<String> {
     let Some(first) = span.find('|') else {
         return Vec::new();
     };
@@ -686,6 +796,292 @@ fn log_bypass(ctx: &Ctx, out: &mut Vec<Finding>) {
                  the baseline"
                     .to_string(),
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace (interprocedural) rules
+// ---------------------------------------------------------------------------
+
+use crate::callgraph::{match_entries, CallGraph};
+use crate::dataflow::{self, RngOrigin};
+use crate::parse::ParsedFile;
+
+/// The long-running entry points for `panic-reachable-from-serve`:
+/// `(path suffix, self type, fn name)`. Matched structurally so fixture
+/// workspaces exercise the same specs as the real one.
+pub const SERVE_ENTRY_POINTS: &[(&str, Option<&str>, &str)] = &[
+    ("/serve.rs", Some("ServeEngine"), "ingest"),
+    ("/serve.rs", Some("ServeEngine"), "ingest_frame"),
+    ("/serve.rs", Some("ServeEngine"), "query"),
+    ("/serve.rs", Some("ServeEngine"), "online_score"),
+    ("/serve.rs", Some("ServeSession"), "handle_line"),
+    ("/serve.rs", None, "serve"),
+    ("/tail.rs", Some("TailReader"), "next_record"),
+    ("/tail.rs", Some("TailReader"), "drain"),
+    ("/tail.rs", Some("FollowReader"), "poll"),
+];
+
+/// Run the interprocedural rules over the whole parsed workspace.
+///
+/// Pragma suppression works exactly as for per-file rules; findings carry
+/// a call path rendered with qualified names.
+pub fn scan_workspace(files: &[ParsedFile], graph: &CallGraph) -> Vec<Finding> {
+    let facts = dataflow::fn_facts(files, graph);
+    let allowed: Vec<Vec<BTreeSet<String>>> =
+        files.iter().map(|f| pragmas(&f.masked.raw)).collect();
+    let w = Workspace {
+        files,
+        graph,
+        facts: &facts,
+        allowed: &allowed,
+    };
+    let mut out = Vec::new();
+    rng_escapes_parallel(&w, &mut out);
+    panic_reachable_from_serve(&w, &mut out);
+    float_order_sensitivity(&w, &mut out);
+    alloc_in_hot_loop(&w, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+struct Workspace<'a> {
+    files: &'a [ParsedFile],
+    graph: &'a CallGraph,
+    facts: &'a [dataflow::FnFacts],
+    allowed: &'a [Vec<BTreeSet<String>>],
+}
+
+impl Workspace<'_> {
+    /// Is line `idx` of file `fi` live (non-test, not pragma-allowed) for
+    /// `rule`?
+    fn live(&self, fi: usize, idx: usize, rule: &str) -> bool {
+        let pf = &self.files[fi];
+        !pf.masked.in_test[idx] && !self.allowed[fi][idx].contains(rule)
+    }
+
+    fn emit(
+        &self,
+        out: &mut Vec<Finding>,
+        rule: &'static str,
+        fi: usize,
+        idx: usize,
+        path: Vec<String>,
+        hint: String,
+    ) {
+        let pf = &self.files[fi];
+        out.push(Finding {
+            rule,
+            file: pf.rel_path.clone(),
+            line: idx + 1,
+            snippet: pf.masked.raw[idx].trim().to_string(),
+            hint,
+            path,
+        });
+    }
+}
+
+fn rng_escapes_parallel(w: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "rng-escapes-parallel";
+    for (ni, node) in w.graph.nodes.iter().enumerate() {
+        if node.is_test || w.files[node.file].kind == FileKind::Example {
+            continue;
+        }
+        for span in &w.facts[ni].parallel {
+            if !w.live(node.file, span.line, RULE) {
+                continue;
+            }
+            for name in dataflow::captured_rng_values(&w.facts[ni], &span.text) {
+                // rng-named captures are rng-shared-across-parallel's beat;
+                // this rule adds the type-tracked, differently-named ones.
+                if name.to_ascii_lowercase().contains("rng") {
+                    continue;
+                }
+                let chain = match w.facts[ni].rng_values.get(name) {
+                    Some(RngOrigin::Param(p)) => dataflow::rng_root_chain(w.graph, w.facts, ni, *p),
+                    _ => vec![ni],
+                };
+                w.emit(
+                    out,
+                    RULE,
+                    node.file,
+                    span.line,
+                    w.graph.render_path(&chain),
+                    format!(
+                        "`{name}` is a seeded Rng stream shared across parallel items; \
+                         derive a per-item stream inside the closure \
+                         (`let mut r = {name}.split(i)`) or pass per-item seeds"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn panic_reachable_from_serve(w: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "panic-reachable-from-serve";
+    let entries = match_entries(w.graph, SERVE_ENTRY_POINTS);
+    if entries.is_empty() {
+        return;
+    }
+    let reach = w.graph.reach_from(&entries);
+    for (&ni, path) in &reach {
+        let node = &w.graph.nodes[ni];
+        if node.is_test || w.files[node.file].kind == FileKind::Example {
+            continue;
+        }
+        let pf = &w.files[node.file];
+        let f = &pf.items.functions[node.item];
+        let last = pf.masked.code.len().saturating_sub(1);
+        for idx in f.sig_line..=f.body_end.min(last) {
+            if w.graph.owner[node.file][idx] != ni || !w.live(node.file, idx, RULE) {
+                continue;
+            }
+            let Some(kind) = dataflow::panic_kind_on_line(&pf.masked.code[idx]) else {
+                continue;
+            };
+            w.emit(
+                out,
+                RULE,
+                node.file,
+                idx,
+                w.graph.render_path(path),
+                format!(
+                    "{kind} can panic the long-running serve/tail loop; return the \
+                     error (the session already degrades per line) or use a \
+                     non-panicking accessor"
+                ),
+            );
+        }
+    }
+}
+
+fn float_order_sensitivity(w: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "float-order-sensitivity";
+    // Shape 1: float folds chained onto hash-container iteration. These
+    // sites are exactly the ones nondeterministic-iteration whitelists
+    // (`.sum::` is order-free for integers — not for floats).
+    for (fi, pf) in w.files.iter().enumerate() {
+        if pf.kind == FileKind::Example {
+            continue;
+        }
+        let hash_idents = hash_typed_idents(&pf.masked);
+        if hash_idents.is_empty() {
+            continue;
+        }
+        let code = &pf.masked.code;
+        for idx in 0..code.len() {
+            if !w.live(fi, idx, RULE) {
+                continue;
+            }
+            let line = &code[idx];
+            let iterates_hash = ITER_METHODS.iter().any(|method| {
+                let mut from = 0;
+                while let Some(pos) = line[from..].find(method) {
+                    let at = from + pos;
+                    if receiver_ident(line, at).is_some_and(|id| hash_idents.contains(id)) {
+                        return true;
+                    }
+                    from = at + method.len();
+                }
+                false
+            });
+            if !iterates_hash || !statement_is_order_safe(code, idx) {
+                // Un-safe statements are nondeterministic-iteration's beat.
+                continue;
+            }
+            let stmt = dataflow::join_statement(code, idx);
+            if let Some(sink) = dataflow::FLOAT_FOLD_SINKS
+                .iter()
+                .find(|s| stmt.contains(**s))
+            {
+                w.emit(
+                    out,
+                    RULE,
+                    fi,
+                    idx,
+                    Vec::new(),
+                    format!(
+                        "`{sink}` folds floats in hash-iteration order; reassociation \
+                         changes the bits — collect into a sorted Vec/BTreeMap first"
+                    ),
+                );
+            }
+        }
+    }
+    // Shape 2: captured float accumulators mutated inside parallel spans.
+    for (ni, node) in w.graph.nodes.iter().enumerate() {
+        if node.is_test || w.files[node.file].kind == FileKind::Example {
+            continue;
+        }
+        let floats = dataflow::float_idents(&w.files[node.file].masked);
+        for span in &w.facts[ni].parallel {
+            if !w.live(node.file, span.line, RULE) {
+                continue;
+            }
+            if let Some(name) = dataflow::captured_float_accumulation(&span.text, &floats) {
+                w.emit(
+                    out,
+                    RULE,
+                    node.file,
+                    span.line,
+                    w.graph.render_path(&[ni]),
+                    format!(
+                        "`{name}` accumulates floats across parallel items; sum into \
+                         per-item slots and combine in index order instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn alloc_in_hot_loop(w: &Workspace, out: &mut Vec<Finding>) {
+    const RULE: &str = "alloc-in-hot-loop";
+    for (ni, node) in w.graph.nodes.iter().enumerate() {
+        if node.is_test || w.files[node.file].kind == FileKind::Example {
+            continue;
+        }
+        let pf = &w.files[node.file];
+        let f = &pf.items.functions[node.item];
+        if !f.is_hot && !dataflow::is_hot_file(&pf.rel_path) {
+            continue;
+        }
+        let code = &pf.masked.code;
+        let last = code.len().saturating_sub(1);
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for &(start, end) in &f.loops {
+            let span = code.iter().enumerate().take(end.min(last) + 1).skip(start);
+            for (idx, line) in span {
+                if flagged.contains(&idx) || !w.live(node.file, idx, RULE) {
+                    continue;
+                }
+                // A `for` header's pre-`{` text runs once, not per
+                // iteration; `while`/`loop` headers re-run every pass.
+                let text: &str = if idx == start
+                    && find_word(line, "for", 0)
+                        .is_some_and(|p| p < line.find('{').unwrap_or(line.len()))
+                {
+                    line.find('{').map(|p| &line[p..]).unwrap_or("")
+                } else {
+                    line
+                };
+                if let Some(pat) = dataflow::alloc_on_line(text) {
+                    flagged.insert(idx);
+                    w.emit(
+                        out,
+                        RULE,
+                        node.file,
+                        idx,
+                        w.graph.render_path(&[ni]),
+                        format!(
+                            "`{pat}` allocates every iteration on the hot path; hoist \
+                             it out of the loop or reuse a cleared scratch buffer"
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -882,7 +1278,19 @@ mod tests {
     fn list_rules_is_consistent() {
         assert!(is_known_rule("unwrap-in-library"));
         assert!(is_known_rule("log-bypass"));
+        assert!(is_known_rule("rng-escapes-parallel"));
+        assert!(is_known_rule("panic-reachable-from-serve"));
+        assert!(is_known_rule("float-order-sensitivity"));
+        assert!(is_known_rule("alloc-in-hot-loop"));
         assert!(!is_known_rule("made-up-rule"));
-        assert_eq!(RULES.len(), 7);
+        assert_eq!(RULES.len(), 11);
+        for r in RULES {
+            assert!(!r.explain.is_empty(), "{} has no explanation", r.id);
+            assert!(
+                r.explain.contains(&format!("lint:allow({})", r.id)),
+                "{} explanation must show its pragma",
+                r.id
+            );
+        }
     }
 }

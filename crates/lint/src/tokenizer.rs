@@ -13,9 +13,10 @@
 //!
 //! Handled syntax: nested block comments (`/* /* */ */`), line and doc
 //! comments, ordinary strings with escapes, raw strings with arbitrary
-//! hash counts (`r##"…"##`, `br#"…"#`), byte and character literals, and
-//! the lifetime-vs-char-literal ambiguity (`'a` in `&'a str` is code;
-//! `'a'` is a literal).
+//! hash counts (`r##"…"##`, `br#"…"#`, `cr#"…"#`), byte (`b"…"`) and
+//! C (`c"…"`) string literals, shebang lines, byte and character
+//! literals, and the lifetime-vs-char-literal ambiguity (`'a` in
+//! `&'a str` is code; `'a'` is a literal).
 
 /// One source file with non-code bytes blanked out.
 #[derive(Debug)]
@@ -49,7 +50,14 @@ pub fn mask(source: &str) -> MaskedFile {
     let raw: Vec<String> = source.lines().map(str::to_string).collect();
     let mut code: Vec<String> = Vec::with_capacity(raw.len());
     let mut state = State::Code;
-    for line in &raw {
+    for (idx, line) in raw.iter().enumerate() {
+        // A shebang (`#!/usr/bin/env …`, only legal on the first line and
+        // distinct from an inner attribute `#![…]`) is not Rust code: blank
+        // it entirely so its words never reach the rule scans.
+        if idx == 0 && line.starts_with("#!") && !line.starts_with("#![") {
+            code.push(" ".repeat(line.len()));
+            continue;
+        }
         let (masked, next) = mask_line(line, state);
         code.push(masked);
         state = next;
@@ -154,9 +162,10 @@ fn mask_line(line: &str, mut state: State) -> (String, State) {
 }
 
 /// Is a raw string starting at `i`? Returns the `#` count when so.
+/// Covers the `b` (byte) and `c` (C string, Rust ≥ 1.77) prefixes.
 fn raw_string_start(bytes: &[u8], i: usize) -> Option<u32> {
     let mut j = i;
-    if bytes.get(j) == Some(&b'b') {
+    if matches!(bytes.get(j), Some(&b'b') | Some(&b'c')) {
         j += 1;
     }
     if bytes.get(j) != Some(&b'r') {
@@ -182,7 +191,7 @@ fn raw_string_start(bytes: &[u8], i: usize) -> Option<u32> {
 
 fn raw_opener_len(bytes: &[u8], i: usize) -> usize {
     let mut j = i;
-    if bytes.get(j) == Some(&b'b') {
+    if matches!(bytes.get(j), Some(&b'b') | Some(&b'c')) {
         j += 1;
     }
     j += 1; // the `r`
@@ -377,6 +386,47 @@ mod tests {
         let m = masked(src);
         assert!(!m[1].contains("expect"));
         assert!(m[2].contains("after()"));
+    }
+
+    #[test]
+    fn shebang_line_is_blanked_but_inner_attribute_is_not() {
+        let m = masked("#!/usr/bin/env run .unwrap()\nfn main() {}");
+        assert_eq!(m[0].trim(), "", "shebang contents must not leak");
+        assert!(m[1].contains("fn main"));
+        let attr = masked("#![allow(dead_code)]\nfn f() {}");
+        assert!(attr[0].contains("#![allow(dead_code)]"), "{:?}", attr[0]);
+        // Only the first line can be a shebang.
+        let late = masked("fn f() {}\n#!/not/a/shebang .unwrap()");
+        assert!(late[1].contains("#!/not/a/shebang"));
+    }
+
+    #[test]
+    fn byte_and_c_string_literals_are_blanked() {
+        let m = masked("let x = b\"bytes .unwrap() inside\"; tail()");
+        assert!(!m[0].contains("unwrap"));
+        assert!(m[0].contains("tail()"));
+        let m = masked("let x = c\"cstr .unwrap() inside\"; tail()");
+        assert!(!m[0].contains("unwrap"));
+        assert!(m[0].contains("tail()"));
+    }
+
+    #[test]
+    fn c_raw_strings_are_blanked() {
+        // `cr#"…"#` must not fall back to plain-string handling, which would
+        // close at the first inner quote and leak the rest as code.
+        let m = masked("let p = cr#\"raw c .unwrap() \" inner\"#; tail()");
+        assert!(!m[0].contains("unwrap"), "{:?}", m[0]);
+        assert!(!m[0].contains("inner"), "{:?}", m[0]);
+        assert!(m[0].contains("tail()"));
+    }
+
+    #[test]
+    fn multiline_raw_string_with_two_hashes() {
+        let m = masked("let s = r##\"line1 .unwrap()\nline2 \"# .expect( x\nend\"##; tail()");
+        assert!(!m[0].contains("unwrap"));
+        // A single-hash close inside a two-hash raw string is still content.
+        assert!(!m[1].contains("expect"), "{:?}", m[1]);
+        assert!(m[2].contains("tail()"), "{:?}", m[2]);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! End-to-end fixtures for the interprocedural rules: each bad workspace
+//! makes exactly one of the call-graph/dataflow rules fire, and a "good
+//! twin" — same shape, hazard removed at the source — stays silent. The
+//! twins pin down both halves of each rule's contract: it catches the
+//! hazard and it does not cry wolf on the fixed form.
+
+use likelab_lint::{run, Options};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A scratch workspace that cleans up after itself.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "likelab-lint-interproc-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create fixture root");
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .expect("write workspace manifest");
+        Fixture { root }
+    }
+
+    fn add_crate(&self, name: &str, lib_source: &str) {
+        let dir = self.root.join("crates").join(name);
+        fs::create_dir_all(dir.join("src")).expect("create crate dirs");
+        fs::write(
+            dir.join("Cargo.toml"),
+            format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\n"),
+        )
+        .expect("write crate manifest");
+        fs::write(dir.join("src/lib.rs"), lib_source).expect("write lib.rs");
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("parent")).expect("create parent");
+        fs::write(path, content).expect("write file");
+    }
+
+    fn path(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn findings_for<'r>(
+    report: &'r likelab_lint::diagnostics::Report,
+    rule: &str,
+) -> Vec<&'r likelab_lint::diagnostics::Finding> {
+    report.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// rng-escapes-parallel
+// ---------------------------------------------------------------------------
+
+/// The Rng is constructed in one function and leaks into a parallel
+/// closure two calls later under a name the lexical rule cannot see.
+const RNG_ESCAPE_BAD: &str = "\
+pub fn run_study(items: &[u32]) -> Vec<u64> {
+    let master = Rng::seed_from_u64(7);
+    fan_out(&master, items)
+}
+
+fn fan_out(sampler: &Rng, items: &[u32]) -> Vec<u64> {
+    parallel_map(Exec::auto(), items, |x| sampler.peek(*x))
+}
+";
+
+/// Good twin: the closure derives a per-item stream, so sharing the
+/// parent handle is sound.
+const RNG_ESCAPE_GOOD: &str = "\
+pub fn run_study(items: &[u32]) -> Vec<u64> {
+    let master = Rng::seed_from_u64(7);
+    fan_out(&master, items)
+}
+
+fn fan_out(sampler: &Rng, items: &[u32]) -> Vec<u64> {
+    parallel_map(Exec::auto(), items, |x| sampler.split(*x as u64).peek(1))
+}
+";
+
+#[test]
+fn rng_escape_fires_across_the_call_chain_with_path() {
+    let fx = Fixture::new("rng-bad");
+    fx.add_crate("study", RNG_ESCAPE_BAD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let hits = findings_for(&report, "rng-escapes-parallel");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    let f = hits[0];
+    assert_eq!(f.file, "crates/study/src/lib.rs");
+    assert_eq!(f.line, 7, "the parallel_map call site");
+    assert!(
+        f.hint.contains("sampler"),
+        "hint names the value: {}",
+        f.hint
+    );
+    assert_eq!(
+        f.path,
+        vec!["run_study".to_string(), "fan_out".to_string()],
+        "chain runs from the construction site to the parallel boundary"
+    );
+}
+
+#[test]
+fn rng_escape_stays_silent_when_the_closure_splits() {
+    let fx = Fixture::new("rng-good");
+    fx.add_crate("study", RNG_ESCAPE_GOOD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert!(
+        findings_for(&report, "rng-escapes-parallel").is_empty(),
+        "split inside the span is the sanctioned fix: {:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// panic-reachable-from-serve
+// ---------------------------------------------------------------------------
+
+/// The panic hides two hops below the serve loop, in another module.
+const SERVE_BAD_LIB: &str = "pub mod serve;\npub mod wire;\n";
+const SERVE_BAD_SERVE: &str = "\
+use crate::wire::decode;
+
+pub fn serve(lines: &[String]) -> usize {
+    let mut n = 0;
+    for l in lines {
+        n += decode(l);
+    }
+    n
+}
+";
+const SERVE_BAD_WIRE: &str = "\
+pub fn decode(line: &str) -> usize {
+    frame_len(line)
+}
+
+fn frame_len(l: &str) -> usize {
+    l.strip_prefix(\"n=\").unwrap().len()
+}
+";
+/// Good twin: the same shape degrades per line instead of panicking.
+const SERVE_GOOD_WIRE: &str = "\
+pub fn decode(line: &str) -> usize {
+    frame_len(line)
+}
+
+fn frame_len(l: &str) -> usize {
+    match l.strip_prefix(\"n=\") {
+        Some(rest) => rest.len(),
+        None => 0,
+    }
+}
+";
+
+#[test]
+fn panic_below_serve_is_found_with_its_call_path() {
+    let fx = Fixture::new("serve-bad");
+    fx.add_crate("served", SERVE_BAD_LIB);
+    fx.write("crates/served/src/serve.rs", SERVE_BAD_SERVE);
+    fx.write("crates/served/src/wire.rs", SERVE_BAD_WIRE);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let hits = findings_for(&report, "panic-reachable-from-serve");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    let f = hits[0];
+    assert_eq!(f.file, "crates/served/src/wire.rs");
+    assert_eq!(f.line, 6, "the unwrap line");
+    assert_eq!(
+        f.path,
+        vec![
+            "serve".to_string(),
+            "decode".to_string(),
+            "frame_len".to_string()
+        ],
+        "path walks from the entry point down to the panic"
+    );
+}
+
+#[test]
+fn serve_reachability_is_silent_once_the_panic_degrades() {
+    let fx = Fixture::new("serve-good");
+    fx.add_crate("served", SERVE_BAD_LIB);
+    fx.write("crates/served/src/serve.rs", SERVE_BAD_SERVE);
+    fx.write("crates/served/src/wire.rs", SERVE_GOOD_WIRE);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert!(
+        findings_for(&report, "panic-reachable-from-serve").is_empty(),
+        "no panic left below the entry point: {:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// float-order-sensitivity
+// ---------------------------------------------------------------------------
+
+/// `.sum::<f64>()` over HashMap values: order-free for the iteration rule,
+/// order-SENSITIVE for float rounding.
+const FLOAT_BAD: &str = "\
+use std::collections::HashMap;
+
+pub fn total(scores: &HashMap<u32, f64>) -> f64 {
+    scores.values().sum::<f64>()
+}
+";
+/// Good twin: a BTreeMap iterates in key order on every run.
+const FLOAT_GOOD: &str = "\
+use std::collections::BTreeMap;
+
+pub fn total(scores: &BTreeMap<u32, f64>) -> f64 {
+    scores.values().sum::<f64>()
+}
+";
+
+#[test]
+fn float_sum_over_hash_iteration_fires_where_iteration_rule_is_silent() {
+    let fx = Fixture::new("float-bad");
+    fx.add_crate("stats", FLOAT_BAD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let hits = findings_for(&report, "float-order-sensitivity");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert_eq!(hits[0].line, 4);
+    assert!(
+        findings_for(&report, "nondeterministic-iteration").is_empty(),
+        "the two rules split this site, they do not double-report"
+    );
+}
+
+#[test]
+fn float_sum_over_ordered_map_is_silent() {
+    let fx = Fixture::new("float-good");
+    fx.add_crate("stats", FLOAT_GOOD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "ordered iteration is fine: {:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// alloc-in-hot-loop
+// ---------------------------------------------------------------------------
+
+const ALLOC_BAD: &str = "\
+// lint:hot — ledger scatter inner loop
+pub fn scatter(xs: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for x in xs {
+        let mut buf = Vec::new();
+        buf.push(*x);
+        acc += buf.len() as u64 + u64::from(*x);
+    }
+    acc
+}
+";
+/// Good twin: the buffer is hoisted and reused.
+const ALLOC_GOOD: &str = "\
+// lint:hot — ledger scatter inner loop
+pub fn scatter(xs: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    let mut buf = Vec::new();
+    for x in xs {
+        buf.clear();
+        buf.push(*x);
+        acc += buf.len() as u64 + u64::from(*x);
+    }
+    acc
+}
+";
+
+#[test]
+fn alloc_inside_a_hot_loop_fires_on_the_alloc_line() {
+    let fx = Fixture::new("alloc-bad");
+    fx.add_crate("ledger", ALLOC_BAD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    let hits = findings_for(&report, "alloc-in-hot-loop");
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert_eq!(hits[0].line, 5);
+    assert!(hits[0].snippet.contains("Vec::new"));
+}
+
+#[test]
+fn hoisted_alloc_outside_the_loop_is_silent() {
+    let fx = Fixture::new("alloc-good");
+    fx.add_crate("ledger", ALLOC_GOOD);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert!(
+        report.findings.is_empty(),
+        "hoist-and-clear is the sanctioned fix: {:?}",
+        report.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// pragmas + baseline interplay for workspace rules
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_rules_respect_pragmas() {
+    let fx = Fixture::new("pragma");
+    let src = ALLOC_BAD.replace(
+        "        let mut buf = Vec::new();",
+        "        // lint:allow(alloc-in-hot-loop): tiny, measured, reused nowhere\n        let mut buf = Vec::new();",
+    );
+    fx.add_crate("ledger", &src);
+    let report = run(fx.path(), &Options::default()).expect("lint run");
+    assert!(
+        findings_for(&report, "alloc-in-hot-loop").is_empty(),
+        "pragma silences the workspace rule too: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn baseline_records_the_call_path_for_pathed_findings() {
+    let fx = Fixture::new("baseline-path");
+    fx.add_crate("served", SERVE_BAD_LIB);
+    fx.write("crates/served/src/serve.rs", SERVE_BAD_SERVE);
+    fx.write("crates/served/src/wire.rs", SERVE_BAD_WIRE);
+    let update = Options {
+        baseline: Some("lint-baseline.json".into()),
+        update_baseline: true,
+    };
+    run(fx.path(), &update).expect("baseline update");
+    let text = fs::read_to_string(fx.path().join("lint-baseline.json")).expect("read baseline");
+    assert!(
+        text.contains("\"path\": [\"serve\", \"decode\", \"frame_len\"]"),
+        "baseline carries the witness chain: {text}"
+    );
+    // And the baselined workspace is clean on the next run.
+    let check = Options {
+        baseline: Some("lint-baseline.json".into()),
+        update_baseline: false,
+    };
+    let report = run(fx.path(), &check).expect("baselined run");
+    assert!(report.is_clean(), "fresh: {:?}", report.findings);
+}
+
+// ---------------------------------------------------------------------------
+// self-scan: the real workspace stays clean under its own baseline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_workspace_lints_itself_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let opts = Options {
+        baseline: Some("lint-baseline.json".into()),
+        update_baseline: false,
+    };
+    let report = run(&root, &opts).expect("self scan");
+    assert!(
+        report.is_clean(),
+        "the tree must lint clean under the checked-in baseline: {:?}",
+        report.findings
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "baseline entries must all still exist: {:?}",
+        report.stale_baseline
+    );
+    // The interprocedural rules hold a zero baseline: hazards are fixed at
+    // the source (or carry an inline invariant pragma), never grandfathered.
+    for f in &report.baselined {
+        assert_eq!(
+            f.rule, "unwrap-in-library",
+            "only the legacy unwrap debt may be baselined: {f:?}"
+        );
+    }
+}

@@ -196,6 +196,31 @@ pub fn encode_binary(header: &LogHeader, records: &[LogRecord]) -> Result<Vec<u8
     Ok(out)
 }
 
+/// Read a little-endian `u16` at `pos`; the array pattern makes the
+/// width check and the decode one infallible step.
+fn read_u16(bytes: &[u8], pos: usize) -> Result<u16, LogError> {
+    match bytes.get(pos..pos + 2) {
+        Some(&[a, b]) => Ok(u16::from_le_bytes([a, b])),
+        _ => Err(LogError::Truncated { offset: pos as u64 }),
+    }
+}
+
+/// Read a little-endian `u32` at `pos`.
+fn read_u32(bytes: &[u8], pos: usize) -> Result<u32, LogError> {
+    match bytes.get(pos..pos + 4) {
+        Some(&[a, b, c, d]) => Ok(u32::from_le_bytes([a, b, c, d])),
+        _ => Err(LogError::Truncated { offset: pos as u64 }),
+    }
+}
+
+/// Read a little-endian `u64` at `pos`.
+fn read_u64(bytes: &[u8], pos: usize) -> Result<u64, LogError> {
+    match bytes.get(pos..pos + 8) {
+        Some(&[a, b, c, d, e, f, g, h]) => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => Err(LogError::Truncated { offset: pos as u64 }),
+    }
+}
+
 /// Decode a binary log. Strict: any framing, checksum, or ordering defect
 /// is an error, and no records are returned alongside one.
 pub fn decode_binary(bytes: &[u8]) -> Result<(LogHeader, Vec<LogRecord>), LogError> {
@@ -210,14 +235,14 @@ pub fn decode_binary(bytes: &[u8]) -> Result<(LogHeader, Vec<LogRecord>), LogErr
     if bytes[0..4] != MAGIC {
         return Err(LogError::BadMagic);
     }
-    let version = u16::from_le_bytes(take(4, 2)?.try_into().expect("2 bytes"));
+    let version = read_u16(bytes, 4)?;
     if version != FORMAT_VERSION {
         return Err(LogError::VersionMismatch {
             found: version,
             expected: FORMAT_VERSION,
         });
     }
-    let meta_len = u32::from_le_bytes(take(8, 4)?.try_into().expect("4 bytes")) as usize;
+    let meta_len = read_u32(bytes, 8)? as usize;
     let meta_bytes = take(12, meta_len)?;
     let meta_text = std::str::from_utf8(meta_bytes).map_err(|e| LogError::Corrupt {
         offset: 12,
@@ -233,9 +258,9 @@ pub fn decode_binary(bytes: &[u8]) -> Result<(LogHeader, Vec<LogRecord>), LogErr
     let mut pos = 12 + meta_len;
     let mut prev_seq: Option<u64> = None;
     while pos < bytes.len() {
-        let len = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes")) as usize;
-        let seq = u64::from_le_bytes(take(pos + 4, 8)?.try_into().expect("8 bytes"));
-        let sum = u64::from_le_bytes(take(pos + 12, 8)?.try_into().expect("8 bytes"));
+        let len = read_u32(bytes, pos)? as usize;
+        let seq = read_u64(bytes, pos + 4)?;
+        let sum = read_u64(bytes, pos + 12)?;
         let body = take(pos + 20, len)?;
         if fnv1a_bytes(body) != sum {
             return Err(LogError::Corrupt {

@@ -133,15 +133,17 @@ impl TailReader {
     }
 
     fn u32_at(&self, at: usize) -> Option<u32> {
-        self.peek(at, 4)
-            // lint:allow(unwrap-in-library): peek(at, 4) guarantees the length
-            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        match self.peek(at, 4) {
+            Some(&[a, b, c, d]) => Some(u32::from_le_bytes([a, b, c, d])),
+            _ => None,
+        }
     }
 
     fn u64_at(&self, at: usize) -> Option<u64> {
-        self.peek(at, 8)
-            // lint:allow(unwrap-in-library): peek(at, 8) guarantees the length
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        match self.peek(at, 8) {
+            Some(&[a, b, c, d, e, f, g, h]) => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+            _ => None,
+        }
     }
 
     /// Drop the consumed prefix once it is large enough to matter.
@@ -163,14 +165,14 @@ impl TailReader {
         // Judge the magic as soon as its bytes exist — a stream that is
         // not a log should fail on the first 4 bytes, not wait forever.
         let have = self.buf.len().min(4);
+        // lint:allow(panic-reachable-from-serve): have <= buf.len() and have <= MAGIC.len() by min()
         if self.buf[..have] != MAGIC[..have] {
             return Err(LogError::BadMagic);
         }
-        let Some(version_bytes) = self.peek(4, 2) else {
-            return Ok(false);
+        let version = match self.peek(4, 2) {
+            Some(&[a, b]) => u16::from_le_bytes([a, b]),
+            _ => return Ok(false),
         };
-        // lint:allow(unwrap-in-library): peek(4, 2) guarantees the length
-        let version = u16::from_le_bytes(version_bytes.try_into().expect("2 bytes"));
         if version != FORMAT_VERSION {
             return Err(LogError::VersionMismatch {
                 found: version,

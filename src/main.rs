@@ -8,7 +8,7 @@
 //! likelab export DIR [--preset P] [--scale S] [--seed N]   write JSON, DOT, and SVG artifacts
 //! likelab sweep      [--seeds N] [--scales A,B]    multi-seed study sweep with aggregates
 //! likelab paper                                    print the published tables
-//! likelab lint       [--format human|json] [--update-baseline]   determinism & hygiene analyzer
+//! likelab lint       [--format human|json|sarif] [--update-baseline]   determinism & hygiene analyzer
 //! ```
 //!
 //! `run` and `checklist` are event-sourced: `--log-out FILE` captures the
@@ -314,8 +314,8 @@ fn usage() -> &'static str {
      \x20 likelab sweep [--seeds N] [--scales A,B,..] run N seeds per scale, aggregate mean/std/CI\n\
      \x20               [--seed M] [--out FILE] [--sequential]\n\
      \x20 likelab paper                               print the paper's published tables\n\
-     \x20 likelab lint  [--format human|json] [--baseline FILE | --no-baseline]\n\
-     \x20               [--update-baseline] [--list-rules]\n\
+     \x20 likelab lint  [--format human|json|sarif] [--baseline FILE | --no-baseline]\n\
+     \x20               [--update-baseline] [--list-rules] [--explain RULE]\n\
      \x20               determinism & hygiene analyzer (rules in LINTS.md);\n\
      \x20               uses lint-baseline.json by default, exit 1 on new findings\n\n\
      Observability (run, checklist, sweep — see OBSERVABILITY.md):\n\
@@ -654,7 +654,12 @@ fn cmd_sweep(opts: &Opts) -> Result<ExitCode, String> {
 /// standalone CI binary); the checked-in `lint-baseline.json` is used by
 /// default when present. Rule catalog: LINTS.md.
 fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
-    let mut format_json = false;
+    enum LintFormat {
+        Human,
+        Json,
+        Sarif,
+    }
+    let mut format = LintFormat::Human;
     let mut update_baseline = std::env::var("LIKELAB_UPDATE_LINT_BASELINE").as_deref() == Ok("1");
     let mut baseline: Option<String> = None;
     let mut no_baseline = false;
@@ -662,9 +667,10 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--format" => match it.next().map(String::as_str) {
-                Some("human") => format_json = false,
-                Some("json") => format_json = true,
-                _ => return Err("--format needs human|json".into()),
+                Some("human") => format = LintFormat::Human,
+                Some("json") => format = LintFormat::Json,
+                Some("sarif") => format = LintFormat::Sarif,
+                _ => return Err("--format needs human|json|sarif".into()),
             },
             "--baseline" => {
                 let v = it.next().ok_or("--baseline needs a file path")?;
@@ -676,6 +682,19 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
                 for r in likelab_lint::rules::RULES {
                     println!("{:28} {}", r.id, r.summary);
                 }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--explain" => {
+                let id = it.next().ok_or("--explain needs a rule id")?;
+                let Some(r) = likelab_lint::rules::RULES.iter().find(|r| r.id == id) else {
+                    let known: Vec<&str> =
+                        likelab_lint::rules::RULES.iter().map(|r| r.id).collect();
+                    return Err(format!(
+                        "unknown rule `{id}`; known rules: {}",
+                        known.join(", ")
+                    ));
+                };
+                println!("{}\n  {}\n\n{}", r.id, r.summary, r.explain);
                 return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unknown lint flag: {other}")),
@@ -699,10 +718,10 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
         update_baseline,
     };
     let report = likelab_lint::run(&root, &opts)?;
-    if format_json {
-        println!("{}", report.render_json());
-    } else {
-        println!("{}", report.render_human());
+    match format {
+        LintFormat::Human => println!("{}", report.render_human()),
+        LintFormat::Json => println!("{}", report.render_json()),
+        LintFormat::Sarif => println!("{}", report.render_sarif()),
     }
     Ok(if report.is_clean() {
         ExitCode::SUCCESS
